@@ -1,0 +1,70 @@
+// UC1 — Configuration Assurance: the Athens Affair, replayed.
+//
+// An ISP-style network carries a government official's traffic. The
+// attacker hot-swaps the core switch's router program for a rogue variant
+// that forwards identically but covertly marks traffic to a target list.
+// Without RA, nothing observable changes; with PERA attestation the swap
+// is caught on the next appraisal.
+#include <cstdio>
+
+#include "adversary/attacks.h"
+#include "core/deployment.h"
+
+using namespace pera;
+
+namespace {
+
+void show(const char* phase, const core::ChallengeReport& rep) {
+  std::printf("%-34s completed=%s accepted=%s\n", phase,
+              rep.completed ? "yes" : "no ", rep.accepted ? "yes" : "no ");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== UC1: the Athens Affair on an ISP topology ==\n\n");
+  core::Deployment dep(netsim::topo::isp());
+  dep.provision_goldens();
+
+  // Phase 1: routine traffic, routine attestation. All green.
+  const auto baseline = dep.run_out_of_band(
+      "client", "core2", nac::mask_of(nac::EvidenceDetail::kProgram));
+  show("baseline attestation of core2:", baseline);
+
+  // Phase 2: the intrusion. The rogue program claims the same name and
+  // version; its forwarding of ordinary traffic is byte-identical.
+  const adversary::SwapRecord swap =
+      adversary::program_swap_attack(dep, "core2");
+  std::printf("\nattacker swapped core2's program\n");
+  std::printf("  honest digest : %s...\n", swap.before.short_hex().c_str());
+  std::printf("  rogue digest  : %s...\n", swap.after.short_hex().c_str());
+
+  dataplane::PacketSpec spec;
+  spec.ip_dst = 0x0a000202;
+  const core::FlowReport traffic =
+      dep.send_plain_flow("client", "pm_phone", 50, spec);
+  std::printf("  plain traffic still flows: %zu/%zu delivered "
+              "(the real attack ran unnoticed for months)\n",
+              traffic.packets_delivered, traffic.packets_sent);
+
+  // Phase 3: detection. The measurement unit reads the true program
+  // digest, the appraiser's golden value disagrees, the verdict flips.
+  const auto compromised = dep.run_out_of_band(
+      "client", "core2", nac::mask_of(nac::EvidenceDetail::kProgram));
+  std::printf("\n");
+  show("attestation under compromise:", compromised);
+
+  // Phase 4: the operator reinstalls the vetted image and re-attests.
+  adversary::program_restore(dep, "core2");
+  const auto restored = dep.run_out_of_band(
+      "client", "core2", nac::mask_of(nac::EvidenceDetail::kProgram));
+  show("attestation after restore:", restored);
+
+  const bool story_holds = baseline.accepted && !compromised.accepted &&
+                           restored.accepted &&
+                           traffic.packets_delivered == traffic.packets_sent;
+  std::printf("\n%s\n", story_holds
+                            ? "RA detected what traffic inspection cannot."
+                            : "UNEXPECTED: story did not reproduce");
+  return story_holds ? 0 : 1;
+}

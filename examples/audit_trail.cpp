@@ -1,0 +1,83 @@
+// UC4 — Evidence as documentation (both sub-cases).
+//
+// (A) A scanner policy (Table 1's AP2) fingerprints malware C2 traffic on
+//     a PERA switch; the signed detections are stored at the appraiser as
+//     an audit trail suitable for, e.g., a court-order application.
+// (B) The takedown action itself is documented the same way, and the
+//     stored evidence is redacted (pseudonymized) before being handed to
+//     an external party — only the operator can lift the pseudonyms.
+#include <cstdio>
+
+#include "core/deployment.h"
+#include "ra/redaction.h"
+
+using namespace pera;
+
+int main() {
+  std::printf("== UC4: attestation evidence as an audit trail ==\n\n");
+  core::Deployment dep(netsim::topo::chain(2));
+  dep.provision_goldens();
+
+  // The C2 fingerprint: flows to dport 31337 (the malware's beacon port).
+  for (const char* name : {"s1", "s2"}) {
+    dep.switch_node(name).pera().set_guard(
+        "P", [](const dataplane::ParsedPacket& pkt) {
+          return pkt.has("tcp") && pkt.get("tcp.dport") == 31337;
+        });
+  }
+
+  // AP2, deployed over every hop.
+  const nac::CompiledPolicy scanner_policy = nac::compile(std::string(
+      "*scanner<P> : forall hop : @hop [P |> attest(Packet) -> !] *=> "
+      "@Appraiser [appraise -> store]"));
+
+  // (A) Mixed traffic: benign HTTPS plus the malware beacon.
+  dataplane::PacketSpec https;
+  https.dport = 443;
+  const core::FlowReport benign =
+      dep.send_flow("client", "server", scanner_policy, 20, true, 0, https);
+  dataplane::PacketSpec beacon = https;
+  beacon.dport = 31337;
+  const core::FlowReport c2 =
+      dep.send_flow("client", "server", scanner_policy, 5, true, 0, beacon);
+
+  std::printf("benign packets scanned : %zu, detections: %llu\n",
+              benign.packets_sent,
+              static_cast<unsigned long long>(benign.attestations));
+  std::printf("beacon packets scanned : %zu, detections: %llu "
+              "(2 hops x 5 packets)\n\n",
+              c2.packets_sent, static_cast<unsigned long long>(c2.attestations));
+
+  // The appraiser's store now documents the findings.
+  std::printf("audit records appraised and stored: %zu\n",
+              c2.certificates);
+
+  // (B) Document the takedown and redact for the external reviewer.
+  auto& s1 = dep.switch_node("s1").pera();
+  const crypto::Nonce takedown_nonce{crypto::sha256("court-order-2209")};
+  const copland::EvidencePtr takedown = s1.attest_challenge(
+      nac::EvidenceDetail::kProgram | nac::EvidenceDetail::kTables,
+      takedown_nonce, /*hash_before_sign=*/false);
+  std::printf("\ntakedown evidence (%zu B):\n%s",
+              copland::wire_size(takedown),
+              copland::describe(takedown).c_str());
+
+  ra::PseudonymTable pseudonyms(crypto::sha256("operator secret"));
+  crypto::Signer& op = dep.keys().provision_hmac("operator");
+  ra::RedactionPolicy policy;
+  policy.pseudonymize_places = true;
+  policy.drop_claims = true;
+  const copland::EvidencePtr redacted = ra::redact_and_resign(
+      takedown, "regulator", pseudonyms, policy, "operator", op);
+
+  std::printf("\nredacted copy for the regulator:\n%s",
+              copland::describe(redacted).c_str());
+  const auto* first = copland::measurements_of(redacted)[0];
+  std::printf("\nthe operator can lift '%s' back to '%s' under court order\n",
+              first->place.c_str(),
+              pseudonyms.lift(first->place).value_or("?").c_str());
+
+  const bool ok = benign.attestations == 0 && c2.attestations == 10 &&
+                  pseudonyms.lift(first->place) == "s1";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// Quickstart: the Fig. 2 out-of-band attestation exchange on a small
+// network — one relying party, one PERA switch, one appraiser.
+//
+//   $ ./quickstart
+//
+// Walks expression (3) end to end: RP1 challenges the switch with a fresh
+// nonce, the switch attests its hardware + program, the appraiser checks
+// the evidence against golden values, certifies, stores, and RP1 (and
+// later RP2) receive the signed result.
+#include <cstdio>
+
+#include "core/deployment.h"
+
+using namespace pera;
+
+int main() {
+  std::printf("== PERA quickstart: out-of-band attestation (Fig. 2) ==\n\n");
+
+  // A 3-switch chain: client - s1 - s2 - s3 - server, appraiser off s1.
+  core::Deployment dep(netsim::topo::chain(3));
+
+  // Provision the appraiser with golden values for every switch's
+  // hardware identity, program digest and table contents.
+  dep.provision_goldens();
+  std::printf("deployed %zu attesting elements: ",
+              dep.attesting_elements().size());
+  for (const auto& name : dep.attesting_elements()) {
+    std::printf("%s ", name.c_str());
+  }
+  std::printf("\n\n");
+
+  // RP1 (the client) challenges s2 to attest Hardware + Program.
+  const core::ChallengeReport rep = dep.run_out_of_band(
+      "client", "s2",
+      nac::EvidenceDetail::kHardware | nac::EvidenceDetail::kProgram,
+      /*rp2=*/"server");
+
+  std::printf("challenge completed : %s\n", rep.completed ? "yes" : "no");
+  std::printf("result accepted     : %s\n", rep.accepted ? "yes" : "no");
+  std::printf("simulated RTT       : %.1f us\n", netsim::to_us(rep.rtt));
+  std::printf("protocol messages   : %llu\n",
+              static_cast<unsigned long long>(rep.messages));
+  std::printf("bytes on the wire   : %llu\n\n",
+              static_cast<unsigned long long>(rep.bytes_on_wire));
+
+  // The same exchange fails the moment the program changes under the RP.
+  dep.switch_node("s2").pera().load_program(dataplane::make_router("v2-dev"));
+  const core::ChallengeReport drifted = dep.run_out_of_band(
+      "client", "s2", nac::mask_of(nac::EvidenceDetail::kProgram));
+  std::printf("after an unvetted program update on s2:\n");
+  std::printf("result accepted     : %s (expected: no)\n",
+              drifted.accepted ? "yes" : "no");
+
+  return rep.accepted && !drifted.accepted ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// §5.1 motivation — "the forwarding path is typically chosen outside
+// [the peers'] control, and the path might change without warning due to
+// routing changes."
+//
+// This example deploys a wildcard path-attestation policy (Prim1/Prim2)
+// over the ISP topology, verifies the Prim3 deployability condition (the
+// appraiser is reachable from every attesting element), then fails the
+// primary core link mid-flow: traffic reroutes, and the policy keeps
+// attesting the *new* path with no reconfiguration — the point of
+// abstracting over hops.
+#include <cstdio>
+
+#include "core/deployment.h"
+#include "core/reachability.h"
+
+using namespace pera;
+
+namespace {
+
+void show_flow(const char* phase, const core::FlowReport& rep) {
+  std::printf("%-28s delivered=%zu/%zu attestations=%llu failures=%llu\n",
+              phase, rep.packets_delivered, rep.packets_sent,
+              static_cast<unsigned long long>(rep.attestations),
+              static_cast<unsigned long long>(rep.appraisal_failures));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== path abstraction under routing changes ==\n\n");
+  core::Deployment dep(netsim::topo::isp());
+  dep.provision_goldens();
+
+  const nac::CompiledPolicy policy = nac::compile(std::string(
+      "*rp<n> : forall hop : @hop [attest(Hardware -~- Program) -> !] *=> "
+      "@Appraiser [appraise]"));
+
+  // Prim3: is the policy deployable at all? (reachability over the NetKAT
+  // encoding of the topology)
+  const core::CollectorReachability reach =
+      core::check_collector_reachable(dep.network().topology(), policy);
+  std::printf("collector '%s' reachable from %zu/%zu attesting elements\n",
+              reach.collector.c_str(), reach.reachable_from.size(),
+              reach.reachable_from.size() + reach.unreachable_from.size());
+  if (!reach.deployable()) {
+    std::printf("policy not deployable, aborting\n");
+    return 1;
+  }
+
+  const auto path_before = dep.network().topology().names(
+      dep.network().topology().shortest_path("client", "pm_phone"));
+  std::printf("\ncurrent path: ");
+  for (const auto& n : path_before) std::printf("%s ", n.c_str());
+  std::printf("\n");
+  const core::FlowReport before =
+      dep.send_flow("client", "pm_phone", policy, 8, /*in_band=*/true);
+  show_flow("before the link failure:", before);
+
+  // The primary core link dies. Nobody tells the relying party.
+  dep.network().topology().set_link_state("core1", "core2", false);
+  const auto path_after = dep.network().topology().names(
+      dep.network().topology().shortest_path("client", "pm_phone"));
+  std::printf("\ncore1-core2 failed; new path: ");
+  for (const auto& n : path_after) std::printf("%s ", n.c_str());
+  std::printf("\n");
+
+  const core::FlowReport after =
+      dep.send_flow("client", "pm_phone", policy, 8, /*in_band=*/true);
+  show_flow("after rerouting:", after);
+
+  const bool ok = before.appraisal_failures == 0 &&
+                  after.appraisal_failures == 0 &&
+                  after.packets_delivered == 8 && path_before != path_after;
+  std::printf("\n%s\n",
+              ok ? "the wildcard policy attested both paths unchanged."
+                 : "UNEXPECTED: scenario did not reproduce");
+  return ok ? 0 : 1;
+}

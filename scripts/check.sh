@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full verification pipeline: configure, build (warnings are errors in
+# spirit — the tree builds clean under -Wall -Wextra), run every test,
+# smoke-run every benchmark and every example.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/bench_*; do
+  echo "== $b (smoke) =="
+  "$b" --benchmark_min_time=0.01 > /dev/null
+done
+
+for ex in build/examples/*; do
+  [ -x "$ex" ] && [ -f "$ex" ] || continue
+  echo "== $ex =="
+  "$ex" > /dev/null
+done
+
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,92 @@
+#include "adversary/attacks.h"
+
+#include "dataplane/p4mini.h"
+
+namespace pera::adversary {
+
+void SlowAdversary::on_event(const copland::Term& term,
+                             const std::string& place) {
+  (void)place;
+  // About to be measured? Repair first so the measurement comes out clean.
+  const bool measures_component =
+      (term.kind == copland::TermKind::kMeasure &&
+       term.target == component_ && term.place == place_) ||
+      (term.kind == copland::TermKind::kAtom && term.target == component_);
+  if (measures_component && platform_->is_corrupt(place_, component_)) {
+    platform_->repair(place_, component_);
+    ++repairs_;
+  }
+}
+
+bool SlowAdversary::par_left_first(const copland::Term& term) {
+  (void)term;
+  // Run the right arm first: in expression (1) that is the corrupt bmon
+  // measuring exts, before av gets to look at bmon.
+  return false;
+}
+
+SwapRecord program_swap_attack(core::Deployment& deployment,
+                               const std::string& switch_name) {
+  auto& sw = deployment.switch_node(switch_name).pera();
+  SwapRecord rec;
+  rec.before = sw.dataplane().program().program_digest();
+  // The rogue program is compiled from its own P4-mini source and
+  // masquerades under the victim's name and version string.
+  sw.load_program(dataplane::compile_p4mini(dataplane::p4src::rogue_router_v1()));
+  rec.after = sw.dataplane().program().program_digest();
+  return rec;
+}
+
+void program_restore(core::Deployment& deployment,
+                     const std::string& switch_name) {
+  auto& sw = deployment.switch_node(switch_name).pera();
+  const std::string version = sw.dataplane().program().version();
+  sw.load_program(dataplane::make_router(version));
+}
+
+netsim::TransitResult TamperingNode::on_transit(netsim::Network& net,
+                                                netsim::NodeId self,
+                                                netsim::Message& msg) {
+  netsim::TransitResult res =
+      inner_ != nullptr ? inner_->on_transit(net, self, msg)
+                        : netsim::TransitResult{};
+  if (!res.forward || msg.type != "data") return res;
+
+  core::FlowBundle bundle = core::FlowBundle::from_message(msg);
+  if (bundle.carrier.records.empty()) return res;
+
+  switch (mode_) {
+    case Mode::kForge: {
+      // Flip one byte in every record's evidence.
+      for (auto& rec : bundle.carrier.records) {
+        if (rec.evidence.empty()) continue;
+        const std::size_t idx = rng_.uniform(rec.evidence.size());
+        rec.evidence[idx] ^= 0x55;
+      }
+      ++tampered_;
+      break;
+    }
+    case Mode::kDrop:
+      bundle.carrier.records.clear();
+      ++tampered_;
+      break;
+    case Mode::kReplay: {
+      if (!captured_) {
+        captured_ = bundle.carrier.records.front().evidence;
+      } else {
+        for (auto& rec : bundle.carrier.records) rec.evidence = *captured_;
+        ++tampered_;
+      }
+      break;
+    }
+  }
+  bundle.to_message(msg);
+  return res;
+}
+
+void TamperingNode::on_deliver(netsim::Network& net, netsim::NodeId self,
+                               netsim::Message msg) {
+  if (inner_ != nullptr) inner_->on_deliver(net, self, std::move(msg));
+}
+
+}  // namespace pera::adversary

@@ -1,0 +1,91 @@
+// Adversary models — the §3 threat model made executable.
+//
+//  * SlowAdversary       — the Ramsdell et al. repair attack on layered
+//                          attestations (defeats parallel composition (1),
+//                          defeated by sequential composition (2)).
+//  * ProgramSwapAttack   — the Athens Affair: hot-swap a rogue dataplane
+//                          program that behaves identically on non-target
+//                          traffic (UC1's detection target).
+//  * TamperingNode       — an on-path node that forges, drops or replays
+//                          in-band evidence records.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "copland/semantics.h"
+#include "copland/testbed.h"
+#include "core/deployment.h"
+#include "crypto/drbg.h"
+
+namespace pera::adversary {
+
+/// A "slow" adversary (Rowe et al. capability model): it corrupts
+/// components *before* the protocol runs, may repair them at any event
+/// boundary, and controls the interleaving of parallel branches — but it
+/// cannot (re-)corrupt while the protocol is executing.
+class SlowAdversary final : public copland::EvalObserver {
+ public:
+  /// Will repair (place, component) the moment it is about to be
+  /// measured, hiding the pre-existing corruption.
+  SlowAdversary(copland::TestbedPlatform& platform, std::string place,
+                std::string component)
+      : platform_(&platform),
+        place_(std::move(place)),
+        component_(std::move(component)) {}
+
+  void on_event(const copland::Term& term, const std::string& place) override;
+  [[nodiscard]] bool par_left_first(const copland::Term& term) override;
+
+  [[nodiscard]] std::size_t repairs_performed() const { return repairs_; }
+
+ private:
+  copland::TestbedPlatform* platform_;
+  std::string place_;
+  std::string component_;
+  std::size_t repairs_ = 0;
+};
+
+/// Swap a deployment switch's program for the rogue router (same version
+/// string — the attacker lies about the version; the *digest* differs).
+/// Returns the digests before/after so tests can assert the delta.
+struct SwapRecord {
+  crypto::Digest before{};
+  crypto::Digest after{};
+};
+SwapRecord program_swap_attack(core::Deployment& deployment,
+                               const std::string& switch_name);
+
+/// Restore a legitimate router program (the attacker covering tracks
+/// after an audit window).
+void program_restore(core::Deployment& deployment,
+                     const std::string& switch_name);
+
+/// On-path evidence tampering. Wraps the node's existing behaviour.
+class TamperingNode final : public netsim::NodeBehavior {
+ public:
+  enum class Mode {
+    kForge,   // flip bytes inside carried evidence records
+    kDrop,    // strip all carried evidence (hide the path)
+    kReplay,  // replace carried evidence with a previously captured record
+  };
+
+  TamperingNode(netsim::NodeBehavior* inner, Mode mode, std::uint64_t seed)
+      : inner_(inner), mode_(mode), rng_(seed) {}
+
+  netsim::TransitResult on_transit(netsim::Network& net, netsim::NodeId self,
+                                   netsim::Message& msg) override;
+  void on_deliver(netsim::Network& net, netsim::NodeId self,
+                  netsim::Message msg) override;
+
+  [[nodiscard]] std::size_t tampered_count() const { return tampered_; }
+
+ private:
+  netsim::NodeBehavior* inner_;
+  Mode mode_;
+  crypto::Drbg rng_;
+  std::size_t tampered_ = 0;
+  std::optional<crypto::Bytes> captured_;  // for kReplay
+};
+
+}  // namespace pera::adversary

@@ -1,0 +1,433 @@
+#include "copland/analysis.h"
+
+#include <algorithm>
+#include <set>
+
+namespace pera::copland {
+
+namespace {
+
+// Recursive builder: returns the set of event ids inside each subterm so
+// parents can add ordering edges between sibling subterms.
+struct Builder {
+  EventGraph graph;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;  // a before b
+  std::size_t next_id = 0;
+
+  std::vector<std::size_t> walk(const TermPtr& t, const std::string& place) {
+    if (!t) return {};
+    switch (t->kind) {
+      case TermKind::kNil:
+        return {};
+      case TermKind::kAtom: {
+        const std::size_t id = next_id++;
+        graph.measurements.push_back(
+            MeasurementEvent{id, place, place, t->target, place});
+        return {id};
+      }
+      case TermKind::kMeasure: {
+        const std::size_t id = next_id++;
+        graph.measurements.push_back(
+            MeasurementEvent{id, t->asp, place, t->target, t->place});
+        return {id};
+      }
+      case TermKind::kAtPlace:
+        return walk(t->child, t->place);
+      case TermKind::kSign: {
+        const std::size_t id = next_id++;
+        graph.signs.push_back(SignEvent{id, place});
+        return {id};
+      }
+      case TermKind::kHash:
+        return {};
+      case TermKind::kFunc: {
+        // Function arguments evaluate left-to-right at the current place.
+        std::vector<std::size_t> all;
+        std::vector<std::size_t> prev;
+        for (const auto& a : t->args) {
+          auto ids = walk(a, place);
+          order(prev, ids);
+          prev = ids;
+          all.insert(all.end(), ids.begin(), ids.end());
+        }
+        return all;
+      }
+      case TermKind::kPipe: {
+        auto l = walk(t->left, place);
+        auto r = walk(t->right, place);
+        order(l, r);
+        l.insert(l.end(), r.begin(), r.end());
+        return l;
+      }
+      case TermKind::kBranch: {
+        auto l = walk(t->left, place);
+        auto r = walk(t->right, place);
+        if (t->branch == BranchKind::kSeq) order(l, r);
+        l.insert(l.end(), r.begin(), r.end());
+        return l;
+      }
+      case TermKind::kGuard:
+        return walk(t->child, place);
+      case TermKind::kPathStar: {
+        // Per-hop phrase precedes the tail of the path.
+        auto l = walk(t->left, place);
+        auto r = walk(t->right, place);
+        order(l, r);
+        l.insert(l.end(), r.begin(), r.end());
+        return l;
+      }
+      case TermKind::kForall:
+        return walk(t->child, place);
+    }
+    return {};
+  }
+
+  void order(const std::vector<std::size_t>& before,
+             const std::vector<std::size_t>& after) {
+    for (std::size_t a : before) {
+      for (std::size_t b : after) edges.emplace_back(a, b);
+    }
+  }
+
+  void finalize() {
+    const std::size_t n = next_id;
+    graph.happens_before.assign(n, std::vector<bool>(n, false));
+    for (const auto& [a, b] : edges) graph.happens_before[a][b] = true;
+    // Transitive closure (Floyd–Warshall over booleans).
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!graph.happens_before[i][k]) continue;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (graph.happens_before[k][j]) graph.happens_before[i][j] = true;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+EventGraph build_event_graph(const TermPtr& t, const std::string& root_place) {
+  Builder b;
+  b.walk(t, root_place);
+  b.finalize();
+  return b.graph;
+}
+
+std::vector<RepairVulnerability> find_repair_vulnerabilities(
+    const TermPtr& t, const std::string& root_place,
+    const std::vector<std::string>& trusted_asps) {
+  const EventGraph g = build_event_graph(t, root_place);
+  std::vector<RepairVulnerability> out;
+  std::set<std::pair<std::string, std::string>> reported;
+
+  for (const auto& use : g.measurements) {
+    if (use.asp == use.target) continue;  // self-measurement: out of scope
+    if (std::find(trusted_asps.begin(), trusted_asps.end(), use.asp) !=
+        trusted_asps.end()) {
+      continue;  // root-of-trust measurer, assumed good (§3 threat model)
+    }
+    // Find a measurement OF the measurer that strictly precedes this use.
+    bool protected_use = false;
+    bool ever_measured = false;
+    for (const auto& meas : g.measurements) {
+      if (meas.target == use.asp && meas.target_place == use.asp_place &&
+          meas.id != use.id) {
+        ever_measured = true;
+        if (g.precedes(meas.id, use.id)) {
+          protected_use = true;
+          break;
+        }
+      }
+    }
+    if (!protected_use) {
+      const auto key = std::make_pair(use.asp, use.asp_place);
+      if (reported.insert(key).second) {
+        out.push_back(RepairVulnerability{
+            use.asp, use.asp_place,
+            ever_measured
+                ? ("measurement of " + use.asp +
+                   " is unordered with its use as measurer of " + use.target +
+                   " — an adversary can use the corrupt " + use.asp +
+                   " first, repair it, then let it be measured")
+                : (use.asp + " is never measured before measuring " +
+                   use.target)});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<MeasurementEvent> find_unsigned_measurements(
+    const TermPtr& t, const std::string& root_place) {
+  const EventGraph g = build_event_graph(t, root_place);
+  std::vector<MeasurementEvent> out;
+  for (const auto& m : g.measurements) {
+    const bool covered =
+        std::any_of(g.signs.begin(), g.signs.end(), [&](const SignEvent& s) {
+          return g.precedes(m.id, s.id);
+        });
+    if (!covered) out.push_back(m);
+  }
+  return out;
+}
+
+ConfinementResult analyze_confinement(
+    const TermPtr& t, const std::string& root_place,
+    const std::vector<std::pair<std::string, std::string>>& corrupted,
+    const std::vector<std::string>& trusted_asps) {
+  const EventGraph g = build_event_graph(t, root_place);
+  ConfinementResult res;
+
+  const auto is_corrupt = [&](const std::string& place,
+                              const std::string& comp) {
+    return std::find(corrupted.begin(), corrupted.end(),
+                     std::make_pair(place, comp)) != corrupted.end();
+  };
+  // An ASP is honest when it is a root of trust or simply not corrupted.
+  const auto honest_asp = [&](const MeasurementEvent& m) {
+    return std::find(trusted_asps.begin(), trusted_asps.end(), m.asp) !=
+               trusted_asps.end() ||
+           !is_corrupt(m.asp_place, m.asp);
+  };
+  // A "tool" is a corrupt component the adversary uses as a measurer (to
+  // lie); a "payload" is a corrupt component that is only ever measured —
+  // repairing a payload forfeits the attack, so the adversary keeps it.
+  const auto used_as_measurer = [&](const std::string& place,
+                                    const std::string& comp) {
+    return std::any_of(g.measurements.begin(), g.measurements.end(),
+                       [&](const MeasurementEvent& u) {
+                         return u.asp == comp && u.asp_place == place;
+                       });
+  };
+
+  // Adversary-controlled outcomes: measurements taken by corrupt tools.
+  for (const auto& m : g.measurements) {
+    if (!honest_asp(m)) res.tainted.push_back(m);
+  }
+
+  // Detection case analysis (the Ramsdell repair argument):
+  //  (a) an honest ASP measures a corrupt payload — detected outright
+  //      (repairing the payload would forfeit the compromise);
+  //  (b) an honest ASP measures a corrupt tool M strictly before every
+  //      use of M, and some use of M targets a corrupt payload. Then
+  //      either M is still corrupt when measured (detected), or the
+  //      adversary repaired M first — in which case M's later use is
+  //      honest and exposes the payload (detected).
+  for (const auto& m : g.measurements) {
+    if (!honest_asp(m)) continue;
+    if (!is_corrupt(m.target_place, m.target)) continue;
+
+    if (!used_as_measurer(m.target_place, m.target)) {
+      res.detecting.push_back(m);  // case (a)
+      continue;
+    }
+    // Case (b): m measures tool M = m.target.
+    bool precedes_all_uses = true;
+    bool some_use_hits_payload = false;
+    for (const auto& u : g.measurements) {
+      if (u.asp != m.target || u.asp_place != m.target_place) continue;
+      if (!g.precedes(m.id, u.id)) precedes_all_uses = false;
+      if (is_corrupt(u.target_place, u.target) &&
+          !used_as_measurer(u.target_place, u.target)) {
+        some_use_hits_payload = true;
+      }
+    }
+    if (precedes_all_uses && some_use_hits_payload) {
+      res.detecting.push_back(m);
+    }
+  }
+  res.detection_guaranteed = !res.detecting.empty();
+  return res;
+}
+
+namespace {
+
+// Does evaluating this term (with empty input) produce any evidence?
+bool produces_evidence(const TermPtr& t) {
+  if (!t) return false;
+  switch (t->kind) {
+    case TermKind::kNil:
+    case TermKind::kSign:   // wraps what's there; produces nothing alone
+    case TermKind::kHash:
+      return false;
+    case TermKind::kAtom:
+    case TermKind::kMeasure:
+    case TermKind::kFunc:  // functions synthesize output evidence
+      return true;
+    case TermKind::kAtPlace:
+    case TermKind::kGuard:
+    case TermKind::kForall:
+      return produces_evidence(t->child);
+    case TermKind::kPipe:
+    case TermKind::kBranch:
+    case TermKind::kPathStar:
+      return produces_evidence(t->left) || produces_evidence(t->right);
+  }
+  return false;
+}
+
+struct WfCtx {
+  WellFormedness* out;
+  std::set<std::string> bound_vars;
+};
+
+// `has_input`: whether evidence can be flowing into this term.
+void check_wf(const TermPtr& t, bool has_input, WfCtx& ctx) {
+  if (!t) return;
+  switch (t->kind) {
+    case TermKind::kSign:
+      if (!has_input) {
+        ctx.out->fail("'!' signs empty evidence (nothing precedes it)");
+      }
+      return;
+    case TermKind::kHash:
+      if (!has_input) {
+        ctx.out->fail("'#' hashes empty evidence (nothing precedes it)");
+      }
+      return;
+    case TermKind::kPipe:
+      check_wf(t->left, has_input, ctx);
+      check_wf(t->right, has_input || produces_evidence(t->left), ctx);
+      return;
+    case TermKind::kBranch:
+      check_wf(t->left, has_input && t->pass_left, ctx);
+      check_wf(t->right, has_input && t->pass_right, ctx);
+      return;
+    case TermKind::kAtPlace:
+    case TermKind::kGuard:
+      check_wf(t->child, has_input, ctx);
+      return;
+    case TermKind::kFunc:
+      for (const auto& a : t->args) check_wf(a, false, ctx);
+      return;
+    case TermKind::kPathStar: {
+      bool mentions_abstract = false;
+      for (const auto& p : places_of(t->left)) {
+        if (ctx.bound_vars.contains(p)) mentions_abstract = true;
+      }
+      if (!ctx.bound_vars.empty() && !mentions_abstract) {
+        ctx.out->fail(
+            "'*=>' left phrase names no abstract place; the star never "
+            "expands");
+      }
+      check_wf(t->left, has_input, ctx);
+      check_wf(t->right, has_input || produces_evidence(t->left), ctx);
+      return;
+    }
+    case TermKind::kForall: {
+      for (const auto& v : t->vars) {
+        if (ctx.bound_vars.contains(v)) {
+          ctx.out->fail("forall shadows outer variable '" + v + "'");
+        }
+      }
+      std::set<std::string> saved = ctx.bound_vars;
+      ctx.bound_vars.insert(t->vars.begin(), t->vars.end());
+      check_wf(t->child, has_input, ctx);
+      const auto used = places_of(t->child);
+      for (const auto& v : t->vars) {
+        if (std::find(used.begin(), used.end(), v) == used.end()) {
+          ctx.out->fail("forall variable '" + v + "' is never used");
+        }
+      }
+      ctx.bound_vars = std::move(saved);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+WellFormedness check_well_formed(const TermPtr& t) {
+  WellFormedness out;
+  WfCtx ctx{&out, {}};
+  check_wf(t, /*has_input=*/false, ctx);
+  return out;
+}
+
+namespace {
+
+using Visibility = std::map<std::string, std::set<std::string>>;
+using Content = std::set<std::string>;
+
+// Returns the evidence content (set of visible measurement targets, or the
+// opaque token "#") flowing out of the term. Records at `vis[place]` the
+// content each place observes.
+Content visit_visibility(const TermPtr& t, const std::string& place,
+                         Content in, Visibility& vis) {
+  if (!t) return in;
+  const auto see = [&vis](const std::string& p, const Content& c) {
+    vis[p].insert(c.begin(), c.end());
+  };
+  switch (t->kind) {
+    case TermKind::kNil:
+      return in;
+    case TermKind::kAtom: {
+      in.insert(t->target);
+      see(place, in);
+      return in;
+    }
+    case TermKind::kMeasure: {
+      in.insert(t->target);
+      see(place, in);
+      return in;
+    }
+    case TermKind::kAtPlace: {
+      see(t->place, in);  // the remote place receives the accrued evidence
+      Content out = visit_visibility(t->child, t->place, std::move(in), vis);
+      see(place, out);  // results flow back to the requesting place
+      return out;
+    }
+    case TermKind::kSign:
+      see(place, in);
+      return in;  // wrapped but still readable
+    case TermKind::kHash:
+      see(place, in);
+      return Content{"#"};  // downstream sees only a digest
+    case TermKind::kFunc: {
+      Content acc = in;
+      for (const auto& a : t->args) {
+        const Content arg_out = visit_visibility(a, place, Content{}, vis);
+        acc.insert(arg_out.begin(), arg_out.end());
+      }
+      see(place, acc);
+      return acc;
+    }
+    case TermKind::kPipe: {
+      Content mid = visit_visibility(t->left, place, std::move(in), vis);
+      return visit_visibility(t->right, place, std::move(mid), vis);
+    }
+    case TermKind::kBranch: {
+      const Content in_l = t->pass_left ? in : Content{};
+      const Content in_r = t->pass_right ? in : Content{};
+      Content l = visit_visibility(t->left, place, in_l, vis);
+      const Content r = visit_visibility(t->right, place, in_r, vis);
+      l.insert(r.begin(), r.end());
+      return l;
+    }
+    case TermKind::kGuard:
+      return visit_visibility(t->child, place, std::move(in), vis);
+    case TermKind::kPathStar: {
+      Content l = visit_visibility(t->left, place, std::move(in), vis);
+      return visit_visibility(t->right, place, std::move(l), vis);
+    }
+    case TermKind::kForall:
+      return visit_visibility(t->child, place, std::move(in), vis);
+  }
+  return in;
+}
+
+}  // namespace
+
+std::map<std::string, std::set<std::string>> evidence_visibility(
+    const TermPtr& t, const std::string& root_place) {
+  Visibility vis;
+  const Content final_content =
+      visit_visibility(t, root_place, Content{}, vis);
+  vis[root_place].insert(final_content.begin(), final_content.end());
+  return vis;
+}
+
+}  // namespace pera::copland

@@ -1,0 +1,140 @@
+// Static trust analysis of Copland terms, after Rowe et al. ("Automated
+// Trust Analysis of Copland Specifications for Layered Attestations") and
+// Ramsdell et al. ("Orchestrating Layered Attestations").
+//
+// The headline check reproduces the §4.2 discussion: expression (1)
+//   *bank : @ks [av us bmon] -~- @us [bmon us exts]
+// is vulnerable to a "repair attack" — an adversary with userspace control
+// runs the corrupt bmon first, repairs it, and only then lets av measure
+// it — because the measurement of bmon and its use as a measurer are
+// unordered. Expression (2) sequences them with -<- and is not flagged.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "copland/ast.h"
+
+namespace pera::copland {
+
+/// One measurement event extracted from a term, with the place context the
+/// measuring component executes in.
+struct MeasurementEvent {
+  std::size_t id = 0;
+  std::string asp;           // measuring component
+  std::string asp_place;     // place the ASP executes in (enclosing @P)
+  std::string target;        // measured component
+  std::string target_place;  // place of the target
+};
+
+/// One signature event (Copland `!`), with its place context.
+struct SignEvent {
+  std::size_t id = 0;
+  std::string place;
+};
+
+/// The event structure of a term: events plus the happens-before relation
+/// induced by -> , sequential branches and *=> (parallel branches induce
+/// no order between their arms).
+struct EventGraph {
+  std::vector<MeasurementEvent> measurements;
+  std::vector<SignEvent> signs;
+
+  /// happens_before[i][j]: event i strictly precedes event j. Indices are
+  /// global event ids (measurements and signs share the id space).
+  std::vector<std::vector<bool>> happens_before;
+
+  [[nodiscard]] std::size_t event_count() const {
+    return happens_before.size();
+  }
+
+  [[nodiscard]] bool precedes(std::size_t a, std::size_t b) const {
+    return happens_before[a][b];
+  }
+};
+
+/// Build the event graph of a term evaluated from `root_place`.
+[[nodiscard]] EventGraph build_event_graph(const TermPtr& t,
+                                           const std::string& root_place);
+
+/// A repair-attack vulnerability: `component` (at `place`) is used as a
+/// measurer without (or unordered with) its own prior measurement.
+struct RepairVulnerability {
+  std::string component;
+  std::string place;
+  std::string detail;
+};
+
+/// Detect components used as measurers whose own measurement does not
+/// strictly precede that use. Self-measurements are exempt, as are
+/// root-of-trust ASPs listed in `trusted_asps` (e.g. av in kernel space).
+[[nodiscard]] std::vector<RepairVulnerability> find_repair_vulnerabilities(
+    const TermPtr& t, const std::string& root_place,
+    const std::vector<std::string>& trusted_asps = {});
+
+/// Measurements not covered by any later signature in the same place
+/// context — evidence an on-path adversary could alter undetected.
+[[nodiscard]] std::vector<MeasurementEvent> find_unsigned_measurements(
+    const TermPtr& t, const std::string& root_place);
+
+/// Confinement analysis (after Rowe, "Confining Adversary Actions via
+/// Measurement", repurposed for dataplanes per §1): given the set of
+/// components the adversary controls at protocol start, compute which
+/// measurement events are *trustworthy* (performed by a measurer whose
+/// own integrity is established before use) and whether the corruption is
+/// guaranteed to be detected by some trustworthy measurement.
+struct ConfinementResult {
+  /// Measurement events whose outcome the adversary controls (their
+  /// measurer is corrupt at time of use and was never validated first).
+  std::vector<MeasurementEvent> tainted;
+  /// Trustworthy measurements that directly observe a corrupt component.
+  std::vector<MeasurementEvent> detecting;
+  /// True iff at least one corrupt component is observed by a
+  /// trustworthy measurement — the policy confines the adversary.
+  bool detection_guaranteed = false;
+};
+
+/// `corrupted`: (place, component) pairs under adversary control at start.
+/// `trusted_asps`: roots of trust that cannot be corrupted (§3).
+/// Assumes the adversary may repair-and-reorder as in the repair attack:
+/// a measurement of a corrupt measurer only counts if it strictly
+/// precedes every use of that measurer.
+[[nodiscard]] ConfinementResult analyze_confinement(
+    const TermPtr& t, const std::string& root_place,
+    const std::vector<std::pair<std::string, std::string>>& corrupted,
+    const std::vector<std::string>& trusted_asps = {});
+
+/// A well-formedness issue in a policy term.
+struct WellFormedness {
+  bool ok = true;
+  std::vector<std::string> issues;
+
+  void fail(std::string issue) {
+    ok = false;
+    issues.push_back(std::move(issue));
+  }
+};
+
+/// Static sanity checks a Relying Party runs before deploying a policy:
+///  * `!` / `#` must have evidence to operate on (something before them
+///    in their pipeline),
+///  * sequential/parallel branches should not pass evidence into an arm
+///    that immediately discards it via a leading `#`,
+///  * `forall` variables must be used,
+///  * a `*=>` left phrase should mention at least one abstract place
+///    (otherwise the star is a no-op and likely a mistake),
+///  * nested `forall` must not shadow an outer variable.
+[[nodiscard]] WellFormedness check_well_formed(const TermPtr& t);
+
+/// Evidence-flow visibility: which measurement targets' evidence each
+/// place gets to see while the protocol runs. Copland's `#` deliberately
+/// collapses evidence to a digest, so places downstream of a hash see only
+/// the opaque token "#" — the quantified basis for UC5's "redact details
+/// sensitive to the enterprise customer before giving the evidence to a
+/// compliance officer".
+[[nodiscard]] std::map<std::string, std::set<std::string>>
+evidence_visibility(const TermPtr& t, const std::string& root_place);
+
+}  // namespace pera::copland

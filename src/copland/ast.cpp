@@ -1,0 +1,178 @@
+#include "copland/ast.h"
+
+#include <algorithm>
+#include <set>
+
+namespace pera::copland {
+
+namespace {
+std::shared_ptr<Term> make(TermKind k) {
+  auto t = std::make_shared<Term>();
+  t->kind = k;
+  return t;
+}
+}  // namespace
+
+TermPtr Term::nil() { return make(TermKind::kNil); }
+
+TermPtr Term::atom(std::string target) {
+  auto t = make(TermKind::kAtom);
+  t->target = std::move(target);
+  return t;
+}
+
+TermPtr Term::measure(std::string asp, std::string place, std::string target) {
+  auto t = make(TermKind::kMeasure);
+  t->asp = std::move(asp);
+  t->place = std::move(place);
+  t->target = std::move(target);
+  return t;
+}
+
+TermPtr Term::at(std::string place, TermPtr body) {
+  auto t = make(TermKind::kAtPlace);
+  t->place = std::move(place);
+  t->child = std::move(body);
+  return t;
+}
+
+TermPtr Term::sign() { return make(TermKind::kSign); }
+
+TermPtr Term::hash() { return make(TermKind::kHash); }
+
+TermPtr Term::call(std::string name, std::vector<TermPtr> args) {
+  auto t = make(TermKind::kFunc);
+  t->func = std::move(name);
+  t->args = std::move(args);
+  return t;
+}
+
+TermPtr Term::pipe(TermPtr a, TermPtr b) {
+  auto t = make(TermKind::kPipe);
+  t->left = std::move(a);
+  t->right = std::move(b);
+  return t;
+}
+
+TermPtr Term::seq(TermPtr a, TermPtr b, bool pass_l, bool pass_r) {
+  auto t = make(TermKind::kBranch);
+  t->branch = BranchKind::kSeq;
+  t->left = std::move(a);
+  t->right = std::move(b);
+  t->pass_left = pass_l;
+  t->pass_right = pass_r;
+  return t;
+}
+
+TermPtr Term::par(TermPtr a, TermPtr b, bool pass_l, bool pass_r) {
+  auto t = make(TermKind::kBranch);
+  t->branch = BranchKind::kPar;
+  t->left = std::move(a);
+  t->right = std::move(b);
+  t->pass_left = pass_l;
+  t->pass_right = pass_r;
+  return t;
+}
+
+TermPtr Term::guard(std::string test, TermPtr body) {
+  auto t = make(TermKind::kGuard);
+  t->test = std::move(test);
+  t->child = std::move(body);
+  return t;
+}
+
+TermPtr Term::path_star(TermPtr per_hop, TermPtr tail) {
+  auto t = make(TermKind::kPathStar);
+  t->left = std::move(per_hop);
+  t->right = std::move(tail);
+  return t;
+}
+
+TermPtr Term::forall(std::vector<std::string> vars, TermPtr body) {
+  auto t = make(TermKind::kForall);
+  t->vars = std::move(vars);
+  t->child = std::move(body);
+  return t;
+}
+
+bool equal(const TermPtr& a, const TermPtr& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case TermKind::kNil:
+    case TermKind::kSign:
+    case TermKind::kHash:
+      return true;
+    case TermKind::kAtom:
+      return a->target == b->target;
+    case TermKind::kMeasure:
+      return a->asp == b->asp && a->place == b->place && a->target == b->target;
+    case TermKind::kAtPlace:
+      return a->place == b->place && equal(a->child, b->child);
+    case TermKind::kFunc: {
+      if (a->func != b->func || a->args.size() != b->args.size()) return false;
+      for (std::size_t i = 0; i < a->args.size(); ++i) {
+        if (!equal(a->args[i], b->args[i])) return false;
+      }
+      return true;
+    }
+    case TermKind::kPipe:
+      return equal(a->left, b->left) && equal(a->right, b->right);
+    case TermKind::kBranch:
+      return a->branch == b->branch && a->pass_left == b->pass_left &&
+             a->pass_right == b->pass_right && equal(a->left, b->left) &&
+             equal(a->right, b->right);
+    case TermKind::kGuard:
+      return a->test == b->test && equal(a->child, b->child);
+    case TermKind::kPathStar:
+      return equal(a->left, b->left) && equal(a->right, b->right);
+    case TermKind::kForall:
+      return a->vars == b->vars && equal(a->child, b->child);
+  }
+  return false;
+}
+
+std::size_t size(const TermPtr& t) {
+  if (!t) return 0;
+  std::size_t n = 1;
+  n += size(t->child);
+  n += size(t->left);
+  n += size(t->right);
+  for (const auto& a : t->args) n += size(a);
+  return n;
+}
+
+namespace {
+void collect_places(const TermPtr& t, std::set<std::string>& out) {
+  if (!t) return;
+  if (t->kind == TermKind::kAtPlace) out.insert(t->place);
+  if (t->kind == TermKind::kMeasure && !t->place.empty()) out.insert(t->place);
+  collect_places(t->child, out);
+  collect_places(t->left, out);
+  collect_places(t->right, out);
+  for (const auto& a : t->args) collect_places(a, out);
+}
+}  // namespace
+
+std::vector<std::string> places_of(const TermPtr& t) {
+  std::set<std::string> s;
+  collect_places(t, s);
+  return {s.begin(), s.end()};
+}
+
+bool is_network_aware(const TermPtr& t) {
+  if (!t) return false;
+  if (t->kind == TermKind::kGuard || t->kind == TermKind::kPathStar ||
+      t->kind == TermKind::kForall) {
+    return true;
+  }
+  if (is_network_aware(t->child) || is_network_aware(t->left) ||
+      is_network_aware(t->right)) {
+    return true;
+  }
+  return std::any_of(t->args.begin(), t->args.end(),
+                     [](const TermPtr& a) { return is_network_aware(a); });
+}
+
+}  // namespace pera::copland

@@ -1,0 +1,120 @@
+// Copland abstract syntax (Helble et al., "Flexible Mechanisms for Remote
+// Attestation"; Rowe et al.; as used in §4.2 of the paper).
+//
+// Concrete syntax accepted by the parser (ASCII rendering of the paper's):
+//
+//   *bank : @ks [av us bmon -> !] -<- @us [bmon us exts -> !]
+//   *RP1<n> : @Switch [attest(Hardware -~- Program) -> # -> !] +>+ ...
+//
+// Grammar:
+//   request  := '*' ID params? ':' term
+//   params   := '<' ID (',' ID)* '>'
+//   term     := pipe (BRANCH pipe)*          BRANCH = [+-][<~>][+-]
+//   pipe     := atom ('->' atom)*
+//   atom     := '@' ID '[' term ']' | '!' | '#' | '{}'
+//             | ID '(' args ')' | ID ID ID | ID | '(' term ')'
+//
+// A bare ID is an atomic measurement of a named target at the current
+// place ("Hardware", "Program"); the three-ID form `asp place target` is a
+// full measurement ("av us bmon": ASP av measures target bmon in place us).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pera::copland {
+
+struct Term;
+using TermPtr = std::shared_ptr<const Term>;
+
+/// Branch composition flavour.
+enum class BranchKind {
+  kSeq,  // '<' or '>' : left evaluated strictly before right
+  kPar,  // '~'        : branches evaluated in parallel (unordered)
+};
+
+/// Term node kinds. The last three (kGuard, kPathStar, kForall) are the
+/// network-aware extension of §5.1 — plain-Copland consumers reject them.
+enum class TermKind {
+  kNil,       // '{}' — empty / pass-through evidence
+  kAtom,      // bare target measurement at the current place
+  kMeasure,   // asp place target
+  kAtPlace,   // @P [ C ]
+  kSign,      // '!'
+  kHash,      // '#'
+  kFunc,      // name(args...) — appraise, certify, store, retrieve, attest...
+  kPipe,      // C -> D
+  kBranch,    // C f<f' D  or  C f~f' D
+  kGuard,     // T |> C    (Prim3: NetKAT Boolean-test prefix '▶')
+  kPathStar,  // C *=> D   (Prim1: left holds for 0+ hops along the path)
+  kForall,    // forall p,q : C   (Prim2: place abstraction)
+};
+
+/// A single Copland term. One struct with a kind discriminator keeps
+/// traversal, printing and serialization in simple switch statements.
+struct Term {
+  TermKind kind = TermKind::kNil;
+
+  // kAtom / kMeasure
+  std::string asp;     // measuring component (kMeasure only)
+  std::string target;  // measured component / named target
+  std::string place;   // kMeasure: place of target; kAtPlace: the place
+
+  // kFunc
+  std::string func;
+  std::vector<TermPtr> args;
+
+  // kAtPlace (child), kPipe / kBranch (left,right)
+  TermPtr child;
+  TermPtr left;
+  TermPtr right;
+
+  // kBranch
+  BranchKind branch = BranchKind::kSeq;
+  bool pass_left = false;   // '+' : incoming evidence flows into left arm
+  bool pass_right = false;  // '+' : incoming evidence flows into right arm
+
+  // kGuard: name of the Boolean test applied before `child` runs
+  std::string test;
+
+  // kForall: abstract place variables bound over `child`
+  std::vector<std::string> vars;
+
+  // --- factories ---------------------------------------------------------
+  static TermPtr nil();
+  static TermPtr atom(std::string target);
+  static TermPtr measure(std::string asp, std::string place, std::string target);
+  static TermPtr at(std::string place, TermPtr body);
+  static TermPtr sign();
+  static TermPtr hash();
+  static TermPtr call(std::string name, std::vector<TermPtr> args = {});
+  static TermPtr pipe(TermPtr a, TermPtr b);
+  static TermPtr seq(TermPtr a, TermPtr b, bool pass_l, bool pass_r);
+  static TermPtr par(TermPtr a, TermPtr b, bool pass_l, bool pass_r);
+  static TermPtr guard(std::string test, TermPtr body);
+  static TermPtr path_star(TermPtr per_hop, TermPtr tail);
+  static TermPtr forall(std::vector<std::string> vars, TermPtr body);
+};
+
+/// A top-level attestation request: `*RP<params> : term`.
+struct Request {
+  std::string relying_party;
+  std::vector<std::string> params;  // nonce / property parameters
+  TermPtr body;
+};
+
+/// Structural equality (deep).
+[[nodiscard]] bool equal(const TermPtr& a, const TermPtr& b);
+
+/// Number of nodes in a term.
+[[nodiscard]] std::size_t size(const TermPtr& t);
+
+/// Collect every place name mentioned (kAtPlace and kMeasure places).
+[[nodiscard]] std::vector<std::string> places_of(const TermPtr& t);
+
+/// True if the term uses any network-aware extension node
+/// (kGuard / kPathStar / kForall).
+[[nodiscard]] bool is_network_aware(const TermPtr& t);
+
+}  // namespace pera::copland

@@ -1,0 +1,124 @@
+#include "copland/lexer.h"
+
+#include <cctype>
+
+#include "copland/parser.h"
+
+namespace pera::copland {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+bool is_flag(char c) { return c == '+' || c == '-'; }
+
+}  // namespace
+
+std::string to_string(TokKind k) {
+  switch (k) {
+    case TokKind::kStar: return "'*'";
+    case TokKind::kColon: return "':'";
+    case TokKind::kAt: return "'@'";
+    case TokKind::kLBracket: return "'['";
+    case TokKind::kRBracket: return "']'";
+    case TokKind::kLParen: return "'('";
+    case TokKind::kRParen: return "')'";
+    case TokKind::kLAngle: return "'<'";
+    case TokKind::kRAngle: return "'>'";
+    case TokKind::kComma: return "','";
+    case TokKind::kArrow: return "'->'";
+    case TokKind::kBang: return "'!'";
+    case TokKind::kHashSym: return "'#'";
+    case TokKind::kNilBraces: return "'{}'";
+    case TokKind::kBranch: return "branch operator";
+    case TokKind::kPathStar: return "'*=>'";
+    case TokKind::kGuard: return "'|>'";
+    case TokKind::kForall: return "'forall'";
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const auto push = [&](TokKind k, std::string text, std::size_t pos) {
+    out.push_back(Token{k, std::move(text), pos});
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const std::size_t pos = i;
+    // Multi-char tokens first.
+    if (c == '*' && i + 2 < src.size() && src[i + 1] == '=' &&
+        src[i + 2] == '>') {
+      push(TokKind::kPathStar, "*=>", pos);
+      i += 3;
+      continue;
+    }
+    if (c == '|' && i + 1 < src.size() && src[i + 1] == '>') {
+      push(TokKind::kGuard, "|>", pos);
+      i += 2;
+      continue;
+    }
+    if (is_flag(c) && i + 2 < src.size() &&
+        (src[i + 1] == '<' || src[i + 1] == '~') && is_flag(src[i + 2])) {
+      push(TokKind::kBranch, std::string(src.substr(i, 3)), pos);
+      i += 3;
+      continue;
+    }
+    if (c == '-' && i + 1 < src.size() && src[i + 1] == '>') {
+      push(TokKind::kArrow, "->", pos);
+      i += 2;
+      continue;
+    }
+    if (c == '{' && i + 1 < src.size() && src[i + 1] == '}') {
+      push(TokKind::kNilBraces, "{}", pos);
+      i += 2;
+      continue;
+    }
+    switch (c) {
+      case '*': push(TokKind::kStar, "*", pos); ++i; continue;
+      case ':': push(TokKind::kColon, ":", pos); ++i; continue;
+      case '@': push(TokKind::kAt, "@", pos); ++i; continue;
+      case '[': push(TokKind::kLBracket, "[", pos); ++i; continue;
+      case ']': push(TokKind::kRBracket, "]", pos); ++i; continue;
+      case '(': push(TokKind::kLParen, "(", pos); ++i; continue;
+      case ')': push(TokKind::kRParen, ")", pos); ++i; continue;
+      case '<': push(TokKind::kLAngle, "<", pos); ++i; continue;
+      case '>': push(TokKind::kRAngle, ">", pos); ++i; continue;
+      case ',': push(TokKind::kComma, ",", pos); ++i; continue;
+      case '!': push(TokKind::kBang, "!", pos); ++i; continue;
+      case '#': push(TokKind::kHashSym, "#", pos); ++i; continue;
+      default: break;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < src.size() && ident_cont(src[j])) ++j;
+      std::string text(src.substr(i, j - i));
+      if (text == "forall") {
+        push(TokKind::kForall, std::move(text), pos);
+      } else {
+        push(TokKind::kIdent, std::move(text), pos);
+      }
+      i = j;
+      continue;
+    }
+    throw ParseError(std::string("unexpected character '") + c + "'", pos);
+  }
+  out.push_back(Token{TokKind::kEnd, "", src.size()});
+  return out;
+}
+
+}  // namespace pera::copland

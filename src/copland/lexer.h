@@ -1,0 +1,47 @@
+// Tokenizer for the ASCII Copland concrete syntax (see ast.h header
+// comment for the grammar). Shared with the network-aware extension in
+// src/nac, which adds tokens for '∀' (spelled `forall`), '*=>' and '|>'.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pera::copland {
+
+enum class TokKind {
+  kStar,      // *
+  kColon,     // :
+  kAt,        // @
+  kLBracket,  // [
+  kRBracket,  // ]
+  kLParen,    // (
+  kRParen,    // )
+  kLAngle,    // <   (parameter list open)
+  kRAngle,    // >   (parameter list close)
+  kComma,     // ,
+  kArrow,     // ->
+  kBang,      // !
+  kHashSym,   // #
+  kNilBraces, // {}
+  kBranch,    // [+-][<~>][+-], e.g. -<- , +~+ , ++> is written +>+
+  kPathStar,  // *=>   (network-aware Copland: Kleene path abstraction)
+  kGuard,     // |>    (network-aware Copland: NetKAT test prefix)
+  kForall,    // keyword `forall`
+  kIdent,     // identifier
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;       // identifier text; for kBranch the 3-char op
+  std::size_t pos = 0;    // byte offset, for error messages
+};
+
+/// Tokenize `src`. Throws copland::ParseError (see parser.h) on bad input.
+[[nodiscard]] std::vector<Token> lex(std::string_view src);
+
+[[nodiscard]] std::string to_string(TokKind k);
+
+}  // namespace pera::copland

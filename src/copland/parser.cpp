@@ -1,0 +1,205 @@
+#include "copland/parser.h"
+
+#include <set>
+#include <utility>
+
+namespace pera::copland {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+///
+/// Precedence (loosest first):
+///   body      := ('forall' idlist ':')? pathterm
+///   pathterm  := guardterm ('*=>' guardterm)*     (left-assoc)
+///   guardterm := (ID '|>')? branchterm
+///   branchterm:= pipe (BRANCH pipe)*              (left-assoc)
+///   pipe      := atom ('->' atom)*                (left-assoc)
+///   atom      := '@' ID '[' body ']' | '(' body ')' | '!' | '#' | '{}'
+///              | ID '(' args ')' | ID ID ID | ID
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Request parse_request() {
+    expect(TokKind::kStar);
+    Request req;
+    req.relying_party = expect(TokKind::kIdent).text;
+    if (at(TokKind::kLAngle)) {
+      advance();
+      req.params.push_back(expect(TokKind::kIdent).text);
+      while (at(TokKind::kComma)) {
+        advance();
+        req.params.push_back(expect(TokKind::kIdent).text);
+      }
+      expect(TokKind::kRAngle);
+    }
+    expect(TokKind::kColon);
+    req.body = parse_body();
+    expect(TokKind::kEnd);
+    return req;
+  }
+
+  TermPtr parse_standalone_term() {
+    TermPtr t = parse_body();
+    expect(TokKind::kEnd);
+    return t;
+  }
+
+ private:
+  TermPtr parse_body() {
+    if (at(TokKind::kForall)) {
+      advance();
+      std::vector<std::string> vars;
+      vars.push_back(expect(TokKind::kIdent).text);
+      while (at(TokKind::kComma)) {
+        advance();
+        vars.push_back(expect(TokKind::kIdent).text);
+      }
+      expect(TokKind::kColon);
+      return Term::forall(std::move(vars), parse_pathterm());
+    }
+    return parse_pathterm();
+  }
+
+  TermPtr parse_pathterm() {
+    TermPtr t = parse_guardterm();
+    while (at(TokKind::kPathStar)) {
+      advance();
+      t = Term::path_star(t, parse_guardterm());
+    }
+    return t;
+  }
+
+  TermPtr parse_guardterm() {
+    if (at(TokKind::kIdent) && peek(1).kind == TokKind::kGuard) {
+      const std::string test = advance().text;
+      advance();  // consume '|>'
+      return Term::guard(test, parse_branchterm());
+    }
+    return parse_branchterm();
+  }
+
+  TermPtr parse_branchterm() {
+    TermPtr t = parse_pipe();
+    while (at(TokKind::kBranch)) {
+      const std::string op = advance().text;  // e.g. "-<-", "+~+"
+      const bool pass_l = op[0] == '+';
+      const bool pass_r = op[2] == '+';
+      TermPtr rhs = parse_pipe();
+      if (op[1] == '<') {
+        t = Term::seq(std::move(t), std::move(rhs), pass_l, pass_r);
+      } else {
+        t = Term::par(std::move(t), std::move(rhs), pass_l, pass_r);
+      }
+    }
+    return t;
+  }
+
+  TermPtr parse_pipe() {
+    TermPtr t = parse_atom();
+    while (at(TokKind::kArrow)) {
+      advance();
+      t = Term::pipe(std::move(t), parse_atom());
+    }
+    return t;
+  }
+
+  TermPtr parse_atom() {
+    if (at(TokKind::kAt)) {
+      advance();
+      std::string place = expect(TokKind::kIdent).text;
+      expect(TokKind::kLBracket);
+      TermPtr body = parse_body();
+      expect(TokKind::kRBracket);
+      return Term::at(std::move(place), std::move(body));
+    }
+    if (at(TokKind::kLParen)) {
+      advance();
+      TermPtr t = parse_body();
+      expect(TokKind::kRParen);
+      return t;
+    }
+    if (at(TokKind::kBang)) {
+      advance();
+      return Term::sign();
+    }
+    if (at(TokKind::kHashSym)) {
+      advance();
+      return Term::hash();
+    }
+    if (at(TokKind::kNilBraces)) {
+      advance();
+      return Term::nil();
+    }
+    if (at(TokKind::kIdent)) {
+      const Token head = advance();
+      if (at(TokKind::kLParen)) {
+        advance();
+        std::vector<TermPtr> args;
+        if (!at(TokKind::kRParen)) {
+          args.push_back(parse_body());
+          while (at(TokKind::kComma)) {
+            advance();
+            args.push_back(parse_body());
+          }
+        }
+        expect(TokKind::kRParen);
+        return Term::call(head.text, std::move(args));
+      }
+      if (at(TokKind::kIdent) && peek(1).kind == TokKind::kIdent) {
+        const std::string place = advance().text;
+        const std::string target = advance().text;
+        return Term::measure(head.text, place, target);
+      }
+      // The paper writes the standard functions bare ("appraise -> store");
+      // recognize them as zero-argument function calls.
+      static const std::set<std::string> kBareFuncs = {
+          "attest", "appraise", "certify", "store", "retrieve"};
+      if (kBareFuncs.contains(head.text)) {
+        return Term::call(head.text);
+      }
+      return Term::atom(head.text);
+    }
+    throw ParseError("expected a term, found " + to_string(cur().kind),
+                     cur().pos);
+  }
+
+  // --- token stream helpers ---------------------------------------------
+  [[nodiscard]] const Token& cur() const { return toks_[pos_]; }
+
+  [[nodiscard]] const Token& peek(std::size_t n) const {
+    const std::size_t i = pos_ + n;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+
+  [[nodiscard]] bool at(TokKind k) const { return cur().kind == k; }
+
+  Token advance() { return toks_[pos_++]; }
+
+  Token expect(TokKind k) {
+    if (!at(k)) {
+      throw ParseError("expected " + to_string(k) + ", found " +
+                           to_string(cur().kind),
+                       cur().pos);
+    }
+    return advance();
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Request parse_request(std::string_view src) {
+  Parser p(lex(src));
+  return p.parse_request();
+}
+
+TermPtr parse_term(std::string_view src) {
+  Parser p(lex(src));
+  return p.parse_standalone_term();
+}
+
+}  // namespace pera::copland

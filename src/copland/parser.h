@@ -1,0 +1,32 @@
+// Recursive-descent parser for Copland requests and terms.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "copland/ast.h"
+#include "copland/lexer.h"
+
+namespace pera::copland {
+
+/// Raised on lexical or syntax errors. Carries the byte offset.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& msg, std::size_t pos)
+      : std::runtime_error(msg + " (at offset " + std::to_string(pos) + ")"),
+        pos_(pos) {}
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+
+ private:
+  std::size_t pos_;
+};
+
+/// Parse a full request: `*RP<params> : term`.
+[[nodiscard]] Request parse_request(std::string_view src);
+
+/// Parse a bare term (no `*RP :` prefix).
+[[nodiscard]] TermPtr parse_term(std::string_view src);
+
+}  // namespace pera::copland

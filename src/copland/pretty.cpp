@@ -1,0 +1,138 @@
+#include "copland/pretty.h"
+
+#include <stdexcept>
+
+namespace pera::copland {
+
+namespace {
+
+// Precedence levels, loosest first. Parenthesize a child whenever its
+// level is looser than (or, for non-associative positions, equal to) the
+// context it is printed in.
+enum Level : int {
+  kLvlBody = 0,    // forall
+  kLvlPath = 1,    // *=>
+  kLvlGuard = 2,   // |>
+  kLvlBranch = 3,  // -<- etc.
+  kLvlPipe = 4,    // ->
+  kLvlAtom = 5,
+};
+
+int level_of(const Term& t) {
+  switch (t.kind) {
+    case TermKind::kForall: return kLvlBody;
+    case TermKind::kPathStar: return kLvlPath;
+    case TermKind::kGuard: return kLvlGuard;
+    case TermKind::kBranch: return kLvlBranch;
+    case TermKind::kPipe: return kLvlPipe;
+    default: return kLvlAtom;
+  }
+}
+
+void print(const TermPtr& t, int context_level, std::string& out);
+
+void print_child(const TermPtr& t, int context_level, std::string& out) {
+  const bool need_parens = level_of(*t) < context_level;
+  if (need_parens) out += '(';
+  print(t, need_parens ? kLvlBody : context_level, out);
+  if (need_parens) out += ')';
+}
+
+void print(const TermPtr& t, [[maybe_unused]] int context_level,
+           std::string& out) {
+  if (!t) throw std::invalid_argument("pretty: null term");
+  switch (t->kind) {
+    case TermKind::kNil:
+      out += "{}";
+      return;
+    case TermKind::kAtom:
+      out += t->target;
+      return;
+    case TermKind::kMeasure:
+      out += t->asp + " " + t->place + " " + t->target;
+      return;
+    case TermKind::kSign:
+      out += '!';
+      return;
+    case TermKind::kHash:
+      out += '#';
+      return;
+    case TermKind::kAtPlace:
+      out += "@" + t->place + " [";
+      print(t->child, kLvlBody, out);
+      out += ']';
+      return;
+    case TermKind::kFunc: {
+      out += t->func;
+      out += '(';
+      for (std::size_t i = 0; i < t->args.size(); ++i) {
+        if (i > 0) out += ", ";
+        print(t->args[i], kLvlBody, out);
+      }
+      out += ')';
+      return;
+    }
+    case TermKind::kPipe:
+      print_child(t->left, kLvlPipe, out);
+      out += " -> ";
+      // Right side must not be another pipe without parens (we print
+      // left-assoc chains flat by keeping left at the same level).
+      print_child(t->right, kLvlPipe + 1, out);
+      return;
+    case TermKind::kBranch: {
+      print_child(t->left, kLvlBranch, out);
+      out += ' ';
+      out += t->pass_left ? '+' : '-';
+      out += t->branch == BranchKind::kSeq ? '<' : '~';
+      out += t->pass_right ? '+' : '-';
+      out += ' ';
+      print_child(t->right, kLvlBranch + 1, out);
+      return;
+    }
+    case TermKind::kGuard:
+      out += t->test;
+      out += " |> ";
+      print_child(t->child, kLvlGuard + 1, out);
+      return;
+    case TermKind::kPathStar:
+      print_child(t->left, kLvlPath, out);
+      out += " *=> ";
+      print_child(t->right, kLvlPath + 1, out);
+      return;
+    case TermKind::kForall: {
+      out += "forall ";
+      for (std::size_t i = 0; i < t->vars.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += t->vars[i];
+      }
+      out += " : ";
+      print(t->child, kLvlPath, out);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_string(const TermPtr& t) {
+  std::string out;
+  print(t, kLvlBody, out);
+  return out;
+}
+
+std::string to_string(const Request& r) {
+  std::string out = "*" + r.relying_party;
+  if (!r.params.empty()) {
+    out += '<';
+    for (std::size_t i = 0; i < r.params.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += r.params[i];
+    }
+    out += '>';
+  }
+  out += " : ";
+  out += to_string(r.body);
+  return out;
+}
+
+}  // namespace pera::copland

@@ -1,0 +1,17 @@
+// Pretty-printer for Copland terms. Output re-parses to a structurally
+// equal term (round-trip property, exercised by tests).
+#pragma once
+
+#include <string>
+
+#include "copland/ast.h"
+
+namespace pera::copland {
+
+/// Render a term in the ASCII concrete syntax.
+[[nodiscard]] std::string to_string(const TermPtr& t);
+
+/// Render a full request: `*RP<params> : term`.
+[[nodiscard]] std::string to_string(const Request& r);
+
+}  // namespace pera::copland

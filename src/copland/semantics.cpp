@@ -1,0 +1,111 @@
+#include "copland/semantics.h"
+
+#include "copland/pretty.h"
+
+namespace pera::copland {
+
+EvidencePtr Evaluator::eval(const TermPtr& term, const std::string& place,
+                            const EvidencePtr& input) {
+  if (!term) throw EvalError("eval: null term");
+  if (observer_ != nullptr) observer_->on_event(*term, place);
+
+  switch (term->kind) {
+    case TermKind::kNil:
+      return input;
+
+    case TermKind::kAtom: {
+      ++stats_.measurements;
+      MeasurementResult m = platform_.measure(place, place, term->target);
+      return Evidence::extend(
+          input, Evidence::measurement(place, place, term->target, m.value,
+                                       std::move(m.claim)));
+    }
+
+    case TermKind::kMeasure: {
+      ++stats_.measurements;
+      MeasurementResult m =
+          platform_.measure(term->place, term->asp, term->target);
+      return Evidence::extend(
+          input, Evidence::measurement(term->asp, term->place, term->target,
+                                       m.value, std::move(m.claim)));
+    }
+
+    case TermKind::kAtPlace: {
+      ++stats_.place_hops;
+      return eval(term->child, term->place, input);
+    }
+
+    case TermKind::kSign: {
+      ++stats_.signatures;
+      const crypto::Digest d = digest(input);
+      crypto::Signature sig = platform_.sign(place, d);
+      return Evidence::signature(place, input, std::move(sig));
+    }
+
+    case TermKind::kHash: {
+      ++stats_.hashes;
+      return Evidence::hashed(place, digest(input));
+    }
+
+    case TermKind::kFunc: {
+      ++stats_.func_calls;
+      return platform_.call(*this, place, term->func, term->args, input);
+    }
+
+    case TermKind::kPipe: {
+      EvidencePtr mid = eval(term->left, place, input);
+      return eval(term->right, place, mid);
+    }
+
+    case TermKind::kBranch: {
+      const EvidencePtr in_l =
+          term->pass_left ? input : Evidence::empty();
+      const EvidencePtr in_r =
+          term->pass_right ? input : Evidence::empty();
+      EvidencePtr l;
+      EvidencePtr r;
+      if (term->branch == BranchKind::kSeq) {
+        // Strict ordering: left completes before right starts.
+        l = eval(term->left, place, in_l);
+        r = eval(term->right, place, in_r);
+      } else {
+        // Parallel: the observer (e.g. an adversary with scheduling
+        // power) picks the interleaving.
+        const bool left_first =
+            observer_ == nullptr || observer_->par_left_first(*term);
+        if (left_first) {
+          l = eval(term->left, place, in_l);
+          r = eval(term->right, place, in_r);
+        } else {
+          r = eval(term->right, place, in_r);
+          l = eval(term->left, place, in_l);
+        }
+      }
+      return term->branch == BranchKind::kSeq ? Evidence::seq(l, r)
+                                              : Evidence::par(l, r);
+    }
+
+    case TermKind::kGuard: {
+      ++stats_.guard_tests;
+      if (!platform_.test(place, term->test)) {
+        // Failed guard: "fail early" (§5.1) — contribute no evidence.
+        return Evidence::empty();
+      }
+      return eval(term->child, place, input);
+    }
+
+    case TermKind::kPathStar:
+    case TermKind::kForall:
+      throw EvalError(
+          "network-aware term reached the plain evaluator; bind it to a "
+          "concrete path with nac::bind_path first: " +
+          to_string(term));
+  }
+  throw EvalError("eval: unknown term kind");
+}
+
+EvidencePtr Evaluator::eval(const Request& req, const EvidencePtr& input) {
+  return eval(req.body, req.relying_party, input);
+}
+
+}  // namespace pera::copland

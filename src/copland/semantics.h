@@ -1,0 +1,122 @@
+// Denotational evaluator for Copland terms — a software Copland Virtual
+// Machine (CVM). Evaluation is parameterized over a Platform that supplies
+// the actual measurement, signing and function primitives of each place,
+// and an observer that lets tests and adversary models watch (and, for
+// parallel branches, schedule) evaluation.
+//
+// Network-aware nodes (kGuard / kPathStar / kForall) are *not* handled
+// here — they must first be compiled against a concrete path by
+// nac::bind_path(); the evaluator throws EvalError on them.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "copland/ast.h"
+#include "copland/evidence.h"
+
+namespace pera::copland {
+
+class Evaluator;
+
+/// Result of one measurement primitive.
+struct MeasurementResult {
+  crypto::Digest value{};
+  std::string claim;
+};
+
+/// The mechanism a place provides: Copland keeps policy separate from
+/// mechanism, and this interface is the mechanism boundary.
+class Platform {
+ public:
+  virtual ~Platform() = default;
+
+  /// ASP `asp` at place `place` measures `target`.
+  [[nodiscard]] virtual MeasurementResult measure(const std::string& place,
+                                                  const std::string& asp,
+                                                  const std::string& target) = 0;
+
+  /// Place signs a digest (Copland `!`).
+  [[nodiscard]] virtual crypto::Signature sign(const std::string& place,
+                                               const crypto::Digest& d) = 0;
+
+  /// Named function (appraise / certify / store / retrieve / attest / ...).
+  /// `args` are unevaluated term arguments; implementations may re-enter
+  /// the evaluator to evaluate them (e.g. attest(Hardware -~- Program)).
+  [[nodiscard]] virtual EvidencePtr call(Evaluator& ev,
+                                         const std::string& place,
+                                         const std::string& func,
+                                         const std::vector<TermPtr>& args,
+                                         const EvidencePtr& input) = 0;
+
+  /// Boolean test for guard nodes (`T |> C`). Default: true.
+  [[nodiscard]] virtual bool test(const std::string& place,
+                                  const std::string& name) {
+    (void)place;
+    (void)name;
+    return true;
+  }
+};
+
+/// Hook for observing/scheduling evaluation. The adversary model uses
+/// on_event to corrupt/repair components between steps, and
+/// par_left_first to pick the interleaving of a parallel branch.
+class EvalObserver {
+ public:
+  virtual ~EvalObserver() = default;
+
+  /// Called before each node is evaluated, with the resolved place.
+  virtual void on_event(const Term& term, const std::string& place) {
+    (void)term;
+    (void)place;
+  }
+
+  /// Order of a parallel branch: true = left arm first.
+  [[nodiscard]] virtual bool par_left_first(const Term& term) {
+    (void)term;
+    return true;
+  }
+};
+
+class EvalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Evaluation statistics (fed into the bench harnesses).
+struct EvalStats {
+  std::size_t measurements = 0;
+  std::size_t signatures = 0;
+  std::size_t hashes = 0;
+  std::size_t func_calls = 0;
+  std::size_t place_hops = 0;  // @P dispatches
+  std::size_t guard_tests = 0;
+};
+
+/// The CVM. Stateless between calls except for accumulated stats.
+class Evaluator {
+ public:
+  explicit Evaluator(Platform& platform, EvalObserver* observer = nullptr)
+      : platform_(platform), observer_(observer) {}
+
+  /// Evaluate `term` at `place` with incoming evidence `input`.
+  [[nodiscard]] EvidencePtr eval(const TermPtr& term, const std::string& place,
+                                 const EvidencePtr& input);
+
+  /// Evaluate a full request from the relying party's own place.
+  /// A fresh nonce may be bound in by passing it as `input` evidence.
+  [[nodiscard]] EvidencePtr eval(const Request& req, const EvidencePtr& input);
+
+  [[nodiscard]] const EvalStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = EvalStats{}; }
+
+  [[nodiscard]] Platform& platform() { return platform_; }
+
+ private:
+  Platform& platform_;
+  EvalObserver* observer_;
+  EvalStats stats_;
+};
+
+}  // namespace pera::copland

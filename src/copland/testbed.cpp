@@ -1,0 +1,291 @@
+#include "copland/testbed.h"
+
+#include <stdexcept>
+
+#include "copland/pretty.h"
+
+namespace pera::copland {
+
+using crypto::Digest;
+
+void TestbedPlatform::install(const std::string& place,
+                              const std::string& name,
+                              const std::string& content) {
+  const ComponentId id{place, name};
+  content_[id] = content;
+  shadow_content_[id] = content;
+  golden_[id] = crypto::sha256(content);
+}
+
+void TestbedPlatform::corrupt(const std::string& place,
+                              const std::string& name,
+                              const std::string& content) {
+  const ComponentId id{place, name};
+  if (!content_.contains(id)) {
+    throw std::invalid_argument("corrupt: no such component " + place + "/" +
+                                name);
+  }
+  content_[id] = content;
+}
+
+void TestbedPlatform::repair(const std::string& place,
+                             const std::string& name) {
+  const ComponentId id{place, name};
+  const auto it = golden_.find(id);
+  if (it == golden_.end()) {
+    throw std::invalid_argument("repair: no golden value for " + place + "/" +
+                                name);
+  }
+  // Restore by re-deriving content whose hash matches: we keep the original
+  // content around under a shadow key instead of inverting the hash.
+  const auto shadow = shadow_content_.find(id);
+  if (shadow != shadow_content_.end()) {
+    content_[id] = shadow->second;
+  }
+}
+
+bool TestbedPlatform::is_corrupt(const std::string& place,
+                                 const std::string& name) const {
+  const ComponentId id{place, name};
+  const auto c = content_.find(id);
+  const auto g = golden_.find(id);
+  if (c == content_.end() || g == golden_.end()) return false;
+  return crypto::sha256(c->second) != g->second;
+}
+
+std::optional<Digest> TestbedPlatform::golden(const std::string& place,
+                                              const std::string& name) const {
+  const auto it = golden_.find(ComponentId{place, name});
+  if (it == golden_.end()) return std::nullopt;
+  return it->second;
+}
+
+void TestbedPlatform::set_test(const std::string& place,
+                               const std::string& name, bool value) {
+  tests_[ComponentId{place, name}] = value;
+}
+
+void TestbedPlatform::register_func(const std::string& name,
+                                    FuncHandler handler) {
+  funcs_[name] = std::move(handler);
+}
+
+MeasurementResult TestbedPlatform::measure(const std::string& place,
+                                           const std::string& asp,
+                                           const std::string& target) {
+  // A corrupt measurer lies: it reports the golden value of its target
+  // regardless of the target's actual content. This is exactly the threat
+  // the §4.2 bank example worries about — a tampered bmon vouching for
+  // malicious browser extensions.
+  for (const auto& [cid, content] : content_) {
+    if (cid.second == asp && is_corrupt(cid.first, cid.second)) {
+      const auto g = golden_.find(ComponentId{place, target});
+      MeasurementResult lie;
+      lie.value = g != golden_.end() ? g->second
+                                     : crypto::sha256("missing:" + place +
+                                                      "/" + target);
+      lie.claim = asp + " hashed " + target;
+      return lie;
+    }
+  }
+
+  const ComponentId id{place, target};
+  const auto it = content_.find(id);
+  MeasurementResult r;
+  if (it != content_.end()) {
+    r.value = crypto::sha256(it->second);
+    r.claim = asp + " hashed " + target;
+  } else {
+    // Unknown target: measure the name itself — appraisal will flag it as
+    // an unknown component unless a golden value exists.
+    r.value = crypto::sha256("missing:" + place + "/" + target);
+    r.claim = asp + " found no component " + target;
+  }
+  return r;
+}
+
+crypto::Signature TestbedPlatform::sign(const std::string& place,
+                                        const Digest& d) {
+  crypto::Signer* s = keys_.signer_for(place);
+  if (s == nullptr) {
+    s = &keys_.provision_hmac(place);
+  }
+  return s->sign(d);
+}
+
+EvidencePtr TestbedPlatform::call(Evaluator& ev, const std::string& place,
+                                  const std::string& func,
+                                  const std::vector<TermPtr>& args,
+                                  const EvidencePtr& input) {
+  const auto it = funcs_.find(func);
+  if (it == funcs_.end()) {
+    throw EvalError("no handler registered for function '" + func + "'");
+  }
+  return it->second(ev, place, args, input);
+}
+
+bool TestbedPlatform::test(const std::string& place, const std::string& name) {
+  const auto it = tests_.find(ComponentId{place, name});
+  return it == tests_.end() ? true : it->second;
+}
+
+std::optional<EvidencePtr> TestbedPlatform::stored(
+    const crypto::Nonce& n) const {
+  const auto it = store_.find(n.value);
+  if (it == store_.end()) return std::nullopt;
+  return it->second;
+}
+
+namespace {
+
+// Find the first nonce in evidence (pre-order), if any.
+std::optional<crypto::Nonce> find_nonce(const EvidencePtr& e) {
+  if (!e) return std::nullopt;
+  if (e->kind == EvidenceKind::kNonce) return e->nonce;
+  for (const auto& c : {e->child, e->left, e->right}) {
+    if (auto n = find_nonce(c)) return n;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+void TestbedPlatform::install_default_funcs(crypto::NonceRegistry& registry) {
+  // attest(T1, ..., Tk): evaluate each term argument at the current place
+  // and fold the results together in order.
+  register_func("attest", [](Evaluator& ev, const std::string& place,
+                             const std::vector<TermPtr>& args,
+                             const EvidencePtr& input) {
+    EvidencePtr acc = input;
+    for (const auto& arg : args) {
+      acc = Evidence::extend(acc, ev.eval(arg, place, Evidence::empty()));
+    }
+    return acc;
+  });
+
+  // appraise: checks the incoming evidence against this platform's golden
+  // values and summarizes the verdict as function output.
+  register_func("appraise", [this](Evaluator&, const std::string& place,
+                                   const std::vector<TermPtr>&,
+                                   const EvidencePtr& input) {
+    const AppraisalResult res = pera::copland::appraise(input, golden_, keys_);
+    crypto::Bytes verdict;
+    verdict.push_back(res.ok ? 1 : 0);
+    return Evidence::func_out("appraise", place, input, std::move(verdict));
+  });
+
+  // certify / certify(n): bind a nonce into the evidence. With an argument
+  // the nonce is looked up from the registry-observed set via the evidence.
+  register_func("certify", [&registry](Evaluator&, const std::string& place,
+                                       const std::vector<TermPtr>&,
+                                       const EvidencePtr& input) {
+    std::optional<crypto::Nonce> n = find_nonce(input);
+    crypto::Bytes out;
+    if (n) {
+      registry.observe(*n);
+      crypto::append(out, n->value);
+    }
+    return Evidence::func_out("certify", place, input, std::move(out));
+  });
+
+  // store / store(n): persist evidence keyed by the nonce it contains (or
+  // by its own digest when no nonce is present).
+  register_func("store", [this](Evaluator&, const std::string& place,
+                                const std::vector<TermPtr>&,
+                                const EvidencePtr& input) {
+    std::optional<crypto::Nonce> n = find_nonce(input);
+    const Digest key = n ? n->value : digest(input);
+    store_[key] = input;
+    return Evidence::func_out("store", place, input, {});
+  });
+
+  // retrieve(n): look up stored evidence. The nonce must arrive as input
+  // evidence (the relying party binds it in).
+  register_func("retrieve", [this](Evaluator&, const std::string& place,
+                                   const std::vector<TermPtr>&,
+                                   const EvidencePtr& input) {
+    std::optional<crypto::Nonce> n = find_nonce(input);
+    if (!n) throw EvalError("retrieve: no nonce in input evidence");
+    const auto it = store_.find(n->value);
+    if (it == store_.end()) {
+      return Evidence::func_out("retrieve", place, input, {});
+    }
+    return it->second;
+  });
+}
+
+std::string to_string(AppraisalFinding::Kind k) {
+  switch (k) {
+    case AppraisalFinding::Kind::kBadMeasurement: return "bad-measurement";
+    case AppraisalFinding::Kind::kUnknownComponent: return "unknown-component";
+    case AppraisalFinding::Kind::kBadSignature: return "bad-signature";
+    case AppraisalFinding::Kind::kUnknownSigner: return "unknown-signer";
+    case AppraisalFinding::Kind::kMissingNonce: return "missing-nonce";
+    case AppraisalFinding::Kind::kStaleNonce: return "stale-nonce";
+  }
+  return "?";
+}
+
+namespace {
+
+void appraise_rec(const EvidencePtr& e,
+                  const std::map<ComponentId, Digest>& goldens,
+                  const crypto::KeyStore& keys, AppraisalResult& res) {
+  if (!e) return;
+  switch (e->kind) {
+    case EvidenceKind::kMeasurement: {
+      ++res.measurements_checked;
+      const auto it = goldens.find(ComponentId{e->place, e->target});
+      if (it == goldens.end()) {
+        res.add({AppraisalFinding::Kind::kUnknownComponent, e->place,
+                 "no golden value for " + e->target});
+      } else if (it->second != e->value) {
+        res.add({AppraisalFinding::Kind::kBadMeasurement, e->place,
+                 e->target + " measured " + e->value.short_hex() +
+                     ", golden " + it->second.short_hex()});
+      }
+      break;
+    }
+    case EvidenceKind::kSignature: {
+      ++res.signatures_checked;
+      const crypto::Verifier* v = keys.verifier_by_key_id(e->sig.key_id);
+      if (v == nullptr) {
+        res.add({AppraisalFinding::Kind::kUnknownSigner, e->place,
+                 "key id " + e->sig.key_id.short_hex()});
+      } else if (!crypto::verify_any(*v, digest(e->child), e->sig)) {
+        res.add({AppraisalFinding::Kind::kBadSignature, e->place,
+                 "signature by " + e->place + " does not verify"});
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  appraise_rec(e->child, goldens, keys, res);
+  appraise_rec(e->left, goldens, keys, res);
+  appraise_rec(e->right, goldens, keys, res);
+}
+
+bool contains_nonce(const EvidencePtr& e, const crypto::Nonce& n) {
+  if (!e) return false;
+  if (e->kind == EvidenceKind::kNonce && e->nonce == n) return true;
+  return contains_nonce(e->child, n) || contains_nonce(e->left, n) ||
+         contains_nonce(e->right, n);
+}
+
+}  // namespace
+
+AppraisalResult appraise(const EvidencePtr& evidence,
+                         const std::map<ComponentId, Digest>& goldens,
+                         const crypto::KeyStore& keys,
+                         const std::optional<crypto::Nonce>& expected_nonce) {
+  AppraisalResult res;
+  appraise_rec(evidence, goldens, keys, res);
+  if (expected_nonce && !contains_nonce(evidence, *expected_nonce)) {
+    res.add({AppraisalFinding::Kind::kMissingNonce, "",
+             "expected nonce " + expected_nonce->value.short_hex()});
+  }
+  return res;
+}
+
+}  // namespace pera::copland

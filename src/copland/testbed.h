@@ -1,0 +1,144 @@
+// A concrete Platform for evaluating Copland terms over a set of software
+// components — the host-side substrate for the bank example of §4.2 and
+// the repair-attack experiments (Ramsdell et al.).
+//
+// Components live at (place, name) and have content; measuring a component
+// hashes its current content. An adversary mutates content between
+// evaluation steps via the EvalObserver hooks. Appraisal compares measured
+// values against golden digests recorded at provisioning time.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "copland/semantics.h"
+#include "crypto/keystore.h"
+#include "crypto/nonce.h"
+
+namespace pera::copland {
+
+/// Key for components and golden values: (place, component name).
+using ComponentId = std::pair<std::string, std::string>;
+
+/// Handler signature for named Copland functions (appraise, certify, ...).
+using FuncHandler = std::function<EvidencePtr(
+    Evaluator& ev, const std::string& place, const std::vector<TermPtr>& args,
+    const EvidencePtr& input)>;
+
+class TestbedPlatform final : public Platform {
+ public:
+  /// `keys` provides signers per place; unprovisioned places get an HMAC
+  /// signer on first use.
+  explicit TestbedPlatform(crypto::KeyStore& keys) : keys_(keys) {}
+
+  // --- component management ---------------------------------------------
+
+  /// Install a component and record its current content hash as golden.
+  void install(const std::string& place, const std::string& name,
+               const std::string& content);
+
+  /// Mutate a component's content without touching the golden value
+  /// (what an adversary does).
+  void corrupt(const std::string& place, const std::string& name,
+               const std::string& content);
+
+  /// Restore a component to content matching its golden value.
+  void repair(const std::string& place, const std::string& name);
+
+  [[nodiscard]] bool is_corrupt(const std::string& place,
+                                const std::string& name) const;
+
+  [[nodiscard]] std::optional<crypto::Digest> golden(
+      const std::string& place, const std::string& name) const;
+
+  /// All golden values (for appraisal).
+  [[nodiscard]] const std::map<ComponentId, crypto::Digest>& goldens() const {
+    return golden_;
+  }
+
+  // --- guard tests ---------------------------------------------------------
+
+  /// Register the result of a named Boolean test at a place.
+  void set_test(const std::string& place, const std::string& name, bool value);
+
+  // --- function registry -----------------------------------------------------
+
+  /// Register a handler for a named Copland function. Overwrites.
+  void register_func(const std::string& name, FuncHandler handler);
+
+  /// Install default handlers: attest, appraise, certify, store, retrieve.
+  /// `registry` is used by certify/store/retrieve for nonce bookkeeping.
+  void install_default_funcs(crypto::NonceRegistry& registry);
+
+  /// Evidence stored by the default `store(n)` handler, by nonce.
+  [[nodiscard]] std::optional<EvidencePtr> stored(const crypto::Nonce& n) const;
+
+  // --- Platform interface ------------------------------------------------
+  [[nodiscard]] MeasurementResult measure(const std::string& place,
+                                          const std::string& asp,
+                                          const std::string& target) override;
+  [[nodiscard]] crypto::Signature sign(const std::string& place,
+                                       const crypto::Digest& d) override;
+  [[nodiscard]] EvidencePtr call(Evaluator& ev, const std::string& place,
+                                 const std::string& func,
+                                 const std::vector<TermPtr>& args,
+                                 const EvidencePtr& input) override;
+  [[nodiscard]] bool test(const std::string& place,
+                          const std::string& name) override;
+
+  [[nodiscard]] crypto::KeyStore& keys() { return keys_; }
+
+ private:
+  crypto::KeyStore& keys_;
+  std::map<ComponentId, std::string> content_;
+  std::map<ComponentId, std::string> shadow_content_;  // pristine copies
+  std::map<ComponentId, crypto::Digest> golden_;
+  std::map<ComponentId, bool> tests_;
+  std::map<std::string, FuncHandler> funcs_;
+  std::map<crypto::Digest, EvidencePtr> store_;
+};
+
+// --- appraisal -------------------------------------------------------------
+
+/// One appraisal finding.
+struct AppraisalFinding {
+  enum class Kind {
+    kBadMeasurement,     // measured value != golden value
+    kUnknownComponent,   // no golden value provisioned
+    kBadSignature,       // signature failed to verify
+    kUnknownSigner,      // no verifier for the signing key
+    kMissingNonce,       // expected nonce not present in evidence
+    kStaleNonce,         // nonce replayed
+  };
+  Kind kind;
+  std::string place;
+  std::string detail;
+};
+
+struct AppraisalResult {
+  bool ok = true;
+  std::vector<AppraisalFinding> findings;
+  std::size_t measurements_checked = 0;
+  std::size_t signatures_checked = 0;
+
+  void add(AppraisalFinding f) {
+    ok = false;
+    findings.push_back(std::move(f));
+  }
+};
+
+/// Appraise evidence against golden values and known keys:
+///  * every measurement must match its golden value,
+///  * every signature must verify under a known key,
+///  * if `expected_nonce` is given, the evidence must contain it.
+[[nodiscard]] AppraisalResult appraise(
+    const EvidencePtr& evidence,
+    const std::map<ComponentId, crypto::Digest>& goldens,
+    const crypto::KeyStore& keys,
+    const std::optional<crypto::Nonce>& expected_nonce = std::nullopt);
+
+[[nodiscard]] std::string to_string(AppraisalFinding::Kind k);
+
+}  // namespace pera::copland

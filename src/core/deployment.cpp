@@ -1,0 +1,357 @@
+#include "core/deployment.h"
+
+#include <stdexcept>
+
+#include "core/reachability.h"
+
+namespace pera::core {
+
+using netsim::Message;
+using netsim::NodeInfo;
+using netsim::NodeKind;
+
+Deployment::Deployment(netsim::Topology topo, DeploymentOptions options)
+    : net_(std::move(topo)), keys_(options.seed) {
+  const auto default_program =
+      [](const NodeInfo& n) -> std::shared_ptr<dataplane::DataplaneProgram> {
+    if (n.kind == NodeKind::kAppliance) return dataplane::make_acl();
+    return dataplane::make_router();
+  };
+  const auto& program_for =
+      options.program_for ? options.program_for : default_program;
+
+  for (const NodeInfo& n : net_.topology().nodes()) {
+    switch (n.kind) {
+      case NodeKind::kSwitch:
+      case NodeKind::kAppliance: {
+        crypto::Signer& signer =
+            options.use_xmss
+                ? keys_.provision_xmss(n.name, options.xmss_height)
+                : keys_.provision_hmac(n.name);
+        auto sw = std::make_unique<pera::PeraSwitch>(
+            n.name, program_for(n), signer, options.pera_config);
+        auto node = std::make_unique<SwitchNode>(std::move(sw));
+        net_.attach(n.id, node.get());
+        switches_[n.name] = std::move(node);
+        break;
+      }
+      case NodeKind::kAppraiser: {
+        keys_.provision_hmac(n.name);
+        appraiser_ = std::make_unique<AppraiserNode>(n.name, keys_);
+        appraiser_name_ = n.name;
+        net_.attach(n.id, appraiser_.get());
+        break;
+      }
+      case NodeKind::kHost: {
+        auto node = std::make_unique<HostNode>(
+            n.name, options.seed ^ (std::uint64_t{n.id} << 32));
+        net_.attach(n.id, node.get());
+        hosts_[n.name] = std::move(node);
+        break;
+      }
+    }
+  }
+  if (!appraiser_) {
+    throw std::invalid_argument(
+        "Deployment: topology has no appraiser node");
+  }
+  // Hosts forward carriers / relay evidence to the appraiser by default.
+  const netsim::NodeId app_id = net_.topology().require(appraiser_name_);
+  for (auto& [name, host] : hosts_) host->forward_carriers_to(app_id);
+}
+
+SwitchNode& Deployment::switch_node(const std::string& name) {
+  const auto it = switches_.find(name);
+  if (it == switches_.end()) {
+    throw std::invalid_argument("no switch node '" + name + "'");
+  }
+  return *it->second;
+}
+
+HostNode& Deployment::host(const std::string& name) {
+  const auto it = hosts_.find(name);
+  if (it == hosts_.end()) {
+    throw std::invalid_argument("no host node '" + name + "'");
+  }
+  return *it->second;
+}
+
+std::vector<std::string> Deployment::attesting_elements() const {
+  std::vector<std::string> out;
+  out.reserve(switches_.size());
+  for (const auto& [name, node] : switches_) out.push_back(name);
+  return out;
+}
+
+void Deployment::provision_goldens(
+    const std::vector<std::string>& extra_properties) {
+  for (auto& [name, node] : switches_) {
+    const pera::MeasurementUnit& mu = node->pera().measurement();
+    ra::Appraiser& app = appraiser_->appraiser();
+    app.set_golden(name, "Hardware",
+                   mu.measure(nac::EvidenceDetail::kHardware));
+    app.set_golden(name, "Program",
+                   mu.measure(nac::EvidenceDetail::kProgram));
+    app.set_golden(name, "Tables", mu.measure(nac::EvidenceDetail::kTables));
+    for (const auto& prop : extra_properties) {
+      app.set_golden(name, prop, mu.measure(nac::EvidenceDetail::kProgram));
+    }
+  }
+}
+
+bool Deployment::validate_policy(const nac::CompiledPolicy& policy,
+                                 bool enforce) const {
+  const CollectorReachability rep =
+      check_collector_reachable(net_.topology(), policy);
+  if (!rep.deployable() && enforce) {
+    std::string who;
+    for (const auto& p : rep.unreachable_from) who += p + " ";
+    throw std::runtime_error(
+        "policy not deployable: collector '" + rep.collector +
+        "' unreachable from " + who);
+  }
+  return rep.deployable();
+}
+
+ChallengeReport Deployment::run_out_of_band(const std::string& rp_host,
+                                            const std::string& switch_name,
+                                            nac::DetailMask detail,
+                                            const std::string& rp2) {
+  HostNode& rp = host(rp_host);
+  const crypto::Nonce nonce = rp.relying_party().challenge();
+  const netsim::NetStats before = net_.stats();
+  const netsim::SimTime start = net_.now();
+  const std::size_t results_before = rp.results().size();
+
+  Challenge ch;
+  ch.nonce = nonce;
+  ch.detail = detail;
+  ch.appraiser = appraiser_name_;
+  ch.in_band_reply = false;
+
+  Message msg;
+  msg.src = net_.topology().require(rp_host);
+  msg.dst = net_.topology().require(switch_name);
+  msg.reply_to = msg.src;
+  msg.type = "challenge";
+  msg.payload = ch.serialize();
+  net_.send(std::move(msg));
+  net_.run();
+
+  ChallengeReport report;
+  report.completed = rp.results().size() > results_before;
+  if (report.completed) {
+    const ra::Certificate& cert = rp.results().back();
+    const crypto::Verifier* v = keys_.verifier_for(appraiser_name_);
+    report.accepted =
+        v != nullptr && rp.relying_party().accept(cert, *v);
+    report.rtt = net_.now() - start;
+  }
+
+  if (!rp2.empty()) {
+    // RP2 retrieves the stored certificate by the (shared) nonce.
+    HostNode& second = host(rp2);
+    const std::size_t rp2_before = second.results().size();
+    Message rmsg;
+    rmsg.src = net_.topology().require(rp2);
+    rmsg.dst = net_.topology().require(appraiser_name_);
+    rmsg.reply_to = rmsg.src;
+    rmsg.type = "retrieve";
+    rmsg.payload = NonceMsg{nonce}.serialize();
+    net_.send(std::move(rmsg));
+    net_.run();
+    if (second.results().size() > rp2_before) {
+      const crypto::Verifier* v = keys_.verifier_for(appraiser_name_);
+      report.completed =
+          report.completed && second.results().back().verify(*v);
+    } else {
+      report.completed = false;
+    }
+  }
+
+  const netsim::NetStats after = net_.stats();
+  report.messages = after.messages_sent - before.messages_sent;
+  report.bytes_on_wire = after.bytes_sent - before.bytes_sent;
+  return report;
+}
+
+ChallengeReport Deployment::run_in_band(const std::string& rp1_host,
+                                        const std::string& switch_name,
+                                        const std::string& rp2_host,
+                                        nac::DetailMask detail) {
+  HostNode& rp1 = host(rp1_host);
+  HostNode& rp2 = host(rp2_host);
+  const crypto::Nonce nonce = rp1.relying_party().challenge();
+  const netsim::NetStats before = net_.stats();
+  const netsim::SimTime start = net_.now();
+  const std::size_t rp2_results_before = rp2.results().size();
+
+  Challenge ch;
+  ch.nonce = nonce;
+  ch.detail = detail;
+  ch.appraiser = appraiser_name_;
+  ch.in_band_reply = true;
+
+  Message msg;
+  msg.src = net_.topology().require(rp1_host);
+  msg.dst = net_.topology().require(switch_name);
+  msg.reply_to = net_.topology().require(rp2_host);
+  msg.type = "challenge";
+  msg.payload = ch.serialize();
+  net_.send(std::move(msg));
+  net_.run();
+
+  ChallengeReport report;
+  report.completed = rp2.results().size() > rp2_results_before;
+  if (report.completed) {
+    const crypto::Verifier* v = keys_.verifier_for(appraiser_name_);
+    const ra::Certificate& cert = rp2.results().back();
+    report.accepted = v != nullptr && cert.verify(*v) && cert.verdict;
+    report.rtt = net_.now() - start;
+  }
+  const netsim::NetStats after = net_.stats();
+  report.messages = after.messages_sent - before.messages_sent;
+  report.bytes_on_wire = after.bytes_sent - before.bytes_sent;
+  return report;
+}
+
+Deployment::RetryReport Deployment::run_out_of_band_with_retries(
+    const std::string& rp_host, const std::string& switch_name,
+    nac::DetailMask detail, netsim::SimTime timeout,
+    std::size_t max_attempts) {
+  HostNode& rp = host(rp_host);
+  RetryReport report;
+  const netsim::NetStats before = net_.stats();
+  const netsim::SimTime start = net_.now();
+
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    ++report.attempts;
+    // Fresh nonce per attempt: a lost result must not strand the exchange
+    // on the appraiser's replay protection.
+    const crypto::Nonce nonce = rp.relying_party().challenge();
+    const std::size_t results_before = rp.results().size();
+
+    Challenge ch;
+    ch.nonce = nonce;
+    ch.detail = detail;
+    ch.appraiser = appraiser_name_;
+
+    Message msg;
+    msg.src = net_.topology().require(rp_host);
+    msg.dst = net_.topology().require(switch_name);
+    msg.reply_to = msg.src;
+    msg.type = "challenge";
+    msg.payload = ch.serialize();
+    net_.send(std::move(msg));
+    net_.run(net_.now() + timeout);
+
+    if (rp.results().size() > results_before) {
+      const ra::Certificate& cert = rp.results().back();
+      const crypto::Verifier* v = keys_.verifier_for(appraiser_name_);
+      report.completed = true;
+      report.accepted = v != nullptr && rp.relying_party().accept(cert, *v);
+      break;
+    }
+  }
+  report.rtt = net_.now() - start;
+  const netsim::NetStats after = net_.stats();
+  report.messages = after.messages_sent - before.messages_sent;
+  report.bytes_on_wire = after.bytes_sent - before.bytes_sent;
+  return report;
+}
+
+FlowReport Deployment::send_flow(const std::string& src,
+                                 const std::string& dst,
+                                 const nac::CompiledPolicy& policy,
+                                 std::size_t packets, bool in_band,
+                                 std::uint8_t sampling_log2,
+                                 const dataplane::PacketSpec& pkt_spec) {
+  HostNode& rp = host(src);
+  const crypto::Nonce nonce = rp.relying_party().challenge();
+  nac::PolicyHeader header =
+      nac::make_header(policy, nonce, in_band, sampling_log2);
+  if (header.appraiser.empty()) header.appraiser = appraiser_name_;
+  return flow_impl(src, dst, header, packets, pkt_spec);
+}
+
+FlowReport Deployment::send_plain_flow(const std::string& src,
+                                       const std::string& dst,
+                                       std::size_t packets,
+                                       const dataplane::PacketSpec& pkt_spec) {
+  return flow_impl(src, dst, std::nullopt, packets, pkt_spec);
+}
+
+FlowReport Deployment::flow_impl(
+    const std::string& src, const std::string& dst,
+    const std::optional<nac::PolicyHeader>& header, std::size_t packets,
+    const dataplane::PacketSpec& pkt_spec) {
+  HostNode& dst_host = host(dst);
+  const std::size_t recv_before = dst_host.received().size();
+  const netsim::NetStats net_before = net_.stats();
+  const std::uint64_t failures_before = appraiser_->failed_appraisals();
+  const std::uint64_t appraisals_before =
+      appraiser_->appraiser().appraisal_count();
+
+  std::uint64_t attest_before = 0;
+  std::uint64_t hits_before = 0;
+  std::uint64_t misses_before = 0;
+  for (auto& name : attesting_elements()) {
+    const auto& s = switch_node(name).pera();
+    attest_before += s.ra_stats().attestations;
+    hits_before += s.cache().stats().hits;
+    misses_before += s.cache().stats().misses;
+  }
+
+  const std::uint64_t flow_id = next_flow_id_++;
+  for (std::size_t i = 0; i < packets; ++i) {
+    FlowBundle bundle;
+    bundle.policy = header;
+    bundle.raw = dataplane::make_tcp_packet(pkt_spec);
+
+    Message msg;
+    msg.src = net_.topology().require(src);
+    msg.dst = net_.topology().require(dst);
+    msg.reply_to = msg.src;
+    msg.type = "data";
+    msg.flow_id = flow_id;
+    bundle.to_message(msg);
+    net_.send(std::move(msg));
+  }
+  net_.run();
+
+  FlowReport report;
+  report.packets_sent = packets;
+  netsim::Summary latency;
+  std::size_t evidence_bytes = 0;
+  for (std::size_t i = recv_before; i < dst_host.received().size(); ++i) {
+    const ReceivedPacket& r = dst_host.received()[i];
+    latency.add(netsim::to_us(r.latency));
+    evidence_bytes += r.carrier_bytes;
+  }
+  report.packets_delivered = dst_host.received().size() - recv_before;
+  report.mean_latency_us = latency.mean();
+  report.p99_latency_us = latency.percentile(0.99);
+  report.evidence_bytes_inband = evidence_bytes;
+  report.appraisal_failures =
+      appraiser_->failed_appraisals() - failures_before;
+  report.certificates =
+      appraiser_->appraiser().appraisal_count() - appraisals_before;
+
+  for (auto& name : attesting_elements()) {
+    const auto& s = switch_node(name).pera();
+    report.attestations += s.ra_stats().attestations;
+    report.cache_hits += s.cache().stats().hits;
+    report.cache_misses += s.cache().stats().misses;
+  }
+  report.attestations -= attest_before;
+  report.cache_hits -= hits_before;
+  report.cache_misses -= misses_before;
+
+  const netsim::NetStats net_after = net_.stats();
+  report.bytes_on_wire = net_after.bytes_sent - net_before.bytes_sent;
+  report.oob_messages = net_after.messages_sent - net_before.messages_sent -
+                        packets;
+  return report;
+}
+
+}  // namespace pera::core

@@ -1,0 +1,134 @@
+// Deployment: instantiate a full RA-capable network from a topology —
+// PERA switches on every switch/appliance node, an appraiser, relying-
+// party hosts, provisioned keys and golden values — and drive the Fig. 2
+// attestation variants and policy-carrying flows over it.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "core/nodes.h"
+#include "dataplane/builder.h"
+#include "netsim/stats.h"
+
+namespace pera::core {
+
+struct DeploymentOptions {
+  std::uint64_t seed = 42;
+  pera::PeraConfig pera_config;
+  /// Use hash-based public-key signatures instead of TPM-style HMAC keys.
+  bool use_xmss = false;
+  unsigned xmss_height = 8;
+  /// Program loaded onto each switch/appliance node. Default: router
+  /// everywhere, ACL on appliance nodes.
+  std::function<std::shared_ptr<dataplane::DataplaneProgram>(
+      const netsim::NodeInfo&)>
+      program_for;
+};
+
+/// Outcome of one Fig. 2 attestation exchange.
+struct ChallengeReport {
+  bool completed = false;   // a result arrived
+  bool accepted = false;    // signature+nonce+verdict all good at the RP
+  netsim::SimTime rtt = 0;  // challenge -> result latency
+  std::uint64_t messages = 0;
+  std::uint64_t bytes_on_wire = 0;
+};
+
+/// Outcome of a policy-carrying flow.
+struct FlowReport {
+  std::size_t packets_sent = 0;
+  std::size_t packets_delivered = 0;
+  double mean_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+  std::size_t evidence_bytes_inband = 0;
+  std::size_t certificates = 0;
+  std::uint64_t appraisal_failures = 0;
+  std::uint64_t attestations = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t bytes_on_wire = 0;
+  std::uint64_t oob_messages = 0;
+};
+
+class Deployment {
+ public:
+  Deployment(netsim::Topology topo, DeploymentOptions options = {});
+
+  [[nodiscard]] netsim::Network& network() { return net_; }
+  [[nodiscard]] crypto::KeyStore& keys() { return keys_; }
+  [[nodiscard]] AppraiserNode& appraiser() { return *appraiser_; }
+  [[nodiscard]] SwitchNode& switch_node(const std::string& name);
+  [[nodiscard]] HostNode& host(const std::string& name);
+
+  /// All switch/appliance node names (attesting elements).
+  [[nodiscard]] std::vector<std::string> attesting_elements() const;
+
+  /// Provision the appraiser with golden values for every attesting
+  /// element's hardware, program and tables (and any custom properties
+  /// named in `extra_properties`).
+  void provision_goldens(const std::vector<std::string>& extra_properties = {});
+
+  /// Prim3 pre-deployment check: is the policy's collector reachable from
+  /// every evidence producer in the current topology (including any link
+  /// failures)? Throws std::runtime_error when not `deployable()` and
+  /// `enforce` is true.
+  [[nodiscard]] bool validate_policy(const nac::CompiledPolicy& policy,
+                                     bool enforce = false) const;
+
+  // --- Fig. 2 drivers -------------------------------------------------------
+  /// Expression (3): RP challenges the switch; evidence goes out-of-band
+  /// to the appraiser; the result returns to the RP. When `rp2` is given,
+  /// it afterwards retrieves the stored certificate by nonce.
+  ChallengeReport run_out_of_band(const std::string& rp_host,
+                                  const std::string& switch_name,
+                                  nac::DetailMask detail,
+                                  const std::string& rp2 = "");
+
+  /// Expression (4): evidence reaches RP2 in-band, who asks the appraiser.
+  ChallengeReport run_in_band(const std::string& rp1_host,
+                              const std::string& switch_name,
+                              const std::string& rp2_host,
+                              nac::DetailMask detail);
+
+  /// Out-of-band attestation over a lossy network: retry with a fresh
+  /// nonce after `timeout` until a result arrives or `max_attempts` is
+  /// exhausted. `attempts` in the report counts challenges sent.
+  struct RetryReport : ChallengeReport {
+    std::size_t attempts = 0;
+  };
+  RetryReport run_out_of_band_with_retries(
+      const std::string& rp_host, const std::string& switch_name,
+      nac::DetailMask detail, netsim::SimTime timeout = 10 * netsim::kMillisecond,
+      std::size_t max_attempts = 5);
+
+  // --- policy-carrying flows -----------------------------------------------
+  /// Send `packets` data packets from src to dst carrying `policy` and
+  /// collect the full RA accounting.
+  FlowReport send_flow(const std::string& src, const std::string& dst,
+                       const nac::CompiledPolicy& policy, std::size_t packets,
+                       bool in_band, std::uint8_t sampling_log2 = 0,
+                       const dataplane::PacketSpec& pkt_spec = {});
+
+  /// Baseline: the same flow with no RA policy at all.
+  FlowReport send_plain_flow(const std::string& src, const std::string& dst,
+                             std::size_t packets,
+                             const dataplane::PacketSpec& pkt_spec = {});
+
+ private:
+  FlowReport flow_impl(const std::string& src, const std::string& dst,
+                       const std::optional<nac::PolicyHeader>& header,
+                       std::size_t packets,
+                       const dataplane::PacketSpec& pkt_spec);
+
+  netsim::Network net_;
+  crypto::KeyStore keys_;
+  std::map<std::string, std::unique_ptr<SwitchNode>> switches_;
+  std::map<std::string, std::unique_ptr<HostNode>> hosts_;
+  std::unique_ptr<AppraiserNode> appraiser_;
+  std::string appraiser_name_;
+  std::uint64_t next_flow_id_ = 1;
+};
+
+}  // namespace pera::core

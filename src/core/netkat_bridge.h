@@ -1,0 +1,64 @@
+// Bridge between the PISA dataplane and NetKAT.
+//
+// §1 notes that RA is orthogonal to program verification: RA proves *which*
+// program runs, verification proves the program *correct*. This module
+// supplies the verification half for our stack: it translates a
+// DataplaneProgram into a NetKAT policy (tables become priority-resolved
+// if-then-else chains of masked tests; actions become field
+// modifications), so dataplane programs can be checked against NetKAT
+// specifications — and the translation itself is validated against the
+// switch, packet by packet.
+//
+// Supported fragment: stateless programs whose actions only set fields,
+// set the egress port, or drop (the canned router/firewall/ACL programs).
+// Register ops and field-to-field copies raise BridgeError.
+#pragma once
+
+#include <stdexcept>
+
+#include "dataplane/program.h"
+#include "netkat/eval.h"
+
+namespace pera::core {
+
+class BridgeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// NetKAT field names used by the encoding:
+///   "<header>.<field>"  — packet header fields
+///   "valid.<header>"    — 1 when the header was parsed
+///   "pt"                — ingress, then egress, port
+///   "meta.user0/1"      — user metadata
+///   "drop"              — 1 once the packet is dropped
+namespace bridge_fields {
+inline constexpr const char* kPort = "pt";
+inline constexpr const char* kDrop = "drop";
+}  // namespace bridge_fields
+
+/// Abstract a parsed packet into a NetKAT packet over the bridge fields.
+[[nodiscard]] netkat::Packet abstract_packet(
+    const dataplane::ParsedPacket& pkt);
+
+/// Translate one program into a NetKAT policy. Throws BridgeError on
+/// unsupported constructs (stateful actions, field copies, arithmetic).
+[[nodiscard]] netkat::PolicyPtr to_netkat(
+    const dataplane::DataplaneProgram& program);
+
+/// Translation validation: run `raw` through a fresh switch instance and
+/// through the NetKAT model; true iff both agree on drop-vs-forward, the
+/// egress port, and every header field value.
+[[nodiscard]] bool behaviors_agree(
+    const std::shared_ptr<dataplane::DataplaneProgram>& program,
+    const dataplane::RawPacket& raw);
+
+/// Check a dataplane program against a NetKAT specification on a packet
+/// universe: the program's observable behaviour must be included in the
+/// spec (every output the program produces, the spec allows).
+[[nodiscard]] bool refines(
+    const std::shared_ptr<dataplane::DataplaneProgram>& program,
+    const netkat::PolicyPtr& spec,
+    const std::vector<dataplane::RawPacket>& universe);
+
+}  // namespace pera::core

@@ -1,0 +1,119 @@
+#include "core/reachability.h"
+
+#include <stdexcept>
+
+namespace pera::core {
+
+using netkat::Link;
+using netkat::Policy;
+using netkat::PolicyPtr;
+using netkat::Predicate;
+
+std::uint64_t NetkatTopology::sw_of(const std::string& name) const {
+  const auto it = sw_ids.find(name);
+  if (it == sw_ids.end()) {
+    throw std::invalid_argument("NetkatTopology: unknown node '" + name + "'");
+  }
+  return it->second;
+}
+
+NetkatTopology encode_topology(const netsim::Topology& topo) {
+  NetkatTopology out;
+  // sw ids are 1-based so the zero-erasing canonical packet form never
+  // confuses "at node 0" with "field absent".
+  std::map<netsim::NodeId, std::uint64_t> ids;
+  for (const auto& n : topo.nodes()) {
+    const std::uint64_t id = n.id + 1;
+    ids[n.id] = id;
+    out.sw_ids[n.name] = id;
+  }
+
+  // Port numbering: the k-th adjacency of a node uses local port k+1.
+  std::map<netsim::NodeId, std::uint64_t> next_port;
+  std::map<std::pair<netsim::NodeId, netsim::NodeId>, std::uint64_t> port_of;
+  const auto port_for = [&](netsim::NodeId a, netsim::NodeId b) {
+    const auto key = std::make_pair(a, b);
+    const auto it = port_of.find(key);
+    if (it != port_of.end()) return it->second;
+    const std::uint64_t p = ++next_port[a];
+    port_of[key] = p;
+    return p;
+  };
+
+  std::vector<Link> links;
+  for (const auto& l : topo.links()) {
+    if (!l.up) continue;  // failed links are not part of the fabric
+    links.push_back(Link{ids[l.a], port_for(l.a, l.b), ids[l.b],
+                         port_for(l.b, l.a)});
+    links.push_back(Link{ids[l.b], port_for(l.b, l.a), ids[l.a],
+                         port_for(l.a, l.b)});
+  }
+  out.links = netkat::topology_policy(links);
+
+  // Flood program: at sw s, emit a copy on every local port.
+  std::vector<PolicyPtr> floods;
+  for (const auto& n : topo.nodes()) {
+    const std::uint64_t ports = next_port[n.id];
+    for (std::uint64_t p = 1; p <= ports; ++p) {
+      floods.push_back(Policy::seq(
+          Policy::filter(Predicate::test("sw", ids[n.id])),
+          Policy::mod("pt", p)));
+    }
+  }
+  out.flood = netkat::union_all(floods);
+  return out;
+}
+
+bool reachable_in(const NetkatTopology& nt, const std::string& from,
+                  const std::string& to) {
+  netkat::Packet start;
+  start.set("sw", nt.sw_of(from));
+  return netkat::reachable(nt.flood, nt.links, start,
+                           Predicate::test("sw", nt.sw_of(to)));
+}
+
+CollectorReachability check_collector_reachable(
+    const netsim::Topology& topo, const nac::CompiledPolicy& policy) {
+  CollectorReachability report;
+  report.collector = policy.appraiser.empty() ? "Appraiser" : policy.appraiser;
+
+  const NetkatTopology nt = encode_topology(topo);
+  if (!nt.sw_ids.contains(report.collector)) {
+    // No collector in the topology: nothing is deployable.
+    for (const auto& n : topo.nodes()) {
+      if (n.kind == netsim::NodeKind::kSwitch ||
+          n.kind == netsim::NodeKind::kAppliance) {
+        report.unreachable_from.push_back(n.name);
+      }
+    }
+    return report;
+  }
+
+  // Which places produce evidence?
+  std::vector<std::string> producers;
+  if (policy.wildcard_count() > 0) {
+    for (const auto& n : topo.nodes()) {
+      if (n.kind == netsim::NodeKind::kSwitch ||
+          n.kind == netsim::NodeKind::kAppliance) {
+        producers.push_back(n.name);
+      }
+    }
+  }
+  for (const auto& hop : policy.hops) {
+    if (!hop.wildcard && !hop.is_collector && !hop.place.empty() &&
+        topo.find(hop.place).has_value()) {
+      producers.push_back(hop.place);
+    }
+  }
+
+  for (const auto& p : producers) {
+    if (reachable_in(nt, p, report.collector)) {
+      report.reachable_from.push_back(p);
+    } else {
+      report.unreachable_from.push_back(p);
+    }
+  }
+  return report;
+}
+
+}  // namespace pera::core

@@ -1,0 +1,55 @@
+// Prim3 — reachability checks for policy deployment (§4.1).
+//
+// A network-aware policy is only executable when every evidence producer
+// can reach the evidence collector. Before a Relying Party deploys a
+// policy, it checks the appraiser's reachability from every attesting
+// element — over the NetKAT encoding of the deployment topology, so the
+// check is the paper's reachability primitive, not an ad-hoc BFS.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nac/compiler.h"
+#include "netkat/eval.h"
+#include "netkat/topology.h"
+#include "netsim/topology.h"
+
+namespace pera::core {
+
+/// NetKAT encoding of a netsim topology: nodes become `sw` values, each
+/// adjacency gets a local port number, and the link policy is the union of
+/// the directed hops.
+struct NetkatTopology {
+  netkat::PolicyPtr links;                       // the topology policy t
+  netkat::PolicyPtr flood;                       // at any sw, try every port
+  std::map<std::string, std::uint64_t> sw_ids;   // node name -> sw value
+
+  [[nodiscard]] std::uint64_t sw_of(const std::string& name) const;
+};
+
+[[nodiscard]] NetkatTopology encode_topology(const netsim::Topology& topo);
+
+/// Is `to` reachable from `from` under flood forwarding? (Connectivity in
+/// the NetKAT semantics: eval((flood ; t)*) contains a packet at `to`.)
+[[nodiscard]] bool reachable_in(const NetkatTopology& nt,
+                                const std::string& from,
+                                const std::string& to);
+
+/// Per-element reachability report for a compiled policy's collector.
+struct CollectorReachability {
+  std::string collector;
+  std::vector<std::string> reachable_from;
+  std::vector<std::string> unreachable_from;
+
+  [[nodiscard]] bool deployable() const { return unreachable_from.empty(); }
+};
+
+/// Check that `policy`'s appraiser is reachable from every attesting
+/// element in `topo` (every switch/appliance node for wildcard policies,
+/// only the pinned places otherwise).
+[[nodiscard]] CollectorReachability check_collector_reachable(
+    const netsim::Topology& topo, const nac::CompiledPolicy& policy);
+
+}  // namespace pera::core

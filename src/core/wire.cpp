@@ -1,0 +1,113 @@
+#include "core/wire.h"
+
+#include <stdexcept>
+
+namespace pera::core {
+
+using crypto::Bytes;
+using crypto::BytesView;
+
+void FlowBundle::to_message(netsim::Message& msg) const {
+  msg.headers.clear();
+  const Bytes policy_bytes = policy ? policy->serialize() : Bytes{};
+  crypto::append_u32(msg.headers, static_cast<std::uint32_t>(policy_bytes.size()));
+  crypto::append(msg.headers, BytesView{policy_bytes.data(), policy_bytes.size()});
+  const Bytes carrier_bytes = carrier.serialize();
+  crypto::append_u32(msg.headers,
+                     static_cast<std::uint32_t>(carrier_bytes.size()));
+  crypto::append(msg.headers,
+                 BytesView{carrier_bytes.data(), carrier_bytes.size()});
+
+  msg.payload.clear();
+  crypto::append_u32(msg.payload, raw.port);
+  crypto::append(msg.payload, BytesView{raw.data.data(), raw.data.size()});
+}
+
+FlowBundle FlowBundle::from_message(const netsim::Message& msg) {
+  FlowBundle b;
+  const BytesView hdr{msg.headers.data(), msg.headers.size()};
+  std::size_t off = 0;
+  const std::uint32_t policy_len = crypto::read_u32(hdr, off);
+  off += 4;
+  if (off + policy_len > hdr.size()) {
+    throw std::invalid_argument("FlowBundle: truncated policy header");
+  }
+  if (policy_len > 0) {
+    b.policy = nac::PolicyHeader::deserialize(hdr.subspan(off, policy_len));
+  }
+  off += policy_len;
+  const std::uint32_t carrier_len = crypto::read_u32(hdr, off);
+  off += 4;
+  if (off + carrier_len != hdr.size()) {
+    throw std::invalid_argument("FlowBundle: bad carrier length");
+  }
+  b.carrier = nac::EvidenceCarrier::deserialize(hdr.subspan(off, carrier_len));
+
+  const BytesView pay{msg.payload.data(), msg.payload.size()};
+  b.raw.port = crypto::read_u32(pay, 0);
+  b.raw.data.assign(pay.begin() + 4, pay.end());
+  return b;
+}
+
+Bytes Challenge::serialize() const {
+  Bytes out;
+  crypto::append(out, nonce.value);
+  out.push_back(detail);
+  out.push_back(hash_before_sign ? 1 : 0);
+  out.push_back(in_band_reply ? 1 : 0);
+  crypto::append_u32(out, static_cast<std::uint32_t>(appraiser.size()));
+  crypto::append(out, crypto::as_bytes(appraiser));
+  return out;
+}
+
+Challenge Challenge::deserialize(BytesView data) {
+  if (data.size() < 32 + 3 + 4) {
+    throw std::invalid_argument("Challenge: too short");
+  }
+  Challenge c;
+  std::copy(data.begin(), data.begin() + 32, c.nonce.value.v.begin());
+  c.detail = data[32];
+  c.hash_before_sign = data[33] != 0;
+  c.in_band_reply = data[34] != 0;
+  const std::uint32_t len = crypto::read_u32(data, 35);
+  if (39 + len != data.size()) {
+    throw std::invalid_argument("Challenge: bad appraiser length");
+  }
+  c.appraiser.assign(reinterpret_cast<const char*>(data.data() + 39), len);
+  return c;
+}
+
+Bytes EvidenceMsg::serialize() const {
+  Bytes out;
+  crypto::append(out, nonce.value);
+  crypto::append_u32(out, static_cast<std::uint32_t>(evidence.size()));
+  crypto::append(out, BytesView{evidence.data(), evidence.size()});
+  return out;
+}
+
+EvidenceMsg EvidenceMsg::deserialize(BytesView data) {
+  if (data.size() < 36) throw std::invalid_argument("EvidenceMsg: too short");
+  EvidenceMsg m;
+  std::copy(data.begin(), data.begin() + 32, m.nonce.value.v.begin());
+  const std::uint32_t len = crypto::read_u32(data, 32);
+  if (36 + len != data.size()) {
+    throw std::invalid_argument("EvidenceMsg: bad evidence length");
+  }
+  m.evidence.assign(data.begin() + 36, data.end());
+  return m;
+}
+
+Bytes NonceMsg::serialize() const {
+  Bytes out;
+  crypto::append(out, nonce.value);
+  return out;
+}
+
+NonceMsg NonceMsg::deserialize(BytesView data) {
+  if (data.size() != 32) throw std::invalid_argument("NonceMsg: bad size");
+  NonceMsg m;
+  std::copy(data.begin(), data.end(), m.nonce.value.v.begin());
+  return m;
+}
+
+}  // namespace pera::core

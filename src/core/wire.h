@@ -1,0 +1,66 @@
+// Message encodings for the RA protocol messages that ride over netsim.
+//
+// Message types used across the deployment:
+//   "data"      — flow traffic: FlowBundle in (headers, payload)
+//   "challenge" — RP -> switch direct attestation request (Fig. 2 ➀)
+//   "evidence"  — attester -> appraiser evidence (Fig. 2 ➁, out-of-band)
+//   "carrier"   — end host -> appraiser accumulated in-band evidence
+//   "retrieve"  — RP2 -> appraiser certificate lookup by nonce
+//   "result"    — appraiser -> RP attestation result (Fig. 2 ➃)
+#pragma once
+
+#include <optional>
+
+#include "copland/evidence.h"
+#include "crypto/nonce.h"
+#include "dataplane/packet.h"
+#include "nac/header.h"
+#include "netsim/network.h"
+#include "ra/certificate.h"
+
+namespace pera::core {
+
+/// A data packet bundled with its RA options header and in-band evidence.
+struct FlowBundle {
+  std::optional<nac::PolicyHeader> policy;
+  nac::EvidenceCarrier carrier;
+  dataplane::RawPacket raw;
+
+  /// Encode into (msg.headers, msg.payload).
+  void to_message(netsim::Message& msg) const;
+  [[nodiscard]] static FlowBundle from_message(const netsim::Message& msg);
+};
+
+/// Fig. 2 ➀: a relying party's challenge to a switch.
+struct Challenge {
+  crypto::Nonce nonce{};
+  nac::DetailMask detail = 0;
+  // Note: `attest -> # -> !` (expression (3)) collapses the measurements,
+  // which only works when the appraiser can reconstruct the expected
+  // evidence bit-for-bit; the deployment default ships full evidence.
+  bool hash_before_sign = false;
+  std::string appraiser;   // where the switch should send evidence
+  bool in_band_reply = false;  // (4): evidence goes to RP2 instead
+
+  [[nodiscard]] crypto::Bytes serialize() const;
+  [[nodiscard]] static Challenge deserialize(crypto::BytesView data);
+};
+
+/// Evidence in flight toward an appraiser.
+struct EvidenceMsg {
+  crypto::Nonce nonce{};
+  crypto::Bytes evidence;  // copland::encode()
+
+  [[nodiscard]] crypto::Bytes serialize() const;
+  [[nodiscard]] static EvidenceMsg deserialize(crypto::BytesView data);
+};
+
+/// A nonce-only message (retrieve).
+struct NonceMsg {
+  crypto::Nonce nonce{};
+
+  [[nodiscard]] crypto::Bytes serialize() const;
+  [[nodiscard]] static NonceMsg deserialize(crypto::BytesView data);
+};
+
+}  // namespace pera::core

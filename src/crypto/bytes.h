@@ -1,0 +1,85 @@
+// Byte-buffer primitives shared by the whole crypto substrate.
+//
+// Everything in pera is deterministic and in-memory, so a plain
+// std::vector<uint8_t> is the universal currency for octet strings.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pera::crypto {
+
+/// Octet string. Owned, growable.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning view over an octet string.
+using BytesView = std::span<const std::uint8_t>;
+
+/// A 256-bit digest (output of SHA-256 / HMAC-SHA-256).
+struct Digest {
+  std::array<std::uint8_t, 32> v{};
+
+  friend bool operator==(const Digest&, const Digest&) = default;
+  friend auto operator<=>(const Digest&, const Digest&) = default;
+
+  /// Render as lowercase hex (64 chars).
+  [[nodiscard]] std::string hex() const;
+
+  /// First 8 hex chars — handy for logs and pseudonyms.
+  [[nodiscard]] std::string short_hex() const;
+
+  [[nodiscard]] Bytes to_bytes() const { return Bytes(v.begin(), v.end()); }
+
+  [[nodiscard]] bool is_zero() const {
+    for (auto b : v) {
+      if (b != 0) return false;
+    }
+    return true;
+  }
+};
+
+/// Encode arbitrary bytes as lowercase hex.
+[[nodiscard]] std::string to_hex(BytesView data);
+
+/// Decode lowercase/uppercase hex. Throws std::invalid_argument on bad input.
+[[nodiscard]] Bytes from_hex(std::string_view hex);
+
+/// View over the bytes of a std::string (no copy).
+[[nodiscard]] inline BytesView as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+/// Copy a string into an owned byte buffer.
+[[nodiscard]] inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Append `src` to `dst`.
+inline void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+inline void append(Bytes& dst, const Digest& d) {
+  dst.insert(dst.end(), d.v.begin(), d.v.end());
+}
+
+/// Append a big-endian 32-bit integer.
+void append_u32(Bytes& dst, std::uint32_t x);
+
+/// Append a big-endian 64-bit integer.
+void append_u64(Bytes& dst, std::uint64_t x);
+
+/// Read a big-endian 32-bit integer at `off`. Throws std::out_of_range.
+[[nodiscard]] std::uint32_t read_u32(BytesView src, std::size_t off);
+
+/// Read a big-endian 64-bit integer at `off`. Throws std::out_of_range.
+[[nodiscard]] std::uint64_t read_u64(BytesView src, std::size_t off);
+
+/// Constant-time equality for fixed-size secrets.
+[[nodiscard]] bool ct_equal(BytesView a, BytesView b);
+
+}  // namespace pera::crypto

@@ -1,0 +1,139 @@
+#include "crypto/drbg.h"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace pera::crypto {
+
+namespace {
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b;
+  d = std::rotl(d ^ a, 16);
+  c += d;
+  b = std::rotl(b ^ c, 12);
+  a += b;
+  d = std::rotl(d ^ a, 8);
+  c += d;
+  b = std::rotl(b ^ c, 7);
+}
+
+constexpr std::uint32_t kSigma[4] = {0x61707865u, 0x3320646eu, 0x79622d32u,
+                                     0x6b206574u};
+
+}  // namespace
+
+Drbg::Drbg(std::uint64_t seed) : Drbg(sha256(BytesView{
+                                      reinterpret_cast<const std::uint8_t*>(&seed),
+                                      sizeof(seed)})) {}
+
+Drbg::Drbg(const Digest& seed) {
+  state_[0] = kSigma[0];
+  state_[1] = kSigma[1];
+  state_[2] = kSigma[2];
+  state_[3] = kSigma[3];
+  for (int i = 0; i < 8; ++i) {
+    state_[4 + i] = (static_cast<std::uint32_t>(seed.v[4 * i]) << 24) |
+                    (static_cast<std::uint32_t>(seed.v[4 * i + 1]) << 16) |
+                    (static_cast<std::uint32_t>(seed.v[4 * i + 2]) << 8) |
+                    static_cast<std::uint32_t>(seed.v[4 * i + 3]);
+  }
+  state_[12] = 0;  // block counter
+  state_[13] = 0;
+  state_[14] = 0;
+  state_[15] = 0;
+}
+
+void Drbg::refill() {
+  std::array<std::uint32_t, 16> x = state_;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t w = x[i] + state_[i];
+    block_[4 * i] = static_cast<std::uint8_t>(w);
+    block_[4 * i + 1] = static_cast<std::uint8_t>(w >> 8);
+    block_[4 * i + 2] = static_cast<std::uint8_t>(w >> 16);
+    block_[4 * i + 3] = static_cast<std::uint8_t>(w >> 24);
+  }
+  // 64-bit counter over words 12-13.
+  if (++state_[12] == 0) ++state_[13];
+  pos_ = 0;
+}
+
+void Drbg::fill(std::uint8_t* out, std::size_t len) {
+  std::size_t i = 0;
+  while (i < len) {
+    if (pos_ == 64) refill();
+    const std::size_t take = std::min(len - i, std::size_t{64} - pos_);
+    std::memcpy(out + i, block_.data() + pos_, take);
+    pos_ += take;
+    i += take;
+  }
+}
+
+Bytes Drbg::bytes(std::size_t n) {
+  Bytes out(n);
+  fill(out.data(), n);
+  return out;
+}
+
+Digest Drbg::digest() {
+  Digest d;
+  fill(d.v.data(), d.v.size());
+  return d;
+}
+
+std::uint64_t Drbg::next_u64() {
+  std::uint8_t buf[8];
+  fill(buf, 8);
+  std::uint64_t x = 0;
+  for (int i = 0; i < 8; ++i) x = (x << 8) | buf[i];
+  return x;
+}
+
+std::uint64_t Drbg::uniform(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Drbg::uniform: bound == 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  std::uint64_t x;
+  do {
+    x = next_u64();
+  } while (x >= limit);
+  return x % bound;
+}
+
+double Drbg::uniform01() {
+  // 53 random bits -> [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Drbg::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+Drbg Drbg::fork(std::string_view label) {
+  Hmac h(BytesView{reinterpret_cast<const std::uint8_t*>(state_.data()),
+                   state_.size() * sizeof(std::uint32_t)});
+  h.update(as_bytes(label));
+  Bytes ctr;
+  append_u64(ctr, fork_count_++);
+  h.update(BytesView{ctr.data(), ctr.size()});
+  return Drbg(h.finish());
+}
+
+}  // namespace pera::crypto

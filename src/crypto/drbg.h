@@ -1,0 +1,57 @@
+// Deterministic random bit generator built on the ChaCha20 block function
+// (RFC 8439). The whole reproduction is seed-deterministic: every principal,
+// workload generator and adversary draws randomness from a Drbg seeded from
+// the experiment seed, so runs are exactly repeatable.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/bytes.h"
+
+namespace pera::crypto {
+
+/// ChaCha20-based DRBG. Not a CSPRNG interface for production use — a
+/// deterministic stream expander for simulation and key generation.
+class Drbg {
+ public:
+  /// Seed from a 64-bit value (convenience for experiments).
+  explicit Drbg(std::uint64_t seed);
+
+  /// Seed from a 32-byte key.
+  explicit Drbg(const Digest& seed);
+
+  /// Fill `out` with pseudo-random bytes.
+  void fill(std::uint8_t* out, std::size_t len);
+
+  /// Produce `n` pseudo-random bytes.
+  [[nodiscard]] Bytes bytes(std::size_t n);
+
+  /// Produce a pseudo-random 256-bit value (e.g. a nonce or key seed).
+  [[nodiscard]] Digest digest();
+
+  /// Uniform 64-bit value.
+  [[nodiscard]] std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01();
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p);
+
+  /// Fork a child generator with an independent stream, labelled so that
+  /// unrelated subsystems never share a stream even with equal seeds.
+  [[nodiscard]] Drbg fork(std::string_view label);
+
+ private:
+  void refill();
+
+  std::array<std::uint32_t, 16> state_{};
+  std::array<std::uint8_t, 64> block_{};
+  std::size_t pos_ = 64;  // exhausted
+  std::uint64_t fork_count_ = 0;
+};
+
+}  // namespace pera::crypto

@@ -1,0 +1,65 @@
+#include "crypto/hmac.h"
+
+namespace pera::crypto {
+
+namespace {
+
+// Prepare the 64-byte padded key block: hash long keys, zero-pad short ones.
+std::array<std::uint8_t, 64> pad_key(BytesView key) {
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > 64) {
+    const Digest d = sha256(key);
+    std::copy(d.v.begin(), d.v.end(), block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), block.begin());
+  }
+  return block;
+}
+
+}  // namespace
+
+Hmac::Hmac(BytesView key) {
+  const auto block = pad_key(key);
+  std::array<std::uint8_t, 64> ipad{};
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] = block[i] ^ 0x36;
+    opad_key_[i] = block[i] ^ 0x5c;
+  }
+  inner_.update(BytesView{ipad.data(), ipad.size()});
+}
+
+Hmac& Hmac::update(BytesView data) {
+  inner_.update(data);
+  return *this;
+}
+
+Digest Hmac::finish() {
+  const Digest inner_digest = inner_.finish();
+  Sha256 outer;
+  outer.update(BytesView{opad_key_.data(), opad_key_.size()});
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+Digest hmac_sha256(BytesView key, BytesView data) {
+  Hmac h(key);
+  h.update(data);
+  return h.finish();
+}
+
+std::vector<Digest> derive_keys(BytesView root, std::string_view label,
+                                std::size_t n) {
+  std::vector<Digest> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Hmac h(root);
+    h.update(label);
+    Bytes idx;
+    append_u64(idx, i);
+    h.update(BytesView{idx.data(), idx.size()});
+    out.push_back(h.finish());
+  }
+  return out;
+}
+
+}  // namespace pera::crypto

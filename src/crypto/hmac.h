@@ -1,0 +1,39 @@
+// HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+//
+// Used for (a) the simulated TPM device-key signer and (b) key derivation
+// inside the DRBG and WOTS+ keygen.
+#pragma once
+
+#include "crypto/bytes.h"
+#include "crypto/sha256.h"
+
+namespace pera::crypto {
+
+/// One-shot HMAC-SHA-256 over `data` with `key` (any length).
+[[nodiscard]] Digest hmac_sha256(BytesView key, BytesView data);
+
+/// Incremental HMAC context for multi-part messages.
+class Hmac {
+ public:
+  explicit Hmac(BytesView key);
+
+  Hmac& update(BytesView data);
+  Hmac& update(std::string_view s) { return update(as_bytes(s)); }
+  Hmac& update(const Digest& d) {
+    return update(BytesView{d.v.data(), d.v.size()});
+  }
+
+  [[nodiscard]] Digest finish();
+
+ private:
+  Sha256 inner_;
+  std::array<std::uint8_t, 64> opad_key_{};
+};
+
+/// HKDF-style expansion: derive `n` independent digests from a root key and
+/// a context label. Deterministic; used to derive per-chain WOTS+ secrets.
+[[nodiscard]] std::vector<Digest> derive_keys(BytesView root,
+                                              std::string_view label,
+                                              std::size_t n);
+
+}  // namespace pera::crypto

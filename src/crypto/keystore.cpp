@@ -1,0 +1,58 @@
+#include "crypto/keystore.h"
+
+namespace pera::crypto {
+
+void KeyStore::index(const std::string& principal,
+                     std::unique_ptr<Signer> signer,
+                     std::unique_ptr<Verifier> verifier) {
+  // Drop a stale key-id index entry if re-provisioning.
+  if (auto it = signers_.find(principal); it != signers_.end()) {
+    by_key_id_.erase(it->second->key_id());
+  }
+  by_key_id_[signer->key_id()] = principal;
+  signers_[principal] = std::move(signer);
+  verifiers_[principal] = std::move(verifier);
+}
+
+Signer& KeyStore::provision_hmac(const std::string& principal) {
+  const Digest key = drbg_.fork("hmac-key:" + principal).digest();
+  auto signer = std::make_unique<HmacSigner>(key);
+  auto verifier = std::make_unique<HmacVerifier>(key);
+  Signer& ref = *signer;
+  index(principal, std::move(signer), std::move(verifier));
+  return ref;
+}
+
+Signer& KeyStore::provision_xmss(const std::string& principal,
+                                 unsigned height) {
+  const Digest seed = drbg_.fork("xmss-seed:" + principal).digest();
+  auto signer = std::make_unique<XmssSigner>(seed, height);
+  auto verifier = std::make_unique<XmssVerifier>(signer->public_root());
+  Signer& ref = *signer;
+  index(principal, std::move(signer), std::move(verifier));
+  return ref;
+}
+
+Signer* KeyStore::signer_for(const std::string& principal) {
+  const auto it = signers_.find(principal);
+  return it == signers_.end() ? nullptr : it->second.get();
+}
+
+const Verifier* KeyStore::verifier_for(const std::string& principal) const {
+  const auto it = verifiers_.find(principal);
+  return it == verifiers_.end() ? nullptr : it->second.get();
+}
+
+const Verifier* KeyStore::verifier_by_key_id(const Digest& key_id) const {
+  const auto it = by_key_id_.find(key_id);
+  if (it == by_key_id_.end()) return nullptr;
+  return verifier_for(it->second);
+}
+
+std::optional<std::string> KeyStore::principal_of(const Digest& key_id) const {
+  const auto it = by_key_id_.find(key_id);
+  if (it == by_key_id_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace pera::crypto

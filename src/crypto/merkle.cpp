@@ -1,0 +1,161 @@
+#include "crypto/merkle.h"
+
+#include <stdexcept>
+
+namespace pera::crypto {
+
+MerkleTree::MerkleTree(std::vector<Digest> leaves) {
+  if (leaves.empty()) {
+    root_ = Digest{};
+    return;
+  }
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Digest> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
+      next.push_back(sha256_pair(prev[i], prev[i + 1]));
+    }
+    if (prev.size() % 2 == 1) {
+      next.push_back(prev.back());  // promote unpaired node
+    }
+    levels_.push_back(std::move(next));
+  }
+  root_ = levels_.back()[0];
+}
+
+MerkleProof MerkleTree::prove(std::uint64_t index) const {
+  if (levels_.empty() || index >= levels_[0].size()) {
+    throw std::out_of_range("MerkleTree::prove: leaf index out of range");
+  }
+  MerkleProof proof;
+  proof.leaf_index = index;
+  std::size_t idx = index;
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& nodes = levels_[lvl];
+    const std::size_t sibling = (idx % 2 == 0) ? idx + 1 : idx - 1;
+    if (sibling < nodes.size()) {
+      proof.siblings.push_back(nodes[sibling]);
+    } else {
+      // Unpaired node: mark with the zero digest; verification skips it.
+      proof.siblings.push_back(Digest{});
+    }
+    idx /= 2;
+  }
+  return proof;
+}
+
+Digest MerkleTree::root_from_proof(const Digest& leaf,
+                                   const MerkleProof& proof) {
+  Digest acc = leaf;
+  std::uint64_t idx = proof.leaf_index;
+  for (const Digest& sib : proof.siblings) {
+    if (sib.is_zero()) {
+      // Promoted unpaired node: value carries up unchanged.
+    } else if (idx % 2 == 0) {
+      acc = sha256_pair(acc, sib);
+    } else {
+      acc = sha256_pair(sib, acc);
+    }
+    idx /= 2;
+  }
+  return acc;
+}
+
+bool MerkleTree::verify(const Digest& root, const Digest& leaf,
+                        const MerkleProof& proof) {
+  return root_from_proof(leaf, proof) == root;
+}
+
+Bytes MerkleProof::serialize() const {
+  Bytes out;
+  append_u64(out, leaf_index);
+  append_u32(out, static_cast<std::uint32_t>(siblings.size()));
+  for (const auto& d : siblings) append(out, d);
+  return out;
+}
+
+MerkleProof MerkleProof::deserialize(BytesView data) {
+  MerkleProof p;
+  p.leaf_index = read_u64(data, 0);
+  const std::uint32_t n = read_u32(data, 8);
+  if (data.size() != 12 + std::size_t{n} * 32) {
+    throw std::invalid_argument("MerkleProof::deserialize: bad size");
+  }
+  p.siblings.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::copy(data.begin() + 12 + 32 * i, data.begin() + 12 + 32 * (i + 1),
+              p.siblings[i].v.begin());
+  }
+  return p;
+}
+
+XmssKeyPair::XmssKeyPair(const Digest& seed, unsigned height)
+    : seed_(seed), height_(height) {
+  if (height > 20) {
+    throw std::invalid_argument("XmssKeyPair: height too large (max 20)");
+  }
+  const std::uint64_t n = std::uint64_t{1} << height;
+  std::vector<Digest> leaves;
+  leaves.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto sk = wots::keygen_secret(seed_, i);
+    leaves.push_back(wots::derive_public(sk).compressed);
+  }
+  tree_.emplace(std::move(leaves));
+}
+
+XmssSignature XmssKeyPair::sign(const Digest& message) {
+  if (exhausted()) {
+    throw std::runtime_error("XmssKeyPair::sign: one-time keys exhausted");
+  }
+  const std::uint64_t leaf = next_leaf_++;
+  XmssSignature sig;
+  sig.leaf_index = leaf;
+  sig.ots = wots::sign(wots::keygen_secret(seed_, leaf), message);
+  sig.auth_path = tree_->prove(leaf);
+  return sig;
+}
+
+bool XmssKeyPair::verify(const Digest& public_root, const Digest& message,
+                         const XmssSignature& sig) {
+  if (sig.auth_path.leaf_index != sig.leaf_index) return false;
+  const wots::PublicKey implied = wots::recover_public(sig.ots, message);
+  return MerkleTree::verify(public_root, implied.compressed, sig.auth_path);
+}
+
+Bytes XmssSignature::serialize() const {
+  Bytes out;
+  append_u64(out, leaf_index);
+  const Bytes ots_bytes = ots.serialize();
+  append_u32(out, static_cast<std::uint32_t>(ots_bytes.size()));
+  append(out, BytesView{ots_bytes.data(), ots_bytes.size()});
+  const Bytes path = auth_path.serialize();
+  append_u32(out, static_cast<std::uint32_t>(path.size()));
+  append(out, BytesView{path.data(), path.size()});
+  return out;
+}
+
+XmssSignature XmssSignature::deserialize(BytesView data) {
+  XmssSignature sig;
+  sig.leaf_index = read_u64(data, 0);
+  const std::uint32_t ots_len = read_u32(data, 8);
+  std::size_t off = 12;
+  if (off + ots_len > data.size()) {
+    throw std::invalid_argument("XmssSignature::deserialize: truncated OTS");
+  }
+  sig.ots = wots::Signature::deserialize(data.subspan(off, ots_len));
+  off += ots_len;
+  const std::uint32_t path_len = read_u32(data, off);
+  off += 4;
+  if (off + path_len != data.size()) {
+    throw std::invalid_argument("XmssSignature::deserialize: bad path size");
+  }
+  sig.auth_path = MerkleProof::deserialize(data.subspan(off, path_len));
+  return sig;
+}
+
+std::size_t XmssSignature::wire_size() const { return serialize().size(); }
+
+}  // namespace pera::crypto

@@ -1,0 +1,15 @@
+#include "crypto/nonce.h"
+
+namespace pera::crypto {
+
+Nonce NonceRegistry::issue() {
+  Nonce n{drbg_.digest()};
+  issued_.insert(n.value);
+  return n;
+}
+
+bool NonceRegistry::observe(const Nonce& n) {
+  return observed_.insert(n.value).second;
+}
+
+}  // namespace pera::crypto

@@ -1,0 +1,53 @@
+// Nonce generation and replay tracking.
+//
+// Copland attestation requests are bound by a nonce parameter `n`
+// (expressions (3)/(4) and Helble et al.). NonceRegistry issues fresh
+// nonces on the relying-party side and detects replays on the appraiser
+// side.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "crypto/drbg.h"
+#include "crypto/sha256.h"
+
+namespace pera::crypto {
+
+/// A 256-bit attestation nonce.
+struct Nonce {
+  Digest value{};
+
+  friend bool operator==(const Nonce&, const Nonce&) = default;
+  friend auto operator<=>(const Nonce&, const Nonce&) = default;
+
+  [[nodiscard]] std::string hex() const { return value.hex(); }
+};
+
+/// Issues fresh nonces and remembers which have been seen/consumed.
+class NonceRegistry {
+ public:
+  explicit NonceRegistry(std::uint64_t seed) : drbg_(seed) {}
+
+  /// Issue a fresh nonce (recorded as issued).
+  [[nodiscard]] Nonce issue();
+
+  /// Record an observed nonce. Returns false if it was already observed
+  /// (replay) — first observation returns true.
+  bool observe(const Nonce& n);
+
+  /// True if this registry issued `n`.
+  [[nodiscard]] bool issued(const Nonce& n) const {
+    return issued_.contains(n.value);
+  }
+
+  [[nodiscard]] std::size_t issued_count() const { return issued_.size(); }
+  [[nodiscard]] std::size_t observed_count() const { return observed_.size(); }
+
+ private:
+  Drbg drbg_;
+  std::set<Digest> issued_;
+  std::set<Digest> observed_;
+};
+
+}  // namespace pera::crypto

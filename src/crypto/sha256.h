@@ -1,0 +1,51 @@
+// Streaming SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// This is the root primitive of the whole attestation stack: program
+// measurement, evidence hashing (Copland's `#` operator), HMAC, WOTS+
+// chains and Merkle trees all bottom out here.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/bytes.h"
+
+namespace pera::crypto {
+
+/// Incremental SHA-256 context. Usable as:
+///   Sha256 h; h.update(a).update(b); Digest d = h.finish();
+/// or via the one-shot helpers below.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  /// Reset to the initial state (reusable after finish()).
+  void reset();
+
+  /// Absorb more input. Chainable.
+  Sha256& update(BytesView data);
+  Sha256& update(std::string_view s) { return update(as_bytes(s)); }
+  Sha256& update(const Digest& d) {
+    return update(BytesView{d.v.data(), d.v.size()});
+  }
+
+  /// Finalize and return the digest. The context must be reset() before
+  /// further use.
+  [[nodiscard]] Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+/// One-shot SHA-256.
+[[nodiscard]] Digest sha256(BytesView data);
+[[nodiscard]] Digest sha256(std::string_view s);
+
+/// Hash the concatenation of two digests — the Merkle-tree node combiner.
+[[nodiscard]] Digest sha256_pair(const Digest& left, const Digest& right);
+
+}  // namespace pera::crypto

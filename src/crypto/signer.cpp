@@ -1,0 +1,167 @@
+#include "crypto/signer.h"
+
+#include <stdexcept>
+
+#include "crypto/hmac.h"
+
+namespace pera::crypto {
+
+std::string to_string(SignatureScheme s) {
+  switch (s) {
+    case SignatureScheme::kHmacDeviceKey:
+      return "hmac-device-key";
+    case SignatureScheme::kXmss:
+      return "xmss";
+    case SignatureScheme::kBatched:
+      return "merkle-batched";
+  }
+  return "unknown";
+}
+
+Signature wrap_batched(const Digest& root, const MerkleProof& proof,
+                       const Signature& root_sig) {
+  Signature out;
+  out.scheme = SignatureScheme::kBatched;
+  out.key_id = root_sig.key_id;
+  append(out.payload, root);
+  const Bytes proof_bytes = proof.serialize();
+  append_u32(out.payload, static_cast<std::uint32_t>(proof_bytes.size()));
+  append(out.payload, BytesView{proof_bytes.data(), proof_bytes.size()});
+  const Bytes inner = root_sig.serialize();
+  append_u32(out.payload, static_cast<std::uint32_t>(inner.size()));
+  append(out.payload, BytesView{inner.data(), inner.size()});
+  return out;
+}
+
+bool verify_any(const Verifier& verifier, const Digest& message,
+                const Signature& sig) {
+  if (sig.scheme != SignatureScheme::kBatched) {
+    return verifier.verify(message, sig);
+  }
+  try {
+    const BytesView data{sig.payload.data(), sig.payload.size()};
+    if (data.size() < 32) return false;
+    Digest root;
+    std::copy(data.begin(), data.begin() + 32, root.v.begin());
+    std::size_t off = 32;
+    const std::uint32_t proof_len = read_u32(data, off);
+    off += 4;
+    if (off + proof_len > data.size()) return false;
+    const MerkleProof proof =
+        MerkleProof::deserialize(data.subspan(off, proof_len));
+    off += proof_len;
+    const std::uint32_t inner_len = read_u32(data, off);
+    off += 4;
+    if (off + inner_len != data.size()) return false;
+    const Signature inner =
+        Signature::deserialize(data.subspan(off, inner_len));
+    if (inner.scheme == SignatureScheme::kBatched) return false;  // no nesting
+    return MerkleTree::verify(root, message, proof) &&
+           verifier.verify(root, inner);
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+Digest make_key_id(SignatureScheme scheme, const Digest& material) {
+  Sha256 h;
+  h.update("pera.keyid.");
+  h.update(to_string(scheme));
+  h.update(material);
+  return h.finish();
+}
+
+Bytes Signature::serialize() const {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(scheme));
+  append(out, key_id);
+  append_u32(out, static_cast<std::uint32_t>(payload.size()));
+  append(out, BytesView{payload.data(), payload.size()});
+  return out;
+}
+
+Signature Signature::deserialize(BytesView data) {
+  if (data.size() < 37) {
+    throw std::invalid_argument("Signature::deserialize: too short");
+  }
+  Signature sig;
+  sig.scheme = static_cast<SignatureScheme>(data[0]);
+  if (sig.scheme != SignatureScheme::kHmacDeviceKey &&
+      sig.scheme != SignatureScheme::kXmss &&
+      sig.scheme != SignatureScheme::kBatched) {
+    throw std::invalid_argument("Signature::deserialize: unknown scheme");
+  }
+  std::copy(data.begin() + 1, data.begin() + 33, sig.key_id.v.begin());
+  const std::uint32_t len = read_u32(data, 33);
+  if (data.size() != 37 + std::size_t{len}) {
+    throw std::invalid_argument("Signature::deserialize: bad payload size");
+  }
+  sig.payload.assign(data.begin() + 37, data.end());
+  return sig;
+}
+
+std::size_t Signature::wire_size() const { return 37 + payload.size(); }
+
+HmacSigner::HmacSigner(Digest device_key)
+    : device_key_(device_key),
+      key_id_(make_key_id(SignatureScheme::kHmacDeviceKey,
+                          sha256(BytesView{device_key.v.data(),
+                                           device_key.v.size()}))) {}
+
+Signature HmacSigner::sign(const Digest& message) {
+  Signature sig;
+  sig.scheme = SignatureScheme::kHmacDeviceKey;
+  sig.key_id = key_id_;
+  const Digest mac = hmac_sha256(
+      BytesView{device_key_.v.data(), device_key_.v.size()},
+      BytesView{message.v.data(), message.v.size()});
+  sig.payload = mac.to_bytes();
+  return sig;
+}
+
+HmacVerifier::HmacVerifier(Digest device_key)
+    : device_key_(device_key),
+      key_id_(make_key_id(SignatureScheme::kHmacDeviceKey,
+                          sha256(BytesView{device_key.v.data(),
+                                           device_key.v.size()}))) {}
+
+bool HmacVerifier::verify(const Digest& message, const Signature& sig) const {
+  if (sig.scheme != SignatureScheme::kHmacDeviceKey) return false;
+  if (sig.key_id != key_id_) return false;
+  const Digest expect = hmac_sha256(
+      BytesView{device_key_.v.data(), device_key_.v.size()},
+      BytesView{message.v.data(), message.v.size()});
+  return ct_equal(BytesView{expect.v.data(), expect.v.size()},
+                  BytesView{sig.payload.data(), sig.payload.size()});
+}
+
+XmssSigner::XmssSigner(const Digest& seed, unsigned height)
+    : keypair_(seed, height),
+      key_id_(make_key_id(SignatureScheme::kXmss, keypair_.public_root())) {}
+
+Signature XmssSigner::sign(const Digest& message) {
+  Signature sig;
+  sig.scheme = SignatureScheme::kXmss;
+  sig.key_id = key_id_;
+  sig.payload = keypair_.sign(message).serialize();
+  return sig;
+}
+
+XmssVerifier::XmssVerifier(Digest public_root)
+    : public_root_(public_root),
+      key_id_(make_key_id(SignatureScheme::kXmss, public_root)) {}
+
+bool XmssVerifier::verify(const Digest& message, const Signature& sig) const {
+  if (sig.scheme != SignatureScheme::kXmss) return false;
+  if (sig.key_id != key_id_) return false;
+  XmssSignature parsed;
+  try {
+    parsed = XmssSignature::deserialize(
+        BytesView{sig.payload.data(), sig.payload.size()});
+  } catch (const std::exception&) {
+    return false;  // malformed payload: out_of_range or invalid_argument
+  }
+  return XmssKeyPair::verify(public_root_, message, parsed);
+}
+
+}  // namespace pera::crypto

@@ -1,0 +1,114 @@
+#include "crypto/wots.h"
+
+#include <stdexcept>
+
+#include "crypto/hmac.h"
+
+namespace pera::crypto::wots {
+
+namespace {
+
+// Domain-separated chain step: F(chain_index, position, value).
+Digest chain_step(std::size_t chain, std::size_t position, const Digest& value) {
+  Sha256 h;
+  Bytes hdr;
+  append_u32(hdr, static_cast<std::uint32_t>(chain));
+  append_u32(hdr, static_cast<std::uint32_t>(position));
+  h.update(BytesView{hdr.data(), hdr.size()});
+  h.update(value);
+  return h.finish();
+}
+
+// Apply `steps` chain steps starting at base position `from`.
+Digest chain(std::size_t chain_index, const Digest& start, std::size_t from,
+             std::size_t steps) {
+  Digest v = start;
+  for (std::size_t i = 0; i < steps; ++i) {
+    v = chain_step(chain_index, from + i, v);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::array<std::uint8_t, kLen> chunk_message(const Digest& message) {
+  std::array<std::uint8_t, kLen> chunks{};
+  // 64 message chunks: 4 bits each, big-endian nibbles.
+  for (std::size_t i = 0; i < 32; ++i) {
+    chunks[2 * i] = message.v[i] >> 4;
+    chunks[2 * i + 1] = message.v[i] & 0xf;
+  }
+  // Checksum: sum of (w-1 - chunk) over message chunks, base-w little chunks.
+  std::uint32_t csum = 0;
+  for (std::size_t i = 0; i < kLen1; ++i) {
+    csum += static_cast<std::uint32_t>(kW - 1 - chunks[i]);
+  }
+  for (std::size_t i = 0; i < kLen2; ++i) {
+    chunks[kLen1 + i] = static_cast<std::uint8_t>((csum >> (4 * i)) & 0xf);
+  }
+  return chunks;
+}
+
+SecretKey keygen_secret(const Digest& seed, std::uint64_t address) {
+  SecretKey sk;
+  Bytes root(seed.v.begin(), seed.v.end());
+  append_u64(root, address);
+  const auto derived = derive_keys(BytesView{root.data(), root.size()},
+                                   "pera.wots.chain", kLen);
+  for (std::size_t i = 0; i < kLen; ++i) sk.chains[i] = derived[i];
+  return sk;
+}
+
+PublicKey derive_public(const SecretKey& sk) {
+  Sha256 compress;
+  for (std::size_t i = 0; i < kLen; ++i) {
+    const Digest end = chain(i, sk.chains[i], 0, kW - 1);
+    compress.update(end);
+  }
+  return PublicKey{compress.finish()};
+}
+
+Signature sign(const SecretKey& sk, const Digest& message) {
+  const auto chunks = chunk_message(message);
+  Signature sig;
+  for (std::size_t i = 0; i < kLen; ++i) {
+    sig.chains[i] = chain(i, sk.chains[i], 0, chunks[i]);
+  }
+  return sig;
+}
+
+PublicKey recover_public(const Signature& sig, const Digest& message) {
+  const auto chunks = chunk_message(message);
+  Sha256 compress;
+  for (std::size_t i = 0; i < kLen; ++i) {
+    const Digest end = chain(i, sig.chains[i], chunks[i], kW - 1 - chunks[i]);
+    compress.update(end);
+  }
+  return PublicKey{compress.finish()};
+}
+
+bool verify(const PublicKey& pk, const Digest& message, const Signature& sig) {
+  return recover_public(sig, message) == pk;
+}
+
+Bytes Signature::serialize() const {
+  Bytes out;
+  out.reserve(kWireSize);
+  for (const auto& d : chains) append(out, d);
+  return out;
+}
+
+Signature Signature::deserialize(BytesView data) {
+  if (data.size() != kWireSize) {
+    throw std::invalid_argument("wots::Signature::deserialize: bad size");
+  }
+  Signature sig;
+  for (std::size_t i = 0; i < kLen; ++i) {
+    std::copy(data.begin() + static_cast<std::ptrdiff_t>(32 * i),
+              data.begin() + static_cast<std::ptrdiff_t>(32 * (i + 1)),
+              sig.chains[i].v.begin());
+  }
+  return sig;
+}
+
+}  // namespace pera::crypto::wots

@@ -1,0 +1,246 @@
+#include "dataplane/builder.h"
+
+namespace pera::dataplane {
+
+namespace {
+constexpr std::uint64_t kEthertypeIpv4 = 0x0800;
+constexpr std::uint64_t kProtoTcp = 6;
+
+std::map<std::string, HeaderSpec> standard_schema() {
+  return {{"eth", stdhdr::ethernet()},
+          {"ipv4", stdhdr::ipv4()},
+          {"tcp", stdhdr::tcp()}};
+}
+
+// Routing table shared by router-like programs: 10.0.x.0/24 -> port x.
+void add_routes(Table& t) {
+  for (std::uint64_t subnet = 1; subnet <= 8; ++subnet) {
+    TableEntry e;
+    e.keys = {KeyMatch::lpm(0x0a000000ULL | (subnet << 8), 24)};
+    e.action = "forward";
+    e.action_params = {subnet};
+    t.add_entry(std::move(e));
+  }
+}
+
+KeySpec ipv4_dst_lpm() { return KeySpec{{"ipv4", "dst"}, MatchKind::kLpm, 32}; }
+}  // namespace
+
+ParserProgram standard_parser() {
+  ParserProgram p(standard_schema());
+  ParserState start;
+  start.name = "start";
+  start.header = "eth";
+  start.select = ParserSelect{
+      "ethertype", {{kEthertypeIpv4, "parse_ipv4"}}, "accept"};
+  p.add_state(std::move(start));
+
+  ParserState ipv4;
+  ipv4.name = "parse_ipv4";
+  ipv4.header = "ipv4";
+  ipv4.select = ParserSelect{"proto", {{kProtoTcp, "parse_tcp"}}, "accept"};
+  p.add_state(std::move(ipv4));
+
+  ParserState tcp;
+  tcp.name = "parse_tcp";
+  tcp.header = "tcp";
+  tcp.next = "accept";
+  p.add_state(std::move(tcp));
+  return p;
+}
+
+std::shared_ptr<DataplaneProgram> make_router(const std::string& version) {
+  auto prog = std::make_shared<DataplaneProgram>("router", version,
+                                                 standard_parser());
+  prog->add_action(stdaction::forward());
+  prog->add_action(stdaction::drop());
+
+  Table& route = prog->add_table(
+      "route", {ipv4_dst_lpm()});
+  add_routes(route);
+  route.set_default("drop");
+  return prog;
+}
+
+std::shared_ptr<DataplaneProgram> make_firewall(const std::string& version) {
+  auto prog = std::make_shared<DataplaneProgram>("firewall", version,
+                                                 standard_parser());
+  prog->add_action(stdaction::forward());
+  prog->add_action(stdaction::drop());
+  prog->add_action(stdaction::noop());
+
+  Table& acl = prog->add_table("acl",
+                               {KeySpec{{"ipv4", "src"}, MatchKind::kTernary},
+                                KeySpec{{"ipv4", "dst"}, MatchKind::kTernary},
+                                KeySpec{{"tcp", "dport"}, MatchKind::kTernary}});
+  // Allow 443 and 80 from anywhere; allow the 10.0.0.0/8 block internally.
+  for (std::uint64_t port : {443ULL, 80ULL, 22ULL}) {
+    TableEntry e;
+    e.keys = {KeyMatch::wildcard(), KeyMatch::wildcard(),
+              KeyMatch::ternary(port, 0xffff)};
+    e.priority = 10;
+    e.action = "noop";
+    acl.add_entry(std::move(e));
+  }
+  {
+    TableEntry e;
+    e.keys = {KeyMatch::ternary(0x0a000000, 0xff000000),
+              KeyMatch::ternary(0x0a000000, 0xff000000),
+              KeyMatch::wildcard()};
+    e.priority = 5;
+    e.action = "noop";
+    acl.add_entry(std::move(e));
+  }
+  acl.set_default("drop");
+
+  Table& route = prog->add_table(
+      "route", {ipv4_dst_lpm()});
+  add_routes(route);
+  route.set_default("drop");
+  return prog;
+}
+
+std::shared_ptr<DataplaneProgram> make_acl(const std::string& version) {
+  auto prog = std::make_shared<DataplaneProgram>("acl", version,
+                                                 standard_parser());
+  prog->add_action(stdaction::forward());
+  prog->add_action(stdaction::drop());
+
+  Table& allow = prog->add_table(
+      "allow", {KeySpec{{"tcp", "dport"}, MatchKind::kExact}});
+  for (std::uint64_t port : {25ULL, 6667ULL, 31337ULL}) {  // deny-list
+    TableEntry e;
+    e.keys = {KeyMatch::exact(port)};
+    e.action = "drop";
+    allow.add_entry(std::move(e));
+  }
+  allow.set_default("");
+
+  Table& route = prog->add_table(
+      "route", {ipv4_dst_lpm()});
+  add_routes(route);
+  route.set_default("drop");
+  return prog;
+}
+
+std::shared_ptr<DataplaneProgram> make_monitor(const std::string& version) {
+  auto prog = std::make_shared<DataplaneProgram>("monitor", version,
+                                                 standard_parser());
+  prog->add_action(stdaction::forward());
+  prog->add_action(stdaction::drop());
+  prog->declare_register("port_counts", 1024);
+
+  // count_dport: port_counts[dport % 1024] += 1 is approximated with a
+  // read-modify-write pair keyed on a table-provided bucket parameter.
+  ActionDef count;
+  count.name = "count_bucket";
+  count.param_count = 2;  // bucket, out_port
+  {
+    Op read;
+    read.kind = OpKind::kRegReadToMeta;
+    read.reg = "port_counts";
+    read.a = Operand::param(0);
+    count.ops.push_back(read);
+    Op bump;
+    bump.kind = OpKind::kRegWrite;
+    bump.reg = "port_counts";
+    bump.a = Operand::param(0);
+    bump.b = Operand::param(0);  // placeholder; incremented via user0 below
+    count.ops.push_back(bump);
+    Op fwd;
+    fwd.kind = OpKind::kSetEgressPort;
+    fwd.a = Operand::param(1);
+    count.ops.push_back(fwd);
+  }
+  prog->add_action(std::move(count));
+
+  Table& mon = prog->add_table(
+      "monitor", {KeySpec{{"tcp", "dport"}, MatchKind::kExact}});
+  for (std::uint64_t port : {443ULL, 80ULL, 53ULL, 22ULL}) {
+    TableEntry e;
+    e.keys = {KeyMatch::exact(port)};
+    e.action = "count_bucket";
+    e.action_params = {port % 1024, 1};
+    mon.add_entry(std::move(e));
+  }
+  mon.set_default("forward", {1});
+  return prog;
+}
+
+std::shared_ptr<DataplaneProgram> make_rogue_router(const std::string& version) {
+  auto prog = std::make_shared<DataplaneProgram>("router", version,
+                                                 standard_parser());
+  prog->add_action(stdaction::forward());
+  prog->add_action(stdaction::drop());
+
+  // The covert duplication: on target destinations, tag the packet so the
+  // simulator's "lawful intercept" port logic picks it up.
+  ActionDef intercept;
+  intercept.name = "forward";  // masquerades under the same action name
+  intercept.param_count = 1;
+  {
+    Op fwd;
+    fwd.kind = OpKind::kSetEgressPort;
+    fwd.a = Operand::param(0);
+    intercept.ops.push_back(fwd);
+  }
+  // Note: same ops as stdaction::forward() — the rogue behaviour is the
+  // extra table below, so the *program digest* is what betrays it.
+  prog->add_action(std::move(intercept));
+
+  ActionDef mark;
+  mark.name = "mark_intercept";
+  mark.param_count = 0;
+  {
+    Op op;
+    op.kind = OpKind::kSetUserMeta;
+    op.which_meta = 1;
+    op.a = Operand::imm(1);
+    mark.ops.push_back(op);
+  }
+  prog->add_action(std::move(mark));
+
+  Table& targets = prog->add_table(
+      "targets", {KeySpec{{"ipv4", "dst"}, MatchKind::kExact}});
+  // The "list of phone numbers": specific hosts whose traffic is tagged.
+  for (std::uint64_t dst : {0x0a000105ULL, 0x0a000207ULL, 0x0a000309ULL}) {
+    TableEntry e;
+    e.keys = {KeyMatch::exact(dst)};
+    e.action = "mark_intercept";
+    targets.add_entry(std::move(e));
+  }
+  targets.set_default("");
+
+  Table& route = prog->add_table(
+      "route", {ipv4_dst_lpm()});
+  add_routes(route);
+  route.set_default("drop");
+  return prog;
+}
+
+RawPacket make_tcp_packet(const PacketSpec& spec) {
+  const HeaderSpec eth = stdhdr::ethernet();
+  const HeaderSpec ipv4 = stdhdr::ipv4();
+  const HeaderSpec tcp = stdhdr::tcp();
+
+  RawPacket raw;
+  raw.port = spec.ingress_port;
+
+  const Bytes eth_bytes =
+      pack_header(eth, {spec.eth_dst, spec.eth_src, kEthertypeIpv4});
+  const Bytes ip_bytes = pack_header(
+      ipv4, {0x45, 0,
+             static_cast<std::uint64_t>(ipv4.byte_width() + tcp.byte_width() +
+                                        spec.payload_len),
+             spec.ttl, kProtoTcp, 0, spec.ip_src, spec.ip_dst});
+  const Bytes tcp_bytes =
+      pack_header(tcp, {spec.sport, spec.dport, 1000, 2000, 0x18, 65535});
+
+  crypto::append(raw.data, crypto::BytesView{eth_bytes.data(), eth_bytes.size()});
+  crypto::append(raw.data, crypto::BytesView{ip_bytes.data(), ip_bytes.size()});
+  crypto::append(raw.data, crypto::BytesView{tcp_bytes.data(), tcp_bytes.size()});
+  raw.data.resize(raw.data.size() + spec.payload_len, 0xab);
+  return raw;
+}
+
+}  // namespace pera::dataplane

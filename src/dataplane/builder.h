@@ -1,0 +1,58 @@
+// Canned dataplane programs and packet builders used by examples, tests
+// and benches — the firewall_v5.p4 / ACL_v3.p4 cast of UC1, plus the rogue
+// traffic-duplicator of the Athens Affair (§1).
+#pragma once
+
+#include <memory>
+
+#include "dataplane/program.h"
+
+namespace pera::dataplane {
+
+/// Standard eth/ipv4/tcp parser shared by the canned programs.
+[[nodiscard]] ParserProgram standard_parser();
+
+/// L2/L3 forwarder: routes on ipv4.dst LPM, forwards out a port.
+[[nodiscard]] std::shared_ptr<DataplaneProgram> make_router(
+    const std::string& version = "v1");
+
+/// Stateless firewall ("firewall_v5.p4"): ACL on (src,dst,dport) ternary;
+/// default drop; allowed traffic is routed on ipv4.dst.
+[[nodiscard]] std::shared_ptr<DataplaneProgram> make_firewall(
+    const std::string& version = "v5");
+
+/// ACL appliance ("ACL_v3.p4"): allow-list on dport; default forward.
+[[nodiscard]] std::shared_ptr<DataplaneProgram> make_acl(
+    const std::string& version = "v3");
+
+/// Flow monitor: counts per-dport packets into a register array while
+/// forwarding — the monitoring workload of Kim et al. / TurboFlow that §1
+/// argues needs attestation.
+[[nodiscard]] std::shared_ptr<DataplaneProgram> make_monitor(
+    const std::string& version = "v2");
+
+/// The Athens-Affair rogue program: behaves exactly like make_router but
+/// also marks packets matching a target list (ipv4.dst exact) with
+/// meta.user1 = 1 — the analogue of duplicating target streams to the
+/// eavesdropper. Program digest differs from the router's; behaviour on
+/// non-target traffic is identical (that's why it went unnoticed).
+[[nodiscard]] std::shared_ptr<DataplaneProgram> make_rogue_router(
+    const std::string& version = "v1");
+
+/// Build a raw eth/ipv4/tcp packet.
+struct PacketSpec {
+  std::uint32_t ingress_port = 0;
+  std::uint64_t eth_src = 0x0a0a0a0a0a0a;
+  std::uint64_t eth_dst = 0x0b0b0b0b0b0b;
+  std::uint32_t ip_src = 0x0a000101;  // 10.0.1.1
+  std::uint32_t ip_dst = 0x0a000202;  // 10.0.2.2 — routed by the canned
+                                      // programs (10.0.2.0/24 -> port 2)
+  std::uint8_t ttl = 64;
+  std::uint16_t sport = 40000;
+  std::uint16_t dport = 443;
+  std::size_t payload_len = 64;
+};
+
+[[nodiscard]] RawPacket make_tcp_packet(const PacketSpec& spec);
+
+}  // namespace pera::dataplane

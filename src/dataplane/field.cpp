@@ -1,0 +1,52 @@
+#include "dataplane/field.h"
+
+#include <stdexcept>
+
+namespace pera::dataplane {
+
+FieldRef parse_field_ref(const std::string& s) {
+  const auto dot = s.find('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 == s.size()) {
+    throw std::invalid_argument("bad field reference: '" + s +
+                                "' (expected header.field)");
+  }
+  return FieldRef{s.substr(0, dot), s.substr(dot + 1)};
+}
+
+namespace stdhdr {
+
+HeaderSpec ethernet() {
+  return HeaderSpec{"eth",
+                    {{"dst", 48}, {"src", 48}, {"ethertype", 16}}};
+}
+
+HeaderSpec ipv4() {
+  return HeaderSpec{"ipv4",
+                    {{"ver_ihl", 8},
+                     {"dscp", 8},
+                     {"len", 16},
+                     {"ttl", 8},
+                     {"proto", 8},
+                     {"checksum", 16},
+                     {"src", 32},
+                     {"dst", 32}}};
+}
+
+HeaderSpec tcp() {
+  return HeaderSpec{"tcp",
+                    {{"sport", 16},
+                     {"dport", 16},
+                     {"seq", 32},
+                     {"ack", 32},
+                     {"flags", 16},
+                     {"window", 16}}};
+}
+
+HeaderSpec udp() {
+  return HeaderSpec{
+      "udp", {{"sport", 16}, {"dport", 16}, {"len", 16}, {"csum", 16}}};
+}
+
+}  // namespace stdhdr
+
+}  // namespace pera::dataplane

@@ -1,0 +1,73 @@
+// Header/field schema types for the PISA software switch.
+//
+// A protocol header is an ordered list of fixed-width fields (max 64 bits
+// each, like bmv2's simple_switch limits for scalar fields). Packets are
+// parsed against HeaderSpecs by the programmable parser.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pera::dataplane {
+
+/// One fixed-width field.
+struct FieldSpec {
+  std::string name;
+  unsigned bits = 0;  // 1..64
+
+  friend bool operator==(const FieldSpec&, const FieldSpec&) = default;
+};
+
+/// An ordered list of fields; total width must be a multiple of 8 bits so
+/// headers pack cleanly on the wire.
+struct HeaderSpec {
+  std::string name;
+  std::vector<FieldSpec> fields;
+
+  /// Total width in bits.
+  [[nodiscard]] unsigned bit_width() const {
+    unsigned w = 0;
+    for (const auto& f : fields) w += f.bits;
+    return w;
+  }
+
+  [[nodiscard]] unsigned byte_width() const { return (bit_width() + 7) / 8; }
+
+  /// Index of a field by name, or -1.
+  [[nodiscard]] int field_index(const std::string& field) const {
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (fields[i].name == field) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  friend bool operator==(const HeaderSpec&, const HeaderSpec&) = default;
+};
+
+/// A fully-qualified field reference "header.field".
+struct FieldRef {
+  std::string header;
+  std::string field;
+
+  [[nodiscard]] std::string str() const { return header + "." + field; }
+
+  friend bool operator==(const FieldRef&, const FieldRef&) = default;
+  friend auto operator<=>(const FieldRef&, const FieldRef&) = default;
+};
+
+/// Parse "header.field" into a FieldRef. Throws std::invalid_argument.
+[[nodiscard]] FieldRef parse_field_ref(const std::string& s);
+
+/// Standard header specs used across examples and benches.
+namespace stdhdr {
+[[nodiscard]] HeaderSpec ethernet();  // dst(48) src(48) ethertype(16)
+[[nodiscard]] HeaderSpec ipv4();      // simplified: ver_ihl(8) dscp(8) len(16)
+                                      // ttl(8) proto(8) checksum(16)
+                                      // src(32) dst(32)
+[[nodiscard]] HeaderSpec tcp();       // sport(16) dport(16) seq(32) ack(32)
+                                      // flags(16) window(16)
+[[nodiscard]] HeaderSpec udp();       // sport(16) dport(16) len(16) csum(16)
+}  // namespace stdhdr
+
+}  // namespace pera::dataplane

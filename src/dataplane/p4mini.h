@@ -1,0 +1,66 @@
+// P4-mini: a small textual frontend for dataplane programs, so that the
+// artifacts UC1 talks about ("firewall_v5.p4", "ACL_v3.p4") exist as
+// source text whose compiled digest is what PERA attests.
+//
+// Grammar (comments start with '#', run to end of line):
+//
+//   program   := 'program' IDENT IDENT ';' decl*
+//   decl      := header | parserdecl | registerdecl | actiondecl | tabledecl
+//   header    := 'header' IDENT '{' (IDENT ':' NUMBER ';')* '}'
+//   parserdecl:= 'parser' '{' state* '}'
+//   state     := IDENT ':' 'extract' IDENT (select | ';')
+//   select    := 'select' FIELDREF '{' (NUMBER ':' IDENT ';')*
+//                ['default' ':' IDENT ';'] '}'
+//   registerdecl := 'register' IDENT '[' NUMBER ']' ';'
+//   actiondecl:= 'action' IDENT '(' params? ')' '{' stmt* '}'
+//   stmt      := 'set_egress' '(' operand ')' ';'
+//              | 'drop' ';'
+//              | 'set_field' '(' FIELDREF ',' operand ')' ';'
+//              | 'set_meta0' '(' operand ')' ';'
+//              | 'set_meta1' '(' operand ')' ';'
+//              | 'reg_write' '(' IDENT ',' operand ',' operand ')' ';'
+//   tabledecl := 'table' IDENT '{' keyspec entry* dflt? '}'
+//   keyspec   := 'key' '{' (FIELDREF ':' matchkind ';')* '}'
+//   matchkind := 'exact' | 'lpm' '/' NUMBER | 'ternary'
+//   entry     := 'entry' keymatch (',' keymatch)* ['prio' NUMBER]
+//                '->' IDENT '(' args? ')' ';'
+//   keymatch  := NUMBER ['/' NUMBER | '&' NUMBER] | '*'
+//   dflt      := 'default' IDENT '(' args? ')' ';'
+//
+// Tables execute in declaration order. Numbers are decimal or 0x hex.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string_view>
+
+#include "dataplane/program.h"
+
+namespace pera::dataplane {
+
+class P4MiniError : public std::runtime_error {
+ public:
+  P4MiniError(const std::string& msg, std::size_t line)
+      : std::runtime_error("p4mini:" + std::to_string(line) + ": " + msg),
+        line_(line) {}
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Compile P4-mini source into a loadable program.
+[[nodiscard]] std::shared_ptr<DataplaneProgram> compile_p4mini(
+    std::string_view source);
+
+/// Reference sources mirroring the canned builder programs; the Athens
+/// example and tests compile them and compare behaviour.
+namespace p4src {
+[[nodiscard]] const char* router_v1();
+[[nodiscard]] const char* firewall_v5();
+[[nodiscard]] const char* acl_v3();
+[[nodiscard]] const char* rogue_router_v1();
+}  // namespace p4src
+
+}  // namespace pera::dataplane

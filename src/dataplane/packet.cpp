@@ -1,0 +1,126 @@
+#include "dataplane/packet.h"
+
+#include <stdexcept>
+
+namespace pera::dataplane {
+
+std::uint64_t HeaderInstance::get(const std::string& field) const {
+  const int idx = spec->field_index(field);
+  if (idx < 0) {
+    throw std::out_of_range("no field '" + field + "' in header " + spec->name);
+  }
+  return values[static_cast<std::size_t>(idx)];
+}
+
+void HeaderInstance::set(const std::string& field, std::uint64_t value) {
+  const int idx = spec->field_index(field);
+  if (idx < 0) {
+    throw std::out_of_range("no field '" + field + "' in header " + spec->name);
+  }
+  const unsigned bits = spec->fields[static_cast<std::size_t>(idx)].bits;
+  const std::uint64_t mask =
+      bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+  values[static_cast<std::size_t>(idx)] = value & mask;
+}
+
+HeaderInstance& ParsedPacket::add_header(const HeaderSpec& spec) {
+  HeaderInstance h;
+  h.spec = &spec;
+  h.valid = true;
+  h.values.assign(spec.fields.size(), 0);
+  headers_.push_back(std::move(h));
+  return headers_.back();
+}
+
+bool ParsedPacket::has(const std::string& header) const {
+  const HeaderInstance* h = find(header);
+  return h != nullptr && h->valid;
+}
+
+HeaderInstance* ParsedPacket::find(const std::string& header) {
+  for (auto& h : headers_) {
+    if (h.spec->name == header) return &h;
+  }
+  return nullptr;
+}
+
+const HeaderInstance* ParsedPacket::find(const std::string& header) const {
+  for (const auto& h : headers_) {
+    if (h.spec->name == header) return &h;
+  }
+  return nullptr;
+}
+
+std::uint64_t ParsedPacket::get(const FieldRef& ref) const {
+  const HeaderInstance* h = find(ref.header);
+  if (h == nullptr || !h->valid) {
+    throw std::out_of_range("header '" + ref.header + "' not present");
+  }
+  return h->get(ref.field);
+}
+
+void ParsedPacket::set(const FieldRef& ref, std::uint64_t value) {
+  HeaderInstance* h = find(ref.header);
+  if (h == nullptr || !h->valid) {
+    throw std::out_of_range("header '" + ref.header + "' not present");
+  }
+  h->set(ref.field, value);
+}
+
+Bytes ParsedPacket::deparse() const {
+  Bytes out;
+  for (const auto& h : headers_) {
+    if (!h.valid) continue;
+    const Bytes packed = pack_header(*h.spec, h.values);
+    crypto::append(out, BytesView{packed.data(), packed.size()});
+  }
+  crypto::append(out, BytesView{payload.data(), payload.size()});
+  return out;
+}
+
+Bytes pack_header(const HeaderSpec& spec,
+                  const std::vector<std::uint64_t>& values) {
+  if (values.size() != spec.fields.size()) {
+    throw std::invalid_argument("pack_header: value count mismatch");
+  }
+  Bytes out(spec.byte_width(), 0);
+  std::size_t bit_pos = 0;
+  for (std::size_t i = 0; i < spec.fields.size(); ++i) {
+    const unsigned bits = spec.fields[i].bits;
+    const std::uint64_t v = values[i];
+    // Write `bits` bits of v, MSB first, starting at bit_pos.
+    for (unsigned b = 0; b < bits; ++b) {
+      const std::uint64_t bit = (v >> (bits - 1 - b)) & 1;
+      if (bit != 0) {
+        out[(bit_pos + b) / 8] |=
+            static_cast<std::uint8_t>(0x80 >> ((bit_pos + b) % 8));
+      }
+    }
+    bit_pos += bits;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> unpack_header(const HeaderSpec& spec,
+                                         BytesView data) {
+  if (data.size() < spec.byte_width()) {
+    throw std::invalid_argument("unpack_header: buffer shorter than header " +
+                                spec.name);
+  }
+  std::vector<std::uint64_t> values(spec.fields.size(), 0);
+  std::size_t bit_pos = 0;
+  for (std::size_t i = 0; i < spec.fields.size(); ++i) {
+    const unsigned bits = spec.fields[i].bits;
+    std::uint64_t v = 0;
+    for (unsigned b = 0; b < bits; ++b) {
+      const std::uint8_t byte = data[(bit_pos + b) / 8];
+      const int bit = (byte >> (7 - ((bit_pos + b) % 8))) & 1;
+      v = (v << 1) | static_cast<std::uint64_t>(bit);
+    }
+    values[i] = v;
+    bit_pos += bits;
+  }
+  return values;
+}
+
+}  // namespace pera::dataplane

@@ -1,0 +1,139 @@
+#include "dataplane/program.h"
+
+#include <stdexcept>
+
+namespace pera::dataplane {
+
+void DataplaneProgram::add_action(ActionDef action) {
+  actions_[action.name] = std::move(action);
+}
+
+const ActionDef* DataplaneProgram::action(const std::string& name) const {
+  const auto it = actions_.find(name);
+  return it == actions_.end() ? nullptr : &it->second;
+}
+
+Table& DataplaneProgram::add_table(std::string name,
+                                   std::vector<KeySpec> keys) {
+  tables_.push_back(std::make_unique<Table>(std::move(name), std::move(keys)));
+  return *tables_.back();
+}
+
+Table* DataplaneProgram::table(const std::string& name) {
+  for (auto& t : tables_) {
+    if (t->name() == name) return t.get();
+  }
+  return nullptr;
+}
+
+void DataplaneProgram::declare_register(const std::string& name,
+                                        std::size_t size) {
+  register_decls_.emplace_back(name, size);
+}
+
+crypto::Digest DataplaneProgram::program_digest() const {
+  crypto::Sha256 h;
+  h.update("pera.dataplane.program.v1");
+  h.update(name_);
+  h.update(version_);
+  const crypto::Bytes parser_enc = parser_.encode();
+  h.update(crypto::BytesView{parser_enc.data(), parser_enc.size()});
+  for (const auto& [name, action] : actions_) {
+    const crypto::Bytes enc = action.encode();
+    h.update(crypto::BytesView{enc.data(), enc.size()});
+  }
+  for (const auto& t : tables_) {
+    const crypto::Bytes enc = t->encode_schema();
+    h.update(crypto::BytesView{enc.data(), enc.size()});
+  }
+  for (const auto& [name, size] : register_decls_) {
+    h.update(name);
+    crypto::Bytes buf;
+    crypto::append_u64(buf, size);
+    h.update(crypto::BytesView{buf.data(), buf.size()});
+  }
+  return h.finish();
+}
+
+crypto::Digest DataplaneProgram::tables_digest() const {
+  std::vector<crypto::Digest> leaves;
+  leaves.reserve(tables_.size());
+  for (const auto& t : tables_) leaves.push_back(t->content_digest());
+  return crypto::MerkleTree(std::move(leaves)).root();
+}
+
+PisaSwitch::PisaSwitch(std::shared_ptr<DataplaneProgram> program) {
+  load_program(std::move(program));
+}
+
+void PisaSwitch::load_program(std::shared_ptr<DataplaneProgram> program) {
+  if (!program) throw std::invalid_argument("load_program: null program");
+  program_ = std::move(program);
+  regs_ = RegisterFile{};
+  for (const auto& [name, size] : program_->register_decls()) {
+    regs_.declare(name, size);
+  }
+}
+
+ParsedPacket PisaSwitch::parse(const RawPacket& raw) {
+  ++stats_.packets_in;
+  try {
+    ParsedPacket pkt = program_->parser().parse(raw);
+    pkt.meta.packet_id = next_packet_id_++;
+    return pkt;
+  } catch (const std::exception&) {
+    ++stats_.parse_errors;
+    throw;
+  }
+}
+
+void PisaSwitch::run_pipeline(ParsedPacket& pkt) {
+  for (const auto& t : program_->tables()) {
+    if (pkt.meta.drop) return;
+    ++stats_.table_lookups;
+    const TableEntry* entry = t->lookup(pkt);
+    const std::string* action_name = nullptr;
+    const std::vector<std::uint64_t>* params = nullptr;
+    if (entry != nullptr) {
+      ++stats_.table_hits;
+      action_name = &entry->action;
+      params = &entry->action_params;
+    } else if (!t->default_action().empty()) {
+      action_name = &t->default_action();
+      params = &t->default_params();
+    }
+    if (action_name == nullptr) continue;
+    const ActionDef* action = program_->action(*action_name);
+    if (action == nullptr) {
+      throw std::runtime_error("table '" + t->name() +
+                               "' references unknown action '" + *action_name +
+                               "'");
+    }
+    action->execute(pkt, *params, &regs_);
+  }
+}
+
+std::optional<RawPacket> PisaSwitch::deparse(const ParsedPacket& pkt) {
+  if (pkt.meta.drop) {
+    ++stats_.packets_dropped;
+    return std::nullopt;
+  }
+  ++stats_.packets_out;
+  RawPacket out;
+  out.port = pkt.meta.egress_port;
+  out.data = pkt.deparse();
+  return out;
+}
+
+std::optional<RawPacket> PisaSwitch::process(const RawPacket& raw) {
+  ParsedPacket pkt;
+  try {
+    pkt = parse(raw);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  run_pipeline(pkt);
+  return deparse(pkt);
+}
+
+}  // namespace pera::dataplane

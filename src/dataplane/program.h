@@ -1,0 +1,126 @@
+// A complete dataplane program: parse graph, actions, match-action tables
+// and register declarations — the unit that gets loaded onto a switch and,
+// in this paper, the unit that gets *attested*.
+//
+// Digest levels correspond to Fig. 4's inertia axis:
+//   program_digest()  — parser + actions + table schemas + register decls
+//                       (changes only when the program is swapped)
+//   tables_digest()   — Merkle root over table *contents*
+//                       (changes on control-plane updates)
+// Register state (fastest-changing) is digested by RegisterFile itself.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataplane/action.h"
+#include "dataplane/parser.h"
+#include "dataplane/registers.h"
+#include "dataplane/table.h"
+
+namespace pera::dataplane {
+
+class DataplaneProgram {
+ public:
+  DataplaneProgram(std::string name, std::string version,
+                   ParserProgram parser)
+      : name_(std::move(name)),
+        version_(std::move(version)),
+        parser_(std::move(parser)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& version() const { return version_; }
+  [[nodiscard]] const ParserProgram& parser() const { return parser_; }
+
+  void add_action(ActionDef action);
+  [[nodiscard]] const ActionDef* action(const std::string& name) const;
+  [[nodiscard]] const std::map<std::string, ActionDef>& actions() const {
+    return actions_;
+  }
+
+  /// Append a table to the ingress pipeline (executed in insertion order).
+  Table& add_table(std::string name, std::vector<KeySpec> keys);
+  [[nodiscard]] Table* table(const std::string& name);
+  [[nodiscard]] const std::vector<std::unique_ptr<Table>>& tables() const {
+    return tables_;
+  }
+
+  void declare_register(const std::string& name, std::size_t size);
+  [[nodiscard]] const std::vector<std::pair<std::string, std::size_t>>&
+  register_decls() const {
+    return register_decls_;
+  }
+
+  /// Code-level digest — the "Program" inertia level (parser, actions,
+  /// table schemas, register declarations; NOT table entries).
+  [[nodiscard]] crypto::Digest program_digest() const;
+
+  /// State-level digest of table contents — the "Tables" inertia level.
+  [[nodiscard]] crypto::Digest tables_digest() const;
+
+ private:
+  std::string name_;
+  std::string version_;
+  ParserProgram parser_;
+  std::map<std::string, ActionDef> actions_;
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::vector<std::pair<std::string, std::size_t>> register_decls_;
+};
+
+/// Per-switch processing statistics.
+struct SwitchStats {
+  std::uint64_t packets_in = 0;
+  std::uint64_t packets_out = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t parse_errors = 0;
+  std::uint64_t table_lookups = 0;
+  std::uint64_t table_hits = 0;
+};
+
+/// The PISA software switch: parse -> match+action pipeline -> deparse.
+/// Stages are public so the PERA extension can interleave its evidence
+/// stages (Fig. 3 points A-E) around them.
+class PisaSwitch {
+ public:
+  explicit PisaSwitch(std::shared_ptr<DataplaneProgram> program);
+
+  /// Hot-swap the running program (what the Athens attacker did). Register
+  /// state is re-declared from the new program.
+  void load_program(std::shared_ptr<DataplaneProgram> program);
+
+  [[nodiscard]] const DataplaneProgram& program() const { return *program_; }
+  [[nodiscard]] DataplaneProgram& program() { return *program_; }
+  [[nodiscard]] std::shared_ptr<DataplaneProgram> program_ptr() {
+    return program_;
+  }
+
+  [[nodiscard]] RegisterFile& registers() { return regs_; }
+  [[nodiscard]] const RegisterFile& registers() const { return regs_; }
+  [[nodiscard]] const SwitchStats& stats() const { return stats_; }
+
+  // --- individual stages (for PERA interleaving) -------------------------
+  /// Parse. Counts parse errors; on error rethrows std::runtime_error.
+  [[nodiscard]] ParsedPacket parse(const RawPacket& raw);
+
+  /// Run every table in pipeline order (executes matched actions).
+  void run_pipeline(ParsedPacket& pkt);
+
+  /// Deparse to wire bytes with the egress port. Returns nullopt when the
+  /// packet was dropped.
+  [[nodiscard]] std::optional<RawPacket> deparse(const ParsedPacket& pkt);
+
+  // --- whole-switch convenience ------------------------------------------
+  /// Full parse/pipeline/deparse. Returns nullopt when dropped or on
+  /// parse error.
+  [[nodiscard]] std::optional<RawPacket> process(const RawPacket& raw);
+
+ private:
+  std::shared_ptr<DataplaneProgram> program_;
+  RegisterFile regs_;
+  SwitchStats stats_;
+  std::uint64_t next_packet_id_ = 1;
+};
+
+}  // namespace pera::dataplane

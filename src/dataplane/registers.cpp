@@ -1,0 +1,58 @@
+#include "dataplane/registers.h"
+
+#include <stdexcept>
+
+namespace pera::dataplane {
+
+void RegisterFile::declare(const std::string& name, std::size_t size) {
+  regs_[name] = std::vector<std::uint64_t>(size, 0);
+}
+
+std::uint64_t RegisterFile::read(const std::string& name,
+                                 std::size_t index) const {
+  const auto it = regs_.find(name);
+  if (it == regs_.end()) {
+    throw std::out_of_range("register '" + name + "' not declared");
+  }
+  if (index >= it->second.size()) {
+    throw std::out_of_range("register '" + name + "' index " +
+                            std::to_string(index) + " out of range");
+  }
+  return it->second[index];
+}
+
+void RegisterFile::write(const std::string& name, std::size_t index,
+                         std::uint64_t value) {
+  const auto it = regs_.find(name);
+  if (it == regs_.end()) {
+    throw std::out_of_range("register '" + name + "' not declared");
+  }
+  if (index >= it->second.size()) {
+    throw std::out_of_range("register '" + name + "' index " +
+                            std::to_string(index) + " out of range");
+  }
+  it->second[index] = value;
+  ++writes_;
+}
+
+std::size_t RegisterFile::size(const std::string& name) const {
+  const auto it = regs_.find(name);
+  if (it == regs_.end()) {
+    throw std::out_of_range("register '" + name + "' not declared");
+  }
+  return it->second.size();
+}
+
+crypto::Digest RegisterFile::state_digest() const {
+  crypto::Sha256 h;
+  for (const auto& [name, values] : regs_) {
+    h.update(name);
+    crypto::Bytes buf;
+    crypto::append_u64(buf, values.size());
+    for (std::uint64_t v : values) crypto::append_u64(buf, v);
+    h.update(crypto::BytesView{buf.data(), buf.size()});
+  }
+  return h.finish();
+}
+
+}  // namespace pera::dataplane

@@ -1,0 +1,46 @@
+// Stateful register arrays — the "Prog. State" row of Fig. 4's inertia
+// axis. Register contents can be digested so PERA can attest program
+// state, not just program code.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/bytes.h"
+#include "crypto/sha256.h"
+
+namespace pera::dataplane {
+
+class RegisterFile {
+ public:
+  /// Declare a register array. Re-declaring resizes and zeroes it.
+  void declare(const std::string& name, std::size_t size);
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return regs_.contains(name);
+  }
+
+  /// Read; throws std::out_of_range on unknown register or bad index.
+  [[nodiscard]] std::uint64_t read(const std::string& name,
+                                   std::size_t index) const;
+
+  /// Write; throws std::out_of_range on unknown register or bad index.
+  void write(const std::string& name, std::size_t index, std::uint64_t value);
+
+  [[nodiscard]] std::size_t size(const std::string& name) const;
+
+  /// Digest of all register contents (name-ordered) — the program-state
+  /// measurement PERA attests at the kProgramState inertia level.
+  [[nodiscard]] crypto::Digest state_digest() const;
+
+  /// Number of writes since construction (for stats/caching decisions).
+  [[nodiscard]] std::uint64_t write_count() const { return writes_; }
+
+ private:
+  std::map<std::string, std::vector<std::uint64_t>> regs_;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace pera::dataplane

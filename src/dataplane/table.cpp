@@ -1,0 +1,133 @@
+#include "dataplane/table.h"
+
+#include <stdexcept>
+
+namespace pera::dataplane {
+
+std::optional<std::uint64_t> read_key_field(const ParsedPacket& pkt,
+                                            const FieldRef& ref) {
+  if (ref.header == "meta") {
+    if (ref.field == "ingress_port") return pkt.meta.ingress_port;
+    if (ref.field == "egress_port") return pkt.meta.egress_port;
+    if (ref.field == "packet_id") return pkt.meta.packet_id;
+    if (ref.field == "user0") return pkt.meta.user0;
+    if (ref.field == "user1") return pkt.meta.user1;
+    throw std::invalid_argument("unknown metadata field meta." + ref.field);
+  }
+  const HeaderInstance* h = pkt.find(ref.header);
+  if (h == nullptr || !h->valid) return std::nullopt;
+  return h->get(ref.field);
+}
+
+std::size_t Table::add_entry(TableEntry entry) {
+  if (entry.keys.size() != keys_.size()) {
+    throw std::invalid_argument("table '" + name_ + "': entry has " +
+                                std::to_string(entry.keys.size()) +
+                                " keys, table expects " +
+                                std::to_string(keys_.size()));
+  }
+  entries_.push_back(std::move(entry));
+  return entries_.size() - 1;
+}
+
+void Table::set_default(std::string action, std::vector<std::uint64_t> params) {
+  default_action_ = std::move(action);
+  default_params_ = std::move(params);
+}
+
+namespace {
+bool key_matches(const KeySpec& spec, const KeyMatch& m, std::uint64_t value) {
+  switch (spec.kind) {
+    case MatchKind::kExact:
+      return value == m.value;
+    case MatchKind::kLpm: {
+      if (m.prefix_len == 0) return true;
+      const unsigned width = spec.width == 0 || spec.width > 64 ? 64 : spec.width;
+      const unsigned plen = m.prefix_len > width ? width : m.prefix_len;
+      const std::uint64_t mask =
+          plen >= 64 ? ~0ULL
+                     : (((std::uint64_t{1} << plen) - 1) << (width - plen));
+      return (value & mask) == (m.value & mask);
+    }
+    case MatchKind::kTernary:
+      return (value & m.mask) == (m.value & m.mask);
+  }
+  return false;
+}
+
+unsigned entry_specificity(const Table& t, const TableEntry& e) {
+  unsigned total = 0;
+  for (std::size_t i = 0; i < e.keys.size(); ++i) {
+    if (t.keys()[i].kind == MatchKind::kLpm) total += e.keys[i].prefix_len;
+  }
+  return total;
+}
+}  // namespace
+
+bool Table::entry_matches(const TableEntry& e, const ParsedPacket& pkt) const {
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    const auto value = read_key_field(pkt, keys_[i].field);
+    if (!value) return false;
+    if (!key_matches(keys_[i], e.keys[i], *value)) return false;
+  }
+  return true;
+}
+
+TableEntry* Table::lookup(const ParsedPacket& pkt) {
+  TableEntry* best = nullptr;
+  unsigned best_spec = 0;
+  for (auto& e : entries_) {
+    if (!entry_matches(e, pkt)) continue;
+    const unsigned spec = entry_specificity(*this, e);
+    if (best == nullptr || e.priority > best->priority ||
+        (e.priority == best->priority && spec > best_spec)) {
+      best = &e;
+      best_spec = spec;
+    }
+  }
+  if (best != nullptr) ++best->hit_count;
+  return best;
+}
+
+crypto::Digest Table::content_digest() const {
+  std::vector<crypto::Digest> leaves;
+  leaves.reserve(entries_.size() + 1);
+  for (const auto& e : entries_) {
+    crypto::Bytes buf;
+    for (const auto& k : e.keys) {
+      crypto::append_u64(buf, k.value);
+      crypto::append_u32(buf, k.prefix_len);
+      crypto::append_u64(buf, k.mask);
+    }
+    crypto::append_u32(buf, e.priority);
+    crypto::append_u32(buf, static_cast<std::uint32_t>(e.action.size()));
+    crypto::append(buf, crypto::as_bytes(e.action));
+    for (std::uint64_t p : e.action_params) crypto::append_u64(buf, p);
+    leaves.push_back(crypto::sha256(crypto::BytesView{buf.data(), buf.size()}));
+  }
+  {
+    crypto::Bytes buf;
+    crypto::append_u32(buf, static_cast<std::uint32_t>(default_action_.size()));
+    crypto::append(buf, crypto::as_bytes(default_action_));
+    for (std::uint64_t p : default_params_) crypto::append_u64(buf, p);
+    leaves.push_back(crypto::sha256(crypto::BytesView{buf.data(), buf.size()}));
+  }
+  return crypto::MerkleTree(std::move(leaves)).root();
+}
+
+crypto::Bytes Table::encode_schema() const {
+  crypto::Bytes out;
+  crypto::append_u32(out, static_cast<std::uint32_t>(name_.size()));
+  crypto::append(out, crypto::as_bytes(name_));
+  crypto::append_u32(out, static_cast<std::uint32_t>(keys_.size()));
+  for (const auto& k : keys_) {
+    const std::string ref = k.field.str();
+    crypto::append_u32(out, static_cast<std::uint32_t>(ref.size()));
+    crypto::append(out, crypto::as_bytes(ref));
+    out.push_back(static_cast<std::uint8_t>(k.kind));
+    crypto::append_u32(out, k.width);
+  }
+  return out;
+}
+
+}  // namespace pera::dataplane

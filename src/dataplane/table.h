@@ -1,0 +1,107 @@
+// Match-action tables with exact, LPM and ternary matching — the
+// "Match + Action" stage of Fig. 3.
+//
+// Key fields may reference packet headers ("ipv4.dst") or intrinsic
+// metadata via the pseudo-header "meta" ("meta.ingress_port", "meta.user0").
+// Entries bind an action name and its parameters; the winning entry is the
+// highest-priority match (ties broken by longest LPM prefix, then insertion
+// order). Table contents are Merkle-hashable for table attestation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/merkle.h"
+#include "dataplane/packet.h"
+
+namespace pera::dataplane {
+
+enum class MatchKind : std::uint8_t { kExact = 0, kLpm = 1, kTernary = 2 };
+
+struct KeySpec {
+  FieldRef field;
+  MatchKind kind = MatchKind::kExact;
+  unsigned width = 64;  // field width in bits; LPM prefixes count from its MSB
+};
+
+/// One key's match criterion in an entry.
+struct KeyMatch {
+  std::uint64_t value = 0;
+  unsigned prefix_len = 64;        // kLpm: number of significant leading bits
+  std::uint64_t mask = ~0ULL;      // kTernary
+
+  static KeyMatch exact(std::uint64_t v) { return {v, 64, ~0ULL}; }
+  static KeyMatch lpm(std::uint64_t v, unsigned plen) { return {v, plen, 0}; }
+  static KeyMatch ternary(std::uint64_t v, std::uint64_t m) { return {v, 0, m}; }
+  static KeyMatch wildcard() { return {0, 0, 0}; }
+};
+
+struct TableEntry {
+  std::vector<KeyMatch> keys;             // parallel to the table's KeySpecs
+  std::uint32_t priority = 0;             // higher wins
+  std::string action;
+  std::vector<std::uint64_t> action_params;
+  std::uint64_t hit_count = 0;            // updated on lookup
+};
+
+/// Read a key field from packet or metadata. Returns nullopt when the
+/// referenced header is absent (such entries can only match wildcards —
+/// we treat absent as "no match" for simplicity, like bmv2's invalid-key
+/// behaviour with miss).
+[[nodiscard]] std::optional<std::uint64_t> read_key_field(
+    const ParsedPacket& pkt, const FieldRef& ref);
+
+class Table {
+ public:
+  Table(std::string name, std::vector<KeySpec> keys)
+      : name_(std::move(name)), keys_(std::move(keys)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<KeySpec>& keys() const { return keys_; }
+
+  /// Add an entry; returns its index. Throws std::invalid_argument when the
+  /// key count doesn't match the table's key specs.
+  std::size_t add_entry(TableEntry entry);
+
+  void clear() { entries_.clear(); }
+  [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<TableEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::vector<TableEntry>& entries() { return entries_; }
+
+  /// Default action when no entry matches ("" = no-op miss).
+  void set_default(std::string action, std::vector<std::uint64_t> params = {});
+  [[nodiscard]] const std::string& default_action() const {
+    return default_action_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& default_params() const {
+    return default_params_;
+  }
+
+  /// Look up the best-matching entry. Updates its hit counter.
+  /// Returns nullptr on miss.
+  [[nodiscard]] TableEntry* lookup(const ParsedPacket& pkt);
+
+  /// Merkle root over entries (order-sensitive) — the "Tables" inertia
+  /// level of Fig. 4. Includes the default action.
+  [[nodiscard]] crypto::Digest content_digest() const;
+
+  /// Canonical encoding of the table *schema* (name/keys), for program
+  /// attestation (entries are state, schema is program).
+  [[nodiscard]] crypto::Bytes encode_schema() const;
+
+ private:
+  [[nodiscard]] bool entry_matches(const TableEntry& e,
+                                   const ParsedPacket& pkt) const;
+
+  std::string name_;
+  std::vector<KeySpec> keys_;
+  std::vector<TableEntry> entries_;
+  std::string default_action_;
+  std::vector<std::uint64_t> default_params_;
+};
+
+}  // namespace pera::dataplane

@@ -1,0 +1,194 @@
+#include "nac/binder.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace pera::nac {
+
+using copland::Term;
+using copland::TermKind;
+using copland::TermPtr;
+
+TermPtr substitute_places(const TermPtr& t,
+                          const std::map<std::string, std::string>& env) {
+  if (!t) return t;
+  const auto subst = [&env](const std::string& name) {
+    const auto it = env.find(name);
+    return it == env.end() ? name : it->second;
+  };
+  switch (t->kind) {
+    case TermKind::kNil:
+    case TermKind::kSign:
+    case TermKind::kHash:
+    case TermKind::kAtom:
+      return t;
+    case TermKind::kMeasure:
+      return Term::measure(t->asp, subst(t->place), t->target);
+    case TermKind::kAtPlace:
+      return Term::at(subst(t->place), substitute_places(t->child, env));
+    case TermKind::kFunc: {
+      std::vector<TermPtr> args;
+      args.reserve(t->args.size());
+      for (const auto& a : t->args) args.push_back(substitute_places(a, env));
+      return Term::call(t->func, std::move(args));
+    }
+    case TermKind::kPipe:
+      return Term::pipe(substitute_places(t->left, env),
+                        substitute_places(t->right, env));
+    case TermKind::kBranch: {
+      if (t->branch == copland::BranchKind::kSeq) {
+        return Term::seq(substitute_places(t->left, env),
+                         substitute_places(t->right, env), t->pass_left,
+                         t->pass_right);
+      }
+      return Term::par(substitute_places(t->left, env),
+                       substitute_places(t->right, env), t->pass_left,
+                       t->pass_right);
+    }
+    case TermKind::kGuard:
+      return Term::guard(t->test, substitute_places(t->child, env));
+    case TermKind::kPathStar:
+      return Term::path_star(substitute_places(t->left, env),
+                             substitute_places(t->right, env));
+    case TermKind::kForall: {
+      // Shadowing: don't substitute variables re-bound here.
+      std::map<std::string, std::string> inner = env;
+      for (const auto& v : t->vars) inner.erase(v);
+      return Term::forall(t->vars, substitute_places(t->child, inner));
+    }
+  }
+  return t;
+}
+
+std::vector<std::string> place_names(const TermPtr& t) {
+  return copland::places_of(t);
+}
+
+namespace {
+
+// Compose a list of terms sequentially with the mode's evidence-passing
+// flags. Empty list -> nil.
+TermPtr seq_all(const std::vector<TermPtr>& terms, CompositionMode mode) {
+  if (terms.empty()) return Term::nil();
+  TermPtr acc = terms[0];
+  const bool pass = mode == CompositionMode::kChained;
+  for (std::size_t i = 1; i < terms.size(); ++i) {
+    acc = Term::seq(acc, terms[i], /*pass_l=*/false, /*pass_r=*/pass);
+  }
+  return acc;
+}
+
+struct BindCtx {
+  const PathBinding* binding = nullptr;
+  std::set<std::string> abstract_vars;  // declared by enclosing foralls
+};
+
+TermPtr bind_rec(const TermPtr& t, BindCtx& ctx);
+
+// Expand `left *=> right`.
+TermPtr bind_path_star(const TermPtr& t, BindCtx& ctx) {
+  // Which abstract vars occur free (unbound) in the left phrase?
+  std::vector<std::string> free_hops;
+  for (const std::string& p : copland::places_of(t->left)) {
+    if (ctx.abstract_vars.contains(p) && !ctx.binding->bindings.contains(p)) {
+      free_hops.push_back(p);
+    }
+  }
+  TermPtr expanded_left;
+  if (free_hops.empty()) {
+    // No hop variable: the segment instantiates once as written.
+    expanded_left = bind_rec(t->left, ctx);
+  } else if (free_hops.size() == 1) {
+    const std::string& hop_var = free_hops[0];
+    std::vector<TermPtr> instances;
+    instances.reserve(ctx.binding->hops.size());
+    for (const std::string& hop : ctx.binding->hops) {
+      const TermPtr inst =
+          substitute_places(t->left, {{hop_var, hop}});
+      instances.push_back(bind_rec(inst, ctx));
+    }
+    expanded_left = seq_all(instances, ctx.binding->composition);
+  } else {
+    throw std::invalid_argument(
+        "bind_path: more than one free hop variable in *=> left phrase: " +
+        free_hops[0] + ", " + free_hops[1]);
+  }
+  const TermPtr bound_right = bind_rec(t->right, ctx);
+  const bool pass = ctx.binding->composition == CompositionMode::kChained;
+  return Term::seq(expanded_left, bound_right, /*pass_l=*/false,
+                   /*pass_r=*/pass);
+}
+
+TermPtr bind_rec(const TermPtr& t, BindCtx& ctx) {
+  if (!t) return t;
+  switch (t->kind) {
+    case TermKind::kForall: {
+      for (const auto& v : t->vars) ctx.abstract_vars.insert(v);
+      TermPtr body = substitute_places(t->child, ctx.binding->bindings);
+      return bind_rec(body, ctx);
+    }
+    case TermKind::kPathStar:
+      return bind_path_star(t, ctx);
+    case TermKind::kAtPlace: {
+      if (ctx.abstract_vars.contains(t->place) &&
+          !ctx.binding->bindings.contains(t->place)) {
+        throw std::invalid_argument("bind_path: unbound place variable '" +
+                                    t->place + "'");
+      }
+      return Term::at(t->place, bind_rec(t->child, ctx));
+    }
+    case TermKind::kPipe:
+      return Term::pipe(bind_rec(t->left, ctx), bind_rec(t->right, ctx));
+    case TermKind::kBranch: {
+      TermPtr l = bind_rec(t->left, ctx);
+      TermPtr r = bind_rec(t->right, ctx);
+      return t->branch == copland::BranchKind::kSeq
+                 ? Term::seq(l, r, t->pass_left, t->pass_right)
+                 : Term::par(l, r, t->pass_left, t->pass_right);
+    }
+    case TermKind::kGuard:
+      return Term::guard(t->test, bind_rec(t->child, ctx));
+    case TermKind::kFunc: {
+      std::vector<TermPtr> args;
+      args.reserve(t->args.size());
+      for (const auto& a : t->args) args.push_back(bind_rec(a, ctx));
+      return Term::call(t->func, std::move(args));
+    }
+    default:
+      return t;
+  }
+}
+
+}  // namespace
+
+namespace {
+// Guards are evaluatable by the plain CVM; only residual quantifiers and
+// path stars make a term unexecutable.
+bool has_residual_abstraction(const TermPtr& t) {
+  if (!t) return false;
+  if (t->kind == TermKind::kPathStar || t->kind == TermKind::kForall) {
+    return true;
+  }
+  for (const auto& c : {t->child, t->left, t->right}) {
+    if (has_residual_abstraction(c)) return true;
+  }
+  for (const auto& a : t->args) {
+    if (has_residual_abstraction(a)) return true;
+  }
+  return false;
+}
+}  // namespace
+
+TermPtr bind_path(const TermPtr& policy, const PathBinding& binding) {
+  BindCtx ctx;
+  ctx.binding = &binding;
+  TermPtr bound = bind_rec(policy, ctx);
+  if (has_residual_abstraction(bound)) {
+    throw std::invalid_argument(
+        "bind_path: residual network-aware nodes after binding");
+  }
+  return bound;
+}
+
+}  // namespace pera::nac

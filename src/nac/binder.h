@@ -1,0 +1,54 @@
+// Place binding for network-aware Copland (§5.1).
+//
+// A policy like AP1
+//   *bank<n,X> : forall hop, client :
+//       (@hop [Khop |> attest(n, X) -> !] -+< @Appraiser [appraise -> store(n)])
+//       *=> @client [Kclient |> ...]
+// abstracts over the forwarding path. bind_path() instantiates it against a
+// concrete path: the star's left phrase is replicated once per hop (with
+// the hop variable substituted), sequenced, and composed with the tail.
+//
+// Exactly one forall variable may occur free in the left arm of each
+// *=> (the hop variable); every other variable must be bound explicitly in
+// PathBinding::bindings. This matches how AP1-AP3 are written: AP1 has the
+// hop var `hop` plus the pinned var `client`; AP3 pins peer1/p/q/r/peer2.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "copland/ast.h"
+
+namespace pera::nac {
+
+/// How per-hop evidence is composed along the path (Fig. 4's Composition
+/// axis). Pointwise: each hop's evidence is independent (-<-). Chained:
+/// each hop receives and folds in the previous hops' evidence (+<+).
+enum class CompositionMode { kPointwise, kChained };
+
+struct PathBinding {
+  /// Concrete place names the star expands over, in path order.
+  std::vector<std::string> hops;
+  /// Explicit bindings for the non-hop forall variables.
+  std::map<std::string, std::string> bindings;
+  CompositionMode composition = CompositionMode::kChained;
+};
+
+/// Substitute place names throughout a term (places in @P, measurement
+/// places, guard names are NOT substituted — guards are test names).
+[[nodiscard]] copland::TermPtr substitute_places(
+    const copland::TermPtr& t, const std::map<std::string, std::string>& env);
+
+/// Free place names of a term (places used that are not concrete is the
+/// caller's judgement; this returns all place names used).
+[[nodiscard]] std::vector<std::string> place_names(const copland::TermPtr& t);
+
+/// Bind a network-aware policy body against a concrete path, yielding a
+/// plain Copland term the standard evaluator accepts.
+/// Throws std::invalid_argument on unbindable policies (two free hop vars,
+/// unbound non-hop vars, ...).
+[[nodiscard]] copland::TermPtr bind_path(const copland::TermPtr& policy,
+                                         const PathBinding& binding);
+
+}  // namespace pera::nac

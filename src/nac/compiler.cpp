@@ -1,0 +1,206 @@
+#include "nac/compiler.h"
+
+#include <algorithm>
+#include <set>
+
+#include "copland/parser.h"
+#include "copland/pretty.h"
+
+namespace pera::nac {
+
+using copland::Term;
+using copland::TermKind;
+using copland::TermPtr;
+
+std::size_t CompiledPolicy::wildcard_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(hops.begin(), hops.end(),
+                    [](const HopInstruction& h) { return h.wildcard; }));
+}
+
+namespace {
+
+const std::set<std::string> kCollectorFuncs = {"appraise", "certify", "store",
+                                               "retrieve"};
+
+struct Compiler {
+  CompiledPolicy out;
+  std::set<std::string> abstract_vars;
+  std::set<std::string> params;
+
+  // Fill one hop instruction from the body of an @place[...] block.
+  // Nested @place blocks are emitted as further hops after this one.
+  void compile_hop_body(const TermPtr& t, HopInstruction& hop,
+                        bool in_star_left,
+                        std::vector<TermPtr>& nested) {
+    switch (t->kind) {
+      case TermKind::kGuard:
+        hop.guard = t->test;
+        compile_hop_body(t->child, hop, in_star_left, nested);
+        return;
+      case TermKind::kPipe:
+        compile_hop_body(t->left, hop, in_star_left, nested);
+        compile_hop_body(t->right, hop, in_star_left, nested);
+        return;
+      case TermKind::kSign:
+        hop.sign_evidence = true;
+        return;
+      case TermKind::kHash:
+        hop.hash_evidence = true;
+        return;
+      case TermKind::kNil:
+        return;
+      case TermKind::kAtom:
+        add_target(hop, t->target);
+        return;
+      case TermKind::kMeasure:
+        hop.custom_targets.push_back(copland::to_string(t));
+        return;
+      case TermKind::kFunc: {
+        if (kCollectorFuncs.contains(t->func)) {
+          hop.is_collector = true;
+          return;
+        }
+        if (t->func == "attest") {
+          for (const auto& arg : t->args) add_attest_arg(hop, arg);
+          return;
+        }
+        // Unknown function: carried as a custom processing step.
+        hop.custom_targets.push_back(copland::to_string(t));
+        return;
+      }
+      case TermKind::kBranch:
+        compile_hop_body(t->left, hop, in_star_left, nested);
+        compile_hop_body(t->right, hop, in_star_left, nested);
+        return;
+      case TermKind::kAtPlace:
+        nested.push_back(t);
+        return;
+      default:
+        throw CompileError("unsupported construct inside hop body: " +
+                           copland::to_string(t));
+    }
+  }
+
+  void add_attest_arg(HopInstruction& hop, const TermPtr& arg) {
+    switch (arg->kind) {
+      case TermKind::kAtom: {
+        const std::string& name = arg->target;
+        if (params.contains(name)) {
+          // Policy parameter: a nonce rides in the header; a property
+          // parameter (AP1's X) defaults to program+tables detail.
+          hop.custom_targets.push_back(name);
+          hop.detail |= EvidenceDetail::kProgram | EvidenceDetail::kTables;
+          return;
+        }
+        add_target(hop, name);
+        return;
+      }
+      case TermKind::kBranch:  // attest(Hardware -~- Program)
+        add_attest_arg(hop, arg->left);
+        add_attest_arg(hop, arg->right);
+        return;
+      default:
+        hop.custom_targets.push_back(copland::to_string(arg));
+        return;
+    }
+  }
+
+  void add_target(HopInstruction& hop, const std::string& name) {
+    hop.detail = static_cast<DetailMask>(
+        hop.detail | mask_of(detail_from_target(name)));
+    if (name != "Hardware" && name != "Program" && name != "Tables" &&
+        name != "State" && name != "ProgState" && name != "Packet") {
+      hop.custom_targets.push_back(name);
+    }
+  }
+
+  void emit_hop(const TermPtr& at_place, bool in_star_left) {
+    HopInstruction hop;
+    hop.place = at_place->place;
+    // Only abstract places inside a *=> left phrase compile to wildcard
+    // (execute-on-every-AE) instructions; abstract places elsewhere (AP1's
+    // `client`) stay symbolic and are pinned at deployment time.
+    hop.wildcard = in_star_left && abstract_vars.contains(at_place->place);
+    if (hop.wildcard) hop.place = "";
+
+    std::vector<TermPtr> nested;
+    compile_hop_body(at_place->child, hop, in_star_left, nested);
+
+    if (hop.is_collector) {
+      if (out.appraiser.empty() && !hop.wildcard) {
+        out.appraiser = at_place->place;
+      }
+      // A collector inside the star-left means per-hop evidence leaves the
+      // path immediately: mark the preceding attesting hop out-of-band.
+      if (in_star_left) {
+        for (auto it = out.hops.rbegin(); it != out.hops.rend(); ++it) {
+          if (!it->is_collector) {
+            it->out_of_band = true;
+            break;
+          }
+        }
+      }
+    }
+    out.hops.push_back(std::move(hop));
+    for (const auto& n : nested) emit_hop(n, in_star_left);
+  }
+
+  void walk(const TermPtr& t, bool in_star_left) {
+    switch (t->kind) {
+      case TermKind::kForall:
+        for (const auto& v : t->vars) abstract_vars.insert(v);
+        walk(t->child, in_star_left);
+        return;
+      case TermKind::kPathStar:
+        walk(t->left, true);
+        walk(t->right, in_star_left);
+        return;
+      case TermKind::kBranch:
+      case TermKind::kPipe:
+        walk(t->left, in_star_left);
+        walk(t->right, in_star_left);
+        return;
+      case TermKind::kAtPlace:
+        emit_hop(t, in_star_left);
+        return;
+      case TermKind::kGuard: {
+        // A top-level guard before a block: attach to the first hop the
+        // block emits by wrapping.
+        const std::size_t before = out.hops.size();
+        walk(t->child, in_star_left);
+        if (out.hops.size() > before && out.hops[before].guard.empty()) {
+          out.hops[before].guard = t->test;
+        }
+        return;
+      }
+      default:
+        throw CompileError("unsupported top-level construct: " +
+                           copland::to_string(t));
+    }
+  }
+};
+
+}  // namespace
+
+CompiledPolicy compile(const copland::Request& req,
+                       CompositionMode composition) {
+  Compiler c;
+  c.out.relying_party = req.relying_party;
+  c.out.params = req.params;
+  c.out.composition = composition;
+  c.params.insert(req.params.begin(), req.params.end());
+  c.out.policy_id = crypto::sha256(copland::to_string(req));
+  c.walk(req.body, false);
+  if (c.out.hops.empty()) {
+    throw CompileError("policy compiles to no hop instructions");
+  }
+  return c.out;
+}
+
+CompiledPolicy compile(const std::string& source,
+                       CompositionMode composition) {
+  return compile(copland::parse_request(source), composition);
+}
+
+}  // namespace pera::nac

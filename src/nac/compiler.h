@@ -1,0 +1,69 @@
+// Compiler from network-aware Copland policies to per-hop attestation
+// instructions — the artifact §5.2 says the Relying Party serializes into
+// a transport options header and the PERA switch interprets per flow.
+//
+// Supported policy shape (covers AP1-AP3 and expressions (3)/(4)):
+//   [forall vars :] segment (*=> segment)*
+//   segment  := hopterm ([+-]<[+-] hopterm)*
+//   hopterm  := @place [ [guard |>] attest(args) / measurements -> [#] -> [!] ]
+//             | @Appraiser [ appraise -> ... ]       (collector)
+// Each @place[...] becomes one HopInstruction; a hop whose place is a free
+// forall variable compiles to a *wildcard* instruction executed by every
+// RA-capable element on the path.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "copland/ast.h"
+#include "crypto/sha256.h"
+#include "nac/binder.h"
+#include "nac/detail.h"
+
+namespace pera::nac {
+
+/// What one attesting element must do for a matching packet/flow.
+struct HopInstruction {
+  std::string place;      // concrete place name; "" = wildcard (any AE)
+  bool wildcard = false;
+  std::string guard;      // Boolean test to pass first ("" = none)
+  DetailMask detail = 0;  // which inertia levels to attest
+  bool hash_evidence = false;   // '#'
+  bool sign_evidence = false;   // '!'
+  bool is_collector = false;    // an appraise step (the Appraiser's hop)
+  bool out_of_band = false;     // evidence leaves the packet path here
+  std::vector<std::string> custom_targets;  // non-standard attest args
+
+  friend bool operator==(const HopInstruction&,
+                         const HopInstruction&) = default;
+};
+
+struct CompiledPolicy {
+  crypto::Digest policy_id{};   // digest of the source policy text/AST
+  std::string relying_party;
+  std::vector<std::string> params;
+  std::vector<HopInstruction> hops;
+  std::string appraiser;        // first collector place, if any
+  CompositionMode composition = CompositionMode::kChained;
+
+  [[nodiscard]] std::size_t wildcard_count() const;
+};
+
+class CompileError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Compile a parsed request. `composition` selects the Fig. 4 composition
+/// mode encoded into the header.
+[[nodiscard]] CompiledPolicy compile(const copland::Request& req,
+                                     CompositionMode composition =
+                                         CompositionMode::kChained);
+
+/// Compile from policy source text.
+[[nodiscard]] CompiledPolicy compile(const std::string& source,
+                                     CompositionMode composition =
+                                         CompositionMode::kChained);
+
+}  // namespace pera::nac

@@ -1,0 +1,194 @@
+#include "nac/header.h"
+
+#include <stdexcept>
+
+namespace pera::nac {
+
+using crypto::Bytes;
+using crypto::BytesView;
+
+namespace {
+
+void put_str(Bytes& out, const std::string& s) {
+  crypto::append_u32(out, static_cast<std::uint32_t>(s.size()));
+  crypto::append(out, crypto::as_bytes(s));
+}
+
+std::string get_str(BytesView data, std::size_t& off) {
+  const std::uint32_t len = crypto::read_u32(data, off);
+  off += 4;
+  if (off + len > data.size()) {
+    throw std::invalid_argument("header decode: truncated string");
+  }
+  std::string s(reinterpret_cast<const char*>(data.data() + off), len);
+  off += len;
+  return s;
+}
+
+crypto::Digest get_digest(BytesView data, std::size_t& off) {
+  if (off + 32 > data.size()) {
+    throw std::invalid_argument("header decode: truncated digest");
+  }
+  crypto::Digest d;
+  std::copy(data.begin() + static_cast<std::ptrdiff_t>(off),
+            data.begin() + static_cast<std::ptrdiff_t>(off + 32), d.v.begin());
+  off += 32;
+  return d;
+}
+
+}  // namespace
+
+Bytes PolicyHeader::serialize() const {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(kMagic >> 8));
+  out.push_back(static_cast<std::uint8_t>(kMagic & 0xff));
+  out.push_back(kVersion);
+  out.push_back(flags);
+  out.push_back(sampling_log2);
+  crypto::append(out, nonce.value);
+  crypto::append(out, policy_id);
+  put_str(out, appraiser);
+  crypto::append_u32(out, static_cast<std::uint32_t>(hops.size()));
+  for (const auto& h : hops) {
+    put_str(out, h.place);
+    put_str(out, h.guard);
+    std::uint8_t hflags = 0;
+    if (h.wildcard) hflags |= 1;
+    if (h.hash_evidence) hflags |= 2;
+    if (h.sign_evidence) hflags |= 4;
+    if (h.is_collector) hflags |= 8;
+    if (h.out_of_band) hflags |= 16;
+    out.push_back(hflags);
+    out.push_back(h.detail);
+    crypto::append_u32(out, static_cast<std::uint32_t>(h.custom_targets.size()));
+    for (const auto& t : h.custom_targets) put_str(out, t);
+  }
+  return out;
+}
+
+PolicyHeader PolicyHeader::deserialize(BytesView data) {
+  if (data.size() < 5) {
+    throw std::invalid_argument("PolicyHeader: too short");
+  }
+  if ((static_cast<std::uint16_t>(data[0]) << 8 | data[1]) != kMagic) {
+    throw std::invalid_argument("PolicyHeader: bad magic");
+  }
+  if (data[2] != kVersion) {
+    throw std::invalid_argument("PolicyHeader: unsupported version");
+  }
+  PolicyHeader h;
+  h.flags = data[3];
+  h.sampling_log2 = data[4];
+  std::size_t off = 5;
+  h.nonce.value = get_digest(data, off);
+  h.policy_id = get_digest(data, off);
+  h.appraiser = get_str(data, off);
+  const std::uint32_t n = crypto::read_u32(data, off);
+  off += 4;
+  h.hops.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    HopInstruction hop;
+    hop.place = get_str(data, off);
+    hop.guard = get_str(data, off);
+    if (off + 2 > data.size()) {
+      throw std::invalid_argument("PolicyHeader: truncated hop");
+    }
+    const std::uint8_t hflags = data[off++];
+    hop.wildcard = (hflags & 1) != 0;
+    hop.hash_evidence = (hflags & 2) != 0;
+    hop.sign_evidence = (hflags & 4) != 0;
+    hop.is_collector = (hflags & 8) != 0;
+    hop.out_of_band = (hflags & 16) != 0;
+    hop.detail = data[off++];
+    const std::uint32_t nt = crypto::read_u32(data, off);
+    off += 4;
+    hop.custom_targets.reserve(nt);
+    for (std::uint32_t j = 0; j < nt; ++j) {
+      hop.custom_targets.push_back(get_str(data, off));
+    }
+    h.hops.push_back(std::move(hop));
+  }
+  if (off != data.size()) {
+    throw std::invalid_argument("PolicyHeader: trailing bytes");
+  }
+  return h;
+}
+
+std::vector<const HopInstruction*> PolicyHeader::instructions_for(
+    const std::string& place) const {
+  std::vector<const HopInstruction*> out;
+  bool pinned = false;
+  for (const auto& h : hops) {
+    if (!h.wildcard && h.place == place && !h.is_collector) {
+      out.push_back(&h);
+      pinned = true;
+    }
+  }
+  if (!pinned) {
+    for (const auto& h : hops) {
+      if (h.wildcard && !h.is_collector) out.push_back(&h);
+    }
+  }
+  return out;
+}
+
+PolicyHeader make_header(const CompiledPolicy& policy,
+                         const crypto::Nonce& nonce, bool in_band,
+                         std::uint8_t sampling_log2) {
+  PolicyHeader h;
+  h.flags = 0;
+  if (in_band) h.flags |= kFlagInBand;
+  if (policy.composition == CompositionMode::kChained) {
+    h.flags |= kFlagChained;
+  }
+  h.sampling_log2 = sampling_log2;
+  h.nonce = nonce;
+  h.policy_id = policy.policy_id;
+  h.appraiser = policy.appraiser;
+  h.hops = policy.hops;
+  return h;
+}
+
+void EvidenceCarrier::add(std::string place, Bytes evidence) {
+  records.push_back(EvidenceRecord{std::move(place), std::move(evidence)});
+}
+
+Bytes EvidenceCarrier::serialize() const {
+  Bytes out;
+  crypto::append_u32(out, static_cast<std::uint32_t>(records.size()));
+  for (const auto& r : records) {
+    put_str(out, r.place);
+    crypto::append_u32(out, static_cast<std::uint32_t>(r.evidence.size()));
+    crypto::append(out, BytesView{r.evidence.data(), r.evidence.size()});
+  }
+  return out;
+}
+
+EvidenceCarrier EvidenceCarrier::deserialize(BytesView data) {
+  EvidenceCarrier c;
+  std::size_t off = 0;
+  const std::uint32_t n = crypto::read_u32(data, off);
+  off += 4;
+  c.records.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EvidenceRecord r;
+    r.place = get_str(data, off);
+    const std::uint32_t len = crypto::read_u32(data, off);
+    off += 4;
+    if (off + len > data.size()) {
+      throw std::invalid_argument("EvidenceCarrier: truncated record");
+    }
+    r.evidence.assign(data.begin() + static_cast<std::ptrdiff_t>(off),
+                      data.begin() + static_cast<std::ptrdiff_t>(off + len));
+    off += len;
+    c.records.push_back(std::move(r));
+  }
+  if (off != data.size()) {
+    throw std::invalid_argument("EvidenceCarrier: trailing bytes");
+  }
+  return c;
+}
+
+std::size_t EvidenceCarrier::wire_size() const { return serialize().size(); }
+
+}  // namespace pera::nac

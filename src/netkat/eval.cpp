@@ -1,0 +1,160 @@
+#include "netkat/eval.h"
+
+#include <stdexcept>
+
+namespace pera::netkat {
+
+PacketSet eval(const PolicyPtr& pol, const PacketSet& input) {
+  switch (pol->kind) {
+    case PolicyKind::kFilter: {
+      PacketSet out;
+      for (const auto& p : input) {
+        if (eval(pol->pred, p)) out.insert(p);
+      }
+      return out;
+    }
+    case PolicyKind::kMod: {
+      PacketSet out;
+      for (auto p : input) {
+        p.set(pol->field, pol->value);
+        out.insert(std::move(p));
+      }
+      return out;
+    }
+    case PolicyKind::kUnion: {
+      PacketSet out = eval(pol->left, input);
+      const PacketSet r = eval(pol->right, input);
+      out.insert(r.begin(), r.end());
+      return out;
+    }
+    case PolicyKind::kSeq:
+      return eval(pol->right, eval(pol->left, input));
+    case PolicyKind::kStar: {
+      // Least fixpoint: accumulate until no new packets appear.
+      PacketSet acc = input;
+      PacketSet frontier = input;
+      while (!frontier.empty()) {
+        const PacketSet next = eval(pol->left, frontier);
+        PacketSet fresh;
+        for (const auto& p : next) {
+          if (!acc.contains(p)) fresh.insert(p);
+        }
+        acc.insert(fresh.begin(), fresh.end());
+        frontier = std::move(fresh);
+      }
+      return acc;
+    }
+    case PolicyKind::kDup:
+      return input;  // set semantics: dup is id
+  }
+  return {};
+}
+
+PacketSet eval(const PolicyPtr& pol, const Packet& input) {
+  return eval(pol, PacketSet{input});
+}
+
+HistorySet eval_hist(const PolicyPtr& pol, const HistorySet& input,
+                     std::size_t max_iters) {
+  switch (pol->kind) {
+    case PolicyKind::kFilter: {
+      HistorySet out;
+      for (const auto& h : input) {
+        if (!h.empty() && eval(pol->pred, h.front())) out.insert(h);
+      }
+      return out;
+    }
+    case PolicyKind::kMod: {
+      HistorySet out;
+      for (auto h : input) {
+        if (h.empty()) continue;
+        h.front().set(pol->field, pol->value);
+        out.insert(std::move(h));
+      }
+      return out;
+    }
+    case PolicyKind::kUnion: {
+      HistorySet out = eval_hist(pol->left, input, max_iters);
+      const HistorySet r = eval_hist(pol->right, input, max_iters);
+      out.insert(r.begin(), r.end());
+      return out;
+    }
+    case PolicyKind::kSeq:
+      return eval_hist(pol->right, eval_hist(pol->left, input, max_iters),
+                       max_iters);
+    case PolicyKind::kStar: {
+      HistorySet acc = input;
+      HistorySet frontier = input;
+      std::size_t iters = 0;
+      while (!frontier.empty()) {
+        if (++iters > max_iters) {
+          throw std::runtime_error(
+              "netkat::eval_hist: star did not converge (forwarding loop "
+              "with dup?)");
+        }
+        const HistorySet next = eval_hist(pol->left, frontier, max_iters);
+        HistorySet fresh;
+        for (const auto& h : next) {
+          if (!acc.contains(h)) fresh.insert(h);
+        }
+        acc.insert(fresh.begin(), fresh.end());
+        frontier = std::move(fresh);
+      }
+      return acc;
+    }
+    case PolicyKind::kDup: {
+      HistorySet out;
+      for (auto h : input) {
+        if (h.empty()) continue;
+        h.insert(h.begin() + 1, h.front());  // record a copy behind current
+        out.insert(std::move(h));
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+HistorySet eval_hist(const PolicyPtr& pol, const Packet& input,
+                     std::size_t max_iters) {
+  return eval_hist(pol, HistorySet{History{input}}, max_iters);
+}
+
+bool equivalent_on(const PolicyPtr& p, const PolicyPtr& q,
+                   const PacketSet& universe) {
+  for (const auto& pkt : universe) {
+    if (eval(p, pkt) != eval(q, pkt)) return false;
+  }
+  return true;
+}
+
+bool reachable(const PolicyPtr& program, const PolicyPtr& topology,
+               const Packet& input, const PredPtr& goal) {
+  // (program ; topology)* gives every intermediate arrival state; the goal
+  // holds if any reachable state satisfies it (a packet "reaches" a node
+  // even when that node's own program then drops it).
+  const PolicyPtr step = Policy::seq(program, topology);
+  const PacketSet out = eval(Policy::star(step), input);
+  for (const auto& p : out) {
+    if (eval(goal, p)) return true;
+  }
+  return false;
+}
+
+std::set<std::vector<std::uint64_t>> switch_paths(const HistorySet& hs,
+                                                  const std::string& sw_field) {
+  std::set<std::vector<std::uint64_t>> out;
+  for (const auto& h : hs) {
+    std::vector<std::uint64_t> path;
+    // Histories store newest first; reverse for oldest-first paths, and
+    // collapse consecutive duplicates (a dup without an sw change).
+    for (auto it = h.rbegin(); it != h.rend(); ++it) {
+      const std::uint64_t sw = it->get(sw_field);
+      if (path.empty() || path.back() != sw) path.push_back(sw);
+    }
+    out.insert(std::move(path));
+  }
+  return out;
+}
+
+}  // namespace pera::netkat

@@ -1,0 +1,47 @@
+// NetKAT denotational semantics.
+//
+// Two evaluators:
+//  * eval over PacketSet — standard set semantics ignoring dup; Kleene
+//    star is the least fixpoint (terminates: packet space reachable from a
+//    finite input under finitely many mods is finite).
+//  * eval_hist over HistorySet — dup records the current packet into the
+//    history, used to extract the *paths* packets take, which is what the
+//    `*⇒` operator of network-aware Copland quantifies over.
+#pragma once
+
+#include "netkat/policy.h"
+
+namespace pera::netkat {
+
+/// Set semantics (dup behaves as id).
+[[nodiscard]] PacketSet eval(const PolicyPtr& pol, const PacketSet& input);
+
+/// Convenience: single input packet.
+[[nodiscard]] PacketSet eval(const PolicyPtr& pol, const Packet& input);
+
+/// History semantics: dup prepends a copy of the current packet.
+/// Star iterates to fixpoint with an iteration bound; exceeding the bound
+/// throws std::runtime_error (a dup inside a loop makes histories grow
+/// forever — bound it like any forwarding loop).
+[[nodiscard]] HistorySet eval_hist(const PolicyPtr& pol,
+                                   const HistorySet& input,
+                                   std::size_t max_iters = 1024);
+
+[[nodiscard]] HistorySet eval_hist(const PolicyPtr& pol, const Packet& input,
+                                   std::size_t max_iters = 1024);
+
+/// Decide p ≡ q on a finite universe of test packets.
+[[nodiscard]] bool equivalent_on(const PolicyPtr& p, const PolicyPtr& q,
+                                 const PacketSet& universe);
+
+/// Reachability (Prim3 support): does any packet from `input`, forwarded
+/// by `(program ; topology)* ; program`, satisfy `goal`?
+[[nodiscard]] bool reachable(const PolicyPtr& program, const PolicyPtr& topology,
+                             const Packet& input, const PredPtr& goal);
+
+/// Extract the sequence of `sw` field values along each history —
+/// i.e. the switch-level paths packets took (oldest first).
+[[nodiscard]] std::set<std::vector<std::uint64_t>> switch_paths(
+    const HistorySet& hs, const std::string& sw_field = "sw");
+
+}  // namespace pera::netkat

@@ -1,0 +1,29 @@
+#include "netkat/packet.h"
+
+namespace pera::netkat {
+
+std::string Packet::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : fields_) {
+    if (!first) out += ", ";
+    first = false;
+    out += k + "=" + std::to_string(v);
+  }
+  out += "}";
+  return out;
+}
+
+std::string to_string(const PacketSet& ps) {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& p : ps) {
+    if (!first) out += "; ";
+    first = false;
+    out += p.to_string();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace pera::netkat

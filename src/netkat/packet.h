@@ -1,0 +1,59 @@
+// NetKAT packet model (Anderson et al., POPL'14).
+//
+// A packet is a total assignment of values to a finite set of named
+// fields. For the reproduction the interesting fields are `sw` (switch),
+// `pt` (port) and a few header fields, but the model is generic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pera::netkat {
+
+/// Field name -> value. Missing fields read as 0.
+class Packet {
+ public:
+  Packet() = default;
+  Packet(std::initializer_list<std::pair<const std::string, std::uint64_t>> init)
+      : fields_(init) {}
+
+  [[nodiscard]] std::uint64_t get(const std::string& field) const {
+    const auto it = fields_.find(field);
+    return it == fields_.end() ? 0 : it->second;
+  }
+
+  void set(const std::string& field, std::uint64_t value) {
+    if (value == 0) {
+      fields_.erase(field);  // canonical form: zero fields are absent
+    } else {
+      fields_[field] = value;
+    }
+  }
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& fields() const {
+    return fields_;
+  }
+
+  friend bool operator==(const Packet&, const Packet&) = default;
+  friend auto operator<=>(const Packet&, const Packet&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::map<std::string, std::uint64_t> fields_;
+};
+
+using PacketSet = std::set<Packet>;
+
+/// A packet history: the current packet plus the trail recorded by `dup`.
+/// history[0] is the current packet; later entries are older.
+using History = std::vector<Packet>;
+using HistorySet = std::set<History>;
+
+/// Render a packet set for debugging.
+[[nodiscard]] std::string to_string(const PacketSet& ps);
+
+}  // namespace pera::netkat

@@ -1,0 +1,167 @@
+#include "netkat/policy.h"
+
+namespace pera::netkat {
+
+namespace {
+std::shared_ptr<Predicate> make_pred(PredKind k) {
+  auto p = std::make_shared<Predicate>();
+  p->kind = k;
+  return p;
+}
+std::shared_ptr<Policy> make_pol(PolicyKind k) {
+  auto p = std::make_shared<Policy>();
+  p->kind = k;
+  return p;
+}
+}  // namespace
+
+PredPtr Predicate::tru() {
+  static const PredPtr kT = make_pred(PredKind::kTrue);
+  return kT;
+}
+
+PredPtr Predicate::fls() {
+  static const PredPtr kF = make_pred(PredKind::kFalse);
+  return kF;
+}
+
+PredPtr Predicate::test(std::string field, std::uint64_t value) {
+  auto p = make_pred(PredKind::kTest);
+  p->field = std::move(field);
+  p->value = value;
+  return p;
+}
+
+PredPtr Predicate::test_masked(std::string field, std::uint64_t value,
+                               std::uint64_t mask) {
+  auto p = make_pred(PredKind::kTestMasked);
+  p->field = std::move(field);
+  p->value = value;
+  p->mask = mask;
+  return p;
+}
+
+PredPtr Predicate::conj(PredPtr a, PredPtr b) {
+  auto p = make_pred(PredKind::kAnd);
+  p->left = std::move(a);
+  p->right = std::move(b);
+  return p;
+}
+
+PredPtr Predicate::disj(PredPtr a, PredPtr b) {
+  auto p = make_pred(PredKind::kOr);
+  p->left = std::move(a);
+  p->right = std::move(b);
+  return p;
+}
+
+PredPtr Predicate::neg(PredPtr a) {
+  auto p = make_pred(PredKind::kNot);
+  p->left = std::move(a);
+  return p;
+}
+
+bool eval(const PredPtr& pred, const Packet& pkt) {
+  switch (pred->kind) {
+    case PredKind::kTrue: return true;
+    case PredKind::kFalse: return false;
+    case PredKind::kTest: return pkt.get(pred->field) == pred->value;
+    case PredKind::kTestMasked:
+      return (pkt.get(pred->field) & pred->mask) ==
+             (pred->value & pred->mask);
+    case PredKind::kAnd: return eval(pred->left, pkt) && eval(pred->right, pkt);
+    case PredKind::kOr: return eval(pred->left, pkt) || eval(pred->right, pkt);
+    case PredKind::kNot: return !eval(pred->left, pkt);
+  }
+  return false;
+}
+
+std::string to_string(const PredPtr& pred) {
+  switch (pred->kind) {
+    case PredKind::kTrue: return "1";
+    case PredKind::kFalse: return "0";
+    case PredKind::kTest:
+      return pred->field + "=" + std::to_string(pred->value);
+    case PredKind::kTestMasked:
+      return pred->field + "&" + std::to_string(pred->mask) + "=" +
+             std::to_string(pred->value & pred->mask);
+    case PredKind::kAnd:
+      return "(" + to_string(pred->left) + ";" + to_string(pred->right) + ")";
+    case PredKind::kOr:
+      return "(" + to_string(pred->left) + "+" + to_string(pred->right) + ")";
+    case PredKind::kNot:
+      return "!(" + to_string(pred->left) + ")";
+  }
+  return "?";
+}
+
+PolicyPtr Policy::filter(PredPtr pred) {
+  auto p = make_pol(PolicyKind::kFilter);
+  p->pred = std::move(pred);
+  return p;
+}
+
+PolicyPtr Policy::drop() { return filter(Predicate::fls()); }
+
+PolicyPtr Policy::id() { return filter(Predicate::tru()); }
+
+PolicyPtr Policy::mod(std::string field, std::uint64_t value) {
+  auto p = make_pol(PolicyKind::kMod);
+  p->field = std::move(field);
+  p->value = value;
+  return p;
+}
+
+PolicyPtr Policy::unite(PolicyPtr a, PolicyPtr b) {
+  auto p = make_pol(PolicyKind::kUnion);
+  p->left = std::move(a);
+  p->right = std::move(b);
+  return p;
+}
+
+PolicyPtr Policy::seq(PolicyPtr a, PolicyPtr b) {
+  auto p = make_pol(PolicyKind::kSeq);
+  p->left = std::move(a);
+  p->right = std::move(b);
+  return p;
+}
+
+PolicyPtr Policy::star(PolicyPtr a) {
+  auto p = make_pol(PolicyKind::kStar);
+  p->left = std::move(a);
+  return p;
+}
+
+PolicyPtr Policy::dup() {
+  static const PolicyPtr kDupInstance = make_pol(PolicyKind::kDup);
+  return kDupInstance;
+}
+
+std::string to_string(const PolicyPtr& pol) {
+  switch (pol->kind) {
+    case PolicyKind::kFilter: return "filter " + to_string(pol->pred);
+    case PolicyKind::kMod:
+      return pol->field + ":=" + std::to_string(pol->value);
+    case PolicyKind::kUnion:
+      return "(" + to_string(pol->left) + " + " + to_string(pol->right) + ")";
+    case PolicyKind::kSeq:
+      return "(" + to_string(pol->left) + " ; " + to_string(pol->right) + ")";
+    case PolicyKind::kStar: return "(" + to_string(pol->left) + ")*";
+    case PolicyKind::kDup: return "dup";
+  }
+  return "?";
+}
+
+namespace {
+std::size_t pred_size(const PredPtr& p) {
+  if (!p) return 0;
+  return 1 + pred_size(p->left) + pred_size(p->right);
+}
+}  // namespace
+
+std::size_t size(const PolicyPtr& pol) {
+  if (!pol) return 0;
+  return 1 + pred_size(pol->pred) + size(pol->left) + size(pol->right);
+}
+
+}  // namespace pera::netkat

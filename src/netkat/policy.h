@@ -1,0 +1,81 @@
+// NetKAT predicates and policies.
+//
+// Predicates (Boolean algebra):   1 | 0 | f = n | a + b | a ; b | !a
+// Policies  (Kleene algebra):     filter a | f := n | p + q | p ; q | p* | dup
+//
+// The paper borrows two elements for network-aware Copland: the Boolean
+// test prefix (the `▶` guard, Prim3) and the Kleene star (the `*⇒` path
+// abstraction, Prim1). This module implements the full algebra so both
+// borrowings have real semantics behind them.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "netkat/packet.h"
+
+namespace pera::netkat {
+
+// --- predicates --------------------------------------------------------------
+
+struct Predicate;
+using PredPtr = std::shared_ptr<const Predicate>;
+
+enum class PredKind { kTrue, kFalse, kTest, kTestMasked, kAnd, kOr, kNot };
+
+struct Predicate {
+  PredKind kind = PredKind::kTrue;
+  std::string field;        // kTest / kTestMasked
+  std::uint64_t value = 0;  // kTest / kTestMasked
+  std::uint64_t mask = ~0ULL;  // kTestMasked: (pkt.f & mask) == (value & mask)
+  PredPtr left;             // kAnd / kOr / kNot (left only)
+  PredPtr right;
+
+  static PredPtr tru();
+  static PredPtr fls();
+  static PredPtr test(std::string field, std::uint64_t value);
+  /// Bitwise extension used to model LPM/ternary match-action entries:
+  /// (pkt.field & mask) == (value & mask). mask 0 is `true`.
+  static PredPtr test_masked(std::string field, std::uint64_t value,
+                             std::uint64_t mask);
+  static PredPtr conj(PredPtr a, PredPtr b);   // a ; b
+  static PredPtr disj(PredPtr a, PredPtr b);   // a + b
+  static PredPtr neg(PredPtr a);               // !a
+};
+
+/// Evaluate a predicate on a single packet.
+[[nodiscard]] bool eval(const PredPtr& pred, const Packet& pkt);
+
+[[nodiscard]] std::string to_string(const PredPtr& pred);
+
+// --- policies ----------------------------------------------------------------
+
+struct Policy;
+using PolicyPtr = std::shared_ptr<const Policy>;
+
+enum class PolicyKind { kFilter, kMod, kUnion, kSeq, kStar, kDup };
+
+struct Policy {
+  PolicyKind kind = PolicyKind::kFilter;
+  PredPtr pred;            // kFilter
+  std::string field;       // kMod
+  std::uint64_t value = 0; // kMod
+  PolicyPtr left;          // kUnion / kSeq / kStar (left only)
+  PolicyPtr right;
+
+  static PolicyPtr filter(PredPtr pred);
+  static PolicyPtr drop();                       // filter 0
+  static PolicyPtr id();                         // filter 1
+  static PolicyPtr mod(std::string field, std::uint64_t value);
+  static PolicyPtr unite(PolicyPtr a, PolicyPtr b);  // p + q
+  static PolicyPtr seq(PolicyPtr a, PolicyPtr b);    // p ; q
+  static PolicyPtr star(PolicyPtr a);                // p*
+  static PolicyPtr dup();
+};
+
+[[nodiscard]] std::string to_string(const PolicyPtr& pol);
+
+/// Number of AST nodes.
+[[nodiscard]] std::size_t size(const PolicyPtr& pol);
+
+}  // namespace pera::netkat

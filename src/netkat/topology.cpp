@@ -1,0 +1,47 @@
+#include "netkat/topology.h"
+
+namespace pera::netkat {
+
+PolicyPtr topology_policy(const std::vector<Link>& links,
+                          const std::string& sw_field,
+                          const std::string& pt_field) {
+  std::vector<PolicyPtr> hops;
+  hops.reserve(links.size());
+  for (const Link& l : links) {
+    PolicyPtr hop = Policy::seq(
+        Policy::filter(Predicate::conj(Predicate::test(sw_field, l.from_sw),
+                                       Predicate::test(pt_field, l.from_pt))),
+        Policy::seq(Policy::mod(sw_field, l.to_sw),
+                    Policy::mod(pt_field, l.to_pt)));
+    hops.push_back(std::move(hop));
+  }
+  return union_all(hops);
+}
+
+PolicyPtr forward_rule(std::uint64_t sw, PredPtr match, std::uint64_t out_port,
+                       const std::string& sw_field,
+                       const std::string& pt_field) {
+  return Policy::seq(
+      Policy::filter(Predicate::conj(Predicate::test(sw_field, sw),
+                                     std::move(match))),
+      Policy::mod(pt_field, out_port));
+}
+
+PolicyPtr union_all(const std::vector<PolicyPtr>& pols) {
+  if (pols.empty()) return Policy::drop();
+  PolicyPtr acc = pols[0];
+  for (std::size_t i = 1; i < pols.size(); ++i) {
+    acc = Policy::unite(acc, pols[i]);
+  }
+  return acc;
+}
+
+PolicyPtr instrumented_network(const PolicyPtr& program,
+                               const PolicyPtr& topology) {
+  const PolicyPtr step =
+      Policy::seq(Policy::dup(), Policy::seq(program, topology));
+  return Policy::seq(Policy::star(step),
+                     Policy::seq(Policy::dup(), program));
+}
+
+}  // namespace pera::netkat

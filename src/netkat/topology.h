@@ -1,0 +1,42 @@
+// Topology encoding helpers: build the NetKAT link policy `t` of a
+// network so that `(p ; t)* ; p` is the network-wide behaviour of a
+// per-switch program `p` (the standard NetKAT encoding).
+#pragma once
+
+#include <vector>
+
+#include "netkat/policy.h"
+
+namespace pera::netkat {
+
+/// One unidirectional link: (switch a, port ap) -> (switch b, port bp).
+struct Link {
+  std::uint64_t from_sw = 0;
+  std::uint64_t from_pt = 0;
+  std::uint64_t to_sw = 0;
+  std::uint64_t to_pt = 0;
+};
+
+/// Build the topology policy: the union over links of
+///   sw=a ; pt=ap ; sw:=b ; pt:=bp
+/// An empty link set yields drop.
+[[nodiscard]] PolicyPtr topology_policy(const std::vector<Link>& links,
+                                        const std::string& sw_field = "sw",
+                                        const std::string& pt_field = "pt");
+
+/// Forwarding-rule helper: at switch `sw`, send packets matching `match`
+/// out of port `out_port`:   sw=s ; match ; pt:=out_port
+[[nodiscard]] PolicyPtr forward_rule(std::uint64_t sw, PredPtr match,
+                                     std::uint64_t out_port,
+                                     const std::string& sw_field = "sw",
+                                     const std::string& pt_field = "pt");
+
+/// Union a list of policies (drop for an empty list).
+[[nodiscard]] PolicyPtr union_all(const std::vector<PolicyPtr>& pols);
+
+/// `dup`-instrumented network program for path extraction:
+///   (dup ; p ; t)* ; dup ; p
+[[nodiscard]] PolicyPtr instrumented_network(const PolicyPtr& program,
+                                             const PolicyPtr& topology);
+
+}  // namespace pera::netkat

@@ -1,0 +1,33 @@
+#include "netsim/event.h"
+
+#include <stdexcept>
+
+namespace pera::netsim {
+
+void EventQueue::schedule_at(SimTime at, Handler fn) {
+  if (at < now_) {
+    throw std::invalid_argument("EventQueue: scheduling in the past");
+  }
+  queue_.push(Item{at, next_seq_++, std::move(fn)});
+}
+
+std::size_t EventQueue::run(SimTime until) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().at <= until) {
+    if (step()) ++n;
+  }
+  return n;
+}
+
+bool EventQueue::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; move out via const_cast is UB-adjacent,
+  // so copy the handler (cheap: std::function) and pop.
+  Item item = queue_.top();
+  queue_.pop();
+  now_ = item.at;
+  item.fn();
+  return true;
+}
+
+}  // namespace pera::netsim

@@ -1,0 +1,54 @@
+// Discrete-event core: a time-ordered queue of closures. Deterministic:
+// ties are broken by insertion sequence.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "netsim/time.h"
+
+namespace pera::netsim {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `at` (must be >= now).
+  /// Throws std::invalid_argument on scheduling in the past.
+  void schedule_at(SimTime at, Handler fn);
+
+  /// Schedule `fn` after `delay` from now.
+  void schedule_in(SimTime delay, Handler fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Run events until the queue is empty or `until` is passed.
+  /// Returns the number of events executed.
+  std::size_t run(SimTime until = INT64_MAX);
+
+  /// Execute exactly one event if available. Returns false if empty.
+  bool step();
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Item {
+    SimTime at;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace pera::netsim

@@ -1,0 +1,107 @@
+#include "netsim/network.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace pera::netsim {
+
+void Network::attach(NodeId id, NodeBehavior* behavior) {
+  if (id >= topo_.node_count()) {
+    throw std::invalid_argument("attach: unknown node id");
+  }
+  behaviors_[id] = behavior;
+}
+
+void Network::attach(const std::string& name, NodeBehavior* behavior) {
+  attach(topo_.require(name), behavior);
+}
+
+void Network::set_loss(double per_hop_probability, std::uint64_t seed) {
+  loss_ = per_hop_probability;
+  loss_rng_.emplace(seed);
+}
+
+void Network::send(Message msg) {
+  ++stats_.messages_sent;
+  msg.sent_at = events_.now();
+  if (trace_ != nullptr) {
+    trace_->push_back(TraceEvent{TraceEvent::Kind::kSent, events_.now(),
+                                 msg.src, msg.dst, msg.type});
+  }
+  forward_from(msg.src, std::move(msg));
+}
+
+void Network::forward_from(NodeId at, Message msg) {
+  if (at == msg.dst) {
+    ++stats_.messages_delivered;
+    if (trace_ != nullptr) {
+      trace_->push_back(TraceEvent{TraceEvent::Kind::kDelivered,
+                                   events_.now(), msg.src, msg.dst,
+                                   msg.type});
+    }
+    const auto it = behaviors_.find(at);
+    if (it != behaviors_.end() && it->second != nullptr) {
+      it->second->on_deliver(*this, at, std::move(msg));
+    }
+    return;
+  }
+  const auto path = topo_.shortest_path(at, msg.dst);
+  if (path.size() < 2) {
+    throw std::invalid_argument("send: no path from " + topo_.node(at).name +
+                                " to " + topo_.node(msg.dst).name);
+  }
+  const NodeId next = path[1];
+  const LinkInfo* link = topo_.link_between(at, next);
+  const SimTime delay = link->latency + link->transmit_time(msg.wire_size());
+  ++stats_.hops_traversed;
+  stats_.bytes_sent += msg.wire_size();
+
+  if (loss_ > 0.0 && loss_rng_ && loss_rng_->chance(loss_)) {
+    ++stats_.messages_lost;
+    if (trace_ != nullptr) {
+      trace_->push_back(TraceEvent{TraceEvent::Kind::kLost, events_.now(),
+                                   at, next, msg.type});
+    }
+    return;  // the frame never arrives at `next`
+  }
+
+  events_.schedule_in(delay, [this, next, msg = std::move(msg)]() mutable {
+    SimTime extra = 0;
+    if (next != msg.dst) {
+      const auto it = behaviors_.find(next);
+      if (it != behaviors_.end() && it->second != nullptr) {
+        const TransitResult tr = it->second->on_transit(*this, next, msg);
+        if (!tr.forward) {
+          ++stats_.messages_dropped;
+          return;
+        }
+        extra = tr.delay;
+      }
+    }
+    if (extra > 0) {
+      events_.schedule_in(extra, [this, next, msg = std::move(msg)]() mutable {
+        forward_from(next, std::move(msg));
+      });
+    } else {
+      forward_from(next, std::move(msg));
+    }
+  });
+}
+
+std::string format_trace(const Topology& topo,
+                         const std::vector<TraceEvent>& trace) {
+  std::string out;
+  for (const auto& e : trace) {
+    char line[160];
+    const char* verb = e.kind == TraceEvent::Kind::kSent        ? "->"
+                       : e.kind == TraceEvent::Kind::kDelivered ? "=>"
+                                                                : "xx";
+    std::snprintf(line, sizeof(line), "%10.1fus  %-10s %s %-10s  %s\n",
+                  to_us(e.at), topo.node(e.src).name.c_str(), verb,
+                  topo.node(e.dst).name.c_str(), e.type.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace pera::netsim

@@ -1,0 +1,141 @@
+// The message-passing network: topology + event queue + per-node handlers.
+//
+// Delivery of a message over a link costs latency + size/bandwidth.
+// Multi-hop sends are routed over latency-shortest paths and delivered
+// hop-by-hop so that on-path nodes (switches, PERA elements) see and can
+// transform every message that transits them.
+#pragma once
+
+#include <functional>
+#include <vector>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "crypto/bytes.h"
+#include "crypto/drbg.h"
+#include "netsim/event.h"
+#include "netsim/topology.h"
+
+namespace pera::netsim {
+
+/// Sentinel meaning "no node".
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// A message in flight. `headers` carries structured metadata (e.g. the
+/// serialized attestation policy header); `payload` is opaque bytes.
+struct Message {
+  NodeId src = 0;
+  NodeId dst = 0;             // final destination
+  NodeId reply_to = kNoNode;  // who should receive any response
+  std::string type;     // "data", "attest-req", "evidence", ...
+  crypto::Bytes headers;
+  crypto::Bytes payload;
+  std::uint64_t flow_id = 0;
+  SimTime sent_at = 0;  // stamped by Network::send
+
+  /// Wire size used for transmission delay.
+  [[nodiscard]] std::size_t wire_size() const {
+    return 64 + headers.size() + payload.size();  // 64 B of L2-L4 framing
+  }
+};
+
+class Network;
+
+/// Outcome of a transit hook: forward or drop, plus extra processing
+/// latency spent at the node (e.g. PERA evidence creation).
+struct TransitResult {
+  bool forward = true;
+  SimTime delay = 0;
+
+  static TransitResult dropped() { return {false, 0}; }
+};
+
+/// A node's behaviour. on_transit fires when a message passes *through*
+/// the node on its way elsewhere (it may mutate or drop the message and
+/// add processing delay); on_deliver fires at the final destination.
+class NodeBehavior {
+ public:
+  virtual ~NodeBehavior() = default;
+
+  virtual TransitResult on_transit(Network& net, NodeId self, Message& msg) {
+    (void)net;
+    (void)self;
+    (void)msg;
+    return {};
+  }
+
+  virtual void on_deliver(Network& net, NodeId self, Message msg) {
+    (void)net;
+    (void)self;
+    (void)msg;
+  }
+};
+
+/// Per-network statistics.
+struct NetStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;  // dropped by a node's transit hook
+  std::uint64_t messages_lost = 0;     // lost to link-level loss
+  std::uint64_t hops_traversed = 0;
+  std::uint64_t bytes_sent = 0;  // sum over hops of wire size
+};
+
+/// One line of a protocol trace (a textual Fig. 2 sequence diagram).
+struct TraceEvent {
+  enum class Kind { kSent, kDelivered, kLost };
+  Kind kind = Kind::kSent;
+  SimTime at = 0;
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::string type;
+};
+
+class Network {
+ public:
+  explicit Network(Topology topo) : topo_(std::move(topo)) {}
+
+  /// Per-hop message loss probability (0 = reliable, the default).
+  /// Deterministic for a given seed.
+  void set_loss(double per_hop_probability, std::uint64_t seed);
+
+  /// Record send/deliver/loss events into `sink` (nullptr disables).
+  /// The sink must outlive the network or be reset first.
+  void record_trace(std::vector<TraceEvent>* sink) { trace_ = sink; }
+
+  [[nodiscard]] Topology& topology() { return topo_; }
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+  [[nodiscard]] EventQueue& events() { return events_; }
+  [[nodiscard]] SimTime now() const { return events_.now(); }
+  [[nodiscard]] const NetStats& stats() const { return stats_; }
+
+  /// Attach behaviour to a node (by id or name). Unattached nodes forward
+  /// transit messages untouched and drop deliveries.
+  void attach(NodeId id, NodeBehavior* behavior);
+  void attach(const std::string& name, NodeBehavior* behavior);
+
+  /// Send `msg` from msg.src toward msg.dst along the shortest path.
+  /// Throws std::invalid_argument when no path exists.
+  void send(Message msg);
+
+  /// Run the simulation to quiescence (or until `until`).
+  std::size_t run(SimTime until = INT64_MAX) { return events_.run(until); }
+
+ private:
+  void forward_from(NodeId at, Message msg);
+
+  Topology topo_;
+  EventQueue events_;
+  std::map<NodeId, NodeBehavior*> behaviors_;
+  NetStats stats_;
+  double loss_ = 0.0;
+  std::optional<crypto::Drbg> loss_rng_;
+  std::vector<TraceEvent>* trace_ = nullptr;
+};
+
+/// Render a trace as a readable sequence diagram (one line per event).
+[[nodiscard]] std::string format_trace(const Topology& topo,
+                                       const std::vector<TraceEvent>& trace);
+
+}  // namespace pera::netsim

@@ -1,0 +1,19 @@
+// Simulated time. All netsim timestamps are nanoseconds from simulation
+// start; there is no wall-clock anywhere in the reproduction.
+#pragma once
+
+#include <cstdint>
+
+namespace pera::netsim {
+
+using SimTime = std::int64_t;  // nanoseconds
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000;
+constexpr SimTime kMillisecond = 1000 * 1000;
+constexpr SimTime kSecond = 1000 * 1000 * 1000;
+
+constexpr double to_us(SimTime t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_ms(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+}  // namespace pera::netsim

@@ -1,0 +1,211 @@
+#include "netsim/topology.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace pera::netsim {
+
+NodeId Topology::add_node(const std::string& name, NodeKind kind) {
+  if (by_name_.contains(name)) {
+    throw std::invalid_argument("duplicate node name '" + name + "'");
+  }
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(NodeInfo{id, name, kind});
+  by_name_[name] = id;
+  return id;
+}
+
+void Topology::add_link(NodeId a, NodeId b, SimTime latency, double gbps) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    throw std::invalid_argument("add_link: unknown node id");
+  }
+  if (a == b) throw std::invalid_argument("add_link: self-loop");
+  const std::size_t idx = links_.size();
+  links_.push_back(LinkInfo{a, b, latency, gbps});
+  adj_[a].emplace_back(b, idx);
+  adj_[b].emplace_back(a, idx);
+}
+
+void Topology::add_link(const std::string& a, const std::string& b,
+                        SimTime latency, double gbps) {
+  add_link(require(a), require(b), latency, gbps);
+}
+
+const NodeInfo& Topology::node(NodeId id) const {
+  if (id >= nodes_.size()) throw std::out_of_range("unknown node id");
+  return nodes_[id];
+}
+
+std::optional<NodeId> Topology::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+NodeId Topology::require(const std::string& name) const {
+  const auto id = find(name);
+  if (!id) throw std::invalid_argument("unknown node '" + name + "'");
+  return *id;
+}
+
+void Topology::set_link_state(NodeId a, NodeId b, bool up) {
+  const auto it = adj_.find(a);
+  if (it != adj_.end()) {
+    for (const auto& [peer, idx] : it->second) {
+      if (peer == b) {
+        links_[idx].up = up;
+        return;
+      }
+    }
+  }
+  throw std::invalid_argument("set_link_state: no link " +
+                              node(a).name + " - " + node(b).name);
+}
+
+void Topology::set_link_state(const std::string& a, const std::string& b,
+                              bool up) {
+  set_link_state(require(a), require(b), up);
+}
+
+const LinkInfo* Topology::link_between(NodeId a, NodeId b) const {
+  const auto it = adj_.find(a);
+  if (it == adj_.end()) return nullptr;
+  for (const auto& [peer, idx] : it->second) {
+    if (peer == b) return &links_[idx];
+  }
+  return nullptr;
+}
+
+std::vector<NodeId> Topology::neighbors(NodeId id) const {
+  std::vector<NodeId> out;
+  const auto it = adj_.find(id);
+  if (it == adj_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [peer, idx] : it->second) out.push_back(peer);
+  return out;
+}
+
+std::vector<NodeId> Topology::shortest_path(NodeId from, NodeId to) const {
+  if (from >= nodes_.size() || to >= nodes_.size()) return {};
+  constexpr SimTime kInf = std::numeric_limits<SimTime>::max();
+  std::vector<SimTime> dist(nodes_.size(), kInf);
+  std::vector<NodeId> prev(nodes_.size(), std::numeric_limits<NodeId>::max());
+  using Item = std::pair<SimTime, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[from] = 0;
+  pq.emplace(0, from);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    if (u == to) break;
+    const auto it = adj_.find(u);
+    if (it == adj_.end()) continue;
+    for (const auto& [v, idx] : it->second) {
+      if (!links_[idx].up) continue;
+      const SimTime nd = d + links_[idx].latency;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        prev[v] = u;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+  if (dist[to] == kInf) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = to; v != from; v = prev[v]) path.push_back(v);
+  path.push_back(from);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<NodeId> Topology::shortest_path(const std::string& from,
+                                            const std::string& to) const {
+  return shortest_path(require(from), require(to));
+}
+
+std::vector<std::string> Topology::names(const std::vector<NodeId>& path) const {
+  std::vector<std::string> out;
+  out.reserve(path.size());
+  for (NodeId id : path) out.push_back(node(id).name);
+  return out;
+}
+
+namespace topo {
+
+Topology chain(std::size_t switches, SimTime hop_latency) {
+  Topology t;
+  t.add_node("client", NodeKind::kHost);
+  for (std::size_t i = 1; i <= switches; ++i) {
+    t.add_node("s" + std::to_string(i), NodeKind::kSwitch);
+  }
+  t.add_node("server", NodeKind::kHost);
+  t.add_node("Appraiser", NodeKind::kAppraiser);
+
+  t.add_link("client", "s1", hop_latency);
+  for (std::size_t i = 1; i < switches; ++i) {
+    t.add_link("s" + std::to_string(i), "s" + std::to_string(i + 1),
+               hop_latency);
+  }
+  t.add_link("s" + std::to_string(switches), "server", hop_latency);
+  // The appraiser hangs off the first switch (management network).
+  t.add_link("s1", "Appraiser", 5 * hop_latency);
+  return t;
+}
+
+Topology isp() {
+  Topology t;
+  t.add_node("client", NodeKind::kHost);
+  t.add_node("pm_phone", NodeKind::kHost);  // the targeted subscriber
+  t.add_node("edge1", NodeKind::kSwitch);
+  t.add_node("edge2", NodeKind::kSwitch);
+  t.add_node("core1", NodeKind::kSwitch);
+  t.add_node("core2", NodeKind::kSwitch);
+  t.add_node("core3", NodeKind::kSwitch);
+  t.add_node("dpi", NodeKind::kAppliance);
+  t.add_node("Appraiser", NodeKind::kAppraiser);
+
+  t.add_link("client", "edge1", 50 * kMicrosecond);
+  t.add_link("pm_phone", "edge2", 50 * kMicrosecond);
+  t.add_link("edge1", "core1", 100 * kMicrosecond);
+  t.add_link("edge2", "core3", 100 * kMicrosecond);
+  t.add_link("core1", "core2", 200 * kMicrosecond);
+  t.add_link("core2", "core3", 200 * kMicrosecond);
+  t.add_link("core1", "core3", 500 * kMicrosecond);  // backup path
+  t.add_link("core2", "dpi", 50 * kMicrosecond);
+  t.add_link("core1", "Appraiser", 300 * kMicrosecond);
+  return t;
+}
+
+Topology datacenter() {
+  Topology t;
+  t.add_node("core1", NodeKind::kSwitch);
+  t.add_node("core2", NodeKind::kSwitch);
+  for (int i = 1; i <= 4; ++i) {
+    t.add_node("agg" + std::to_string(i), NodeKind::kSwitch);
+    t.add_node("tor" + std::to_string(i), NodeKind::kSwitch);
+  }
+  for (int i = 1; i <= 8; ++i) {
+    t.add_node("h" + std::to_string(i), NodeKind::kHost);
+  }
+  t.add_node("Appraiser", NodeKind::kAppraiser);
+
+  for (int i = 1; i <= 4; ++i) {
+    const std::string agg = "agg" + std::to_string(i);
+    t.add_link("core1", agg, 20 * kMicrosecond, 40.0);
+    t.add_link("core2", agg, 20 * kMicrosecond, 40.0);
+    t.add_link(agg, "tor" + std::to_string(i), 10 * kMicrosecond, 40.0);
+  }
+  for (int i = 1; i <= 8; ++i) {
+    t.add_link("h" + std::to_string(i), "tor" + std::to_string((i + 1) / 2),
+               5 * kMicrosecond, 10.0);
+  }
+  t.add_link("core1", "Appraiser", 50 * kMicrosecond);
+  return t;
+}
+
+}  // namespace topo
+
+}  // namespace pera::netsim

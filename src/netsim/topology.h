@@ -1,0 +1,106 @@
+// Network topology: named nodes, bidirectional links with latency and
+// bandwidth, Dijkstra shortest paths. Node names double as Copland place
+// names, which is how policies and topologies meet.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/time.h"
+
+namespace pera::netsim {
+
+using NodeId = std::uint32_t;
+
+enum class NodeKind { kHost, kSwitch, kAppliance, kAppraiser };
+
+struct NodeInfo {
+  NodeId id = 0;
+  std::string name;
+  NodeKind kind = NodeKind::kHost;
+};
+
+struct LinkInfo {
+  NodeId a = 0;
+  NodeId b = 0;
+  SimTime latency = 10 * kMicrosecond;
+  double gbps = 10.0;  // bandwidth
+  bool up = true;      // failed links are skipped by routing
+
+  /// Serialization delay for `bytes` at this link's bandwidth.
+  [[nodiscard]] SimTime transmit_time(std::size_t bytes) const {
+    return static_cast<SimTime>(static_cast<double>(bytes) * 8.0 /
+                                (gbps * 1e9) * 1e9);
+  }
+};
+
+class Topology {
+ public:
+  /// Add a node; names must be unique. Returns its id.
+  NodeId add_node(const std::string& name, NodeKind kind);
+
+  /// Add a bidirectional link. Throws std::invalid_argument on unknown ids.
+  void add_link(NodeId a, NodeId b, SimTime latency = 10 * kMicrosecond,
+                double gbps = 10.0);
+  void add_link(const std::string& a, const std::string& b,
+                SimTime latency = 10 * kMicrosecond, double gbps = 10.0);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const std::vector<NodeInfo>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<LinkInfo>& links() const { return links_; }
+
+  [[nodiscard]] const NodeInfo& node(NodeId id) const;
+  [[nodiscard]] std::optional<NodeId> find(const std::string& name) const;
+  [[nodiscard]] NodeId require(const std::string& name) const;
+
+  /// The link between a and b, or nullptr.
+  [[nodiscard]] const LinkInfo* link_between(NodeId a, NodeId b) const;
+
+  /// Fail or restore a link (affects shortest_path immediately — "the
+  /// path might change without warning due to routing changes", §5.1).
+  /// Throws std::invalid_argument when no such link exists.
+  void set_link_state(NodeId a, NodeId b, bool up);
+  void set_link_state(const std::string& a, const std::string& b, bool up);
+
+  /// Neighbors of `id`.
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId id) const;
+
+  /// Latency-weighted shortest path (inclusive of endpoints), or empty if
+  /// unreachable.
+  [[nodiscard]] std::vector<NodeId> shortest_path(NodeId from, NodeId to) const;
+  [[nodiscard]] std::vector<NodeId> shortest_path(const std::string& from,
+                                                  const std::string& to) const;
+
+  /// Names along a path.
+  [[nodiscard]] std::vector<std::string> names(
+      const std::vector<NodeId>& path) const;
+
+ private:
+  std::vector<NodeInfo> nodes_;
+  std::vector<LinkInfo> links_;
+  std::map<std::string, NodeId> by_name_;
+  std::map<NodeId, std::vector<std::pair<NodeId, std::size_t>>> adj_;
+};
+
+/// Canned topologies used by examples and benches.
+namespace topo {
+
+/// A linear chain: client - s1 - s2 - ... - sN - server.
+[[nodiscard]] Topology chain(std::size_t switches,
+                             SimTime hop_latency = 10 * kMicrosecond);
+
+/// A small ISP-style topology for the Athens scenario: two hosts, edge
+/// switches, a core ring, a DPI appliance and an appraiser node hanging
+/// off the core.
+[[nodiscard]] Topology isp();
+
+/// k=4 fat-tree-ish 3-tier datacenter pod (2 cores, 4 aggs, 4 tors,
+/// 8 hosts) plus an appraiser on core1.
+[[nodiscard]] Topology datacenter();
+
+}  // namespace topo
+
+}  // namespace pera::netsim

@@ -1,0 +1,53 @@
+#include "pera/batcher.h"
+
+#include <stdexcept>
+
+namespace pera::pera {
+
+EvidenceBatcher::EvidenceBatcher(crypto::Signer& signer,
+                                 std::size_t batch_size)
+    : signer_(&signer), batch_size_(batch_size) {
+  if (batch_size == 0) {
+    throw std::invalid_argument("EvidenceBatcher: batch_size must be >= 1");
+  }
+}
+
+std::optional<std::vector<BatchedSignature>> EvidenceBatcher::add(
+    const crypto::Digest& item) {
+  pending_.push_back(item);
+  if (pending_.size() < batch_size_) return std::nullopt;
+  return flush();
+}
+
+std::vector<BatchedSignature> EvidenceBatcher::flush() {
+  if (pending_.empty()) return {};
+  const crypto::MerkleTree tree(pending_);
+  const crypto::Signature root_sig = signer_->sign(tree.root());
+  std::vector<BatchedSignature> receipts;
+  receipts.reserve(pending_.size());
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    receipts.push_back(BatchedSignature{tree.root(), root_sig, tree.prove(i)});
+  }
+  pending_.clear();
+  ++batches_;
+  return receipts;
+}
+
+std::vector<crypto::Signature> EvidenceBatcher::flush_wrapped() {
+  const std::vector<BatchedSignature> receipts = flush();
+  std::vector<crypto::Signature> out;
+  out.reserve(receipts.size());
+  for (const auto& r : receipts) {
+    out.push_back(crypto::wrap_batched(r.root, r.proof, r.root_sig));
+  }
+  return out;
+}
+
+bool EvidenceBatcher::verify(const crypto::Verifier& verifier,
+                             const crypto::Digest& item,
+                             const BatchedSignature& sig) {
+  if (!crypto::MerkleTree::verify(sig.root, item, sig.proof)) return false;
+  return verifier.verify(sig.root, sig.root_sig);
+}
+
+}  // namespace pera::pera

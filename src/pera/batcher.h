@@ -1,0 +1,65 @@
+// Batched evidence signing — an optimization of Fig. 3's sign/verify unit.
+//
+// Per-packet signing dominates RA cost at low-inertia detail levels.
+// The batcher amortizes it: N evidence digests become leaves of a Merkle
+// tree and one signature covers the root; each item ships with its
+// authentication path. Verification needs the root signature once plus a
+// log2(N) hash path per item. The bench_ablations binary quantifies the
+// trade-off (amortized cost vs per-item latency until the batch fills).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "crypto/merkle.h"
+#include "crypto/signer.h"
+
+namespace pera::pera {
+
+/// What one batched item carries in place of a full signature.
+struct BatchedSignature {
+  crypto::Digest root{};
+  crypto::Signature root_sig;
+  crypto::MerkleProof proof;
+
+  [[nodiscard]] std::size_t wire_size() const {
+    return 32 + root_sig.wire_size() + proof.serialize().size();
+  }
+};
+
+class EvidenceBatcher {
+ public:
+  /// Flush automatically after `batch_size` items (>= 1).
+  EvidenceBatcher(crypto::Signer& signer, std::size_t batch_size);
+
+  /// Queue an evidence digest. Returns the receipts for the whole batch
+  /// when this item filled it (receipts[i] belongs to the i-th queued
+  /// item), nullopt otherwise.
+  [[nodiscard]] std::optional<std::vector<BatchedSignature>> add(
+      const crypto::Digest& item);
+
+  /// Sign whatever is queued now (end of a measurement interval). Empty
+  /// queue yields an empty vector.
+  [[nodiscard]] std::vector<BatchedSignature> flush();
+
+  /// Like flush(), but returns crypto::Signatures in the kBatched wrapped
+  /// form, directly attachable to evidence nodes and verifiable by any
+  /// appraiser through crypto::verify_any().
+  [[nodiscard]] std::vector<crypto::Signature> flush_wrapped();
+
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+  [[nodiscard]] std::size_t batches_signed() const { return batches_; }
+
+  /// Verify one item against its batched signature.
+  [[nodiscard]] static bool verify(const crypto::Verifier& verifier,
+                                   const crypto::Digest& item,
+                                   const BatchedSignature& sig);
+
+ private:
+  crypto::Signer* signer_;
+  std::size_t batch_size_;
+  std::vector<crypto::Digest> pending_;
+  std::size_t batches_ = 0;
+};
+
+}  // namespace pera::pera

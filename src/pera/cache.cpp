@@ -1,0 +1,57 @@
+#include "pera/cache.h"
+
+namespace pera::pera {
+
+namespace {
+constexpr nac::EvidenceDetail kLevels[] = {
+    nac::EvidenceDetail::kHardware, nac::EvidenceDetail::kProgram,
+    nac::EvidenceDetail::kTables, nac::EvidenceDetail::kProgState,
+    nac::EvidenceDetail::kPacket};
+}
+
+std::optional<copland::EvidencePtr> EvidenceCache::lookup(
+    nac::DetailMask detail, const crypto::Nonce& nonce,
+    const MeasurementUnit& mu, const crypto::Digest& variant) {
+  if (!enabled_) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  // Packet-level evidence is never cacheable by construction.
+  if (nac::has_detail(detail, nac::EvidenceDetail::kPacket)) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  const auto it = entries_.find(Key{detail, nonce.value, variant});
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  for (const auto& [level, epoch] : it->second.epochs) {
+    if (mu.epoch(level) != epoch) {
+      ++stats_.misses;
+      ++stats_.invalidations;
+      entries_.erase(it);
+      return std::nullopt;
+    }
+  }
+  ++stats_.hits;
+  return it->second.evidence;
+}
+
+void EvidenceCache::store(nac::DetailMask detail, const crypto::Nonce& nonce,
+                          copland::EvidencePtr evidence,
+                          const MeasurementUnit& mu,
+                          const crypto::Digest& variant) {
+  if (!enabled_) return;
+  if (nac::has_detail(detail, nac::EvidenceDetail::kPacket)) return;
+  Entry entry;
+  entry.evidence = std::move(evidence);
+  for (nac::EvidenceDetail level : kLevels) {
+    if (nac::has_detail(detail, level)) {
+      entry.epochs[level] = mu.epoch(level);
+    }
+  }
+  entries_[Key{detail, nonce.value, variant}] = std::move(entry);
+}
+
+}  // namespace pera::pera

@@ -1,0 +1,74 @@
+// Inertia-aware evidence cache (§5.2: "High-inertia attestations are more
+// easily cached since they take longer to expire").
+//
+// A cached entry records the epoch of every detail level it covers; it is
+// valid while all those epochs are unchanged. Nonce-bound evidence keys on
+// the nonce too — fresh challenges intentionally defeat caching, which is
+// exactly the freshness/overhead trade-off Fig. 4 describes.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "copland/evidence.h"
+#include "crypto/nonce.h"
+#include "nac/detail.h"
+#include "pera/measurement.h"
+
+namespace pera::pera {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t invalidations = 0;  // misses caused by epoch change
+
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+class EvidenceCache {
+ public:
+  explicit EvidenceCache(bool enabled = true) : enabled_(enabled) {}
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Look up cached evidence for (detail mask, nonce, instruction
+  /// variant). Returns the cached evidence when present and every covered
+  /// level's epoch still matches. `variant` disambiguates instructions
+  /// with equal detail but different hash/sign flags or custom targets.
+  [[nodiscard]] std::optional<copland::EvidencePtr> lookup(
+      nac::DetailMask detail, const crypto::Nonce& nonce,
+      const MeasurementUnit& mu, const crypto::Digest& variant = {});
+
+  /// Store evidence with the current epochs of its covered levels.
+  void store(nac::DetailMask detail, const crypto::Nonce& nonce,
+             copland::EvidencePtr evidence, const MeasurementUnit& mu,
+             const crypto::Digest& variant = {});
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+ private:
+  struct Key {
+    nac::DetailMask detail;
+    crypto::Digest nonce;
+    crypto::Digest variant;
+    auto operator<=>(const Key&) const = default;
+  };
+  struct Entry {
+    copland::EvidencePtr evidence;
+    std::map<nac::EvidenceDetail, std::uint64_t> epochs;
+  };
+
+  bool enabled_;
+  std::map<Key, Entry> entries_;
+  CacheStats stats_;
+};
+
+}  // namespace pera::pera

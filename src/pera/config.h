@@ -1,0 +1,39 @@
+// PERA tuning configuration — the §5.2 "configuration interface that can
+// tune the level of detail and frequency of evidence" (Fig. 4's axes).
+#pragma once
+
+#include <cstdint>
+
+#include "nac/binder.h"
+#include "nac/detail.h"
+#include "netsim/time.h"
+
+namespace pera::pera {
+
+/// Latency cost model for the evidence-handling hardware (Fig. 3 D/E).
+/// Values are deliberately PISA-plausible defaults; benches sweep them.
+struct CostModel {
+  netsim::SimTime measure_cost = 200;             // ns per measured level
+  netsim::SimTime hash_cost_per_kb = 500;         // ns per KiB hashed
+  netsim::SimTime sign_cost_hmac = 2 * netsim::kMicrosecond;
+  netsim::SimTime sign_cost_xmss = 50 * netsim::kMicrosecond;
+  netsim::SimTime verify_cost = 3 * netsim::kMicrosecond;
+  netsim::SimTime compose_cost = 300;             // ns per folded record
+  netsim::SimTime cache_lookup_cost = 50;         // ns
+};
+
+struct PeraConfig {
+  nac::DetailMask default_detail =
+      nac::EvidenceDetail::kHardware | nac::EvidenceDetail::kProgram;
+  std::uint8_t sampling_log2 = 0;        // attest 1 in 2^k packets
+  nac::CompositionMode composition = nac::CompositionMode::kChained;
+  bool cache_enabled = true;
+  /// Out-of-band evidence signing batch: 1 = sign each item immediately;
+  /// N > 1 = defer, Merkle-batch N items under one signature
+  /// (kBatched scheme) and emit them together. Amortizes the Fig. 3 D
+  /// block at the cost of N-1 packets of evidence latency.
+  std::size_t oob_batch_size = 1;
+  CostModel costs;
+};
+
+}  // namespace pera::pera

@@ -1,0 +1,63 @@
+#include "pera/measurement.h"
+
+#include <stdexcept>
+
+namespace pera::pera {
+
+crypto::Digest MeasurementUnit::measure(nac::EvidenceDetail level,
+                                        const crypto::Bytes* packet_bytes) const {
+  switch (level) {
+    case nac::EvidenceDetail::kHardware:
+      return hw_.digest();
+    case nac::EvidenceDetail::kProgram:
+      return switch_->program().program_digest();
+    case nac::EvidenceDetail::kTables:
+      return switch_->program().tables_digest();
+    case nac::EvidenceDetail::kProgState:
+      return switch_->registers().state_digest();
+    case nac::EvidenceDetail::kPacket: {
+      if (packet_bytes == nullptr) {
+        throw std::invalid_argument(
+            "MeasurementUnit: packet-level measurement needs packet bytes");
+      }
+      return crypto::sha256(
+          crypto::BytesView{packet_bytes->data(), packet_bytes->size()});
+    }
+  }
+  throw std::invalid_argument("MeasurementUnit: unknown detail level");
+}
+
+std::string MeasurementUnit::claim_text(nac::EvidenceDetail level) const {
+  switch (level) {
+    case nac::EvidenceDetail::kHardware:
+      return "hardware " + hw_.model + "/" + hw_.serial;
+    case nac::EvidenceDetail::kProgram:
+      return "program " + switch_->program().name() + " " +
+             switch_->program().version();
+    case nac::EvidenceDetail::kTables:
+      return "tables of " + switch_->program().name();
+    case nac::EvidenceDetail::kProgState:
+      return "register state of " + switch_->program().name();
+    case nac::EvidenceDetail::kPacket:
+      return "packet contents";
+  }
+  return "?";
+}
+
+std::uint64_t MeasurementUnit::epoch(nac::EvidenceDetail level) const {
+  switch (level) {
+    case nac::EvidenceDetail::kHardware:
+      return 0;  // never changes
+    case nac::EvidenceDetail::kProgram:
+      return program_epoch_;
+    case nac::EvidenceDetail::kTables:
+      return tables_epoch_;
+    case nac::EvidenceDetail::kProgState:
+      return switch_->registers().write_count();
+    case nac::EvidenceDetail::kPacket:
+      return ~std::uint64_t{0};  // every packet differs: never cacheable
+  }
+  return 0;
+}
+
+}  // namespace pera::pera

@@ -1,0 +1,63 @@
+// The measurement unit of a PERA element: turns Fig. 4's inertia levels
+// into live digests of the attached switch. This models the "trustworthy
+// evidence-producing hardware component" of the §3 threat model — it reads
+// the true state of the switch, even if the dataplane program is rogue.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "crypto/sha256.h"
+#include "dataplane/program.h"
+#include "nac/detail.h"
+
+namespace pera::pera {
+
+/// Immutable hardware identity (model + serial), the highest-inertia level.
+struct HardwareIdentity {
+  std::string model = "PERA-1000";
+  std::string serial;
+
+  [[nodiscard]] crypto::Digest digest() const {
+    crypto::Sha256 h;
+    h.update("pera.hardware.v1");
+    h.update(model);
+    h.update(serial);
+    return h.finish();
+  }
+};
+
+class MeasurementUnit {
+ public:
+  MeasurementUnit(HardwareIdentity hw, const dataplane::PisaSwitch& sw)
+      : hw_(std::move(hw)), switch_(&sw) {}
+
+  /// Measure one detail level. kPacket requires `packet_bytes`.
+  [[nodiscard]] crypto::Digest measure(
+      nac::EvidenceDetail level,
+      const crypto::Bytes* packet_bytes = nullptr) const;
+
+  /// Human-readable claim text for a level.
+  [[nodiscard]] std::string claim_text(nac::EvidenceDetail level) const;
+
+  /// Epoch of a level: a counter that advances whenever the measured value
+  /// can have changed. Hardware never advances; program advances on
+  /// program swaps; tables/state epochs derive from live switch state so
+  /// control-plane updates and register writes invalidate caches.
+  [[nodiscard]] std::uint64_t epoch(nac::EvidenceDetail level) const;
+
+  /// Record a program swap (bumps the program epoch).
+  void on_program_loaded() { ++program_epoch_; }
+  /// Record a control-plane table update (bumps the tables epoch).
+  void on_tables_updated() { ++tables_epoch_; }
+
+  [[nodiscard]] const HardwareIdentity& hardware() const { return hw_; }
+
+ private:
+  HardwareIdentity hw_;
+  const dataplane::PisaSwitch* switch_;
+  std::uint64_t program_epoch_ = 0;
+  std::uint64_t tables_epoch_ = 0;
+};
+
+}  // namespace pera::pera

@@ -1,0 +1,162 @@
+#include "pera/pera_switch.h"
+
+namespace pera::pera {
+
+using copland::Evidence;
+using copland::EvidencePtr;
+
+PeraSwitch::PeraSwitch(std::string name,
+                       std::shared_ptr<dataplane::DataplaneProgram> program,
+                       crypto::Signer& signer, PeraConfig config,
+                       HardwareIdentity hw)
+    : name_(std::move(name)),
+      switch_(std::move(program)),
+      config_(config),
+      mu_([&] {
+        if (hw.serial.empty()) hw.serial = name_;
+        return MeasurementUnit(hw, switch_);
+      }()),
+      cache_(config.cache_enabled),
+      engine_(name_, signer, mu_, cache_, config.costs) {
+  if (config_.oob_batch_size > 1) {
+    batcher_.emplace(signer, config_.oob_batch_size);
+  }
+}
+
+void PeraSwitch::load_program(
+    std::shared_ptr<dataplane::DataplaneProgram> program) {
+  switch_.load_program(std::move(program));
+  mu_.on_program_loaded();
+}
+
+void PeraSwitch::update_table(const std::string& table,
+                              dataplane::TableEntry entry) {
+  dataplane::Table* t = switch_.program().table(table);
+  if (t == nullptr) {
+    throw std::invalid_argument("update_table: no table '" + table + "' in " +
+                                switch_.program().name());
+  }
+  t->add_entry(std::move(entry));
+  mu_.on_tables_updated();
+}
+
+void PeraSwitch::set_guard(const std::string& name, PacketGuard guard) {
+  guards_[name] = std::move(guard);
+}
+
+bool PeraSwitch::sampler_fires(const crypto::Digest& flow_key,
+                               std::uint8_t sampling_log2) {
+  const std::uint64_t count = flow_counters_[flow_key]++;
+  if (sampling_log2 == 0) return true;
+  const std::uint64_t period = std::uint64_t{1} << sampling_log2;
+  return count % period == 0;
+}
+
+PeraResult PeraSwitch::process(const dataplane::RawPacket& in,
+                               const nac::PolicyHeader* header,
+                               nac::EvidenceCarrier* carrier) {
+  PeraResult result;
+
+  // (A) parse + (B/C) the ordinary pipeline.
+  dataplane::ParsedPacket pkt;
+  try {
+    pkt = switch_.parse(in);
+  } catch (const std::exception&) {
+    return result;  // parse error counted by the dataplane
+  }
+  switch_.run_pipeline(pkt);
+
+  if (header != nullptr) {
+    const auto instructions = header->instructions_for(name_);
+    if (!instructions.empty() &&
+        sampler_fires(header->nonce.value, header->sampling_log2)) {
+      for (const nac::HopInstruction* inst : instructions) {
+        // Guard tests see the parsed packet.
+        const GuardTest guard = [this, &pkt](const std::string& test) {
+          const auto it = guards_.find(test);
+          return it == guards_.end() ? true : it->second(pkt);
+        };
+        const bool goes_out_of_band = inst->out_of_band || !header->in_band();
+        const bool batch_this = goes_out_of_band && batcher_.has_value() &&
+                                inst->sign_evidence;
+
+        // Deferred signing: create the evidence unsigned; the batcher
+        // signs one Merkle root per config_.oob_batch_size items.
+        nac::HopInstruction effective = *inst;
+        if (batch_this) effective.sign_evidence = false;
+
+        const crypto::Bytes pkt_bytes = in.data;
+        EngineResult ev =
+            engine_.create(effective, header->nonce, &pkt_bytes, &guard);
+        result.ra_latency += ev.cost;
+        if (ev.guard_failed) {
+          ++stats_.guard_failures;
+          continue;
+        }
+        ++stats_.attestations;
+        result.attested = true;
+
+        const std::string collector = header->appraiser.empty()
+                                          ? std::string{"Appraiser"}
+                                          : header->appraiser;
+        if (batch_this) {
+          pending_oob_.push_back(
+              PendingOob{collector, ev.evidence, header->nonce});
+          const auto receipts = batcher_->add(copland::digest(ev.evidence));
+          if (receipts) {
+            // One signing operation amortized over the whole batch.
+            result.ra_latency += config_.costs.sign_cost_hmac;
+            for (std::size_t i = 0; i < pending_oob_.size(); ++i) {
+              const auto& p = pending_oob_[i];
+              const copland::EvidencePtr signed_ev =
+                  copland::Evidence::signature(
+                      name_, p.evidence,
+                      crypto::wrap_batched((*receipts)[i].root,
+                                           (*receipts)[i].proof,
+                                           (*receipts)[i].root_sig));
+              result.out_of_band.push_back(OutOfBandEvidence{
+                  p.to, copland::encode(signed_ev), p.nonce});
+              ++stats_.out_of_band_messages;
+            }
+            pending_oob_.clear();
+          }
+          continue;
+        }
+
+        const crypto::Bytes encoded = copland::encode(ev.evidence);
+        if (goes_out_of_band) {
+          result.out_of_band.push_back(
+              OutOfBandEvidence{collector, encoded, header->nonce});
+          ++stats_.out_of_band_messages;
+        } else if (carrier != nullptr) {
+          // In-band: compose with what earlier hops appended.
+          carrier->add(name_, encoded);
+          result.inband_bytes_added += encoded.size() + name_.size() + 8;
+          stats_.inband_bytes_added += encoded.size();
+        }
+      }
+    } else if (!instructions.empty()) {
+      ++stats_.skipped_by_sampling;
+    }
+  }
+  stats_.ra_time_total += result.ra_latency;
+
+  result.forwarded = switch_.deparse(pkt);
+  return result;
+}
+
+EvidencePtr PeraSwitch::attest_challenge(nac::DetailMask detail,
+                                         const crypto::Nonce& nonce,
+                                         bool hash_before_sign) {
+  nac::HopInstruction inst;
+  inst.place = name_;
+  inst.detail = detail;
+  inst.hash_evidence = hash_before_sign;
+  inst.sign_evidence = true;
+  EngineResult res = engine_.create(inst, nonce, nullptr, nullptr);
+  ++stats_.attestations;
+  stats_.ra_time_total += res.cost;
+  return res.evidence;
+}
+
+}  // namespace pera::pera

@@ -1,0 +1,58 @@
+// The §5.2 configuration interface: "we envisage a configuration
+// interface that can tune the level of detail and frequency of evidence".
+//
+// Given a workload description (packet rate, control-plane churn, path
+// length) and the relying party's requirements (freshness, what must be
+// attested), recommend_config() walks Fig. 4's axes — detail, sampling,
+// composition, caching — using the engine's cost model and returns both a
+// PeraConfig and the predicted per-packet overhead, so operators can see
+// the trade-off before deploying.
+#pragma once
+
+#include <string>
+
+#include "pera/config.h"
+
+namespace pera::pera {
+
+/// What the operator knows about the workload.
+struct WorkloadProfile {
+  double packets_per_second = 1e6;
+  double table_updates_per_second = 1.0;   // control-plane churn
+  double register_writes_per_packet = 0.0; // stateful program activity
+  std::size_t path_hops = 4;
+};
+
+/// What the relying party needs.
+struct AssuranceRequirements {
+  nac::DetailMask detail = nac::EvidenceDetail::kHardware |
+                           nac::EvidenceDetail::kProgram;
+  /// Maximum tolerable per-packet RA latency (simulated ns). The advisor
+  /// raises the sampling rate until predicted overhead fits.
+  netsim::SimTime max_overhead_ns = 1000;
+  /// Require per-packet evidence (disables sampling relief).
+  bool every_packet = false;
+  /// Evidence must be ordered along the path (forces chained composition).
+  bool require_path_order = true;
+};
+
+struct TuningRecommendation {
+  PeraConfig config;
+  double predicted_overhead_ns = 0.0;  // amortized per packet per hop
+  double predicted_cache_hit_rate = 0.0;
+  bool satisfiable = true;             // overhead target reachable?
+  std::string rationale;               // human-readable explanation
+};
+
+/// Predict the amortized per-packet evidence-creation cost for a config
+/// and workload (cache hit rate is derived from churn vs packet rate).
+[[nodiscard]] double predict_overhead_ns(const PeraConfig& config,
+                                         const WorkloadProfile& workload,
+                                         nac::DetailMask detail);
+
+/// Recommend a PeraConfig for the workload and requirements.
+[[nodiscard]] TuningRecommendation recommend_config(
+    const WorkloadProfile& workload, const AssuranceRequirements& req,
+    const CostModel& costs = {});
+
+}  // namespace pera::pera

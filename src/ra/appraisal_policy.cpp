@@ -1,0 +1,102 @@
+#include "ra/appraisal_policy.h"
+
+#include <algorithm>
+
+namespace pera::ra {
+
+using copland::Evidence;
+using copland::EvidenceKind;
+using copland::EvidencePtr;
+
+void AppraisalPolicy::require(const std::string& place,
+                              const std::string& target,
+                              std::vector<crypto::Digest> allowed) {
+  PlaceRequirements& req = places_[place];
+  if (std::find(req.required_targets.begin(), req.required_targets.end(),
+                target) == req.required_targets.end()) {
+    req.required_targets.push_back(target);
+  }
+  for (const auto& d : allowed) req.allowed_values[target].insert(d);
+}
+
+void AppraisalPolicy::also_allow(const std::string& place,
+                                 const std::string& target,
+                                 const crypto::Digest& value) {
+  places_[place].allowed_values[target].insert(value);
+}
+
+void AppraisalPolicy::waive_signature(const std::string& place) {
+  places_[place].require_signature = false;
+}
+
+namespace {
+
+struct Observations {
+  // (place, target) -> observed values.
+  std::map<std::pair<std::string, std::string>, std::vector<crypto::Digest>>
+      measurements;
+  std::set<std::string> signed_places;
+
+  void collect(const EvidencePtr& e, bool under_signature,
+               const std::string& signer) {
+    if (!e) return;
+    switch (e->kind) {
+      case EvidenceKind::kMeasurement:
+        measurements[{e->place, e->target}].push_back(e->value);
+        if (under_signature) signed_places.insert(e->place);
+        return;
+      case EvidenceKind::kSignature:
+        signed_places.insert(e->place);
+        collect(e->child, true, e->place);
+        return;
+      default:
+        collect(e->child, under_signature, signer);
+        collect(e->left, under_signature, signer);
+        collect(e->right, under_signature, signer);
+        return;
+    }
+  }
+};
+
+}  // namespace
+
+PolicyVerdict AppraisalPolicy::evaluate(
+    const EvidencePtr& evidence,
+    std::optional<std::int64_t> evidence_age) const {
+  PolicyVerdict verdict;
+
+  if (max_age_ > 0 && evidence_age && *evidence_age > max_age_) {
+    verdict.fail("", "evidence is stale: age " +
+                         std::to_string(*evidence_age) + " > max " +
+                         std::to_string(max_age_));
+  }
+
+  Observations obs;
+  obs.collect(evidence, false, "");
+
+  for (const auto& [place, req] : places_) {
+    for (const auto& target : req.required_targets) {
+      const auto it = obs.measurements.find({place, target});
+      if (it == obs.measurements.end()) {
+        verdict.fail(place, "missing required measurement of " + target);
+        continue;
+      }
+      const auto allowed_it = req.allowed_values.find(target);
+      if (allowed_it != req.allowed_values.end() &&
+          !allowed_it->second.empty()) {
+        for (const auto& v : it->second) {
+          if (!allowed_it->second.contains(v)) {
+            verdict.fail(place, target + " has un-vetted value " +
+                                    v.short_hex());
+          }
+        }
+      }
+    }
+    if (req.require_signature && !obs.signed_places.contains(place)) {
+      verdict.fail(place, "evidence from this place is not signed");
+    }
+  }
+  return verdict;
+}
+
+}  // namespace pera::ra

@@ -1,0 +1,79 @@
+// Appraisal policies: what an appraiser demands beyond raw golden-value
+// matching. Deployments pin allowed program versions per place, require
+// specific targets to be present, insist on signatures and freshness
+// windows — the operational knobs behind UC1's "unvetted or unwanted
+// dataplane programs".
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "copland/evidence.h"
+#include "crypto/keystore.h"
+
+namespace pera::ra {
+
+/// Requirements for one attesting place.
+struct PlaceRequirements {
+  /// Targets that must appear as measurements from this place.
+  std::vector<std::string> required_targets;
+  /// Per-target allow-lists of acceptable digests (e.g. the two vetted
+  /// firewall builds). Empty set = any value (presence only).
+  std::map<std::string, std::set<crypto::Digest>> allowed_values;
+  /// The place's evidence must be signed.
+  bool require_signature = true;
+};
+
+struct PolicyFinding {
+  std::string place;
+  std::string detail;
+};
+
+struct PolicyVerdict {
+  bool ok = true;
+  std::vector<PolicyFinding> findings;
+
+  void fail(std::string place, std::string detail) {
+    ok = false;
+    findings.push_back({std::move(place), std::move(detail)});
+  }
+};
+
+/// Declarative appraisal policy over composite evidence.
+class AppraisalPolicy {
+ public:
+  /// Require `target` from `place`; optionally restrict acceptable values.
+  void require(const std::string& place, const std::string& target,
+               std::vector<crypto::Digest> allowed = {});
+
+  /// Allow an additional digest for an already-required target (e.g. a
+  /// second vetted build).
+  void also_allow(const std::string& place, const std::string& target,
+                  const crypto::Digest& value);
+
+  /// Drop the signature requirement for a place (e.g. legacy elements).
+  void waive_signature(const std::string& place);
+
+  /// Max age of the evidence relative to `now` (simulated time units);
+  /// enforced only when evaluate() is given issued_at. 0 = no limit.
+  void set_max_age(std::int64_t max_age) { max_age_ = max_age; }
+
+  [[nodiscard]] std::size_t place_count() const { return places_.size(); }
+
+  /// Evaluate evidence against the policy. Signature validity itself is
+  /// the appraiser's job (copland::appraise); this layer checks coverage:
+  /// every required (place, target) present, values allow-listed, signed
+  /// places signed, evidence fresh.
+  [[nodiscard]] PolicyVerdict evaluate(
+      const copland::EvidencePtr& evidence,
+      std::optional<std::int64_t> evidence_age = std::nullopt) const;
+
+ private:
+  std::map<std::string, PlaceRequirements> places_;
+  std::int64_t max_age_ = 0;
+};
+
+}  // namespace pera::ra

@@ -1,0 +1,73 @@
+#include "ra/certificate.h"
+
+#include <stdexcept>
+
+namespace pera::ra {
+
+crypto::Digest Certificate::signing_payload() const {
+  crypto::Sha256 h;
+  h.update("pera.ra.certificate.v1");
+  h.update(appraiser);
+  h.update(nonce.value);
+  h.update(evidence_digest);
+  const std::uint8_t v = verdict ? 1 : 0;
+  h.update(crypto::BytesView{&v, 1});
+  crypto::Bytes t;
+  crypto::append_u64(t, static_cast<std::uint64_t>(issued_at));
+  h.update(crypto::BytesView{t.data(), t.size()});
+  return h.finish();
+}
+
+crypto::Bytes Certificate::serialize() const {
+  crypto::Bytes out;
+  crypto::append_u32(out, static_cast<std::uint32_t>(appraiser.size()));
+  crypto::append(out, crypto::as_bytes(appraiser));
+  crypto::append(out, nonce.value);
+  crypto::append(out, evidence_digest);
+  out.push_back(verdict ? 1 : 0);
+  crypto::append_u64(out, static_cast<std::uint64_t>(issued_at));
+  const crypto::Bytes sig_bytes = sig.serialize();
+  crypto::append_u32(out, static_cast<std::uint32_t>(sig_bytes.size()));
+  crypto::append(out, crypto::BytesView{sig_bytes.data(), sig_bytes.size()});
+  return out;
+}
+
+Certificate Certificate::deserialize(crypto::BytesView data) {
+  Certificate c;
+  std::size_t off = 0;
+  const std::uint32_t name_len = crypto::read_u32(data, off);
+  off += 4;
+  if (off + name_len > data.size()) {
+    throw std::invalid_argument("Certificate::deserialize: truncated name");
+  }
+  c.appraiser.assign(reinterpret_cast<const char*>(data.data() + off),
+                     name_len);
+  off += name_len;
+  if (off + 64 + 1 + 8 > data.size()) {
+    throw std::invalid_argument("Certificate::deserialize: truncated body");
+  }
+  std::copy(data.begin() + static_cast<std::ptrdiff_t>(off),
+            data.begin() + static_cast<std::ptrdiff_t>(off + 32),
+            c.nonce.value.v.begin());
+  off += 32;
+  std::copy(data.begin() + static_cast<std::ptrdiff_t>(off),
+            data.begin() + static_cast<std::ptrdiff_t>(off + 32),
+            c.evidence_digest.v.begin());
+  off += 32;
+  c.verdict = data[off++] != 0;
+  c.issued_at = static_cast<std::int64_t>(crypto::read_u64(data, off));
+  off += 8;
+  const std::uint32_t sig_len = crypto::read_u32(data, off);
+  off += 4;
+  if (off + sig_len != data.size()) {
+    throw std::invalid_argument("Certificate::deserialize: bad sig length");
+  }
+  c.sig = crypto::Signature::deserialize(data.subspan(off, sig_len));
+  return c;
+}
+
+bool Certificate::verify(const crypto::Verifier& v) const {
+  return v.verify(signing_payload(), sig);
+}
+
+}  // namespace pera::ra

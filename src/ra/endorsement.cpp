@@ -1,0 +1,93 @@
+#include "ra/endorsement.h"
+
+#include <stdexcept>
+
+namespace pera::ra {
+
+crypto::Digest Endorsement::signing_payload() const {
+  crypto::Sha256 h;
+  h.update("pera.ra.endorsement.v1");
+  h.update(endorser);
+  h.update(std::string_view{"\x00", 1});
+  h.update(place);
+  h.update(std::string_view{"\x00", 1});
+  h.update(target);
+  h.update(std::string_view{"\x00", 1});
+  h.update(description);
+  h.update(value);
+  return h.finish();
+}
+
+Endorsement Endorsement::make(std::string endorser, std::string place,
+                              std::string target, std::string description,
+                              const crypto::Digest& value,
+                              crypto::Signer& signer) {
+  Endorsement e;
+  e.endorser = std::move(endorser);
+  e.place = std::move(place);
+  e.target = std::move(target);
+  e.description = std::move(description);
+  e.value = value;
+  e.sig = signer.sign(e.signing_payload());
+  return e;
+}
+
+bool Endorsement::verify(const crypto::Verifier& v) const {
+  return v.verify(signing_payload(), sig);
+}
+
+namespace {
+void put_str(crypto::Bytes& out, const std::string& s) {
+  crypto::append_u32(out, static_cast<std::uint32_t>(s.size()));
+  crypto::append(out, crypto::as_bytes(s));
+}
+
+std::string get_str(crypto::BytesView data, std::size_t& off) {
+  const std::uint32_t len = crypto::read_u32(data, off);
+  off += 4;
+  if (off + len > data.size()) {
+    throw std::invalid_argument("Endorsement: truncated string");
+  }
+  std::string s(reinterpret_cast<const char*>(data.data() + off), len);
+  off += len;
+  return s;
+}
+}  // namespace
+
+crypto::Bytes Endorsement::serialize() const {
+  crypto::Bytes out;
+  put_str(out, endorser);
+  put_str(out, place);
+  put_str(out, target);
+  put_str(out, description);
+  crypto::append(out, value);
+  const crypto::Bytes sig_bytes = sig.serialize();
+  crypto::append_u32(out, static_cast<std::uint32_t>(sig_bytes.size()));
+  crypto::append(out, crypto::BytesView{sig_bytes.data(), sig_bytes.size()});
+  return out;
+}
+
+Endorsement Endorsement::deserialize(crypto::BytesView data) {
+  Endorsement e;
+  std::size_t off = 0;
+  e.endorser = get_str(data, off);
+  e.place = get_str(data, off);
+  e.target = get_str(data, off);
+  e.description = get_str(data, off);
+  if (off + 32 > data.size()) {
+    throw std::invalid_argument("Endorsement: truncated value");
+  }
+  std::copy(data.begin() + static_cast<std::ptrdiff_t>(off),
+            data.begin() + static_cast<std::ptrdiff_t>(off + 32),
+            e.value.v.begin());
+  off += 32;
+  const std::uint32_t sig_len = crypto::read_u32(data, off);
+  off += 4;
+  if (off + sig_len != data.size()) {
+    throw std::invalid_argument("Endorsement: bad signature length");
+  }
+  e.sig = crypto::Signature::deserialize(data.subspan(off, sig_len));
+  return e;
+}
+
+}  // namespace pera::ra

@@ -1,0 +1,98 @@
+#include "ra/redaction.h"
+
+namespace pera::ra {
+
+using copland::Evidence;
+using copland::EvidenceKind;
+using copland::EvidencePtr;
+
+std::string PseudonymTable::pseudonym(const std::string& user,
+                                      const std::string& real) {
+  crypto::Hmac h(crypto::BytesView{key_.v.data(), key_.v.size()});
+  h.update(user);
+  h.update(std::string_view{"\x00", 1});
+  h.update(real);
+  const std::string p = "pseu-" + h.finish().hex().substr(0, 12);
+  reverse_[p] = real;
+  return p;
+}
+
+std::optional<std::string> PseudonymTable::lift(
+    const std::string& pseudonym) const {
+  const auto it = reverse_.find(pseudonym);
+  if (it == reverse_.end()) return std::nullopt;
+  return it->second;
+}
+
+namespace {
+
+EvidencePtr redact_rec(const EvidencePtr& e, const std::string& user,
+                       PseudonymTable& table, const RedactionPolicy& policy) {
+  if (!e) return e;
+  const auto place_of = [&](const std::string& p) {
+    return policy.pseudonymize_places && !p.empty() ? table.pseudonym(user, p)
+                                                    : p;
+  };
+  const auto target_of = [&](const std::string& t) {
+    return policy.pseudonymize_targets && !t.empty() ? table.pseudonym(user, t)
+                                                     : t;
+  };
+
+  switch (e->kind) {
+    case EvidenceKind::kEmpty:
+    case EvidenceKind::kNonce:
+      return e;
+    case EvidenceKind::kMeasurement: {
+      crypto::Digest value = e->value;
+      if (policy.collapse_measurement_values) {
+        crypto::Sha256 h;
+        h.update("pera.redact.value");
+        h.update(value);
+        value = h.finish();
+      }
+      return Evidence::measurement(target_of(e->asp), place_of(e->place),
+                                   target_of(e->target), value,
+                                   policy.drop_claims ? "" : e->claim);
+    }
+    case EvidenceKind::kSignature:
+      // Keep the signature bytes (they attest the original), but rename
+      // the signer for the reader. Verifiability moves to the operator's
+      // outer signature added by redact_and_resign.
+      return Evidence::signature(place_of(e->place),
+                                 redact_rec(e->child, user, table, policy),
+                                 e->sig);
+    case EvidenceKind::kHashed:
+      return Evidence::hashed(place_of(e->place), e->hash_value);
+    case EvidenceKind::kSeq:
+      return Evidence::seq(redact_rec(e->left, user, table, policy),
+                           redact_rec(e->right, user, table, policy));
+    case EvidenceKind::kPar:
+      return Evidence::par(redact_rec(e->left, user, table, policy),
+                           redact_rec(e->right, user, table, policy));
+    case EvidenceKind::kFuncOut:
+      return Evidence::func_out(e->func, place_of(e->place),
+                                redact_rec(e->child, user, table, policy),
+                                e->output);
+  }
+  return e;
+}
+
+}  // namespace
+
+EvidencePtr redact(const EvidencePtr& e, const std::string& user,
+                   PseudonymTable& table, const RedactionPolicy& policy) {
+  return redact_rec(e, user, table, policy);
+}
+
+EvidencePtr redact_and_resign(const EvidencePtr& e, const std::string& user,
+                              PseudonymTable& table,
+                              const RedactionPolicy& policy,
+                              const std::string& operator_name,
+                              crypto::Signer& operator_signer) {
+  EvidencePtr redacted = redact(e, user, table, policy);
+  crypto::Signature sig = operator_signer.sign(copland::digest(redacted));
+  return Evidence::signature(operator_name, std::move(redacted),
+                             std::move(sig));
+}
+
+}  // namespace pera::ra

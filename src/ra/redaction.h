@@ -1,0 +1,69 @@
+// Evidence redaction and pseudonymization.
+//
+// UC1's footnotes: switches get per-user pseudonyms instead of serial
+// numbers, programs get pseudonyms liftable "by an auditor's request or
+// court order". UC5's last application: path evidence is redacted before
+// being handed to a compliance officer.
+//
+// Pseudonyms are HMAC(operator_key, user || real_name) so they are
+// deterministic per (user, name), unlinkable across users, and reversible
+// only by the operator (who keeps the mapping).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "copland/evidence.h"
+#include "crypto/hmac.h"
+
+namespace pera::ra {
+
+class PseudonymTable {
+ public:
+  explicit PseudonymTable(crypto::Digest operator_key)
+      : key_(operator_key) {}
+
+  /// Pseudonym for `real` as seen by `user` ("pseu-" + 12 hex chars).
+  [[nodiscard]] std::string pseudonym(const std::string& user,
+                                      const std::string& real);
+
+  /// Lift a pseudonym back to the real name (operator/auditor only).
+  /// Returns nullopt for unknown pseudonyms.
+  [[nodiscard]] std::optional<std::string> lift(
+      const std::string& pseudonym) const;
+
+  [[nodiscard]] std::size_t size() const { return reverse_.size(); }
+
+ private:
+  crypto::Digest key_;
+  std::map<std::string, std::string> reverse_;  // pseudonym -> real
+};
+
+/// Options controlling what redact() removes or renames.
+struct RedactionPolicy {
+  bool pseudonymize_places = true;    // switch serial numbers (footnote 1)
+  bool pseudonymize_targets = false;  // program names (footnote 2)
+  bool drop_claims = false;           // strip human-readable claim text
+  bool collapse_measurement_values = false;  // value -> hash(value), hiding
+                                             // which exact program ran while
+                                             // keeping linkability
+};
+
+/// Produce a redacted copy of evidence for `user`.
+/// NOTE: signatures over redacted subtrees no longer verify against the
+/// original content — the intended flow (UC5) is that the *operator*
+/// re-signs redacted evidence, which redact_and_resign does.
+[[nodiscard]] copland::EvidencePtr redact(const copland::EvidencePtr& e,
+                                          const std::string& user,
+                                          PseudonymTable& table,
+                                          const RedactionPolicy& policy);
+
+/// Redact, then wrap in a fresh operator signature vouching for the
+/// faithful redaction (the "trusted redaction" of UC5).
+[[nodiscard]] copland::EvidencePtr redact_and_resign(
+    const copland::EvidencePtr& e, const std::string& user,
+    PseudonymTable& table, const RedactionPolicy& policy,
+    const std::string& operator_name, crypto::Signer& operator_signer);
+
+}  // namespace pera::ra

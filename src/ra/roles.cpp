@@ -1,0 +1,159 @@
+#include "ra/roles.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pera::ra {
+
+using copland::Evidence;
+
+void Attester::add_claim_source(ClaimSource source) {
+  sources_.push_back(std::move(source));
+}
+
+std::vector<std::string> Attester::targets() const {
+  std::vector<std::string> out;
+  out.reserve(sources_.size());
+  for (const auto& s : sources_) out.push_back(s.target);
+  return out;
+}
+
+EvidencePtr Attester::attest(const std::vector<std::string>& targets,
+                             const std::optional<crypto::Nonce>& nonce,
+                             bool hash_before_sign) {
+  ++attest_count_;
+  EvidencePtr acc = Evidence::empty();
+  if (nonce) acc = Evidence::extend(acc, Evidence::nonce_ev(*nonce));
+
+  const auto measure_one = [&](const ClaimSource& s) {
+    acc = Evidence::extend(
+        acc, Evidence::measurement(name_, name_, s.target, s.measure(),
+                                   s.claim_text));
+  };
+
+  if (targets.empty()) {
+    for (const auto& s : sources_) measure_one(s);
+  } else {
+    for (const auto& t : targets) {
+      const auto it = std::find_if(
+          sources_.begin(), sources_.end(),
+          [&](const ClaimSource& s) { return s.target == t; });
+      if (it == sources_.end()) {
+        throw std::invalid_argument("attester " + name_ +
+                                    ": unknown claim target '" + t + "'");
+      }
+      measure_one(*it);
+    }
+  }
+
+  if (hash_before_sign) {
+    acc = Evidence::hashed(name_, copland::digest(acc));
+  }
+  crypto::Signature sig = signer_->sign(copland::digest(acc));
+  return Evidence::signature(name_, acc, std::move(sig));
+}
+
+void Appraiser::set_golden(const std::string& place, const std::string& target,
+                           const crypto::Digest& value) {
+  goldens_[copland::ComponentId{place, target}] = value;
+}
+
+bool Appraiser::accept_endorsement(const Endorsement& endorsement,
+                                   const std::string& pin_place) {
+  const crypto::Verifier* v = keys_->verifier_for(endorsement.endorser);
+  if (v == nullptr || !endorsement.verify(*v)) return false;
+  const std::string& place =
+      endorsement.place.empty() ? pin_place : endorsement.place;
+  if (place.empty()) return false;  // nowhere to pin a product-wide value
+  set_golden(place, endorsement.target, endorsement.value);
+  return true;
+}
+
+AttestationResult Appraiser::appraise(
+    const EvidencePtr& evidence,
+    const std::optional<crypto::Nonce>& expected_nonce, bool certify,
+    std::int64_t now, bool enforce_freshness) {
+  ++appraisal_count_;
+  AttestationResult result;
+  result.detail =
+      copland::appraise(evidence, goldens_, *keys_, expected_nonce);
+
+  // Nonce replay detection: the same nonce may only be appraised once.
+  if (enforce_freshness && expected_nonce && result.detail.ok) {
+    if (!nonces_.observe(*expected_nonce)) {
+      result.detail.add({copland::AppraisalFinding::Kind::kStaleNonce, name_,
+                         "nonce " + expected_nonce->value.short_hex() +
+                             " already appraised"});
+    }
+  }
+
+  // Declarative coverage policy: required targets / vetted versions.
+  if (policy_) {
+    const PolicyVerdict pv = policy_->evaluate(evidence);
+    if (!pv.ok) {
+      for (const auto& f : pv.findings) {
+        result.detail.add({copland::AppraisalFinding::Kind::kBadMeasurement,
+                           f.place, "policy: " + f.detail});
+      }
+    }
+  }
+  result.ok = result.detail.ok;
+
+  if (certify) {
+    crypto::Signer* signer = keys_->signer_for(name_);
+    if (signer != nullptr) {
+      Certificate cert;
+      cert.appraiser = name_;
+      if (expected_nonce) cert.nonce = *expected_nonce;
+      cert.evidence_digest = copland::digest(evidence);
+      cert.verdict = result.ok;
+      cert.issued_at = now;
+      cert.sig = signer->sign(cert.signing_payload());
+      cert_store_[cert.nonce.value] = cert;
+      result.certificate = std::move(cert);
+    }
+  }
+  return result;
+}
+
+std::optional<Certificate> Appraiser::retrieve(const crypto::Nonce& n) const {
+  const auto it = cert_store_.find(n.value);
+  if (it == cert_store_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Certificate> Appraiser::certificates_between(
+    std::int64_t from, std::int64_t to) const {
+  std::vector<Certificate> out;
+  for (const auto& [nonce, cert] : cert_store_) {
+    if (cert.issued_at >= from && cert.issued_at <= to) out.push_back(cert);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Certificate& a, const Certificate& b) {
+              return a.issued_at < b.issued_at;
+            });
+  return out;
+}
+
+std::vector<Certificate> Appraiser::failed_certificates() const {
+  std::vector<Certificate> out;
+  for (const auto& [nonce, cert] : cert_store_) {
+    if (!cert.verdict) out.push_back(cert);
+  }
+  return out;
+}
+
+bool RelyingParty::accept(const Certificate& cert,
+                          const crypto::Verifier& appraiser_key) {
+  if (!cert.verify(appraiser_key)) return false;
+  const bool fresh_nonce = cert.nonce.value.is_zero()
+                               ? true
+                               : nonces_.issued(cert.nonce) &&
+                                     nonces_.observe(cert.nonce);
+  if (!fresh_nonce) return false;
+  if (!cert.verdict) return false;
+  ++accepted_;
+  return true;
+}
+
+}  // namespace pera::ra

@@ -1,0 +1,155 @@
+// Tests for the confinement analysis (Rowe-style adversary confinement,
+// repurposed for dataplanes per §1) and the protocol trace recorder that
+// turns Fig. 2 into an assertable message sequence.
+#include <gtest/gtest.h>
+
+#include "copland/analysis.h"
+#include "copland/parser.h"
+#include "core/deployment.h"
+
+namespace pera::copland {
+namespace {
+
+const std::vector<std::pair<std::string, std::string>> kCompromise = {
+    {"us", "bmon"},  // the evasion tool
+    {"us", "exts"},  // the payload (the actual malware)
+};
+
+TEST(Confinement, Expression1DoesNotConfine) {
+  const Request req = parse_request(
+      "*bank : @ks [av us bmon] -~- @us [bmon us exts]");
+  const ConfinementResult res =
+      analyze_confinement(req.body, "bank", kCompromise, {"av"});
+  EXPECT_FALSE(res.detection_guaranteed);
+  ASSERT_EQ(res.tainted.size(), 1u);
+  EXPECT_EQ(res.tainted[0].asp, "bmon");
+}
+
+TEST(Confinement, Expression2Confines) {
+  const Request req = parse_request(
+      "*bank : @ks [av us bmon -> !] -<- @us [bmon us exts -> !]");
+  const ConfinementResult res =
+      analyze_confinement(req.body, "bank", kCompromise, {"av"});
+  EXPECT_TRUE(res.detection_guaranteed);
+  ASSERT_EQ(res.detecting.size(), 1u);
+  EXPECT_EQ(res.detecting[0].asp, "av");
+  EXPECT_EQ(res.detecting[0].target, "bmon");
+}
+
+TEST(Confinement, DirectMeasurementOfPayloadAlwaysDetects) {
+  // av measures exts directly: the adversary cannot repair the payload
+  // without forfeiting the attack, so even a parallel policy detects.
+  const Request req = parse_request(
+      "*bank : @us [av us exts] -~- @us [bmon us exts]");
+  const ConfinementResult res =
+      analyze_confinement(req.body, "bank", kCompromise, {"av"});
+  EXPECT_TRUE(res.detection_guaranteed);
+}
+
+TEST(Confinement, UnmeasuredToolEvades) {
+  // bmon is never itself measured: nothing confines it.
+  const Request req = parse_request("*bank : @us [bmon us exts]");
+  const ConfinementResult res =
+      analyze_confinement(req.body, "bank", kCompromise, {"av"});
+  EXPECT_FALSE(res.detection_guaranteed);
+  EXPECT_EQ(res.tainted.size(), 1u);
+}
+
+TEST(Confinement, CleanSystemHasNothingToDetect) {
+  const Request req = parse_request(
+      "*bank : @ks [av us bmon -> !] -<- @us [bmon us exts -> !]");
+  const ConfinementResult res =
+      analyze_confinement(req.body, "bank", {}, {"av"});
+  EXPECT_FALSE(res.detection_guaranteed);  // nothing corrupt to find
+  EXPECT_TRUE(res.tainted.empty());
+  EXPECT_TRUE(res.detecting.empty());
+}
+
+TEST(Confinement, ToolMeasuredAfterUseEvades) {
+  // Sequential, but in the wrong order: use first, then measurement.
+  const Request req = parse_request(
+      "*bank : @us [bmon us exts -> !] -<- @ks [av us bmon -> !]");
+  const ConfinementResult res =
+      analyze_confinement(req.body, "bank", kCompromise, {"av"});
+  EXPECT_FALSE(res.detection_guaranteed);
+}
+
+TEST(Confinement, AgreesWithRepairVulnerabilityAnalysis) {
+  for (const auto& [src, confined] :
+       std::vector<std::pair<const char*, bool>>{
+           {"*bank : @ks [av us bmon] -~- @us [bmon us exts]", false},
+           {"*bank : @ks [av us bmon -> !] -<- @us [bmon us exts -> !]",
+            true}}) {
+    const Request req = parse_request(src);
+    const bool vulnerable =
+        !find_repair_vulnerabilities(req.body, "bank", {"av"}).empty();
+    const bool detects =
+        analyze_confinement(req.body, "bank", kCompromise, {"av"})
+            .detection_guaranteed;
+    EXPECT_EQ(vulnerable, !confined) << src;
+    EXPECT_EQ(detects, confined) << src;
+  }
+}
+
+}  // namespace
+}  // namespace pera::copland
+
+namespace pera::core {
+namespace {
+
+// Fig. 2 as an assertable sequence: challenge (➀), evidence (➁/➂),
+// result (➃).
+TEST(Trace, OutOfBandSequenceMatchesFig2) {
+  Deployment dep(netsim::topo::chain(2));
+  dep.provision_goldens();
+  std::vector<netsim::TraceEvent> trace;
+  dep.network().record_trace(&trace);
+
+  const auto rep = dep.run_out_of_band(
+      "client", "s2", nac::mask_of(nac::EvidenceDetail::kProgram));
+  ASSERT_TRUE(rep.accepted);
+  dep.network().record_trace(nullptr);
+
+  std::vector<std::string> delivered;
+  for (const auto& e : trace) {
+    if (e.kind == netsim::TraceEvent::Kind::kDelivered) {
+      delivered.push_back(e.type);
+    }
+  }
+  ASSERT_EQ(delivered.size(), 3u);
+  EXPECT_EQ(delivered[0], "challenge");  // ➀ RP -> switch
+  EXPECT_EQ(delivered[1], "evidence");   // ➁ switch -> appraiser
+  EXPECT_EQ(delivered[2], "result");     // ➃ appraiser -> RP
+
+  // Timestamps strictly increase along the exchange.
+  netsim::SimTime last = -1;
+  for (const auto& e : trace) {
+    EXPECT_GE(e.at, last);
+    last = e.at;
+  }
+
+  const std::string rendered =
+      netsim::format_trace(dep.network().topology(), trace);
+  EXPECT_NE(rendered.find("client"), std::string::npos);
+  EXPECT_NE(rendered.find("Appraiser"), std::string::npos);
+  EXPECT_NE(rendered.find("challenge"), std::string::npos);
+}
+
+TEST(Trace, LossEventsRecorded) {
+  Deployment dep(netsim::topo::chain(1));
+  dep.provision_goldens();
+  dep.network().set_loss(1.0, 3);
+  std::vector<netsim::TraceEvent> trace;
+  dep.network().record_trace(&trace);
+  (void)dep.run_out_of_band("client", "s1",
+                            nac::mask_of(nac::EvidenceDetail::kProgram));
+  dep.network().record_trace(nullptr);
+  bool saw_loss = false;
+  for (const auto& e : trace) {
+    if (e.kind == netsim::TraceEvent::Kind::kLost) saw_loss = true;
+  }
+  EXPECT_TRUE(saw_loss);
+}
+
+}  // namespace
+}  // namespace pera::core

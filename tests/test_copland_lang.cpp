@@ -1,0 +1,299 @@
+// Tests for the Copland language front end: lexer, parser, pretty-printer
+// round trips, and AST utilities — including the paper's expressions
+// (1)-(4) and the Table 1 policies AP1-AP3.
+#include <gtest/gtest.h>
+
+#include "copland/ast.h"
+#include "copland/lexer.h"
+#include "copland/parser.h"
+#include "copland/pretty.h"
+
+namespace pera::copland {
+namespace {
+
+// The paper's expressions in our ASCII syntax.
+constexpr const char* kExpr1 =
+    "*bank : @ks [av us bmon] -~- @us [bmon us exts]";
+constexpr const char* kExpr2 =
+    "*bank : @ks [av us bmon -> !] -<- @us [bmon us exts -> !]";
+constexpr const char* kExpr3a =
+    "*RP1<n> : @Switch [attest(Hardware -~- Program) -> # -> !] +<+ "
+    "@Appraiser [appraise -> certify(n) -> ! -> store(n)]";
+constexpr const char* kExpr3b = "*RP2<n> : @Appraiser [retrieve(n)]";
+constexpr const char* kExpr4 =
+    "*RP1 : @Switch [attest(Hardware -~- Program) -> # -> !] -> "
+    "@RP2 [@Appraiser [appraise -> certify -> !]]";
+constexpr const char* kAP1 =
+    "*bank<n, X> : forall hop, client : "
+    "(@hop [Khop |> attest(n, X) -> !] -<+ @Appraiser [appraise -> store(n)]) "
+    "*=> @client [Kclient |> @ks [av us bmon -> !] -<- @us [bmon us exts -> !]]";
+constexpr const char* kAP2 =
+    "*scanner<P> : @scanner [P |> attest(P) -> !] -<+ "
+    "@Appraiser [appraise -> store]";
+constexpr const char* kAP3 =
+    "*pathCheck<F1, F2, Peer1, Peer2> : forall p, q, r, peer1, peer2 : "
+    "(@peer1 [Peer1 |> !] -<+ @p [attest(F1) -> !] -<+ @q [attest(F2) -> !] "
+    "-<+ @Appraiser [appraise -> store]) *=> "
+    "(@r [Q |> !] -<+ @peer2 [Peer2 |> !] -<+ @Appraiser [appraise -> store])";
+
+// --- lexer -------------------------------------------------------------------
+
+TEST(Lexer, BasicTokens) {
+  const auto toks = lex("*bank : @ks [av us bmon] -> ! # {}");
+  ASSERT_GE(toks.size(), 12u);
+  EXPECT_EQ(toks[0].kind, TokKind::kStar);
+  EXPECT_EQ(toks[1].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[1].text, "bank");
+  EXPECT_EQ(toks[2].kind, TokKind::kColon);
+  EXPECT_EQ(toks[3].kind, TokKind::kAt);
+  EXPECT_EQ(toks.back().kind, TokKind::kEnd);
+}
+
+TEST(Lexer, BranchOperators) {
+  for (const char* op : {"-<-", "+<+", "-~-", "+~-", "-<+"}) {
+    const auto toks = lex(op);
+    ASSERT_EQ(toks.size(), 2u) << op;
+    EXPECT_EQ(toks[0].kind, TokKind::kBranch) << op;
+    EXPECT_EQ(toks[0].text, op);
+  }
+}
+
+TEST(Lexer, ArrowVsBranch) {
+  const auto toks = lex("a -> b");
+  EXPECT_EQ(toks[1].kind, TokKind::kArrow);
+}
+
+TEST(Lexer, PathStarVsStar) {
+  const auto toks = lex("* *=>");
+  EXPECT_EQ(toks[0].kind, TokKind::kStar);
+  EXPECT_EQ(toks[1].kind, TokKind::kPathStar);
+}
+
+TEST(Lexer, GuardToken) {
+  const auto toks = lex("K |> x");
+  EXPECT_EQ(toks[1].kind, TokKind::kGuard);
+}
+
+TEST(Lexer, ForallKeyword) {
+  const auto toks = lex("forall p, q : x");
+  EXPECT_EQ(toks[0].kind, TokKind::kForall);
+}
+
+TEST(Lexer, IdentWithDotsAndDigits) {
+  const auto toks = lex("firewall_v5.p4");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].text, "firewall_v5.p4");
+}
+
+TEST(Lexer, RejectsGarbage) {
+  EXPECT_THROW((void)lex("a $ b"), ParseError);
+}
+
+TEST(Lexer, PositionsRecorded) {
+  const auto toks = lex("ab cd");
+  EXPECT_EQ(toks[0].pos, 0u);
+  EXPECT_EQ(toks[1].pos, 3u);
+}
+
+// --- parser ------------------------------------------------------------------
+
+TEST(Parser, Expr1Shape) {
+  const Request req = parse_request(kExpr1);
+  EXPECT_EQ(req.relying_party, "bank");
+  EXPECT_TRUE(req.params.empty());
+  ASSERT_EQ(req.body->kind, TermKind::kBranch);
+  EXPECT_EQ(req.body->branch, BranchKind::kPar);
+  EXPECT_FALSE(req.body->pass_left);
+  EXPECT_FALSE(req.body->pass_right);
+  ASSERT_EQ(req.body->left->kind, TermKind::kAtPlace);
+  EXPECT_EQ(req.body->left->place, "ks");
+  const TermPtr meas = req.body->left->child;
+  ASSERT_EQ(meas->kind, TermKind::kMeasure);
+  EXPECT_EQ(meas->asp, "av");
+  EXPECT_EQ(meas->place, "us");
+  EXPECT_EQ(meas->target, "bmon");
+}
+
+TEST(Parser, Expr2UsesSequentialBranch) {
+  const Request req = parse_request(kExpr2);
+  ASSERT_EQ(req.body->kind, TermKind::kBranch);
+  EXPECT_EQ(req.body->branch, BranchKind::kSeq);
+  // Left arm is a pipe ending in sign.
+  ASSERT_EQ(req.body->left->kind, TermKind::kAtPlace);
+  const TermPtr pipe = req.body->left->child;
+  ASSERT_EQ(pipe->kind, TermKind::kPipe);
+  EXPECT_EQ(pipe->right->kind, TermKind::kSign);
+}
+
+TEST(Parser, Expr3NonceParamAndFuncs) {
+  const Request req = parse_request(kExpr3a);
+  EXPECT_EQ(req.relying_party, "RP1");
+  ASSERT_EQ(req.params.size(), 1u);
+  EXPECT_EQ(req.params[0], "n");
+  // attest has a branch argument.
+  ASSERT_EQ(req.body->kind, TermKind::kBranch);
+  const TermPtr sw = req.body->left;
+  ASSERT_EQ(sw->kind, TermKind::kAtPlace);
+  TermPtr cur = sw->child;  // ((attest -> #) -> !)
+  ASSERT_EQ(cur->kind, TermKind::kPipe);
+  EXPECT_EQ(cur->right->kind, TermKind::kSign);
+  cur = cur->left;
+  ASSERT_EQ(cur->kind, TermKind::kPipe);
+  EXPECT_EQ(cur->right->kind, TermKind::kHash);
+  cur = cur->left;
+  ASSERT_EQ(cur->kind, TermKind::kFunc);
+  EXPECT_EQ(cur->func, "attest");
+  ASSERT_EQ(cur->args.size(), 1u);
+  EXPECT_EQ(cur->args[0]->kind, TermKind::kBranch);
+  EXPECT_EQ(cur->args[0]->branch, BranchKind::kPar);
+}
+
+TEST(Parser, Expr3bRetrieve) {
+  const Request req = parse_request(kExpr3b);
+  EXPECT_EQ(req.relying_party, "RP2");
+  ASSERT_EQ(req.body->kind, TermKind::kAtPlace);
+  ASSERT_EQ(req.body->child->kind, TermKind::kFunc);
+  EXPECT_EQ(req.body->child->func, "retrieve");
+}
+
+TEST(Parser, Expr4NestedPlaces) {
+  const Request req = parse_request(kExpr4);
+  ASSERT_EQ(req.body->kind, TermKind::kPipe);
+  const TermPtr rp2 = req.body->right;
+  ASSERT_EQ(rp2->kind, TermKind::kAtPlace);
+  EXPECT_EQ(rp2->place, "RP2");
+  ASSERT_EQ(rp2->child->kind, TermKind::kAtPlace);
+  EXPECT_EQ(rp2->child->place, "Appraiser");
+}
+
+TEST(Parser, AP1ForallAndStar) {
+  const Request req = parse_request(kAP1);
+  EXPECT_EQ(req.params, (std::vector<std::string>{"n", "X"}));
+  ASSERT_EQ(req.body->kind, TermKind::kForall);
+  EXPECT_EQ(req.body->vars, (std::vector<std::string>{"hop", "client"}));
+  ASSERT_EQ(req.body->child->kind, TermKind::kPathStar);
+  const TermPtr left = req.body->child->left;
+  ASSERT_EQ(left->kind, TermKind::kBranch);
+  // Hop block is guarded.
+  ASSERT_EQ(left->left->kind, TermKind::kAtPlace);
+  EXPECT_EQ(left->left->child->kind, TermKind::kGuard);
+  EXPECT_EQ(left->left->child->test, "Khop");
+}
+
+TEST(Parser, AP2GuardOnScanner) {
+  const Request req = parse_request(kAP2);
+  ASSERT_EQ(req.body->kind, TermKind::kBranch);
+  const TermPtr scanner = req.body->left;
+  ASSERT_EQ(scanner->kind, TermKind::kAtPlace);
+  ASSERT_EQ(scanner->child->kind, TermKind::kGuard);
+  EXPECT_EQ(scanner->child->test, "P");
+}
+
+TEST(Parser, AP3FiveVars) {
+  const Request req = parse_request(kAP3);
+  ASSERT_EQ(req.body->kind, TermKind::kForall);
+  EXPECT_EQ(req.body->vars.size(), 5u);
+  EXPECT_EQ(req.body->child->kind, TermKind::kPathStar);
+}
+
+TEST(Parser, NilAndParens) {
+  const TermPtr t = parse_term("({} -> !)");
+  ASSERT_EQ(t->kind, TermKind::kPipe);
+  EXPECT_EQ(t->left->kind, TermKind::kNil);
+}
+
+TEST(Parser, LeftAssociativeBranches) {
+  const TermPtr t = parse_term("a -<- b -<- c");
+  ASSERT_EQ(t->kind, TermKind::kBranch);
+  EXPECT_EQ(t->right->kind, TermKind::kAtom);
+  EXPECT_EQ(t->right->target, "c");
+  EXPECT_EQ(t->left->kind, TermKind::kBranch);
+}
+
+TEST(Parser, ErrorsCarryPosition) {
+  try {
+    (void)parse_request("*bank @ks");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_GT(std::string(e.what()).size(), 0u);
+  }
+}
+
+TEST(Parser, RejectsTrailingTokens) {
+  EXPECT_THROW((void)parse_term("a b"), ParseError);  // two idents, not three
+}
+
+TEST(Parser, RejectsEmptyInput) {
+  EXPECT_THROW((void)parse_term(""), ParseError);
+}
+
+TEST(Parser, FuncWithNoArgs) {
+  const TermPtr t = parse_term("appraise()");
+  ASSERT_EQ(t->kind, TermKind::kFunc);
+  EXPECT_TRUE(t->args.empty());
+}
+
+// --- pretty round trips --------------------------------------------------------
+
+class RoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTrip, ParsePrintParseIsIdentity) {
+  const Request req = parse_request(GetParam());
+  const std::string printed = to_string(req);
+  const Request again = parse_request(printed);
+  EXPECT_TRUE(equal(req.body, again.body))
+      << "printed: " << printed << "\nreprinted: " << to_string(again);
+  EXPECT_EQ(req.relying_party, again.relying_party);
+  EXPECT_EQ(req.params, again.params);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperExamples, RoundTrip,
+                         ::testing::Values(kExpr1, kExpr2, kExpr3a, kExpr3b,
+                                           kExpr4, kAP1, kAP2, kAP3));
+
+class TermRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TermRoundTrip, Identity) {
+  const TermPtr t = parse_term(GetParam());
+  const TermPtr again = parse_term(to_string(t));
+  EXPECT_TRUE(equal(t, again)) << to_string(t);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, TermRoundTrip,
+    ::testing::Values("a", "a -> b", "a -> b -> c", "(a -<- b) -> c",
+                      "a -<- (b -> c)", "a +~+ b", "@p [x] -> @q [y]",
+                      "K |> a -> !", "forall h : @h [x] *=> @c [y]",
+                      "attest(a, b -> c)", "av us bmon", "{}", "# -> !",
+                      "a -<- b -~- c", "(a -~- b) -<- c",
+                      "forall h, k : (K |> @h [x]) *=> @k [y]"));
+
+// --- AST utilities ----------------------------------------------------------------
+
+TEST(Ast, SizeCountsNodes) {
+  EXPECT_EQ(size(parse_term("a")), 1u);
+  EXPECT_EQ(size(parse_term("a -> b")), 3u);
+  EXPECT_EQ(size(parse_term("@p [a -> b]")), 4u);
+}
+
+TEST(Ast, PlacesOf) {
+  const auto places = places_of(parse_term("@p [av q bmon] -<- @r [x]"));
+  EXPECT_EQ(places, (std::vector<std::string>{"p", "q", "r"}));
+}
+
+TEST(Ast, IsNetworkAware) {
+  EXPECT_FALSE(is_network_aware(parse_term("@p [a -> !]")));
+  EXPECT_TRUE(is_network_aware(parse_term("K |> a")));
+  EXPECT_TRUE(is_network_aware(parse_term("a *=> b")));
+  EXPECT_TRUE(is_network_aware(parse_term("forall p : @p [a]")));
+  EXPECT_TRUE(is_network_aware(parse_term("attest(forall p : x)")));
+}
+
+TEST(Ast, EqualDistinguishesFlags) {
+  EXPECT_FALSE(equal(parse_term("a -<- b"), parse_term("a +<+ b")));
+  EXPECT_FALSE(equal(parse_term("a -<- b"), parse_term("a -~- b")));
+  EXPECT_TRUE(equal(parse_term("a -<- b"), parse_term("a -<- b")));
+}
+
+}  // namespace
+}  // namespace pera::copland

@@ -1,0 +1,136 @@
+// Datacenter-scale integration: the fat-tree-ish topology with many
+// concurrent attested flows — the "tenants of a datacenter" setting the
+// abstract motivates — plus a NetKAT printer/parser round-trip property.
+#include <gtest/gtest.h>
+
+#include "core/deployment.h"
+#include "crypto/drbg.h"
+#include "netkat/eval.h"
+#include "netkat/parser.h"
+
+namespace pera::core {
+namespace {
+
+nac::CompiledPolicy tenant_policy() {
+  return nac::compile(std::string(
+      "*tenant<n> : forall hop : @hop [attest(Hardware -~- Program) -> !] "
+      "*=> @Appraiser [appraise]"));
+}
+
+TEST(Datacenter, ManyTenantsAttestConcurrently) {
+  Deployment dep(netsim::topo::datacenter());
+  dep.provision_goldens();
+  const nac::CompiledPolicy pol = tenant_policy();
+  ASSERT_TRUE(dep.validate_policy(pol));
+
+  // Eight host pairs spread across pods, 8 packets each.
+  const std::pair<const char*, const char*> pairs[] = {
+      {"h1", "h8"}, {"h2", "h7"}, {"h3", "h6"}, {"h4", "h5"},
+      {"h5", "h1"}, {"h6", "h2"}, {"h7", "h3"}, {"h8", "h4"}};
+  std::size_t delivered = 0;
+  std::size_t failures = 0;
+  std::size_t attestations = 0;
+  for (const auto& [src, dst] : pairs) {
+    const FlowReport rep = dep.send_flow(src, dst, pol, 8, /*in_band=*/true);
+    delivered += rep.packets_delivered;
+    failures += rep.appraisal_failures;
+    attestations += rep.attestations;
+  }
+  EXPECT_EQ(delivered, 64u);
+  EXPECT_EQ(failures, 0u);
+  // Every inter-pod path crosses >= 3 switches (tor-agg-...-tor).
+  EXPECT_GE(attestations, 64u * 3);
+}
+
+TEST(Datacenter, OneCompromisedTorAffectsOnlyItsFlows) {
+  Deployment dep(netsim::topo::datacenter());
+  dep.provision_goldens();
+  const nac::CompiledPolicy pol = tenant_policy();
+
+  dep.switch_node("tor1").pera().load_program(
+      dataplane::make_rogue_router("v1"));
+
+  // h1/h2 are under tor1: their flows fail appraisal.
+  const FlowReport tainted = dep.send_flow("h1", "h8", pol, 4, true);
+  EXPECT_EQ(tainted.appraisal_failures, 4u);
+
+  // h3 -> h4 never touches tor1 (both under tor2): clean.
+  const FlowReport clean = dep.send_flow("h3", "h4", pol, 4, true);
+  EXPECT_EQ(clean.appraisal_failures, 0u);
+}
+
+TEST(Datacenter, CoreLinkFailureReroutesAndStillAttests) {
+  Deployment dep(netsim::topo::datacenter());
+  dep.provision_goldens();
+  const nac::CompiledPolicy pol = tenant_policy();
+  dep.network().topology().set_link_state("core1", "agg1", false);
+  const FlowReport rep = dep.send_flow("h1", "h8", pol, 4, true);
+  EXPECT_EQ(rep.packets_delivered, 4u);
+  EXPECT_EQ(rep.appraisal_failures, 0u);
+}
+
+}  // namespace
+}  // namespace pera::core
+
+namespace pera::netkat {
+namespace {
+
+// Random policy generator over a small field vocabulary.
+PolicyPtr random_policy(crypto::Drbg& rng, int depth = 0) {
+  static const char* kFields[] = {"sw", "pt", "dst", "vlan"};
+  const auto field = [&] { return std::string(kFields[rng.uniform(4)]); };
+  const std::uint64_t choice = depth >= 4 ? rng.uniform(3) : rng.uniform(7);
+  switch (choice) {
+    case 0:
+      return Policy::mod(field(), rng.uniform(5));
+    case 1:
+      return Policy::filter(Predicate::test(field(), rng.uniform(5)));
+    case 2:
+      return Policy::filter(Predicate::test_masked(field(), rng.uniform(16),
+                                                   rng.uniform(16)));
+    case 3:
+      return Policy::unite(random_policy(rng, depth + 1),
+                           random_policy(rng, depth + 1));
+    case 4:
+      return Policy::seq(random_policy(rng, depth + 1),
+                         random_policy(rng, depth + 1));
+    case 5:
+      return Policy::filter(Predicate::neg(
+          Predicate::disj(Predicate::test(field(), rng.uniform(3)),
+                          Predicate::test(field(), rng.uniform(3)))));
+    default:
+      // Star over a filter-guarded mod so fixpoints stay tiny.
+      return Policy::star(Policy::seq(
+          Policy::filter(Predicate::test(field(), rng.uniform(3))),
+          Policy::mod(field(), rng.uniform(3))));
+  }
+}
+
+class NetkatRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(NetkatRoundTrip, PrintParseSemanticIdentity) {
+  crypto::Drbg rng(static_cast<std::uint64_t>(GetParam()) * 811);
+  // Packet universe over the vocabulary.
+  PacketSet universe;
+  for (std::uint64_t sw = 0; sw < 3; ++sw) {
+    for (std::uint64_t pt = 0; pt < 3; ++pt) {
+      Packet p;
+      p.set("sw", sw);
+      p.set("pt", pt);
+      p.set("dst", (sw + pt) % 4);
+      universe.insert(std::move(p));
+    }
+  }
+  for (int i = 0; i < 15; ++i) {
+    const PolicyPtr p = random_policy(rng);
+    const std::string printed = to_string(p);
+    PolicyPtr back;
+    ASSERT_NO_THROW(back = parse_policy(printed)) << printed;
+    EXPECT_TRUE(equivalent_on(p, back, universe)) << printed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetkatRoundTrip, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace pera::netkat

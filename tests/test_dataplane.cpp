@@ -1,0 +1,417 @@
+// Tests for the PISA software switch: header packing, the programmable
+// parser, match kinds, actions, registers, program digests and the canned
+// programs — including the UC1 "stealth" property: the rogue router
+// behaves identically on non-target traffic but has a different digest.
+#include <gtest/gtest.h>
+
+#include "dataplane/builder.h"
+
+namespace pera::dataplane {
+namespace {
+
+// --- header packing ---------------------------------------------------------
+
+class PackRoundTrip
+    : public ::testing::TestWithParam<std::vector<std::uint64_t>> {};
+
+TEST_P(PackRoundTrip, Ipv4Identity) {
+  const HeaderSpec spec = stdhdr::ipv4();
+  const auto values = GetParam();
+  const Bytes packed = pack_header(spec, values);
+  EXPECT_EQ(packed.size(), spec.byte_width());
+  EXPECT_EQ(unpack_header(spec, BytesView{packed.data(), packed.size()}),
+            values);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, PackRoundTrip,
+    ::testing::Values(
+        std::vector<std::uint64_t>{0x45, 0, 100, 64, 6, 0, 0x0a000001,
+                                   0x0a000002},
+        std::vector<std::uint64_t>{0xff, 0xff, 0xffff, 0xff, 0xff, 0xffff,
+                                   0xffffffff, 0xffffffff},
+        std::vector<std::uint64_t>{0, 0, 0, 0, 0, 0, 0, 0},
+        std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6, 7, 8}));
+
+TEST(Pack, EthernetRoundTrip) {
+  const HeaderSpec eth = stdhdr::ethernet();
+  const std::vector<std::uint64_t> v = {0x112233445566, 0xaabbccddeeff,
+                                        0x0800};
+  const Bytes packed = pack_header(eth, v);
+  EXPECT_EQ(packed.size(), 14u);
+  EXPECT_EQ(unpack_header(eth, BytesView{packed.data(), packed.size()}), v);
+}
+
+TEST(Pack, ValueCountMismatchThrows) {
+  EXPECT_THROW((void)pack_header(stdhdr::tcp(), {1, 2}),
+               std::invalid_argument);
+}
+
+TEST(Pack, ShortBufferThrows) {
+  const Bytes b(3, 0);
+  EXPECT_THROW((void)unpack_header(stdhdr::tcp(), BytesView{b.data(), b.size()}),
+               std::invalid_argument);
+}
+
+TEST(FieldRef, ParseAndReject) {
+  const FieldRef r = parse_field_ref("ipv4.dst");
+  EXPECT_EQ(r.header, "ipv4");
+  EXPECT_EQ(r.field, "dst");
+  EXPECT_THROW((void)parse_field_ref("nodot"), std::invalid_argument);
+  EXPECT_THROW((void)parse_field_ref(".x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_field_ref("x."), std::invalid_argument);
+}
+
+// --- parser -------------------------------------------------------------------
+
+TEST(Parser, ParsesEthIpv4Tcp) {
+  const ParserProgram p = standard_parser();
+  const RawPacket raw = make_tcp_packet({});
+  const ParsedPacket pkt = p.parse(raw);
+  EXPECT_TRUE(pkt.has("eth"));
+  EXPECT_TRUE(pkt.has("ipv4"));
+  EXPECT_TRUE(pkt.has("tcp"));
+  EXPECT_EQ(pkt.get("ipv4.dst"), 0x0a000202u);
+  EXPECT_EQ(pkt.get("tcp.dport"), 443u);
+  EXPECT_EQ(pkt.payload.size(), 64u);
+}
+
+TEST(Parser, NonIpStopsAfterEth) {
+  const ParserProgram p = standard_parser();
+  const HeaderSpec eth = stdhdr::ethernet();
+  RawPacket raw;
+  raw.data = pack_header(eth, {1, 2, 0x0806});  // ARP
+  raw.data.resize(raw.data.size() + 28, 0);
+  const ParsedPacket pkt = p.parse(raw);
+  EXPECT_TRUE(pkt.has("eth"));
+  EXPECT_FALSE(pkt.has("ipv4"));
+  EXPECT_EQ(pkt.payload.size(), 28u);
+}
+
+TEST(Parser, TruncatedPacketThrows) {
+  const ParserProgram p = standard_parser();
+  RawPacket raw;
+  raw.data = {1, 2, 3};
+  EXPECT_THROW((void)p.parse(raw), std::invalid_argument);
+}
+
+TEST(Parser, DeparseRoundTrips) {
+  const ParserProgram p = standard_parser();
+  const RawPacket raw = make_tcp_packet({});
+  const ParsedPacket pkt = p.parse(raw);
+  EXPECT_EQ(pkt.deparse(), raw.data);
+}
+
+TEST(Parser, EncodeIsStable) {
+  EXPECT_EQ(standard_parser().encode(), standard_parser().encode());
+}
+
+// --- tables ------------------------------------------------------------------
+
+TEST(Table, ExactMatch) {
+  Table t("t", {KeySpec{{"tcp", "dport"}, MatchKind::kExact}});
+  TableEntry e;
+  e.keys = {KeyMatch::exact(443)};
+  e.action = "hit";
+  t.add_entry(e);
+  const ParsedPacket pkt = standard_parser().parse(make_tcp_packet({}));
+  TableEntry* hit = t.lookup(pkt);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->action, "hit");
+  EXPECT_EQ(hit->hit_count, 1u);
+}
+
+TEST(Table, ExactMiss) {
+  Table t("t", {KeySpec{{"tcp", "dport"}, MatchKind::kExact}});
+  TableEntry e;
+  e.keys = {KeyMatch::exact(80)};
+  e.action = "hit";
+  t.add_entry(e);
+  const ParsedPacket pkt = standard_parser().parse(make_tcp_packet({}));
+  EXPECT_EQ(t.lookup(pkt), nullptr);
+}
+
+TEST(Table, LpmPrefersLongestPrefix) {
+  Table t("t", {KeySpec{{"ipv4", "dst"}, MatchKind::kLpm, 32}});
+  TableEntry wide;
+  wide.keys = {KeyMatch::lpm(0x0a000000, 8)};
+  wide.action = "wide";
+  t.add_entry(wide);
+  TableEntry narrow;
+  narrow.keys = {KeyMatch::lpm(0x0a000000, 24)};
+  narrow.action = "narrow";
+  t.add_entry(narrow);
+  PacketSpec spec;
+  spec.ip_dst = 0x0a000042;
+  const ParsedPacket pkt = standard_parser().parse(make_tcp_packet(spec));
+  TableEntry* hit = t.lookup(pkt);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->action, "narrow");
+}
+
+TEST(Table, LpmRespectsFieldWidth) {
+  Table t("t", {KeySpec{{"ipv4", "dst"}, MatchKind::kLpm, 32}});
+  TableEntry e;
+  e.keys = {KeyMatch::lpm(0x0a000100, 24)};  // 10.0.1.0/24
+  e.action = "hit";
+  t.add_entry(e);
+  PacketSpec in_subnet;
+  in_subnet.ip_dst = 0x0a0001fe;
+  PacketSpec out_subnet;
+  out_subnet.ip_dst = 0x0a0002fe;
+  EXPECT_NE(t.lookup(standard_parser().parse(make_tcp_packet(in_subnet))),
+            nullptr);
+  EXPECT_EQ(t.lookup(standard_parser().parse(make_tcp_packet(out_subnet))),
+            nullptr);
+}
+
+TEST(Table, TernaryAndPriority) {
+  Table t("t", {KeySpec{{"tcp", "dport"}, MatchKind::kTernary}});
+  TableEntry any;
+  any.keys = {KeyMatch::wildcard()};
+  any.priority = 1;
+  any.action = "any";
+  t.add_entry(any);
+  TableEntry https;
+  https.keys = {KeyMatch::ternary(443, 0xffff)};
+  https.priority = 10;
+  https.action = "https";
+  t.add_entry(https);
+  const ParsedPacket pkt = standard_parser().parse(make_tcp_packet({}));
+  EXPECT_EQ(t.lookup(pkt)->action, "https");
+  PacketSpec other;
+  other.dport = 8080;
+  EXPECT_EQ(t.lookup(standard_parser().parse(make_tcp_packet(other)))->action,
+            "any");
+}
+
+TEST(Table, MetadataKeys) {
+  Table t("t", {KeySpec{{"meta", "ingress_port"}, MatchKind::kExact}});
+  TableEntry e;
+  e.keys = {KeyMatch::exact(4)};
+  e.action = "hit";
+  t.add_entry(e);
+  PacketSpec spec;
+  spec.ingress_port = 4;
+  EXPECT_NE(t.lookup(standard_parser().parse(make_tcp_packet(spec))), nullptr);
+  spec.ingress_port = 5;
+  EXPECT_EQ(t.lookup(standard_parser().parse(make_tcp_packet(spec))), nullptr);
+}
+
+TEST(Table, MissingHeaderNeverMatches) {
+  Table t("t", {KeySpec{{"tcp", "dport"}, MatchKind::kExact}});
+  TableEntry e;
+  e.keys = {KeyMatch::exact(443)};
+  e.action = "hit";
+  t.add_entry(e);
+  const HeaderSpec eth = stdhdr::ethernet();
+  RawPacket raw;
+  raw.data = pack_header(eth, {1, 2, 0x0806});
+  const ParsedPacket pkt = standard_parser().parse(raw);
+  EXPECT_EQ(t.lookup(pkt), nullptr);
+}
+
+TEST(Table, EntryKeyCountValidated) {
+  Table t("t", {KeySpec{{"tcp", "dport"}, MatchKind::kExact}});
+  TableEntry e;
+  e.keys = {KeyMatch::exact(1), KeyMatch::exact(2)};
+  EXPECT_THROW((void)t.add_entry(e), std::invalid_argument);
+}
+
+TEST(Table, ContentDigestTracksEntries) {
+  Table t("t", {KeySpec{{"tcp", "dport"}, MatchKind::kExact}});
+  const crypto::Digest d0 = t.content_digest();
+  TableEntry e;
+  e.keys = {KeyMatch::exact(443)};
+  e.action = "hit";
+  t.add_entry(e);
+  const crypto::Digest d1 = t.content_digest();
+  EXPECT_NE(d0, d1);
+  EXPECT_EQ(t.content_digest(), d1);  // stable
+}
+
+// --- actions / registers --------------------------------------------------------
+
+TEST(Action, ForwardSetsEgress) {
+  ParsedPacket pkt = standard_parser().parse(make_tcp_packet({}));
+  stdaction::forward().execute(pkt, {7}, nullptr);
+  EXPECT_EQ(pkt.meta.egress_port, 7u);
+}
+
+TEST(Action, DropSetsFlag) {
+  ParsedPacket pkt = standard_parser().parse(make_tcp_packet({}));
+  stdaction::drop().execute(pkt, {}, nullptr);
+  EXPECT_TRUE(pkt.meta.drop);
+}
+
+TEST(Action, SetFieldMasksToWidth) {
+  ParsedPacket pkt = standard_parser().parse(make_tcp_packet({}));
+  stdaction::set_field("ipv4.ttl").execute(pkt, {0x1ff}, nullptr);
+  EXPECT_EQ(pkt.get("ipv4.ttl"), 0xffu);  // 8-bit field
+}
+
+TEST(Action, MissingParamThrows) {
+  ParsedPacket pkt = standard_parser().parse(make_tcp_packet({}));
+  EXPECT_THROW(stdaction::forward().execute(pkt, {}, nullptr),
+               std::runtime_error);
+}
+
+TEST(Action, RegisterOpsNeedRegisterFile) {
+  ActionDef a;
+  a.name = "regop";
+  Op op;
+  op.kind = OpKind::kRegWrite;
+  op.reg = "r";
+  op.a = Operand::imm(0);
+  op.b = Operand::imm(5);
+  a.ops.push_back(op);
+  ParsedPacket pkt = standard_parser().parse(make_tcp_packet({}));
+  EXPECT_THROW(a.execute(pkt, {}, nullptr), std::runtime_error);
+  RegisterFile regs;
+  regs.declare("r", 4);
+  a.execute(pkt, {}, &regs);
+  EXPECT_EQ(regs.read("r", 0), 5u);
+}
+
+TEST(Registers, BoundsChecked) {
+  RegisterFile regs;
+  regs.declare("r", 2);
+  EXPECT_THROW((void)regs.read("r", 2), std::out_of_range);
+  EXPECT_THROW(regs.write("missing", 0, 1), std::out_of_range);
+  EXPECT_EQ(regs.size("r"), 2u);
+}
+
+TEST(Registers, StateDigestTracksWrites) {
+  RegisterFile regs;
+  regs.declare("r", 4);
+  const crypto::Digest d0 = regs.state_digest();
+  regs.write("r", 1, 42);
+  EXPECT_NE(regs.state_digest(), d0);
+  EXPECT_EQ(regs.write_count(), 1u);
+}
+
+// --- programs and the switch --------------------------------------------------
+
+TEST(Program, DigestStableAndVersionSensitive) {
+  EXPECT_EQ(make_router("v1")->program_digest(),
+            make_router("v1")->program_digest());
+  EXPECT_NE(make_router("v1")->program_digest(),
+            make_router("v2")->program_digest());
+  EXPECT_NE(make_router("v1")->program_digest(),
+            make_firewall("v1")->program_digest());
+}
+
+TEST(Program, TableEntriesAffectTablesDigestOnly) {
+  auto p1 = make_router();
+  auto p2 = make_router();
+  TableEntry e;
+  e.keys = {KeyMatch::lpm(0xC0A80000, 16)};
+  e.action = "forward";
+  e.action_params = {3};
+  p2->table("route")->add_entry(e);
+  EXPECT_EQ(p1->program_digest(), p2->program_digest());
+  EXPECT_NE(p1->tables_digest(), p2->tables_digest());
+}
+
+TEST(Switch, RouterForwardsBySubnet) {
+  PisaSwitch sw(make_router());
+  PacketSpec spec;
+  spec.ip_dst = 0x0a000305;  // 10.0.3.5 -> port 3
+  const auto out = sw.process(make_tcp_packet(spec));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->port, 3u);
+  EXPECT_EQ(sw.stats().packets_out, 1u);
+}
+
+TEST(Switch, RouterDropsUnknownSubnet) {
+  PisaSwitch sw(make_router());
+  PacketSpec spec;
+  spec.ip_dst = 0xC0A80001;  // 192.168.0.1: no route
+  EXPECT_FALSE(sw.process(make_tcp_packet(spec)).has_value());
+  EXPECT_EQ(sw.stats().packets_dropped, 1u);
+}
+
+TEST(Switch, FirewallBlocksDisallowedPort) {
+  PisaSwitch sw(make_firewall());
+  PacketSpec ok;
+  ok.ip_dst = 0x0a000203;
+  ok.dport = 443;
+  EXPECT_TRUE(sw.process(make_tcp_packet(ok)).has_value());
+  PacketSpec bad = ok;
+  bad.dport = 9999;
+  bad.ip_src = 0xC0A80001;  // external source
+  EXPECT_FALSE(sw.process(make_tcp_packet(bad)).has_value());
+}
+
+TEST(Switch, AclDropsDenyListedPorts) {
+  PisaSwitch sw(make_acl());
+  PacketSpec bad;
+  bad.ip_dst = 0x0a000203;
+  bad.dport = 6667;  // IRC: deny-listed
+  EXPECT_FALSE(sw.process(make_tcp_packet(bad)).has_value());
+  PacketSpec ok = bad;
+  ok.dport = 443;
+  EXPECT_TRUE(sw.process(make_tcp_packet(ok)).has_value());
+}
+
+TEST(Switch, ParseErrorCounted) {
+  PisaSwitch sw(make_router());
+  RawPacket junk;
+  junk.data = {1, 2, 3};
+  EXPECT_FALSE(sw.process(junk).has_value());
+  EXPECT_EQ(sw.stats().parse_errors, 1u);
+}
+
+TEST(Switch, LoadProgramRedeclaresRegisters) {
+  PisaSwitch sw(make_monitor());
+  EXPECT_TRUE(sw.registers().has("port_counts"));
+  sw.load_program(make_router());
+  EXPECT_FALSE(sw.registers().has("port_counts"));
+}
+
+// The UC1 stealth property: the rogue router forwards non-target traffic
+// exactly like the honest router (the Athens attack went unnoticed), yet
+// its program digest differs — which is precisely what RA detects.
+TEST(RogueRouter, StealthOnNonTargetTraffic) {
+  PisaSwitch honest(make_router("v1"));
+  PisaSwitch rogue(make_rogue_router("v1"));
+  for (std::uint64_t dst : {0x0a000101ULL, 0x0a000202ULL, 0x0a000404ULL}) {
+    PacketSpec spec;
+    spec.ip_dst = static_cast<std::uint32_t>(dst);
+    const auto a = honest.process(make_tcp_packet(spec));
+    const auto b = rogue.process(make_tcp_packet(spec));
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a->port, b->port);
+    EXPECT_EQ(a->data, b->data);
+  }
+}
+
+TEST(RogueRouter, MarksTargetTraffic) {
+  PisaSwitch rogue(make_rogue_router("v1"));
+  PacketSpec spec;
+  spec.ip_dst = 0x0a000105;  // on the target list
+  const RawPacket raw = make_tcp_packet(spec);
+  ParsedPacket pkt = rogue.parse(raw);
+  rogue.run_pipeline(pkt);
+  EXPECT_EQ(pkt.meta.user1, 1u);  // intercept mark
+}
+
+TEST(RogueRouter, DigestBetraysTheSwap) {
+  EXPECT_NE(make_router("v1")->program_digest(),
+            make_rogue_router("v1")->program_digest());
+  // Even claiming the same name+version does not help the attacker.
+  EXPECT_EQ(make_rogue_router("v1")->name(), make_router("v1")->name());
+  EXPECT_EQ(make_rogue_router("v1")->version(), make_router("v1")->version());
+}
+
+TEST(Monitor, CountsViaRegisters) {
+  PisaSwitch sw(make_monitor());
+  PacketSpec spec;
+  spec.dport = 443;
+  (void)sw.process(make_tcp_packet(spec));
+  EXPECT_GT(sw.registers().write_count(), 0u);
+}
+
+}  // namespace
+}  // namespace pera::dataplane

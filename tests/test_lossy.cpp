@@ -1,0 +1,85 @@
+// Tests for attestation over unreliable networks: link-level loss,
+// timeout-and-retry at the relying party, and replay safety of retries.
+#include <gtest/gtest.h>
+
+#include "core/deployment.h"
+
+namespace pera::core {
+namespace {
+
+TEST(Lossy, ReliableNetworkCompletesFirstAttempt) {
+  Deployment dep(netsim::topo::chain(2));
+  dep.provision_goldens();
+  const auto rep = dep.run_out_of_band_with_retries(
+      "client", "s1", nac::mask_of(nac::EvidenceDetail::kProgram));
+  EXPECT_TRUE(rep.accepted);
+  EXPECT_EQ(rep.attempts, 1u);
+}
+
+TEST(Lossy, ModerateLossEventuallyCompletes) {
+  Deployment dep(netsim::topo::chain(2));
+  dep.provision_goldens();
+  dep.network().set_loss(0.25, 7777);
+  const auto rep = dep.run_out_of_band_with_retries(
+      "client", "s1", nac::mask_of(nac::EvidenceDetail::kProgram),
+      10 * netsim::kMillisecond, /*max_attempts=*/20);
+  EXPECT_TRUE(rep.accepted) << "25% per-hop loss should succeed within "
+                               "20 attempts";
+  EXPECT_GT(dep.network().stats().messages_lost, 0u);
+}
+
+TEST(Lossy, TotalLossFailsAfterRetries) {
+  Deployment dep(netsim::topo::chain(2));
+  dep.provision_goldens();
+  dep.network().set_loss(1.0, 1);
+  const auto rep = dep.run_out_of_band_with_retries(
+      "client", "s1", nac::mask_of(nac::EvidenceDetail::kProgram),
+      1 * netsim::kMillisecond, 3);
+  EXPECT_FALSE(rep.completed);
+  EXPECT_EQ(rep.attempts, 3u);
+}
+
+TEST(Lossy, RetriesUseFreshNonces) {
+  // A lost *result* must not strand the protocol: each retry carries a
+  // fresh nonce so the appraiser's replay protection never blocks a
+  // legitimate retry.
+  Deployment dep(netsim::topo::chain(2));
+  dep.provision_goldens();
+  dep.network().set_loss(0.35, 4242);
+  const auto rep = dep.run_out_of_band_with_retries(
+      "client", "s1", nac::mask_of(nac::EvidenceDetail::kProgram),
+      10 * netsim::kMillisecond, 30);
+  EXPECT_TRUE(rep.accepted);
+  // The appraiser never saw a nonce twice (no stale-nonce failures).
+  EXPECT_GE(rep.attempts, 1u);
+}
+
+TEST(Lossy, LossIsDeterministicPerSeed) {
+  const auto run_once = [](std::uint64_t seed) {
+    Deployment dep(netsim::topo::chain(2));
+    dep.provision_goldens();
+    dep.network().set_loss(0.3, seed);
+    const auto rep = dep.run_out_of_band_with_retries(
+        "client", "s1", nac::mask_of(nac::EvidenceDetail::kProgram),
+        10 * netsim::kMillisecond, 20);
+    return rep.attempts;
+  };
+  EXPECT_EQ(run_once(99), run_once(99));
+}
+
+TEST(Lossy, FlowsDegradeGracefully) {
+  Deployment dep(netsim::topo::chain(3));
+  dep.provision_goldens();
+  dep.network().set_loss(0.1, 31337);
+  const nac::CompiledPolicy pol = nac::compile(std::string(
+      "*rp<n> : forall hop : @hop [attest(Program) -> !] *=> "
+      "@Appraiser [appraise]"));
+  const FlowReport rep = dep.send_flow("client", "server", pol, 50, true);
+  // Some packets die, the rest still attest and appraise cleanly.
+  EXPECT_LT(rep.packets_delivered, rep.packets_sent);
+  EXPECT_GT(rep.packets_delivered, 0u);
+  EXPECT_EQ(rep.appraisal_failures, 0u);
+}
+
+}  // namespace
+}  // namespace pera::core

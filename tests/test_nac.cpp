@@ -1,0 +1,326 @@
+// Tests for network-aware Copland: detail masks, the path binder (Prim1/
+// Prim2), the policy compiler, and the §5.2 wire formats.
+#include <gtest/gtest.h>
+
+#include "copland/parser.h"
+#include "copland/pretty.h"
+#include "copland/semantics.h"
+#include "copland/testbed.h"
+#include "nac/binder.h"
+#include "nac/compiler.h"
+#include "nac/header.h"
+
+namespace pera::nac {
+namespace {
+
+using copland::parse_request;
+using copland::parse_term;
+using copland::TermKind;
+using copland::TermPtr;
+
+constexpr const char* kAP1 =
+    "*bank<n, X> : forall hop, client : "
+    "(@hop [Khop |> attest(n, X) -> !] -<+ @Appraiser [appraise -> store(n)]) "
+    "*=> @client [Kclient |> @ks [av us bmon -> !] -<- @us [bmon us exts -> !]]";
+constexpr const char* kAP2 =
+    "*scanner<P> : @scanner [P |> attest(P) -> !] -<+ "
+    "@Appraiser [appraise -> store]";
+constexpr const char* kAP3 =
+    "*pathCheck<F1, F2, Peer1, Peer2> : forall p, q, r, peer1, peer2 : "
+    "(@peer1 [Peer1 |> !] -<+ @p [attest(F1) -> !] -<+ @q [attest(F2) -> !] "
+    "-<+ @Appraiser [appraise -> store]) *=> "
+    "(@r [Q |> !] -<+ @peer2 [Peer2 |> !] -<+ @Appraiser [appraise -> store])";
+constexpr const char* kSimpleStar =
+    "*rp<n> : forall hop : @hop [attest(Program) -> !] *=> @Appraiser [appraise]";
+
+// --- detail masks ------------------------------------------------------------
+
+TEST(Detail, MaskOps) {
+  const DetailMask m = EvidenceDetail::kHardware | EvidenceDetail::kTables;
+  EXPECT_TRUE(has_detail(m, EvidenceDetail::kHardware));
+  EXPECT_TRUE(has_detail(m, EvidenceDetail::kTables));
+  EXPECT_FALSE(has_detail(m, EvidenceDetail::kPacket));
+}
+
+TEST(Detail, TargetNameMapping) {
+  EXPECT_EQ(detail_from_target("Hardware"), EvidenceDetail::kHardware);
+  EXPECT_EQ(detail_from_target("Program"), EvidenceDetail::kProgram);
+  EXPECT_EQ(detail_from_target("Tables"), EvidenceDetail::kTables);
+  EXPECT_EQ(detail_from_target("State"), EvidenceDetail::kProgState);
+  EXPECT_EQ(detail_from_target("Packet"), EvidenceDetail::kPacket);
+  EXPECT_EQ(detail_from_target("firewall_version"), EvidenceDetail::kProgram);
+}
+
+TEST(Detail, DescribeMask) {
+  EXPECT_EQ(describe_mask(0), "none");
+  EXPECT_EQ(describe_mask(kAllDetail),
+            "Hardware+Program+Tables+ProgState+Packet");
+}
+
+// --- binder -------------------------------------------------------------------
+
+TEST(Binder, SubstitutePlaces) {
+  const TermPtr t = parse_term("@hop [x] -> @fixed [y]");
+  const TermPtr s = substitute_places(t, {{"hop", "s1"}});
+  EXPECT_EQ(copland::to_string(s), "@s1 [x] -> @fixed [y]");
+}
+
+TEST(Binder, SubstituteRespectsForallShadowing) {
+  const TermPtr t = parse_term("forall hop : @hop [x]");
+  const TermPtr s = substitute_places(t, {{"hop", "s1"}});
+  // Bound variable is shadowed, not substituted.
+  EXPECT_NE(copland::to_string(s).find("@hop"), std::string::npos);
+}
+
+TEST(Binder, BindSimpleStarExpandsPerHop) {
+  const auto req = parse_request(kSimpleStar);
+  PathBinding binding;
+  binding.hops = {"s1", "s2", "s3"};
+  const TermPtr bound = bind_path(req.body, binding);
+  EXPECT_FALSE(copland::is_network_aware(bound));
+  const std::string printed = copland::to_string(bound);
+  for (const char* hop : {"@s1", "@s2", "@s3"}) {
+    EXPECT_NE(printed.find(hop), std::string::npos) << printed;
+  }
+}
+
+TEST(Binder, EmptyPathStillHasTail) {
+  const auto req = parse_request(kSimpleStar);
+  PathBinding binding;  // zero hops: the star matches zero elements
+  const TermPtr bound = bind_path(req.body, binding);
+  EXPECT_NE(copland::to_string(bound).find("@Appraiser"), std::string::npos);
+}
+
+TEST(Binder, AP1BindsHopAndClient) {
+  const auto req = parse_request(kAP1);
+  PathBinding binding;
+  binding.hops = {"s1", "s2"};
+  binding.bindings = {{"client", "laptop"}};
+  const TermPtr bound = bind_path(req.body, binding);
+  const std::string printed = copland::to_string(bound);
+  EXPECT_NE(printed.find("@s1"), std::string::npos);
+  EXPECT_NE(printed.find("@s2"), std::string::npos);
+  EXPECT_NE(printed.find("@laptop"), std::string::npos);
+  EXPECT_EQ(printed.find("@hop"), std::string::npos);
+}
+
+TEST(Binder, AP3NeedsAllVarsPinned) {
+  const auto req = parse_request(kAP3);
+  PathBinding binding;
+  binding.bindings = {{"p", "s1"},
+                      {"q", "s2"},
+                      {"r", "s3"},
+                      {"peer1", "alice"},
+                      {"peer2", "bob"}};
+  const TermPtr bound = bind_path(req.body, binding);
+  const std::string printed = copland::to_string(bound);
+  for (const char* place : {"@alice", "@s1", "@s2", "@s3", "@bob"}) {
+    EXPECT_NE(printed.find(place), std::string::npos) << printed;
+  }
+}
+
+TEST(Binder, UnboundVariableThrows) {
+  const auto req = parse_request(kAP1);
+  PathBinding binding;
+  binding.hops = {"s1"};
+  // client left unbound
+  EXPECT_THROW((void)bind_path(req.body, binding), std::invalid_argument);
+}
+
+TEST(Binder, CompositionModeSetsFlags) {
+  const auto req = parse_request(kSimpleStar);
+  PathBinding chained;
+  chained.hops = {"s1", "s2"};
+  chained.composition = CompositionMode::kChained;
+  const TermPtr c = bind_path(req.body, chained);
+  ASSERT_EQ(c->kind, TermKind::kBranch);
+  EXPECT_TRUE(c->pass_right);  // evidence chains into the tail
+
+  PathBinding pointwise = chained;
+  pointwise.composition = CompositionMode::kPointwise;
+  const TermPtr p = bind_path(req.body, pointwise);
+  EXPECT_FALSE(p->pass_right);
+}
+
+TEST(Binder, BoundPolicyEvaluates) {
+  // End-to-end: bind the simple star against two hops, then run the plain
+  // Copland evaluator over a testbed that has the hop components.
+  const auto req = parse_request(kSimpleStar);
+  PathBinding binding;
+  binding.hops = {"s1", "s2"};
+  const TermPtr bound = bind_path(req.body, binding);
+
+  crypto::KeyStore keys(3);
+  copland::TestbedPlatform platform(keys);
+  crypto::NonceRegistry nonces(4);
+  platform.install("s1", "Program", "router v1 on s1");
+  platform.install("s2", "Program", "router v1 on s2");
+  platform.install_default_funcs(nonces);
+  copland::Evaluator ev(platform);
+  const copland::EvidencePtr e =
+      ev.eval(bound, req.relying_party, copland::Evidence::empty());
+  EXPECT_EQ(copland::measurements_of(e).size(), 2u);
+  EXPECT_EQ(copland::signatures_of(e).size(), 2u);
+}
+
+// --- compiler ------------------------------------------------------------------
+
+TEST(Compiler, AP1Shape) {
+  const CompiledPolicy p = compile(std::string(kAP1));
+  EXPECT_EQ(p.relying_party, "bank");
+  EXPECT_EQ(p.params, (std::vector<std::string>{"n", "X"}));
+  EXPECT_EQ(p.appraiser, "Appraiser");
+  ASSERT_GE(p.hops.size(), 3u);
+  // First hop: the wildcard per-hop instruction.
+  EXPECT_TRUE(p.hops[0].wildcard);
+  EXPECT_EQ(p.hops[0].guard, "Khop");
+  EXPECT_TRUE(p.hops[0].sign_evidence);
+  EXPECT_TRUE(p.hops[0].out_of_band);  // collector inside star-left
+  EXPECT_TRUE(has_detail(p.hops[0].detail, EvidenceDetail::kProgram));
+  EXPECT_TRUE(has_detail(p.hops[0].detail, EvidenceDetail::kTables));
+  EXPECT_EQ(p.wildcard_count(), 1u);
+}
+
+TEST(Compiler, AP2ScannerGuard) {
+  const CompiledPolicy p = compile(std::string(kAP2));
+  ASSERT_EQ(p.hops.size(), 2u);
+  EXPECT_FALSE(p.hops[0].wildcard);
+  EXPECT_EQ(p.hops[0].place, "scanner");
+  EXPECT_EQ(p.hops[0].guard, "P");
+  EXPECT_TRUE(p.hops[0].sign_evidence);
+  EXPECT_TRUE(p.hops[1].is_collector);
+}
+
+TEST(Compiler, AP3PinnedPlaces) {
+  const CompiledPolicy p = compile(std::string(kAP3));
+  // peer1/p/q sit in the star-left -> wildcards; r/peer2 follow the star
+  // and stay symbolic until deployment pins them; Appraiser is pinned.
+  EXPECT_EQ(p.wildcard_count(), 3u);
+  EXPECT_EQ(p.appraiser, "Appraiser");
+}
+
+TEST(Compiler, Expr3DetailFromAttestArgs) {
+  const CompiledPolicy p = compile(
+      std::string("*RP1<n> : @Switch [attest(Hardware -~- Program) -> # -> !] "
+                  "+<+ @Appraiser [appraise -> certify(n) -> ! -> store(n)]"));
+  ASSERT_GE(p.hops.size(), 2u);
+  const HopInstruction& sw = p.hops[0];
+  EXPECT_EQ(sw.place, "Switch");
+  EXPECT_TRUE(has_detail(sw.detail, EvidenceDetail::kHardware));
+  EXPECT_TRUE(has_detail(sw.detail, EvidenceDetail::kProgram));
+  EXPECT_TRUE(sw.hash_evidence);
+  EXPECT_TRUE(sw.sign_evidence);
+  EXPECT_FALSE(sw.out_of_band);  // appraiser is a sibling, not in star-left
+}
+
+TEST(Compiler, PolicyIdIsStable) {
+  EXPECT_EQ(compile(std::string(kAP2)).policy_id,
+            compile(std::string(kAP2)).policy_id);
+  EXPECT_NE(compile(std::string(kAP2)).policy_id,
+            compile(std::string(kAP1)).policy_id);
+}
+
+TEST(Compiler, RejectsDegeneratePolicy) {
+  EXPECT_THROW((void)compile(std::string("*rp : attest(Program)")),
+               CompileError);
+}
+
+// --- wire formats ------------------------------------------------------------------
+
+class HeaderRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(HeaderRoundTrip, SerializeDeserializeIdentity) {
+  const CompiledPolicy p = compile(std::string(GetParam()));
+  const crypto::Nonce nonce{crypto::sha256("hdr nonce")};
+  const PolicyHeader h = make_header(p, nonce, /*in_band=*/true, 3);
+  const crypto::Bytes ser = h.serialize();
+  const PolicyHeader back =
+      PolicyHeader::deserialize(crypto::BytesView{ser.data(), ser.size()});
+  EXPECT_EQ(back.flags, h.flags);
+  EXPECT_EQ(back.sampling_log2, 3);
+  EXPECT_EQ(back.nonce, nonce);
+  EXPECT_EQ(back.policy_id, h.policy_id);
+  EXPECT_EQ(back.appraiser, h.appraiser);
+  ASSERT_EQ(back.hops.size(), h.hops.size());
+  for (std::size_t i = 0; i < h.hops.size(); ++i) {
+    EXPECT_EQ(back.hops[i], h.hops[i]) << "hop " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, HeaderRoundTrip,
+                         ::testing::Values(kAP1, kAP2, kAP3, kSimpleStar));
+
+TEST(Header, FlagsReflectOptions) {
+  const CompiledPolicy p =
+      compile(std::string(kAP2), CompositionMode::kPointwise);
+  const PolicyHeader in_band = make_header(p, {}, true);
+  EXPECT_TRUE(in_band.in_band());
+  EXPECT_FALSE(in_band.chained());
+  const PolicyHeader oob = make_header(
+      compile(std::string(kAP2), CompositionMode::kChained), {}, false);
+  EXPECT_FALSE(oob.in_band());
+  EXPECT_TRUE(oob.chained());
+}
+
+TEST(Header, RejectsBadMagicAndVersion) {
+  const CompiledPolicy p = compile(std::string(kAP2));
+  crypto::Bytes ser = make_header(p, {}, true).serialize();
+  crypto::Bytes bad_magic = ser;
+  bad_magic[0] = 0;
+  EXPECT_THROW((void)PolicyHeader::deserialize(
+                   crypto::BytesView{bad_magic.data(), bad_magic.size()}),
+               std::invalid_argument);
+  crypto::Bytes bad_version = ser;
+  bad_version[2] = 9;
+  EXPECT_THROW((void)PolicyHeader::deserialize(
+                   crypto::BytesView{bad_version.data(), bad_version.size()}),
+               std::invalid_argument);
+  ser.push_back(0);
+  EXPECT_THROW(
+      (void)PolicyHeader::deserialize(crypto::BytesView{ser.data(), ser.size()}),
+      std::invalid_argument);
+}
+
+TEST(Header, InstructionsForPinnedBeatsWildcard) {
+  const CompiledPolicy p = compile(std::string(kAP2));
+  const PolicyHeader h = make_header(p, {}, true);
+  const auto for_scanner = h.instructions_for("scanner");
+  ASSERT_EQ(for_scanner.size(), 1u);
+  EXPECT_EQ(for_scanner[0]->place, "scanner");
+  // Another place gets no instruction (AP2 has no wildcard).
+  EXPECT_TRUE(h.instructions_for("other").empty());
+}
+
+TEST(Header, WildcardAppliesEverywhere) {
+  const CompiledPolicy p = compile(std::string(kSimpleStar));
+  const PolicyHeader h = make_header(p, {}, true);
+  EXPECT_EQ(h.instructions_for("s1").size(), 1u);
+  EXPECT_EQ(h.instructions_for("s99").size(), 1u);
+  EXPECT_TRUE(h.instructions_for("s1")[0]->wildcard);
+}
+
+TEST(Carrier, RoundTripAndSizes) {
+  EvidenceCarrier c;
+  EXPECT_EQ(c.wire_size(), 4u);
+  c.add("s1", crypto::Bytes{1, 2, 3});
+  c.add("s2", crypto::Bytes{4, 5});
+  const crypto::Bytes ser = c.serialize();
+  const EvidenceCarrier back =
+      EvidenceCarrier::deserialize(crypto::BytesView{ser.data(), ser.size()});
+  ASSERT_EQ(back.records.size(), 2u);
+  EXPECT_EQ(back.records[0].place, "s1");
+  EXPECT_EQ(back.records[1].evidence, (crypto::Bytes{4, 5}));
+}
+
+TEST(Carrier, RejectsTruncation) {
+  EvidenceCarrier c;
+  c.add("s1", crypto::Bytes{1, 2, 3});
+  crypto::Bytes ser = c.serialize();
+  ser.pop_back();
+  EXPECT_THROW((void)EvidenceCarrier::deserialize(
+                   crypto::BytesView{ser.data(), ser.size()}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pera::nac

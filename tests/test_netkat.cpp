@@ -1,0 +1,233 @@
+// Tests for the NetKAT subset: predicate/policy semantics, Kleene star
+// fixpoints, dup histories, topology encoding and reachability — the
+// machinery behind Prim1 (path abstraction) and Prim3 (reachability).
+#include <gtest/gtest.h>
+
+#include "netkat/eval.h"
+#include "netkat/topology.h"
+
+namespace pera::netkat {
+namespace {
+
+Packet pkt(std::uint64_t sw, std::uint64_t pt, std::uint64_t dst = 0) {
+  Packet p;
+  p.set("sw", sw);
+  p.set("pt", pt);
+  p.set("dst", dst);
+  return p;
+}
+
+// --- predicates --------------------------------------------------------------
+
+TEST(Predicate, TestMatchesField) {
+  EXPECT_TRUE(eval(Predicate::test("sw", 3), pkt(3, 1)));
+  EXPECT_FALSE(eval(Predicate::test("sw", 4), pkt(3, 1)));
+}
+
+TEST(Predicate, MissingFieldReadsZero) {
+  EXPECT_TRUE(eval(Predicate::test("vlan", 0), pkt(1, 1)));
+}
+
+TEST(Predicate, BooleanAlgebra) {
+  const Packet p = pkt(1, 2);
+  EXPECT_TRUE(eval(Predicate::tru(), p));
+  EXPECT_FALSE(eval(Predicate::fls(), p));
+  EXPECT_TRUE(eval(Predicate::conj(Predicate::test("sw", 1),
+                                   Predicate::test("pt", 2)),
+                   p));
+  EXPECT_FALSE(eval(Predicate::conj(Predicate::test("sw", 1),
+                                    Predicate::test("pt", 9)),
+                    p));
+  EXPECT_TRUE(eval(Predicate::disj(Predicate::test("sw", 9),
+                                   Predicate::test("pt", 2)),
+                   p));
+  EXPECT_TRUE(eval(Predicate::neg(Predicate::test("sw", 9)), p));
+}
+
+TEST(Predicate, DeMorgan) {
+  // !(a + b) == !a ; !b on a sample of packets.
+  const auto a = Predicate::test("sw", 1);
+  const auto b = Predicate::test("pt", 2);
+  const auto lhs = Predicate::neg(Predicate::disj(a, b));
+  const auto rhs =
+      Predicate::conj(Predicate::neg(a), Predicate::neg(b));
+  for (std::uint64_t sw = 0; sw < 3; ++sw) {
+    for (std::uint64_t pt = 0; pt < 3; ++pt) {
+      EXPECT_EQ(eval(lhs, pkt(sw, pt)), eval(rhs, pkt(sw, pt)));
+    }
+  }
+}
+
+// --- policies -----------------------------------------------------------------
+
+TEST(Policy, FilterKeepsMatching) {
+  const PacketSet in = {pkt(1, 1), pkt(2, 1)};
+  const PacketSet out = eval(Policy::filter(Predicate::test("sw", 1)), in);
+  EXPECT_EQ(out, PacketSet{pkt(1, 1)});
+}
+
+TEST(Policy, ModSetsField) {
+  const PacketSet out = eval(Policy::mod("pt", 9), pkt(1, 1));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.begin()->get("pt"), 9u);
+}
+
+TEST(Policy, UnionMergesOutcomes) {
+  const PolicyPtr p =
+      Policy::unite(Policy::mod("pt", 1), Policy::mod("pt", 2));
+  const PacketSet out = eval(p, pkt(1, 0));
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Policy, SeqComposes) {
+  const PolicyPtr p = Policy::seq(Policy::mod("pt", 1), Policy::mod("sw", 5));
+  const PacketSet out = eval(p, pkt(1, 0));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.begin()->get("pt"), 1u);
+  EXPECT_EQ(out.begin()->get("sw"), 5u);
+}
+
+TEST(Policy, DropAnnihilates) {
+  EXPECT_TRUE(eval(Policy::drop(), pkt(1, 1)).empty());
+  EXPECT_TRUE(eval(Policy::seq(Policy::mod("pt", 1), Policy::drop()),
+                   pkt(1, 1))
+                  .empty());
+}
+
+TEST(Policy, IdPreserves) {
+  EXPECT_EQ(eval(Policy::id(), pkt(1, 1)), PacketSet{pkt(1, 1)});
+}
+
+TEST(Policy, StarReachesFixpoint) {
+  // p = sw<4 ? sw:=sw+1 modeled as union of per-value increments.
+  std::vector<PolicyPtr> steps;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    steps.push_back(Policy::seq(Policy::filter(Predicate::test("sw", s)),
+                                Policy::mod("sw", s + 1)));
+  }
+  const PolicyPtr star = Policy::star(union_all(steps));
+  const PacketSet out = eval(star, pkt(0, 0));
+  EXPECT_EQ(out.size(), 5u);  // sw = 0..4
+}
+
+TEST(Policy, StarZeroIterationsIncluded) {
+  const PacketSet out = eval(Policy::star(Policy::drop()), pkt(3, 3));
+  EXPECT_EQ(out, PacketSet{pkt(3, 3)});
+}
+
+TEST(Policy, KleeneAlgebraLaws) {
+  // p* == id + p;p* on a finite example.
+  const PolicyPtr p = Policy::seq(Policy::filter(Predicate::test("sw", 0)),
+                                  Policy::mod("sw", 1));
+  const PolicyPtr star = Policy::star(p);
+  const PolicyPtr unfolded =
+      Policy::unite(Policy::id(), Policy::seq(p, Policy::star(p)));
+  PacketSet universe;
+  for (std::uint64_t s = 0; s < 3; ++s) universe.insert(pkt(s, 0));
+  EXPECT_TRUE(equivalent_on(star, unfolded, universe));
+}
+
+TEST(Policy, UnionCommutes) {
+  const PolicyPtr a = Policy::mod("pt", 1);
+  const PolicyPtr b = Policy::mod("pt", 2);
+  PacketSet universe = {pkt(0, 0), pkt(1, 5), pkt(2, 2)};
+  EXPECT_TRUE(equivalent_on(Policy::unite(a, b), Policy::unite(b, a),
+                            universe));
+}
+
+// --- histories / dup ------------------------------------------------------------
+
+TEST(Hist, DupRecordsCurrentPacket) {
+  const HistorySet out = eval_hist(
+      Policy::seq(Policy::dup(), Policy::mod("sw", 2)), pkt(1, 0));
+  ASSERT_EQ(out.size(), 1u);
+  const History& h = *out.begin();
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0].get("sw"), 2u);  // current
+  EXPECT_EQ(h[1].get("sw"), 1u);  // recorded
+}
+
+TEST(Hist, StarWithDupThrowsOnLoop) {
+  // sw:=1 under star with dup: histories grow forever.
+  const PolicyPtr loop =
+      Policy::star(Policy::seq(Policy::dup(), Policy::mod("sw", 1)));
+  EXPECT_THROW((void)eval_hist(loop, pkt(1, 0), 16), std::runtime_error);
+}
+
+TEST(Hist, SwitchPathsExtraction) {
+  // Chain 1 -> 2 -> 3 with dup before each hop.
+  std::vector<PolicyPtr> hops;
+  for (std::uint64_t s = 1; s <= 2; ++s) {
+    hops.push_back(Policy::seq(Policy::filter(Predicate::test("sw", s)),
+                               Policy::mod("sw", s + 1)));
+  }
+  const PolicyPtr net = instrumented_network(
+      Policy::id(), union_all(hops));
+  const HistorySet out = eval_hist(net, pkt(1, 0));
+  const auto paths = switch_paths(out);
+  EXPECT_TRUE(paths.contains(std::vector<std::uint64_t>{1}));
+  EXPECT_TRUE(paths.contains(std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+// --- topology encoding ------------------------------------------------------------
+
+TEST(TopologyPolicy, EncodesLinks) {
+  const PolicyPtr t = topology_policy({Link{1, 2, 2, 1}});
+  const PacketSet out = eval(t, pkt(1, 2));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.begin()->get("sw"), 2u);
+  EXPECT_EQ(out.begin()->get("pt"), 1u);
+  EXPECT_TRUE(eval(t, pkt(1, 9)).empty());  // wrong port: no link
+}
+
+TEST(TopologyPolicy, EmptyIsDrop) {
+  EXPECT_TRUE(eval(topology_policy({}), pkt(1, 1)).empty());
+}
+
+TEST(TopologyPolicy, ForwardRule) {
+  const PolicyPtr r = forward_rule(3, Predicate::test("dst", 7), 2);
+  const PacketSet hit = eval(r, pkt(3, 1, 7));
+  ASSERT_EQ(hit.size(), 1u);
+  EXPECT_EQ(hit.begin()->get("pt"), 2u);
+  EXPECT_TRUE(eval(r, pkt(3, 1, 8)).empty());
+  EXPECT_TRUE(eval(r, pkt(4, 1, 7)).empty());
+}
+
+TEST(Reachability, LinearChain) {
+  // Program: at sw s forward dst=9 out port 1. Topology: (s,1)->(s+1,0).
+  std::vector<PolicyPtr> rules;
+  std::vector<Link> links;
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    rules.push_back(forward_rule(s, Predicate::test("dst", 9), 1));
+    links.push_back(Link{s, 1, s + 1, 0});
+  }
+  const PolicyPtr program = union_all(rules);
+  const PolicyPtr topo = topology_policy(links);
+  // Prim3: can a dst=9 packet injected at sw1 reach sw4?
+  EXPECT_TRUE(reachable(program, topo, pkt(1, 0, 9),
+                        Predicate::test("sw", 4)));
+  // dst=5 matches no rule -> never leaves sw1.
+  EXPECT_FALSE(reachable(program, topo, pkt(1, 0, 5),
+                         Predicate::test("sw", 4)));
+}
+
+TEST(Reachability, FirewallBlocksGoal) {
+  // sw2 drops dst=9 (no rule); with the rule removed, sw3 is unreachable.
+  std::vector<PolicyPtr> rules = {
+      forward_rule(1, Predicate::test("dst", 9), 1)};
+  std::vector<Link> links = {Link{1, 1, 2, 0}, Link{2, 1, 3, 0}};
+  EXPECT_FALSE(reachable(union_all(rules), topology_policy(links),
+                         pkt(1, 0, 9), Predicate::test("sw", 3)));
+}
+
+TEST(PolicyPrinting, Renders) {
+  const PolicyPtr p = Policy::seq(
+      Policy::filter(Predicate::test("sw", 1)), Policy::mod("pt", 2));
+  const std::string s = to_string(p);
+  EXPECT_NE(s.find("sw=1"), std::string::npos);
+  EXPECT_NE(s.find("pt:=2"), std::string::npos);
+  EXPECT_GT(size(p), 3u);
+}
+
+}  // namespace
+}  // namespace pera::netkat

@@ -1,0 +1,265 @@
+// Tests for the discrete-event network simulator: event ordering,
+// topologies and shortest paths, message delivery latency, transit hooks.
+#include <gtest/gtest.h>
+
+#include "netsim/network.h"
+#include "netsim/stats.h"
+
+namespace pera::netsim {
+namespace {
+
+// --- event queue ---------------------------------------------------------------
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, TiesBreakByInsertion) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(5, [&] { order.push_back(1); });
+  q.schedule_at(5, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, SchedulingInPastThrows) {
+  EventQueue q;
+  q.schedule_at(10, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule_at(5, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, NestedScheduling) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(1, [&] {
+    q.schedule_in(5, [&] { ++fired; });
+  });
+  q.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 6);
+}
+
+TEST(EventQueue, RunUntilStopsEarly) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(10, [&] { ++fired; });
+  q.schedule_at(100, [&] { ++fired; });
+  q.run(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, StepOne) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  q.schedule_at(1, [] {});
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+}
+
+// --- topology -------------------------------------------------------------------
+
+TEST(Topology, AddAndFind) {
+  Topology t;
+  const NodeId a = t.add_node("a", NodeKind::kHost);
+  const NodeId b = t.add_node("b", NodeKind::kSwitch);
+  t.add_link(a, b, 100);
+  EXPECT_EQ(t.find("a"), a);
+  EXPECT_EQ(t.require("b"), b);
+  EXPECT_FALSE(t.find("c").has_value());
+  EXPECT_THROW((void)t.require("c"), std::invalid_argument);
+  EXPECT_THROW((void)t.add_node("a", NodeKind::kHost), std::invalid_argument);
+  ASSERT_NE(t.link_between(a, b), nullptr);
+  EXPECT_EQ(t.link_between(a, b)->latency, 100);
+}
+
+TEST(Topology, RejectsBadLinks) {
+  Topology t;
+  const NodeId a = t.add_node("a", NodeKind::kHost);
+  EXPECT_THROW(t.add_link(a, a), std::invalid_argument);
+  EXPECT_THROW(t.add_link(a, 99), std::invalid_argument);
+}
+
+TEST(Topology, ShortestPathPrefersLowLatency) {
+  Topology t;
+  t.add_node("a", NodeKind::kHost);
+  t.add_node("b", NodeKind::kSwitch);
+  t.add_node("c", NodeKind::kSwitch);
+  t.add_node("d", NodeKind::kHost);
+  t.add_link("a", "b", 10);
+  t.add_link("b", "d", 10);
+  t.add_link("a", "c", 5);
+  t.add_link("c", "d", 100);
+  const auto path = t.names(t.shortest_path("a", "d"));
+  EXPECT_EQ(path, (std::vector<std::string>{"a", "b", "d"}));
+}
+
+TEST(Topology, UnreachableIsEmpty) {
+  Topology t;
+  t.add_node("a", NodeKind::kHost);
+  t.add_node("b", NodeKind::kHost);
+  EXPECT_TRUE(t.shortest_path("a", "b").empty());
+}
+
+TEST(Topology, ChainShape) {
+  const Topology t = topo::chain(4);
+  const auto path = t.names(t.shortest_path("client", "server"));
+  EXPECT_EQ(path, (std::vector<std::string>{"client", "s1", "s2", "s3", "s4",
+                                            "server"}));
+  EXPECT_TRUE(t.find("Appraiser").has_value());
+}
+
+TEST(Topology, IspPathGoesThroughCore) {
+  const Topology t = topo::isp();
+  const auto path = t.names(t.shortest_path("client", "pm_phone"));
+  ASSERT_GE(path.size(), 4u);
+  EXPECT_EQ(path.front(), "client");
+  EXPECT_EQ(path.back(), "pm_phone");
+}
+
+TEST(Topology, DatacenterHostsConnected) {
+  const Topology t = topo::datacenter();
+  const auto path = t.shortest_path("h1", "h8");
+  EXPECT_FALSE(path.empty());
+}
+
+TEST(Link, TransmitTimeScalesWithSize) {
+  LinkInfo l;
+  l.gbps = 10.0;
+  EXPECT_EQ(l.transmit_time(1250), 1000);  // 1250 B at 10 Gb/s = 1 us
+  EXPECT_GT(l.transmit_time(10000), l.transmit_time(100));
+}
+
+// --- network delivery --------------------------------------------------------------
+
+struct Recorder final : NodeBehavior {
+  std::vector<Message> delivered;
+  void on_deliver(Network&, NodeId, Message msg) override {
+    delivered.push_back(std::move(msg));
+  }
+};
+
+struct Delayer final : NodeBehavior {
+  SimTime delay;
+  int seen = 0;
+  explicit Delayer(SimTime d) : delay(d) {}
+  TransitResult on_transit(Network&, NodeId, Message&) override {
+    ++seen;
+    return {true, delay};
+  }
+};
+
+struct Dropper final : NodeBehavior {
+  TransitResult on_transit(Network&, NodeId, Message&) override {
+    return TransitResult::dropped();
+  }
+};
+
+Topology three_hop() {
+  Topology t;
+  t.add_node("a", NodeKind::kHost);
+  t.add_node("m", NodeKind::kSwitch);
+  t.add_node("b", NodeKind::kHost);
+  t.add_link("a", "m", 1000, 8.0);  // 1 us
+  t.add_link("m", "b", 1000, 8.0);
+  return t;
+}
+
+TEST(Network, DeliversWithLatency) {
+  Network net(three_hop());
+  Recorder rec;
+  net.attach("b", &rec);
+  Message m;
+  m.src = net.topology().require("a");
+  m.dst = net.topology().require("b");
+  m.type = "data";
+  m.payload = crypto::Bytes(36, 0);  // wire size 100 B
+  net.send(std::move(m));
+  net.run();
+  ASSERT_EQ(rec.delivered.size(), 1u);
+  // Two links: 2 * (1000 ns + 100 B * 8 / 8e9 * 1e9 = 100 ns) = 2200 ns.
+  EXPECT_EQ(net.now(), 2200);
+  EXPECT_EQ(net.stats().hops_traversed, 2u);
+  EXPECT_EQ(net.stats().messages_delivered, 1u);
+}
+
+TEST(Network, TransitHookSeesAndDelays) {
+  Network net(three_hop());
+  Recorder rec;
+  Delayer delayer(500);
+  net.attach("b", &rec);
+  net.attach("m", &delayer);
+  Message m;
+  m.src = net.topology().require("a");
+  m.dst = net.topology().require("b");
+  m.type = "data";
+  net.send(std::move(m));
+  net.run();
+  EXPECT_EQ(delayer.seen, 1);
+  ASSERT_EQ(rec.delivered.size(), 1u);
+  EXPECT_GT(net.now(), 2500);
+}
+
+TEST(Network, DropStopsForwarding) {
+  Network net(three_hop());
+  Recorder rec;
+  Dropper dropper;
+  net.attach("b", &rec);
+  net.attach("m", &dropper);
+  Message m;
+  m.src = net.topology().require("a");
+  m.dst = net.topology().require("b");
+  m.type = "data";
+  net.send(std::move(m));
+  net.run();
+  EXPECT_TRUE(rec.delivered.empty());
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+}
+
+TEST(Network, SentAtStamped) {
+  Network net(three_hop());
+  Recorder rec;
+  net.attach("b", &rec);
+  Message m;
+  m.src = net.topology().require("a");
+  m.dst = net.topology().require("b");
+  m.type = "data";
+  net.send(std::move(m));
+  net.run();
+  ASSERT_EQ(rec.delivered.size(), 1u);
+  EXPECT_EQ(rec.delivered[0].sent_at, 0);
+}
+
+TEST(Network, NoPathThrows) {
+  Topology t;
+  t.add_node("a", NodeKind::kHost);
+  t.add_node("b", NodeKind::kHost);
+  Network net(std::move(t));
+  Message m;
+  m.src = 0;
+  m.dst = 1;
+  EXPECT_THROW(net.send(std::move(m)), std::invalid_argument);
+}
+
+TEST(Summary, Percentiles) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.percentile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(s.percentile(0.99), 99.0, 1.0);
+  EXPECT_EQ(s.count(), 100u);
+}
+
+}  // namespace
+}  // namespace pera::netsim

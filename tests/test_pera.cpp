@@ -1,0 +1,406 @@
+// Tests for PERA: the measurement unit's inertia levels and epochs, the
+// inertia-aware evidence cache, the evidence engine (Fig. 3 D/E), and the
+// PERA switch's per-packet policy execution.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+#include "crypto/keystore.h"
+#include "nac/compiler.h"
+#include "pera/pera_switch.h"
+
+namespace pera::pera {
+namespace {
+
+using dataplane::make_router;
+using dataplane::make_tcp_packet;
+using dataplane::PacketSpec;
+
+struct Bed {
+  Bed() : keys(21), signer(&keys.provision_hmac("sw1")) {}
+
+  [[nodiscard]] PeraSwitch make_switch(PeraConfig cfg = {}) {
+    return PeraSwitch("sw1", make_router(), *signer, cfg);
+  }
+
+  crypto::KeyStore keys;
+  crypto::Signer* signer;
+};
+
+nac::HopInstruction program_inst(bool sign = true) {
+  nac::HopInstruction inst;
+  inst.detail = nac::mask_of(nac::EvidenceDetail::kProgram);
+  inst.sign_evidence = sign;
+  return inst;
+}
+
+// --- measurement unit ----------------------------------------------------------
+
+TEST(MeasurementUnit, LevelsProduceDistinctDigests) {
+  Bed bed;
+  PeraSwitch sw = bed.make_switch();
+  const MeasurementUnit& mu = sw.measurement();
+  const crypto::Bytes pkt = make_tcp_packet({}).data;
+  std::set<crypto::Digest> values;
+  values.insert(mu.measure(nac::EvidenceDetail::kHardware));
+  values.insert(mu.measure(nac::EvidenceDetail::kProgram));
+  values.insert(mu.measure(nac::EvidenceDetail::kTables));
+  values.insert(mu.measure(nac::EvidenceDetail::kProgState));
+  values.insert(mu.measure(nac::EvidenceDetail::kPacket, &pkt));
+  EXPECT_EQ(values.size(), 5u);
+}
+
+TEST(MeasurementUnit, PacketLevelNeedsBytes) {
+  Bed bed;
+  PeraSwitch sw = bed.make_switch();
+  EXPECT_THROW((void)sw.measurement().measure(nac::EvidenceDetail::kPacket),
+               std::invalid_argument);
+}
+
+TEST(MeasurementUnit, ProgramMeasurementMatchesDigest) {
+  Bed bed;
+  PeraSwitch sw = bed.make_switch();
+  EXPECT_EQ(sw.measurement().measure(nac::EvidenceDetail::kProgram),
+            sw.dataplane().program().program_digest());
+}
+
+TEST(MeasurementUnit, EpochsAdvanceWithState) {
+  Bed bed;
+  PeraSwitch sw = bed.make_switch();
+  MeasurementUnit& mu = sw.measurement();
+  EXPECT_EQ(mu.epoch(nac::EvidenceDetail::kHardware), 0u);
+  const auto prog0 = mu.epoch(nac::EvidenceDetail::kProgram);
+  sw.load_program(make_router("v2"));
+  EXPECT_GT(mu.epoch(nac::EvidenceDetail::kProgram), prog0);
+
+  const auto tab0 = mu.epoch(nac::EvidenceDetail::kTables);
+  dataplane::TableEntry e;
+  e.keys = {dataplane::KeyMatch::lpm(0xC0A80000, 16)};
+  e.action = "forward";
+  e.action_params = {2};
+  sw.update_table("route", e);
+  EXPECT_GT(mu.epoch(nac::EvidenceDetail::kTables), tab0);
+
+  const auto st0 = mu.epoch(nac::EvidenceDetail::kProgState);
+  sw.dataplane().registers().declare("r", 2);
+  sw.dataplane().registers().write("r", 0, 1);
+  EXPECT_GT(mu.epoch(nac::EvidenceDetail::kProgState), st0);
+}
+
+TEST(MeasurementUnit, SwapChangesProgramMeasurement) {
+  Bed bed;
+  PeraSwitch sw = bed.make_switch();
+  const crypto::Digest before =
+      sw.measurement().measure(nac::EvidenceDetail::kProgram);
+  sw.load_program(dataplane::make_rogue_router("v1"));
+  EXPECT_NE(sw.measurement().measure(nac::EvidenceDetail::kProgram), before);
+}
+
+// --- cache ----------------------------------------------------------------------
+
+TEST(Cache, HitOnSecondLookup) {
+  Bed bed;
+  PeraSwitch sw = bed.make_switch();
+  const crypto::Nonce n{crypto::sha256("n")};
+  (void)sw.attest_challenge(nac::mask_of(nac::EvidenceDetail::kProgram), n);
+  (void)sw.attest_challenge(nac::mask_of(nac::EvidenceDetail::kProgram), n);
+  EXPECT_EQ(sw.cache().stats().hits, 1u);
+  EXPECT_EQ(sw.cache().stats().misses, 1u);
+}
+
+TEST(Cache, FreshNonceDefeatsCache) {
+  Bed bed;
+  PeraSwitch sw = bed.make_switch();
+  (void)sw.attest_challenge(nac::mask_of(nac::EvidenceDetail::kProgram),
+                            crypto::Nonce{crypto::sha256("n1")});
+  (void)sw.attest_challenge(nac::mask_of(nac::EvidenceDetail::kProgram),
+                            crypto::Nonce{crypto::sha256("n2")});
+  EXPECT_EQ(sw.cache().stats().hits, 0u);
+}
+
+TEST(Cache, ProgramSwapInvalidates) {
+  Bed bed;
+  PeraSwitch sw = bed.make_switch();
+  const crypto::Nonce n{crypto::sha256("n")};
+  (void)sw.attest_challenge(nac::mask_of(nac::EvidenceDetail::kProgram), n);
+  sw.load_program(dataplane::make_rogue_router("v1"));
+  (void)sw.attest_challenge(nac::mask_of(nac::EvidenceDetail::kProgram), n);
+  EXPECT_EQ(sw.cache().stats().hits, 0u);
+  EXPECT_EQ(sw.cache().stats().invalidations, 1u);
+}
+
+TEST(Cache, RegisterWriteInvalidatesStateEvidence) {
+  Bed bed;
+  PeraSwitch sw = bed.make_switch();
+  sw.dataplane().registers().declare("r", 2);
+  const crypto::Nonce n{crypto::sha256("n")};
+  const auto mask = nac::mask_of(nac::EvidenceDetail::kProgState);
+  (void)sw.attest_challenge(mask, n);
+  sw.dataplane().registers().write("r", 0, 7);
+  (void)sw.attest_challenge(mask, n);
+  EXPECT_EQ(sw.cache().stats().invalidations, 1u);
+}
+
+TEST(Cache, PacketLevelNeverCached) {
+  EvidenceCache cache(true);
+  Bed bed;
+  PeraSwitch sw = bed.make_switch();
+  const auto mask = nac::EvidenceDetail::kProgram | nac::EvidenceDetail::kPacket;
+  cache.store(mask, {}, copland::Evidence::empty(), sw.measurement());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup(mask, {}, sw.measurement()).has_value());
+}
+
+TEST(Cache, DisabledAlwaysMisses) {
+  PeraConfig cfg;
+  cfg.cache_enabled = false;
+  Bed bed;
+  PeraSwitch sw = bed.make_switch(cfg);
+  const crypto::Nonce n{crypto::sha256("n")};
+  (void)sw.attest_challenge(nac::mask_of(nac::EvidenceDetail::kProgram), n);
+  (void)sw.attest_challenge(nac::mask_of(nac::EvidenceDetail::kProgram), n);
+  EXPECT_EQ(sw.cache().stats().hits, 0u);
+  EXPECT_EQ(sw.cache().stats().misses, 2u);
+}
+
+TEST(Cache, HitRate) {
+  CacheStats s;
+  EXPECT_EQ(s.hit_rate(), 0.0);
+  s.hits = 3;
+  s.misses = 1;
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.75);
+}
+
+// --- engine -----------------------------------------------------------------------
+
+TEST(Engine, CreateSignsAndBindsNonce) {
+  Bed bed;
+  PeraSwitch sw = bed.make_switch();
+  const crypto::Nonce n{crypto::sha256("fresh")};
+  const copland::EvidencePtr e = sw.attest_challenge(
+      nac::EvidenceDetail::kHardware | nac::EvidenceDetail::kProgram, n,
+      /*hash_before_sign=*/false);
+  ASSERT_EQ(e->kind, copland::EvidenceKind::kSignature);
+  const auto ms = copland::measurements_of(e);
+  EXPECT_EQ(ms.size(), 2u);
+  bool has_nonce = false;
+  std::function<void(const copland::EvidencePtr&)> scan =
+      [&](const copland::EvidencePtr& node) {
+        if (!node) return;
+        if (node->kind == copland::EvidenceKind::kNonce &&
+            node->nonce == n) {
+          has_nonce = true;
+        }
+        scan(node->child);
+        scan(node->left);
+        scan(node->right);
+      };
+  scan(e);
+  EXPECT_TRUE(has_nonce);
+}
+
+TEST(Engine, HashBeforeSignCollapses) {
+  Bed bed;
+  PeraSwitch sw = bed.make_switch();
+  const copland::EvidencePtr e = sw.attest_challenge(
+      nac::mask_of(nac::EvidenceDetail::kProgram),
+      crypto::Nonce{crypto::sha256("n")}, /*hash_before_sign=*/true);
+  ASSERT_EQ(e->kind, copland::EvidenceKind::kSignature);
+  EXPECT_EQ(e->child->kind, copland::EvidenceKind::kHashed);
+}
+
+TEST(Engine, GuardFailureProducesNoEvidence) {
+  Bed bed;
+  PeraSwitch sw = bed.make_switch();
+  sw.set_guard("never", [](const dataplane::ParsedPacket&) { return false; });
+
+  nac::HopInstruction inst = program_inst();
+  inst.guard = "never";
+  inst.wildcard = true;
+  nac::CompiledPolicy pol;
+  pol.hops = {inst};
+  pol.appraiser = "Appraiser";
+  const nac::PolicyHeader hdr = nac::make_header(pol, {}, /*in_band=*/true);
+
+  nac::EvidenceCarrier carrier;
+  const PeraResult res =
+      sw.process(make_tcp_packet({.ip_dst = 0x0a000202}), &hdr, &carrier);
+  EXPECT_TRUE(res.forwarded.has_value());
+  EXPECT_FALSE(res.attested);
+  EXPECT_TRUE(carrier.records.empty());
+  EXPECT_EQ(sw.ra_stats().guard_failures, 1u);
+}
+
+TEST(Engine, ComposeModes) {
+  Bed bed;
+  PeraSwitch sw = bed.make_switch();
+  const copland::EvidencePtr a = copland::Evidence::hashed("x", crypto::sha256("a"));
+  const copland::EvidencePtr b = copland::Evidence::hashed("y", crypto::sha256("b"));
+  const EngineResult chained =
+      sw.engine().compose(a, b, nac::CompositionMode::kChained);
+  EXPECT_EQ(chained.evidence->kind, copland::EvidenceKind::kSeq);
+  const EngineResult pointwise =
+      sw.engine().compose(a, b, nac::CompositionMode::kPointwise);
+  EXPECT_EQ(pointwise.evidence->kind, copland::EvidenceKind::kPar);
+  const EngineResult empty_prior = sw.engine().compose(
+      copland::Evidence::empty(), b, nac::CompositionMode::kChained);
+  EXPECT_TRUE(copland::equal(empty_prior.evidence, b));
+}
+
+TEST(Engine, CostsAccrue) {
+  Bed bed;
+  PeraSwitch sw = bed.make_switch();
+  nac::HopInstruction inst = program_inst();
+  const EngineResult r =
+      sw.engine().create(inst, crypto::Nonce{crypto::sha256("n")}, nullptr,
+                         nullptr);
+  EXPECT_GT(r.cost, 0);
+  EXPECT_FALSE(r.from_cache);
+  const EngineResult r2 =
+      sw.engine().create(inst, crypto::Nonce{crypto::sha256("n")}, nullptr,
+                         nullptr);
+  EXPECT_TRUE(r2.from_cache);
+  EXPECT_LT(r2.cost, r.cost);
+}
+
+// --- PERA switch packet path ----------------------------------------------------
+
+TEST(PeraSwitchPath, InBandAppendsToCarrier) {
+  Bed bed;
+  PeraSwitch sw = bed.make_switch();
+  nac::CompiledPolicy pol;
+  nac::HopInstruction inst = program_inst();
+  inst.wildcard = true;
+  pol.hops = {inst};
+  pol.appraiser = "Appraiser";
+  const nac::PolicyHeader hdr =
+      nac::make_header(pol, crypto::Nonce{crypto::sha256("n")}, true);
+
+  nac::EvidenceCarrier carrier;
+  const PeraResult res =
+      sw.process(make_tcp_packet({.ip_dst = 0x0a000202}), &hdr, &carrier);
+  ASSERT_TRUE(res.forwarded.has_value());
+  EXPECT_TRUE(res.attested);
+  ASSERT_EQ(carrier.records.size(), 1u);
+  EXPECT_EQ(carrier.records[0].place, "sw1");
+  EXPECT_TRUE(res.out_of_band.empty());
+  EXPECT_GT(res.inband_bytes_added, 0u);
+}
+
+TEST(PeraSwitchPath, OutOfBandEmitsEvidence) {
+  Bed bed;
+  PeraSwitch sw = bed.make_switch();
+  nac::CompiledPolicy pol;
+  nac::HopInstruction inst = program_inst();
+  inst.wildcard = true;
+  inst.out_of_band = true;
+  pol.hops = {inst};
+  pol.appraiser = "Appraiser";
+  const nac::PolicyHeader hdr =
+      nac::make_header(pol, crypto::Nonce{crypto::sha256("n")}, true);
+
+  nac::EvidenceCarrier carrier;
+  const PeraResult res =
+      sw.process(make_tcp_packet({.ip_dst = 0x0a000202}), &hdr, &carrier);
+  EXPECT_TRUE(carrier.records.empty());
+  ASSERT_EQ(res.out_of_band.size(), 1u);
+  EXPECT_EQ(res.out_of_band[0].to, "Appraiser");
+  const copland::EvidencePtr e = copland::decode(crypto::BytesView{
+      res.out_of_band[0].evidence.data(), res.out_of_band[0].evidence.size()});
+  EXPECT_EQ(e->kind, copland::EvidenceKind::kSignature);
+}
+
+TEST(PeraSwitchPath, NoHeaderMeansPlainForwarding) {
+  Bed bed;
+  PeraSwitch sw = bed.make_switch();
+  const PeraResult res =
+      sw.process(make_tcp_packet({.ip_dst = 0x0a000202}), nullptr, nullptr);
+  ASSERT_TRUE(res.forwarded.has_value());
+  EXPECT_FALSE(res.attested);
+  EXPECT_EQ(res.ra_latency, 0);
+  EXPECT_EQ(sw.ra_stats().attestations, 0u);
+}
+
+TEST(PeraSwitchPath, SamplingSkipsPackets) {
+  Bed bed;
+  PeraSwitch sw = bed.make_switch();
+  nac::CompiledPolicy pol;
+  nac::HopInstruction inst = program_inst();
+  inst.wildcard = true;
+  pol.hops = {inst};
+  const nac::PolicyHeader hdr = nac::make_header(
+      pol, crypto::Nonce{crypto::sha256("n")}, true, /*sampling_log2=*/2);
+
+  nac::EvidenceCarrier carrier;
+  int attested = 0;
+  for (int i = 0; i < 16; ++i) {
+    const PeraResult res =
+        sw.process(make_tcp_packet({.ip_dst = 0x0a000202}), &hdr, &carrier);
+    if (res.attested) ++attested;
+  }
+  EXPECT_EQ(attested, 4);  // 1 in 2^2
+  EXPECT_EQ(sw.ra_stats().skipped_by_sampling, 12u);
+}
+
+TEST(PeraSwitchPath, PinnedInstructionOnlyOnNamedSwitch) {
+  Bed bed;
+  PeraSwitch sw = bed.make_switch();
+  nac::CompiledPolicy pol;
+  nac::HopInstruction inst = program_inst();
+  inst.place = "other-switch";
+  pol.hops = {inst};
+  const nac::PolicyHeader hdr = nac::make_header(pol, {}, true);
+  nac::EvidenceCarrier carrier;
+  const PeraResult res =
+      sw.process(make_tcp_packet({.ip_dst = 0x0a000202}), &hdr, &carrier);
+  EXPECT_FALSE(res.attested);
+  EXPECT_TRUE(carrier.records.empty());
+}
+
+TEST(PeraSwitchPath, DroppedPacketStillAttests) {
+  // A firewall-dropped packet can still produce evidence (UC3: evidence of
+  // the drop decision), but nothing is forwarded.
+  Bed bed;
+  PeraSwitch sw = bed.make_switch();
+  nac::CompiledPolicy pol;
+  nac::HopInstruction inst = program_inst();
+  inst.wildcard = true;
+  pol.hops = {inst};
+  const nac::PolicyHeader hdr = nac::make_header(pol, {}, true);
+  nac::EvidenceCarrier carrier;
+  const PeraResult res = sw.process(
+      make_tcp_packet({.ip_dst = 0xC0A80001}), &hdr, &carrier);  // no route
+  EXPECT_FALSE(res.forwarded.has_value());
+  EXPECT_TRUE(res.attested);
+}
+
+TEST(PeraSwitchPath, RaLatencyAccounted) {
+  Bed bed;
+  PeraSwitch sw = bed.make_switch();
+  nac::CompiledPolicy pol;
+  nac::HopInstruction inst = program_inst();
+  inst.wildcard = true;
+  pol.hops = {inst};
+  const nac::PolicyHeader hdr = nac::make_header(pol, {}, true);
+  nac::EvidenceCarrier carrier;
+  const PeraResult res =
+      sw.process(make_tcp_packet({.ip_dst = 0x0a000202}), &hdr, &carrier);
+  EXPECT_GT(res.ra_latency, 0);
+  EXPECT_EQ(sw.ra_stats().ra_time_total, res.ra_latency);
+}
+
+TEST(PeraSwitchPath, XmssSignerWorksEndToEnd) {
+  crypto::KeyStore keys(31);
+  crypto::Signer& signer = keys.provision_xmss("sw1", 4);
+  PeraSwitch sw("sw1", make_router(), signer);
+  const copland::EvidencePtr e = sw.attest_challenge(
+      nac::mask_of(nac::EvidenceDetail::kProgram),
+      crypto::Nonce{crypto::sha256("n")}, false);
+  ASSERT_EQ(e->kind, copland::EvidenceKind::kSignature);
+  EXPECT_TRUE(keys.verifier_for("sw1")->verify(copland::digest(e->child),
+                                               e->sig));
+}
+
+}  // namespace
+}  // namespace pera::pera

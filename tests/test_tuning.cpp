@@ -1,0 +1,101 @@
+// Tests for the Fig. 4 tuning advisor and the Prim3 deployment validator.
+#include <gtest/gtest.h>
+
+#include "core/deployment.h"
+#include "pera/tuning.h"
+
+namespace pera::pera {
+namespace {
+
+TEST(Tuning, HighInertiaDetailIsCheap) {
+  WorkloadProfile w;
+  w.packets_per_second = 1e6;
+  AssuranceRequirements req;
+  req.detail = nac::EvidenceDetail::kHardware | nac::EvidenceDetail::kProgram;
+  req.max_overhead_ns = 500;
+  const TuningRecommendation rec = recommend_config(w, req);
+  EXPECT_TRUE(rec.satisfiable);
+  EXPECT_EQ(rec.config.sampling_log2, 0);  // no sampling needed
+  EXPECT_GT(rec.predicted_cache_hit_rate, 0.99);
+}
+
+TEST(Tuning, PacketDetailForcesSampling) {
+  WorkloadProfile w;
+  w.packets_per_second = 1e6;
+  AssuranceRequirements req;
+  req.detail = nac::mask_of(nac::EvidenceDetail::kPacket) |
+               nac::mask_of(nac::EvidenceDetail::kProgram);
+  req.max_overhead_ns = 500;
+  const TuningRecommendation rec = recommend_config(w, req);
+  EXPECT_TRUE(rec.satisfiable);
+  EXPECT_GT(rec.config.sampling_log2, 0);  // sampling is the only relief
+  EXPECT_DOUBLE_EQ(rec.predicted_cache_hit_rate, 0.0);
+}
+
+TEST(Tuning, EveryPacketRequirementCanBeUnsatisfiable) {
+  WorkloadProfile w;
+  w.packets_per_second = 1e6;
+  AssuranceRequirements req;
+  req.detail = nac::mask_of(nac::EvidenceDetail::kPacket);
+  req.max_overhead_ns = 100;  // below one signing operation
+  req.every_packet = true;
+  const TuningRecommendation rec = recommend_config(w, req);
+  EXPECT_FALSE(rec.satisfiable);
+  EXPECT_EQ(rec.config.sampling_log2, 0);
+  EXPECT_NE(rec.rationale.find("UNSATISFIABLE"), std::string::npos);
+}
+
+TEST(Tuning, TableChurnLowersHitRate) {
+  AssuranceRequirements req;
+  req.detail = nac::mask_of(nac::EvidenceDetail::kTables);
+  WorkloadProfile calm;
+  calm.packets_per_second = 1e4;
+  calm.table_updates_per_second = 0.01;
+  WorkloadProfile churny = calm;
+  churny.table_updates_per_second = 5000.0;
+  EXPECT_GT(recommend_config(calm, req).predicted_cache_hit_rate,
+            recommend_config(churny, req).predicted_cache_hit_rate);
+}
+
+TEST(Tuning, PathOrderSelectsChained) {
+  AssuranceRequirements req;
+  req.require_path_order = true;
+  EXPECT_EQ(recommend_config({}, req).config.composition,
+            nac::CompositionMode::kChained);
+  req.require_path_order = false;
+  EXPECT_EQ(recommend_config({}, req).config.composition,
+            nac::CompositionMode::kPointwise);
+}
+
+TEST(Tuning, PredictionMatchesMeasuredShape) {
+  // Sanity: predicted overhead with the cache beats without, and packet
+  // detail costs more than hardware detail.
+  PeraConfig cached;
+  PeraConfig uncached;
+  uncached.cache_enabled = false;
+  WorkloadProfile w;
+  const auto hw = nac::mask_of(nac::EvidenceDetail::kHardware);
+  const auto pkt = nac::mask_of(nac::EvidenceDetail::kPacket);
+  EXPECT_LT(predict_overhead_ns(cached, w, hw),
+            predict_overhead_ns(uncached, w, hw));
+  EXPECT_LT(predict_overhead_ns(cached, w, hw),
+            predict_overhead_ns(cached, w, pkt));
+}
+
+TEST(Validate, DeployableAndEnforced) {
+  core::Deployment dep(netsim::topo::chain(2));
+  const nac::CompiledPolicy pol = nac::compile(std::string(
+      "*rp<n> : forall hop : @hop [attest(Program) -> !] *=> "
+      "@Appraiser [appraise]"));
+  EXPECT_TRUE(dep.validate_policy(pol));
+
+  // Partition s2 from the appraiser side.
+  dep.network().topology().set_link_state("s1", "s2", false);
+  dep.network().topology().set_link_state("s2", "server", false);
+  EXPECT_FALSE(dep.validate_policy(pol));
+  EXPECT_THROW((void)dep.validate_policy(pol, /*enforce=*/true),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pera::pera

@@ -1,0 +1,108 @@
+// Tests for the evidence-visibility analysis: which places see which
+// evidence, and how Copland's `#` acts as in-protocol redaction.
+#include <gtest/gtest.h>
+
+#include "copland/analysis.h"
+#include "copland/parser.h"
+
+namespace pera::copland {
+namespace {
+
+TEST(Visibility, MeasurerSeesItsOwnTarget) {
+  const auto vis = evidence_visibility(parse_term("@sw [Program]"), "rp");
+  ASSERT_TRUE(vis.contains("sw"));
+  EXPECT_TRUE(vis.at("sw").contains("Program"));
+}
+
+TEST(Visibility, ResultsFlowBackToRequester) {
+  const auto vis = evidence_visibility(parse_term("@sw [Program]"), "rp");
+  ASSERT_TRUE(vis.contains("rp"));
+  EXPECT_TRUE(vis.at("rp").contains("Program"));
+}
+
+TEST(Visibility, HashHidesUpstreamDetail) {
+  // The switch hashes before the appraiser sees anything: the appraiser
+  // learns only an opaque digest.
+  const auto vis = evidence_visibility(
+      parse_term("@sw [Hardware -> Program -> # -> !] -> @app [appraise]"),
+      "rp");
+  ASSERT_TRUE(vis.contains("app"));
+  EXPECT_FALSE(vis.at("app").contains("Hardware"));
+  EXPECT_FALSE(vis.at("app").contains("Program"));
+  EXPECT_TRUE(vis.at("app").contains("#"));
+  // The switch itself of course saw the real values.
+  EXPECT_TRUE(vis.at("sw").contains("Hardware"));
+  EXPECT_TRUE(vis.at("sw").contains("Program"));
+}
+
+TEST(Visibility, WithoutHashAppraiserSeesEverything) {
+  const auto vis = evidence_visibility(
+      parse_term("@sw [Hardware -> Program -> !] -> @app [appraise]"), "rp");
+  EXPECT_TRUE(vis.at("app").contains("Hardware"));
+  EXPECT_TRUE(vis.at("app").contains("Program"));
+}
+
+TEST(Visibility, MinusBranchIsolatesArms) {
+  // -<-: neither arm receives the other's (or prior) evidence.
+  const auto vis = evidence_visibility(
+      parse_term("@a [secretA] -<- @b [secretB]"), "rp");
+  EXPECT_FALSE(vis.at("b").contains("secretA"));
+  EXPECT_FALSE(vis.at("a").contains("secretB"));
+  // But the relying party, receiving both results, sees both.
+  EXPECT_TRUE(vis.at("rp").contains("secretA"));
+  EXPECT_TRUE(vis.at("rp").contains("secretB"));
+}
+
+TEST(Visibility, PlusBranchLeaksPriorEvidence) {
+  // +<+ passes accrued evidence into both arms: place b learns secretA.
+  const auto vis = evidence_visibility(
+      parse_term("@a [secretA] +<+ @b [secretB]"), "rp");
+  // Note: evidence accrued *before* the branch flows in; within -<- vs +<+
+  // the in-flow differs. Here the left arm's output is not the branch
+  // input, so b does not see secretA on a bare branch...
+  EXPECT_FALSE(vis.at("b").contains("secretA"));
+  // ...but with a pipe it does:
+  const auto vis2 = evidence_visibility(
+      parse_term("@a [secretA] -> (@b [secretB] +<+ @c [x])"), "rp");
+  EXPECT_TRUE(vis2.at("b").contains("secretA"));
+  EXPECT_TRUE(vis2.at("c").contains("secretA"));
+  const auto vis3 = evidence_visibility(
+      parse_term("@a [secretA] -> (@b [secretB] -<- @c [x])"), "rp");
+  EXPECT_FALSE(vis3.at("b").contains("secretA"));
+  EXPECT_FALSE(vis3.at("c").contains("secretA"));
+}
+
+TEST(Visibility, Expression3AppraiserPrivacy) {
+  // In expression (3) the switch sends `attest -> # -> !`: combined with a
+  // pipe to the appraiser, the appraiser appraises a digest, never raw
+  // hardware/program details. (The paper's out-of-band certification.)
+  const auto vis = evidence_visibility(
+      parse_term("@Switch [attest(Hardware, Program) -> # -> !] -> "
+                 "@Appraiser [appraise -> certify(n) -> !]"),
+      "RP1");
+  EXPECT_FALSE(vis.at("Appraiser").contains("Hardware"));
+  EXPECT_TRUE(vis.at("Appraiser").contains("#"));
+  EXPECT_TRUE(vis.at("Switch").contains("Hardware"));
+}
+
+TEST(Visibility, HopsAlongPathSeeChainedEvidence) {
+  // Chained composition (+<+ between hop instances after binding) means
+  // later hops see earlier hops' evidence — the privacy cost of chaining
+  // that pointwise composition avoids.
+  const auto chained = evidence_visibility(
+      parse_term("@s1 [Program -> !] +<+ @s2 [Program -> !]"), "rp");
+  (void)chained;
+  const auto piped = evidence_visibility(
+      parse_term("@s1 [Program -> !] -> @s2 [Program -> !]"), "rp");
+  EXPECT_TRUE(piped.at("s2").contains("Program"));
+}
+
+TEST(Visibility, GuardAndForallTransparent) {
+  const auto vis = evidence_visibility(
+      parse_term("forall h : (K |> @h [Program]) *=> @c [x]"), "rp");
+  EXPECT_TRUE(vis.at("h").contains("Program"));
+  EXPECT_TRUE(vis.at("c").contains("Program"));  // chained via the star
+}
+
+}  // namespace
+}  // namespace pera::copland

@@ -1,0 +1,141 @@
+// Tests for the policy well-formedness checker (what a relying party
+// lints before serializing a policy into the options header), plus the
+// UC3 DDoS goodput experiment.
+#include <gtest/gtest.h>
+
+#include "adversary/attacks.h"
+#include "copland/analysis.h"
+#include "copland/parser.h"
+#include "core/deployment.h"
+
+namespace pera::copland {
+namespace {
+
+TEST(WellFormed, PaperExpressionsAreClean) {
+  for (const char* src : {
+           "*bank : @ks [av us bmon] -~- @us [bmon us exts]",
+           "*bank : @ks [av us bmon -> !] -<- @us [bmon us exts -> !]",
+           "*RP1<n> : @Switch [attest(Hardware -~- Program) -> # -> !] +<+ "
+           "@Appraiser [appraise -> certify(n) -> ! -> store(n)]",
+           "*scanner<P> : @scanner [P |> attest(P) -> !] -<+ "
+           "@Appraiser [appraise -> store]",
+       }) {
+    const Request req = parse_request(src);
+    const WellFormedness wf = check_well_formed(req.body);
+    EXPECT_TRUE(wf.ok) << src << ": "
+                       << (wf.issues.empty() ? "" : wf.issues[0]);
+  }
+}
+
+TEST(WellFormed, BareSignFlagged) {
+  const WellFormedness wf = check_well_formed(parse_term("@sw [!]"));
+  ASSERT_FALSE(wf.ok);
+  EXPECT_NE(wf.issues[0].find("signs empty"), std::string::npos);
+}
+
+TEST(WellFormed, BareHashFlagged) {
+  EXPECT_FALSE(check_well_formed(parse_term("# -> a")).ok);
+}
+
+TEST(WellFormed, SignAfterMeasurementOk) {
+  EXPECT_TRUE(check_well_formed(parse_term("a -> !")).ok);
+  EXPECT_TRUE(check_well_formed(parse_term("a -> # -> !")).ok);
+}
+
+TEST(WellFormed, BranchArmWithoutInputFlagged) {
+  // The right arm gets no evidence (-<-) yet starts by signing.
+  EXPECT_FALSE(check_well_formed(parse_term("a -<- !")).ok);
+  // With +<+ the right arm receives the incoming evidence... but at the
+  // top level there is no incoming evidence either.
+  EXPECT_FALSE(check_well_formed(parse_term("a +<+ !")).ok);
+  // Inside a pipe there is.
+  EXPECT_TRUE(check_well_formed(parse_term("b -> (a +<+ !)")).ok);
+}
+
+TEST(WellFormed, UnusedForallVarFlagged) {
+  const WellFormedness wf =
+      check_well_formed(parse_term("forall h, dead : @h [a] *=> @c [b]"));
+  ASSERT_FALSE(wf.ok);
+  EXPECT_NE(wf.issues[0].find("'dead'"), std::string::npos);
+}
+
+TEST(WellFormed, ShadowedForallFlagged) {
+  EXPECT_FALSE(check_well_formed(
+                   parse_term("forall h : (forall h : @h [a]) *=> @h [b]"))
+                   .ok);
+}
+
+TEST(WellFormed, StarWithoutAbstractPlaceFlagged) {
+  const WellFormedness wf = check_well_formed(
+      parse_term("forall h : @fixed [a] *=> @h [b]"));
+  ASSERT_FALSE(wf.ok);
+  EXPECT_NE(wf.issues[0].find("never expands"), std::string::npos);
+}
+
+TEST(WellFormed, GoodAp1Clean) {
+  const Request req = parse_request(
+      "*bank<n, X> : forall hop, client : "
+      "(@hop [Khop |> attest(n, X) -> !] -<+ @Appraiser [appraise -> "
+      "store(n)]) *=> @client [Kclient |> @ks [av us bmon -> !] -<- "
+      "@us [bmon us exts -> !]]");
+  const WellFormedness wf = check_well_formed(req.body);
+  EXPECT_TRUE(wf.ok) << (wf.issues.empty() ? "" : wf.issues[0]);
+}
+
+}  // namespace
+}  // namespace pera::copland
+
+namespace pera::core {
+namespace {
+
+// UC3's DDoS posture, quantified: under attack the server admits only
+// flows carrying verifiable path evidence. Legitimate (policy-carrying)
+// traffic keeps flowing; attack traffic (no evidence) is turned away at
+// the admission check.
+TEST(Ddos, EvidenceGatedAdmission) {
+  Deployment dep(netsim::topo::chain(3));
+  dep.provision_goldens();
+  const nac::CompiledPolicy pol = nac::compile(std::string(
+      "*rp<n> : forall hop : @hop [attest(Program) -> !] *=> "
+      "@Appraiser [appraise]"));
+
+  // 30 legitimate packets with evidence, 100 attack packets without.
+  const FlowReport good = dep.send_flow("client", "server", pol, 30, true);
+  const FlowReport attack = dep.send_plain_flow("client", "server", 100);
+
+  HostNode& server = dep.host("server");
+  std::size_t admitted = 0;
+  std::size_t rejected = 0;
+  for (const auto& rec : server.received()) {
+    if (rec.carrier_records > 0) {
+      ++admitted;
+    } else {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(admitted, good.packets_delivered);
+  EXPECT_EQ(rejected, attack.packets_delivered);
+  EXPECT_EQ(admitted, 30u);
+  EXPECT_EQ(rejected, 100u);
+  // Goodput under the drop-unattested policy: 100% of legitimate traffic,
+  // 0% of attack traffic.
+}
+
+// An attacker cannot forge admission: tampered evidence fails appraisal,
+// and the appraiser's failure count backs the server's drop decision.
+TEST(Ddos, ForgedEvidenceDoesNotBuyAdmission) {
+  Deployment dep(netsim::topo::chain(3));
+  dep.provision_goldens();
+  adversary::TamperingNode tamper(&dep.switch_node("s2"),
+                                  adversary::TamperingNode::Mode::kForge, 5);
+  dep.network().attach("s2", &tamper);
+
+  const nac::CompiledPolicy pol = nac::compile(std::string(
+      "*rp<n> : forall hop : @hop [attest(Program) -> !] *=> "
+      "@Appraiser [appraise]"));
+  const FlowReport rep = dep.send_flow("client", "server", pol, 10, true);
+  EXPECT_EQ(rep.appraisal_failures, 10u);
+}
+
+}  // namespace
+}  // namespace pera::core
