@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_principals.dir/bench_fig1_principals.cpp.o"
+  "CMakeFiles/bench_fig1_principals.dir/bench_fig1_principals.cpp.o.d"
+  "bench_fig1_principals"
+  "bench_fig1_principals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_principals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_pera.dir/bench_fig2_pera.cpp.o"
+  "CMakeFiles/bench_fig2_pera.dir/bench_fig2_pera.cpp.o.d"
+  "bench_fig2_pera"
+  "bench_fig2_pera.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_pera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_pipeline.cpp" "bench/CMakeFiles/bench_fig3_pipeline.dir/bench_fig3_pipeline.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_pipeline.dir/bench_fig3_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adversary/CMakeFiles/pera_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pera_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pera/CMakeFiles/pera_pera.dir/DependInfo.cmake"
+  "/root/repo/build/src/ra/CMakeFiles/pera_ra.dir/DependInfo.cmake"
+  "/root/repo/build/src/nac/CMakeFiles/pera_nac.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/pera_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/pera_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/netkat/CMakeFiles/pera_netkat.dir/DependInfo.cmake"
+  "/root/repo/build/src/copland/CMakeFiles/pera_copland.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pera_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/athens_affair.dir/athens_affair.cpp.o"
+  "CMakeFiles/athens_affair.dir/athens_affair.cpp.o.d"
+  "athens_affair"
+  "athens_affair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/athens_affair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for athens_affair.
+# This may be replaced when dependencies are built.

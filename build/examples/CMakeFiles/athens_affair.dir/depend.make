@@ -1,0 +1,2 @@
+# Empty dependencies file for athens_affair.
+# This may be replaced when dependencies are built.

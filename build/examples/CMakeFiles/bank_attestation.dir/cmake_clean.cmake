@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_attestation.dir/bank_attestation.cpp.o"
+  "CMakeFiles/bank_attestation.dir/bank_attestation.cpp.o.d"
+  "bank_attestation"
+  "bank_attestation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_attestation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_authentication.dir/path_authentication.cpp.o"
+  "CMakeFiles/path_authentication.dir/path_authentication.cpp.o.d"
+  "path_authentication"
+  "path_authentication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_authentication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rerouted_paths.dir/rerouted_paths.cpp.o"
+  "CMakeFiles/rerouted_paths.dir/rerouted_paths.cpp.o.d"
+  "rerouted_paths"
+  "rerouted_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rerouted_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pera_adversary.dir/attacks.cpp.o"
+  "CMakeFiles/pera_adversary.dir/attacks.cpp.o.d"
+  "libpera_adversary.a"
+  "libpera_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pera_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

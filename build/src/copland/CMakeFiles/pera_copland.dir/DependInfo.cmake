@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/copland/analysis.cpp" "src/copland/CMakeFiles/pera_copland.dir/analysis.cpp.o" "gcc" "src/copland/CMakeFiles/pera_copland.dir/analysis.cpp.o.d"
+  "/root/repo/src/copland/ast.cpp" "src/copland/CMakeFiles/pera_copland.dir/ast.cpp.o" "gcc" "src/copland/CMakeFiles/pera_copland.dir/ast.cpp.o.d"
+  "/root/repo/src/copland/evidence.cpp" "src/copland/CMakeFiles/pera_copland.dir/evidence.cpp.o" "gcc" "src/copland/CMakeFiles/pera_copland.dir/evidence.cpp.o.d"
+  "/root/repo/src/copland/lexer.cpp" "src/copland/CMakeFiles/pera_copland.dir/lexer.cpp.o" "gcc" "src/copland/CMakeFiles/pera_copland.dir/lexer.cpp.o.d"
+  "/root/repo/src/copland/parser.cpp" "src/copland/CMakeFiles/pera_copland.dir/parser.cpp.o" "gcc" "src/copland/CMakeFiles/pera_copland.dir/parser.cpp.o.d"
+  "/root/repo/src/copland/pretty.cpp" "src/copland/CMakeFiles/pera_copland.dir/pretty.cpp.o" "gcc" "src/copland/CMakeFiles/pera_copland.dir/pretty.cpp.o.d"
+  "/root/repo/src/copland/semantics.cpp" "src/copland/CMakeFiles/pera_copland.dir/semantics.cpp.o" "gcc" "src/copland/CMakeFiles/pera_copland.dir/semantics.cpp.o.d"
+  "/root/repo/src/copland/testbed.cpp" "src/copland/CMakeFiles/pera_copland.dir/testbed.cpp.o" "gcc" "src/copland/CMakeFiles/pera_copland.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/pera_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pera_copland.dir/analysis.cpp.o"
+  "CMakeFiles/pera_copland.dir/analysis.cpp.o.d"
+  "CMakeFiles/pera_copland.dir/ast.cpp.o"
+  "CMakeFiles/pera_copland.dir/ast.cpp.o.d"
+  "CMakeFiles/pera_copland.dir/evidence.cpp.o"
+  "CMakeFiles/pera_copland.dir/evidence.cpp.o.d"
+  "CMakeFiles/pera_copland.dir/lexer.cpp.o"
+  "CMakeFiles/pera_copland.dir/lexer.cpp.o.d"
+  "CMakeFiles/pera_copland.dir/parser.cpp.o"
+  "CMakeFiles/pera_copland.dir/parser.cpp.o.d"
+  "CMakeFiles/pera_copland.dir/pretty.cpp.o"
+  "CMakeFiles/pera_copland.dir/pretty.cpp.o.d"
+  "CMakeFiles/pera_copland.dir/semantics.cpp.o"
+  "CMakeFiles/pera_copland.dir/semantics.cpp.o.d"
+  "CMakeFiles/pera_copland.dir/testbed.cpp.o"
+  "CMakeFiles/pera_copland.dir/testbed.cpp.o.d"
+  "libpera_copland.a"
+  "libpera_copland.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pera_copland.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pera_copland.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for pera_copland.
+# This may be replaced when dependencies are built.

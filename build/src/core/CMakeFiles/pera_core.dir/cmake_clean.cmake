@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pera_core.dir/deployment.cpp.o"
+  "CMakeFiles/pera_core.dir/deployment.cpp.o.d"
+  "CMakeFiles/pera_core.dir/netkat_bridge.cpp.o"
+  "CMakeFiles/pera_core.dir/netkat_bridge.cpp.o.d"
+  "CMakeFiles/pera_core.dir/nodes.cpp.o"
+  "CMakeFiles/pera_core.dir/nodes.cpp.o.d"
+  "CMakeFiles/pera_core.dir/path_verifier.cpp.o"
+  "CMakeFiles/pera_core.dir/path_verifier.cpp.o.d"
+  "CMakeFiles/pera_core.dir/reachability.cpp.o"
+  "CMakeFiles/pera_core.dir/reachability.cpp.o.d"
+  "CMakeFiles/pera_core.dir/wire.cpp.o"
+  "CMakeFiles/pera_core.dir/wire.cpp.o.d"
+  "libpera_core.a"
+  "libpera_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pera_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bytes.cpp" "src/crypto/CMakeFiles/pera_crypto.dir/bytes.cpp.o" "gcc" "src/crypto/CMakeFiles/pera_crypto.dir/bytes.cpp.o.d"
+  "/root/repo/src/crypto/drbg.cpp" "src/crypto/CMakeFiles/pera_crypto.dir/drbg.cpp.o" "gcc" "src/crypto/CMakeFiles/pera_crypto.dir/drbg.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/pera_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/pera_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/keystore.cpp" "src/crypto/CMakeFiles/pera_crypto.dir/keystore.cpp.o" "gcc" "src/crypto/CMakeFiles/pera_crypto.dir/keystore.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "src/crypto/CMakeFiles/pera_crypto.dir/merkle.cpp.o" "gcc" "src/crypto/CMakeFiles/pera_crypto.dir/merkle.cpp.o.d"
+  "/root/repo/src/crypto/nonce.cpp" "src/crypto/CMakeFiles/pera_crypto.dir/nonce.cpp.o" "gcc" "src/crypto/CMakeFiles/pera_crypto.dir/nonce.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/pera_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/pera_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/signer.cpp" "src/crypto/CMakeFiles/pera_crypto.dir/signer.cpp.o" "gcc" "src/crypto/CMakeFiles/pera_crypto.dir/signer.cpp.o.d"
+  "/root/repo/src/crypto/wots.cpp" "src/crypto/CMakeFiles/pera_crypto.dir/wots.cpp.o" "gcc" "src/crypto/CMakeFiles/pera_crypto.dir/wots.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

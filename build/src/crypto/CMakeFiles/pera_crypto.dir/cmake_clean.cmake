@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pera_crypto.dir/bytes.cpp.o"
+  "CMakeFiles/pera_crypto.dir/bytes.cpp.o.d"
+  "CMakeFiles/pera_crypto.dir/drbg.cpp.o"
+  "CMakeFiles/pera_crypto.dir/drbg.cpp.o.d"
+  "CMakeFiles/pera_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/pera_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/pera_crypto.dir/keystore.cpp.o"
+  "CMakeFiles/pera_crypto.dir/keystore.cpp.o.d"
+  "CMakeFiles/pera_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/pera_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/pera_crypto.dir/nonce.cpp.o"
+  "CMakeFiles/pera_crypto.dir/nonce.cpp.o.d"
+  "CMakeFiles/pera_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/pera_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/pera_crypto.dir/signer.cpp.o"
+  "CMakeFiles/pera_crypto.dir/signer.cpp.o.d"
+  "CMakeFiles/pera_crypto.dir/wots.cpp.o"
+  "CMakeFiles/pera_crypto.dir/wots.cpp.o.d"
+  "libpera_crypto.a"
+  "libpera_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pera_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/action.cpp" "src/dataplane/CMakeFiles/pera_dataplane.dir/action.cpp.o" "gcc" "src/dataplane/CMakeFiles/pera_dataplane.dir/action.cpp.o.d"
+  "/root/repo/src/dataplane/builder.cpp" "src/dataplane/CMakeFiles/pera_dataplane.dir/builder.cpp.o" "gcc" "src/dataplane/CMakeFiles/pera_dataplane.dir/builder.cpp.o.d"
+  "/root/repo/src/dataplane/field.cpp" "src/dataplane/CMakeFiles/pera_dataplane.dir/field.cpp.o" "gcc" "src/dataplane/CMakeFiles/pera_dataplane.dir/field.cpp.o.d"
+  "/root/repo/src/dataplane/p4mini.cpp" "src/dataplane/CMakeFiles/pera_dataplane.dir/p4mini.cpp.o" "gcc" "src/dataplane/CMakeFiles/pera_dataplane.dir/p4mini.cpp.o.d"
+  "/root/repo/src/dataplane/packet.cpp" "src/dataplane/CMakeFiles/pera_dataplane.dir/packet.cpp.o" "gcc" "src/dataplane/CMakeFiles/pera_dataplane.dir/packet.cpp.o.d"
+  "/root/repo/src/dataplane/parser.cpp" "src/dataplane/CMakeFiles/pera_dataplane.dir/parser.cpp.o" "gcc" "src/dataplane/CMakeFiles/pera_dataplane.dir/parser.cpp.o.d"
+  "/root/repo/src/dataplane/program.cpp" "src/dataplane/CMakeFiles/pera_dataplane.dir/program.cpp.o" "gcc" "src/dataplane/CMakeFiles/pera_dataplane.dir/program.cpp.o.d"
+  "/root/repo/src/dataplane/registers.cpp" "src/dataplane/CMakeFiles/pera_dataplane.dir/registers.cpp.o" "gcc" "src/dataplane/CMakeFiles/pera_dataplane.dir/registers.cpp.o.d"
+  "/root/repo/src/dataplane/table.cpp" "src/dataplane/CMakeFiles/pera_dataplane.dir/table.cpp.o" "gcc" "src/dataplane/CMakeFiles/pera_dataplane.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/pera_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

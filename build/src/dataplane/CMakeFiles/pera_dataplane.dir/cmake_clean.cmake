@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pera_dataplane.dir/action.cpp.o"
+  "CMakeFiles/pera_dataplane.dir/action.cpp.o.d"
+  "CMakeFiles/pera_dataplane.dir/builder.cpp.o"
+  "CMakeFiles/pera_dataplane.dir/builder.cpp.o.d"
+  "CMakeFiles/pera_dataplane.dir/field.cpp.o"
+  "CMakeFiles/pera_dataplane.dir/field.cpp.o.d"
+  "CMakeFiles/pera_dataplane.dir/p4mini.cpp.o"
+  "CMakeFiles/pera_dataplane.dir/p4mini.cpp.o.d"
+  "CMakeFiles/pera_dataplane.dir/packet.cpp.o"
+  "CMakeFiles/pera_dataplane.dir/packet.cpp.o.d"
+  "CMakeFiles/pera_dataplane.dir/parser.cpp.o"
+  "CMakeFiles/pera_dataplane.dir/parser.cpp.o.d"
+  "CMakeFiles/pera_dataplane.dir/program.cpp.o"
+  "CMakeFiles/pera_dataplane.dir/program.cpp.o.d"
+  "CMakeFiles/pera_dataplane.dir/registers.cpp.o"
+  "CMakeFiles/pera_dataplane.dir/registers.cpp.o.d"
+  "CMakeFiles/pera_dataplane.dir/table.cpp.o"
+  "CMakeFiles/pera_dataplane.dir/table.cpp.o.d"
+  "libpera_dataplane.a"
+  "libpera_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pera_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

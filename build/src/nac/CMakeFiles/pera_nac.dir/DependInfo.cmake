@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nac/binder.cpp" "src/nac/CMakeFiles/pera_nac.dir/binder.cpp.o" "gcc" "src/nac/CMakeFiles/pera_nac.dir/binder.cpp.o.d"
+  "/root/repo/src/nac/compiler.cpp" "src/nac/CMakeFiles/pera_nac.dir/compiler.cpp.o" "gcc" "src/nac/CMakeFiles/pera_nac.dir/compiler.cpp.o.d"
+  "/root/repo/src/nac/detail.cpp" "src/nac/CMakeFiles/pera_nac.dir/detail.cpp.o" "gcc" "src/nac/CMakeFiles/pera_nac.dir/detail.cpp.o.d"
+  "/root/repo/src/nac/header.cpp" "src/nac/CMakeFiles/pera_nac.dir/header.cpp.o" "gcc" "src/nac/CMakeFiles/pera_nac.dir/header.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/copland/CMakeFiles/pera_copland.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pera_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pera_nac.dir/binder.cpp.o"
+  "CMakeFiles/pera_nac.dir/binder.cpp.o.d"
+  "CMakeFiles/pera_nac.dir/compiler.cpp.o"
+  "CMakeFiles/pera_nac.dir/compiler.cpp.o.d"
+  "CMakeFiles/pera_nac.dir/detail.cpp.o"
+  "CMakeFiles/pera_nac.dir/detail.cpp.o.d"
+  "CMakeFiles/pera_nac.dir/header.cpp.o"
+  "CMakeFiles/pera_nac.dir/header.cpp.o.d"
+  "libpera_nac.a"
+  "libpera_nac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pera_nac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

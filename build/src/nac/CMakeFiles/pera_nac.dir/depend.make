@@ -1,0 +1,2 @@
+# Empty dependencies file for pera_nac.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netkat/eval.cpp" "src/netkat/CMakeFiles/pera_netkat.dir/eval.cpp.o" "gcc" "src/netkat/CMakeFiles/pera_netkat.dir/eval.cpp.o.d"
+  "/root/repo/src/netkat/packet.cpp" "src/netkat/CMakeFiles/pera_netkat.dir/packet.cpp.o" "gcc" "src/netkat/CMakeFiles/pera_netkat.dir/packet.cpp.o.d"
+  "/root/repo/src/netkat/parser.cpp" "src/netkat/CMakeFiles/pera_netkat.dir/parser.cpp.o" "gcc" "src/netkat/CMakeFiles/pera_netkat.dir/parser.cpp.o.d"
+  "/root/repo/src/netkat/policy.cpp" "src/netkat/CMakeFiles/pera_netkat.dir/policy.cpp.o" "gcc" "src/netkat/CMakeFiles/pera_netkat.dir/policy.cpp.o.d"
+  "/root/repo/src/netkat/topology.cpp" "src/netkat/CMakeFiles/pera_netkat.dir/topology.cpp.o" "gcc" "src/netkat/CMakeFiles/pera_netkat.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pera_netkat.dir/eval.cpp.o"
+  "CMakeFiles/pera_netkat.dir/eval.cpp.o.d"
+  "CMakeFiles/pera_netkat.dir/packet.cpp.o"
+  "CMakeFiles/pera_netkat.dir/packet.cpp.o.d"
+  "CMakeFiles/pera_netkat.dir/parser.cpp.o"
+  "CMakeFiles/pera_netkat.dir/parser.cpp.o.d"
+  "CMakeFiles/pera_netkat.dir/policy.cpp.o"
+  "CMakeFiles/pera_netkat.dir/policy.cpp.o.d"
+  "CMakeFiles/pera_netkat.dir/topology.cpp.o"
+  "CMakeFiles/pera_netkat.dir/topology.cpp.o.d"
+  "libpera_netkat.a"
+  "libpera_netkat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pera_netkat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

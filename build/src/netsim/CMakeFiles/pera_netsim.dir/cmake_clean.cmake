@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pera_netsim.dir/event.cpp.o"
+  "CMakeFiles/pera_netsim.dir/event.cpp.o.d"
+  "CMakeFiles/pera_netsim.dir/network.cpp.o"
+  "CMakeFiles/pera_netsim.dir/network.cpp.o.d"
+  "CMakeFiles/pera_netsim.dir/topology.cpp.o"
+  "CMakeFiles/pera_netsim.dir/topology.cpp.o.d"
+  "libpera_netsim.a"
+  "libpera_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pera_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pera/batcher.cpp" "src/pera/CMakeFiles/pera_pera.dir/batcher.cpp.o" "gcc" "src/pera/CMakeFiles/pera_pera.dir/batcher.cpp.o.d"
+  "/root/repo/src/pera/cache.cpp" "src/pera/CMakeFiles/pera_pera.dir/cache.cpp.o" "gcc" "src/pera/CMakeFiles/pera_pera.dir/cache.cpp.o.d"
+  "/root/repo/src/pera/engine.cpp" "src/pera/CMakeFiles/pera_pera.dir/engine.cpp.o" "gcc" "src/pera/CMakeFiles/pera_pera.dir/engine.cpp.o.d"
+  "/root/repo/src/pera/measurement.cpp" "src/pera/CMakeFiles/pera_pera.dir/measurement.cpp.o" "gcc" "src/pera/CMakeFiles/pera_pera.dir/measurement.cpp.o.d"
+  "/root/repo/src/pera/pera_switch.cpp" "src/pera/CMakeFiles/pera_pera.dir/pera_switch.cpp.o" "gcc" "src/pera/CMakeFiles/pera_pera.dir/pera_switch.cpp.o.d"
+  "/root/repo/src/pera/tuning.cpp" "src/pera/CMakeFiles/pera_pera.dir/tuning.cpp.o" "gcc" "src/pera/CMakeFiles/pera_pera.dir/tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nac/CMakeFiles/pera_nac.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/pera_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/pera_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/copland/CMakeFiles/pera_copland.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pera_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

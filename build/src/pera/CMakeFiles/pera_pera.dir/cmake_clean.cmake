@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pera_pera.dir/batcher.cpp.o"
+  "CMakeFiles/pera_pera.dir/batcher.cpp.o.d"
+  "CMakeFiles/pera_pera.dir/cache.cpp.o"
+  "CMakeFiles/pera_pera.dir/cache.cpp.o.d"
+  "CMakeFiles/pera_pera.dir/engine.cpp.o"
+  "CMakeFiles/pera_pera.dir/engine.cpp.o.d"
+  "CMakeFiles/pera_pera.dir/measurement.cpp.o"
+  "CMakeFiles/pera_pera.dir/measurement.cpp.o.d"
+  "CMakeFiles/pera_pera.dir/pera_switch.cpp.o"
+  "CMakeFiles/pera_pera.dir/pera_switch.cpp.o.d"
+  "CMakeFiles/pera_pera.dir/tuning.cpp.o"
+  "CMakeFiles/pera_pera.dir/tuning.cpp.o.d"
+  "libpera_pera.a"
+  "libpera_pera.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pera_pera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

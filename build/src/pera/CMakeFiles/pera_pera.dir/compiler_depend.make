@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pera_pera.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ra/appraisal_policy.cpp" "src/ra/CMakeFiles/pera_ra.dir/appraisal_policy.cpp.o" "gcc" "src/ra/CMakeFiles/pera_ra.dir/appraisal_policy.cpp.o.d"
+  "/root/repo/src/ra/certificate.cpp" "src/ra/CMakeFiles/pera_ra.dir/certificate.cpp.o" "gcc" "src/ra/CMakeFiles/pera_ra.dir/certificate.cpp.o.d"
+  "/root/repo/src/ra/endorsement.cpp" "src/ra/CMakeFiles/pera_ra.dir/endorsement.cpp.o" "gcc" "src/ra/CMakeFiles/pera_ra.dir/endorsement.cpp.o.d"
+  "/root/repo/src/ra/redaction.cpp" "src/ra/CMakeFiles/pera_ra.dir/redaction.cpp.o" "gcc" "src/ra/CMakeFiles/pera_ra.dir/redaction.cpp.o.d"
+  "/root/repo/src/ra/roles.cpp" "src/ra/CMakeFiles/pera_ra.dir/roles.cpp.o" "gcc" "src/ra/CMakeFiles/pera_ra.dir/roles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/copland/CMakeFiles/pera_copland.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pera_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

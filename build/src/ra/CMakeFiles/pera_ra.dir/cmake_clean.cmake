@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pera_ra.dir/appraisal_policy.cpp.o"
+  "CMakeFiles/pera_ra.dir/appraisal_policy.cpp.o.d"
+  "CMakeFiles/pera_ra.dir/certificate.cpp.o"
+  "CMakeFiles/pera_ra.dir/certificate.cpp.o.d"
+  "CMakeFiles/pera_ra.dir/endorsement.cpp.o"
+  "CMakeFiles/pera_ra.dir/endorsement.cpp.o.d"
+  "CMakeFiles/pera_ra.dir/redaction.cpp.o"
+  "CMakeFiles/pera_ra.dir/redaction.cpp.o.d"
+  "CMakeFiles/pera_ra.dir/roles.cpp.o"
+  "CMakeFiles/pera_ra.dir/roles.cpp.o.d"
+  "libpera_ra.a"
+  "libpera_ra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pera_ra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

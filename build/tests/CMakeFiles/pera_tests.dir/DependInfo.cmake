@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_batched_flow.cpp" "tests/CMakeFiles/pera_tests.dir/test_batched_flow.cpp.o" "gcc" "tests/CMakeFiles/pera_tests.dir/test_batched_flow.cpp.o.d"
+  "/root/repo/tests/test_confinement.cpp" "tests/CMakeFiles/pera_tests.dir/test_confinement.cpp.o" "gcc" "tests/CMakeFiles/pera_tests.dir/test_confinement.cpp.o.d"
+  "/root/repo/tests/test_copland_analysis.cpp" "tests/CMakeFiles/pera_tests.dir/test_copland_analysis.cpp.o" "gcc" "tests/CMakeFiles/pera_tests.dir/test_copland_analysis.cpp.o.d"
+  "/root/repo/tests/test_copland_lang.cpp" "tests/CMakeFiles/pera_tests.dir/test_copland_lang.cpp.o" "gcc" "tests/CMakeFiles/pera_tests.dir/test_copland_lang.cpp.o.d"
+  "/root/repo/tests/test_copland_semantics.cpp" "tests/CMakeFiles/pera_tests.dir/test_copland_semantics.cpp.o" "gcc" "tests/CMakeFiles/pera_tests.dir/test_copland_semantics.cpp.o.d"
+  "/root/repo/tests/test_crypto.cpp" "tests/CMakeFiles/pera_tests.dir/test_crypto.cpp.o" "gcc" "tests/CMakeFiles/pera_tests.dir/test_crypto.cpp.o.d"
+  "/root/repo/tests/test_datacenter.cpp" "tests/CMakeFiles/pera_tests.dir/test_datacenter.cpp.o" "gcc" "tests/CMakeFiles/pera_tests.dir/test_datacenter.cpp.o.d"
+  "/root/repo/tests/test_dataplane.cpp" "tests/CMakeFiles/pera_tests.dir/test_dataplane.cpp.o" "gcc" "tests/CMakeFiles/pera_tests.dir/test_dataplane.cpp.o.d"
+  "/root/repo/tests/test_endorsement.cpp" "tests/CMakeFiles/pera_tests.dir/test_endorsement.cpp.o" "gcc" "tests/CMakeFiles/pera_tests.dir/test_endorsement.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/pera_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/pera_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/pera_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/pera_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/pera_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/pera_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_lossy.cpp" "tests/CMakeFiles/pera_tests.dir/test_lossy.cpp.o" "gcc" "tests/CMakeFiles/pera_tests.dir/test_lossy.cpp.o.d"
+  "/root/repo/tests/test_nac.cpp" "tests/CMakeFiles/pera_tests.dir/test_nac.cpp.o" "gcc" "tests/CMakeFiles/pera_tests.dir/test_nac.cpp.o.d"
+  "/root/repo/tests/test_netkat.cpp" "tests/CMakeFiles/pera_tests.dir/test_netkat.cpp.o" "gcc" "tests/CMakeFiles/pera_tests.dir/test_netkat.cpp.o.d"
+  "/root/repo/tests/test_netkat_parser.cpp" "tests/CMakeFiles/pera_tests.dir/test_netkat_parser.cpp.o" "gcc" "tests/CMakeFiles/pera_tests.dir/test_netkat_parser.cpp.o.d"
+  "/root/repo/tests/test_netsim.cpp" "tests/CMakeFiles/pera_tests.dir/test_netsim.cpp.o" "gcc" "tests/CMakeFiles/pera_tests.dir/test_netsim.cpp.o.d"
+  "/root/repo/tests/test_p4mini.cpp" "tests/CMakeFiles/pera_tests.dir/test_p4mini.cpp.o" "gcc" "tests/CMakeFiles/pera_tests.dir/test_p4mini.cpp.o.d"
+  "/root/repo/tests/test_pera.cpp" "tests/CMakeFiles/pera_tests.dir/test_pera.cpp.o" "gcc" "tests/CMakeFiles/pera_tests.dir/test_pera.cpp.o.d"
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/pera_tests.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/pera_tests.dir/test_property.cpp.o.d"
+  "/root/repo/tests/test_ra.cpp" "tests/CMakeFiles/pera_tests.dir/test_ra.cpp.o" "gcc" "tests/CMakeFiles/pera_tests.dir/test_ra.cpp.o.d"
+  "/root/repo/tests/test_tuning.cpp" "tests/CMakeFiles/pera_tests.dir/test_tuning.cpp.o" "gcc" "tests/CMakeFiles/pera_tests.dir/test_tuning.cpp.o.d"
+  "/root/repo/tests/test_visibility.cpp" "tests/CMakeFiles/pera_tests.dir/test_visibility.cpp.o" "gcc" "tests/CMakeFiles/pera_tests.dir/test_visibility.cpp.o.d"
+  "/root/repo/tests/test_wellformed.cpp" "tests/CMakeFiles/pera_tests.dir/test_wellformed.cpp.o" "gcc" "tests/CMakeFiles/pera_tests.dir/test_wellformed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adversary/CMakeFiles/pera_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pera_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pera/CMakeFiles/pera_pera.dir/DependInfo.cmake"
+  "/root/repo/build/src/ra/CMakeFiles/pera_ra.dir/DependInfo.cmake"
+  "/root/repo/build/src/nac/CMakeFiles/pera_nac.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/pera_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/pera_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/netkat/CMakeFiles/pera_netkat.dir/DependInfo.cmake"
+  "/root/repo/build/src/copland/CMakeFiles/pera_copland.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pera_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
