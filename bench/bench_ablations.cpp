@@ -6,6 +6,8 @@
 //   * Prim3 reachability checking cost by topology size.
 #include <benchmark/benchmark.h>
 
+#include "obs_bench_main.h"
+
 #include <memory>
 
 #include "core/deployment.h"
@@ -199,4 +201,4 @@ BENCHMARK(BM_Ablation_ReachabilityCheck)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PERA_BENCH_MAIN();

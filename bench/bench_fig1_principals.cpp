@@ -6,6 +6,8 @@
 // figure is architectural; the series here quantify each arrow of it.
 #include <benchmark/benchmark.h>
 
+#include "obs_bench_main.h"
+
 #include "ra/roles.h"
 
 namespace {
@@ -103,4 +105,4 @@ BENCHMARK(BM_Fig1_CertificateVerify);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PERA_BENCH_MAIN();

@@ -7,6 +7,8 @@
 // bytes on the wire, swept over path length.
 #include <benchmark/benchmark.h>
 
+#include "obs_bench_main.h"
+
 #include "core/deployment.h"
 
 namespace {
@@ -91,4 +93,4 @@ BENCHMARK(BM_Fig2_FlowInBandVsOob)->Arg(1)->Arg(0);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PERA_BENCH_MAIN();

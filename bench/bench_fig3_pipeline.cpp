@@ -7,6 +7,8 @@
 // sign/verify unit under both signer schemes.
 #include <benchmark/benchmark.h>
 
+#include "obs_bench_main.h"
+
 #include "crypto/keystore.h"
 #include "nac/compiler.h"
 #include "pera/pera_switch.h"
@@ -177,4 +179,4 @@ BENCHMARK(BM_Fig3_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PERA_BENCH_MAIN();

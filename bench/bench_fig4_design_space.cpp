@@ -8,6 +8,8 @@
 // Counters report the simulated per-packet RA cost and cache hit rates.
 #include <benchmark/benchmark.h>
 
+#include "obs_bench_main.h"
+
 #include "core/deployment.h"
 #include "crypto/keystore.h"
 
@@ -182,4 +184,4 @@ BENCHMARK(BM_Fig4_DetailSweep)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PERA_BENCH_MAIN();

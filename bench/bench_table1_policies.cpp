@@ -6,6 +6,8 @@
 // cost (and evidence size) of evaluating the bound policy end-to-end.
 #include <benchmark/benchmark.h>
 
+#include "obs_bench_main.h"
+
 #include "copland/parser.h"
 #include "copland/pretty.h"
 #include "copland/semantics.h"
@@ -180,4 +182,4 @@ BENCHMARK(BM_Table1_ParseRoundTrip)->Arg(1)->Arg(2)->Arg(3);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PERA_BENCH_MAIN();

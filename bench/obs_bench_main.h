@@ -1,0 +1,86 @@
+// Shared benchmark main with observability export.
+//
+// Every bench binary accepts, in addition to the standard Google
+// Benchmark flags:
+//
+//   --metrics-json=PATH   enable the obs subsystem for the whole run and
+//                         dump obs::dump_json() to PATH afterwards
+//                         (PATH "-" writes to stdout)
+//   --trace-capacity=N    resize the trace ring before the run
+//
+// Without --metrics-json, observability stays runtime-disabled and the
+// instrumented paths cost one relaxed atomic load per site.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace pera::obs_bench {
+
+inline int run(int argc, char** argv) {
+  std::string metrics_path;
+  std::size_t trace_capacity = 0;
+
+  // Strip our flags before benchmark::Initialize sees (and rejects) them.
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string kMetrics = "--metrics-json";
+    const std::string kTrace = "--trace-capacity";
+    if (arg.rfind(kMetrics + "=", 0) == 0) {
+      metrics_path = arg.substr(kMetrics.size() + 1);
+    } else if (arg == kMetrics && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg.rfind(kTrace + "=", 0) == 0) {
+      trace_capacity =
+          static_cast<std::size_t>(std::atoll(arg.c_str() + kTrace.size() + 1));
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argc = out_argc;
+
+  if (!metrics_path.empty()) {
+    if (trace_capacity > 0) pera::obs::trace().set_capacity(trace_capacity);
+    pera::obs::reset();
+    pera::obs::set_enabled(true);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!metrics_path.empty()) {
+    const std::string json = pera::obs::dump_json();
+    if (metrics_path == "-") {
+      std::fwrite(json.data(), 1, json.size(), stdout);
+      std::fputc('\n', stdout);
+    } else {
+      std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write metrics to %s\n",
+                     metrics_path.c_str());
+        return 1;
+      }
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    }
+  }
+  return 0;
+}
+
+}  // namespace pera::obs_bench
+
+/// Drop-in replacement for BENCHMARK_MAIN().
+#define PERA_BENCH_MAIN()                                      \
+  int main(int argc, char** argv) {                            \
+    return ::pera::obs_bench::run(argc, argv);                 \
+  }                                                            \
+  int main(int, char**)

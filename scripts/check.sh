@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Full verification pipeline: configure, build (warnings are errors in
-# spirit — the tree builds clean under -Wall -Wextra), run every test,
-# smoke-run every benchmark and every example.
+# Full verification pipeline: configure with warnings-as-errors
+# (-Wall -Wextra -Werror via PERA_WERROR), build, run every test,
+# smoke-run every benchmark and every example, and check the
+# observability JSON export end-to-end.
+#
+# One command verifies the tree:   scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
+cmake -B build -G Ninja -DPERA_WERROR=ON
 cmake --build build
 ctest --test-dir build --output-on-failure
 
@@ -13,6 +16,15 @@ for b in build/bench/bench_*; do
   echo "== $b (smoke) =="
   "$b" --benchmark_min_time=0.01 > /dev/null
 done
+
+# The Fig. 4 design-space bench must export a usable metrics dump
+# (see docs/OBSERVABILITY.md).
+echo "== observability export (smoke) =="
+build/bench/bench_fig4_design_space --benchmark_min_time=0.01 \
+  --metrics-json=build/fig4.metrics.json > /dev/null
+grep -q '"pera.cache.hit"' build/fig4.metrics.json
+grep -q '"pera.sign.sim_ns"' build/fig4.metrics.json
+grep -q '"pera.wire.bytes.Program"' build/fig4.metrics.json
 
 for ex in build/examples/*; do
   [ -x "$ex" ] && [ -f "$ex" ] || continue

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace pera::core {
 
 using crypto::Bytes;
@@ -21,6 +23,10 @@ void FlowBundle::to_message(netsim::Message& msg) const {
   msg.payload.clear();
   crypto::append_u32(msg.payload, raw.port);
   crypto::append(msg.payload, BytesView{raw.data.data(), raw.data.size()});
+  PERA_OBS_COUNT("wire.flow_bundle.encoded_bytes",
+                 msg.headers.size() + msg.payload.size());
+  PERA_OBS_EVENT(obs::SpanKind::kWireEncode, "flow_bundle", 0,
+                 msg.headers.size() + msg.payload.size());
 }
 
 FlowBundle FlowBundle::from_message(const netsim::Message& msg) {
@@ -46,6 +52,10 @@ FlowBundle FlowBundle::from_message(const netsim::Message& msg) {
   const BytesView pay{msg.payload.data(), msg.payload.size()};
   b.raw.port = crypto::read_u32(pay, 0);
   b.raw.data.assign(pay.begin() + 4, pay.end());
+  PERA_OBS_COUNT("wire.flow_bundle.decoded_bytes",
+                 msg.headers.size() + msg.payload.size());
+  PERA_OBS_EVENT(obs::SpanKind::kWireDecode, "flow_bundle", 0,
+                 msg.headers.size() + msg.payload.size());
   return b;
 }
 
@@ -57,6 +67,8 @@ Bytes Challenge::serialize() const {
   out.push_back(in_band_reply ? 1 : 0);
   crypto::append_u32(out, static_cast<std::uint32_t>(appraiser.size()));
   crypto::append(out, crypto::as_bytes(appraiser));
+  PERA_OBS_COUNT("wire.challenge.encoded_bytes", out.size());
+  PERA_OBS_EVENT(obs::SpanKind::kWireEncode, "challenge", 0, out.size());
   return out;
 }
 
@@ -82,6 +94,8 @@ Bytes EvidenceMsg::serialize() const {
   crypto::append(out, nonce.value);
   crypto::append_u32(out, static_cast<std::uint32_t>(evidence.size()));
   crypto::append(out, BytesView{evidence.data(), evidence.size()});
+  PERA_OBS_COUNT("wire.evidence.encoded_bytes", out.size());
+  PERA_OBS_EVENT(obs::SpanKind::kWireEncode, "evidence", 0, out.size());
   return out;
 }
 
@@ -94,6 +108,8 @@ EvidenceMsg EvidenceMsg::deserialize(BytesView data) {
     throw std::invalid_argument("EvidenceMsg: bad evidence length");
   }
   m.evidence.assign(data.begin() + 36, data.end());
+  PERA_OBS_COUNT("wire.evidence.decoded_bytes", data.size());
+  PERA_OBS_EVENT(obs::SpanKind::kWireDecode, "evidence", 0, data.size());
   return m;
 }
 

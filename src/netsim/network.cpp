@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace pera::netsim {
 
 void Network::attach(NodeId id, NodeBehavior* behavior) {
@@ -24,6 +26,8 @@ void Network::set_loss(double per_hop_probability, std::uint64_t seed) {
 void Network::send(Message msg) {
   ++stats_.messages_sent;
   msg.sent_at = events_.now();
+  PERA_OBS_COUNT("net.messages.sent");
+  PERA_OBS_COUNT("net.messages.sent." + msg.type);
   if (trace_ != nullptr) {
     trace_->push_back(TraceEvent{TraceEvent::Kind::kSent, events_.now(),
                                  msg.src, msg.dst, msg.type});
@@ -32,8 +36,14 @@ void Network::send(Message msg) {
 }
 
 void Network::forward_from(NodeId at, Message msg) {
+  // Keep the observability clock in step with the event queue so trace
+  // events recorded anywhere in the process carry simulated timestamps.
+  if (obs::enabled()) obs::set_sim_now(events_.now());
   if (at == msg.dst) {
     ++stats_.messages_delivered;
+    PERA_OBS_COUNT("net.messages.delivered");
+    PERA_OBS_OBSERVE("net.delivery.sim_ns." + msg.type,
+                     events_.now() - msg.sent_at);
     if (trace_ != nullptr) {
       trace_->push_back(TraceEvent{TraceEvent::Kind::kDelivered,
                                    events_.now(), msg.src, msg.dst,
@@ -55,9 +65,11 @@ void Network::forward_from(NodeId at, Message msg) {
   const SimTime delay = link->latency + link->transmit_time(msg.wire_size());
   ++stats_.hops_traversed;
   stats_.bytes_sent += msg.wire_size();
+  PERA_OBS_COUNT("net.bytes.sent", msg.wire_size());
 
   if (loss_ > 0.0 && loss_rng_ && loss_rng_->chance(loss_)) {
     ++stats_.messages_lost;
+    PERA_OBS_COUNT("net.messages.lost");
     if (trace_ != nullptr) {
       trace_->push_back(TraceEvent{TraceEvent::Kind::kLost, events_.now(),
                                    at, next, msg.type});
@@ -66,6 +78,7 @@ void Network::forward_from(NodeId at, Message msg) {
   }
 
   events_.schedule_in(delay, [this, next, msg = std::move(msg)]() mutable {
+    if (obs::enabled()) obs::set_sim_now(events_.now());
     SimTime extra = 0;
     if (next != msg.dst) {
       const auto it = behaviors_.find(next);
@@ -73,6 +86,7 @@ void Network::forward_from(NodeId at, Message msg) {
         const TransitResult tr = it->second->on_transit(*this, next, msg);
         if (!tr.forward) {
           ++stats_.messages_dropped;
+          PERA_OBS_COUNT("net.messages.dropped");
           return;
         }
         extra = tr.delay;

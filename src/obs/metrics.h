@@ -1,0 +1,133 @@
+// Metrics registry — named counters, gauges and fixed-bucket histograms
+// with cheap atomic updates and JSON export.
+//
+// Handles returned by MetricsRegistry::counter()/gauge()/histogram() are
+// stable for the registry's lifetime: reset_values() zeroes them in place
+// so cached `static` handles at instrumentation sites never dangle.
+// Naming scheme (see docs/OBSERVABILITY.md): dot-separated lowercase
+// paths, `<module>.<unit>.<what>[.<qualifier>]`, e.g. `pera.cache.hit`,
+// `pera.sign.sim_ns`, `net.delivery.sim_ns.evidence`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pera::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written signed value (queue depths, cache sizes, config knobs).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations <= bounds[i]
+/// (bounds strictly increasing); observations above the last bound land
+/// in the overflow bucket. Tracks count/sum/min/max exactly.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::int64_t> bounds);
+
+  void observe(std::int64_t v);
+
+  [[nodiscard]] const std::vector<std::int64_t>& bounds() const {
+    return bounds_;
+  }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t overflow() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Min/max of observed values; 0 when count() == 0.
+  [[nodiscard]] std::int64_t min() const;
+  [[nodiscard]] std::int64_t max() const;
+  [[nodiscard]] double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+
+  void reset();
+
+ private:
+  std::vector<std::int64_t> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> overflow_{0};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Default histogram bounds for simulated latencies: exponential
+/// nanosecond buckets from 100 ns to 1 s.
+[[nodiscard]] const std::vector<std::int64_t>& default_latency_bounds_ns();
+
+class MetricsRegistry {
+ public:
+  /// Get or create. References stay valid until the registry dies.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` only applies on first creation of `name`.
+  Histogram& histogram(std::string_view name,
+                       const std::vector<std::int64_t>& bounds =
+                           default_latency_bounds_ns());
+
+  /// nullptr when the metric was never created.
+  [[nodiscard]] const Counter* find_counter(std::string_view name) const;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name) const;
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Zero every metric in place (handles remain valid).
+  void reset_values();
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}},
+  /// names sorted, deterministic.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace pera::obs

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace pera::pera {
 
 EvidenceBatcher::EvidenceBatcher(crypto::Signer& signer,
@@ -30,6 +32,9 @@ std::vector<BatchedSignature> EvidenceBatcher::flush() {
   }
   pending_.clear();
   ++batches_;
+  PERA_OBS_COUNT("pera.batcher.batches");
+  PERA_OBS_COUNT("pera.batcher.items", receipts.size());
+  PERA_OBS_EVENT(obs::SpanKind::kSign, "pera.batcher", 0, receipts.size());
   return receipts;
 }
 

@@ -1,5 +1,7 @@
 #include "pera/cache.h"
 
+#include "obs/obs.h"
+
 namespace pera::pera {
 
 namespace {
@@ -14,16 +16,22 @@ std::optional<copland::EvidencePtr> EvidenceCache::lookup(
     const MeasurementUnit& mu, const crypto::Digest& variant) {
   if (!enabled_) {
     ++stats_.misses;
+    PERA_OBS_COUNT("pera.cache.miss");
     return std::nullopt;
   }
   // Packet-level evidence is never cacheable by construction.
   if (nac::has_detail(detail, nac::EvidenceDetail::kPacket)) {
     ++stats_.misses;
+    PERA_OBS_COUNT("pera.cache.miss");
+    PERA_OBS_EVENT(obs::SpanKind::kCacheMiss, "pera.cache.uncacheable", 0,
+                   detail);
     return std::nullopt;
   }
   const auto it = entries_.find(Key{detail, nonce.value, variant});
   if (it == entries_.end()) {
     ++stats_.misses;
+    PERA_OBS_COUNT("pera.cache.miss");
+    PERA_OBS_EVENT(obs::SpanKind::kCacheMiss, "pera.cache.cold", 0, detail);
     return std::nullopt;
   }
   for (const auto& [level, epoch] : it->second.epochs) {
@@ -31,10 +39,16 @@ std::optional<copland::EvidencePtr> EvidenceCache::lookup(
       ++stats_.misses;
       ++stats_.invalidations;
       entries_.erase(it);
+      PERA_OBS_COUNT("pera.cache.miss");
+      PERA_OBS_COUNT("pera.cache.invalidation");
+      PERA_OBS_EVENT(obs::SpanKind::kCacheMiss, "pera.cache.invalidated", 0,
+                     detail);
       return std::nullopt;
     }
   }
   ++stats_.hits;
+  PERA_OBS_COUNT("pera.cache.hit");
+  PERA_OBS_EVENT(obs::SpanKind::kCacheHit, "pera.cache", 0, detail);
   return it->second.evidence;
 }
 
@@ -52,6 +66,8 @@ void EvidenceCache::store(nac::DetailMask detail, const crypto::Nonce& nonce,
     }
   }
   entries_[Key{detail, nonce.value, variant}] = std::move(entry);
+  PERA_OBS_GAUGE("pera.cache.entries",
+                 static_cast<std::int64_t>(entries_.size()));
 }
 
 }  // namespace pera::pera

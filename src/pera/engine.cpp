@@ -1,5 +1,7 @@
 #include "pera/engine.h"
 
+#include "obs/obs.h"
+
 namespace pera::pera {
 
 using copland::Evidence;
@@ -23,6 +25,7 @@ EngineResult EvidenceEngine::create(const nac::HopInstruction& inst,
                                     const crypto::Bytes* packet_bytes,
                                     const GuardTest* guard) {
   EngineResult res;
+  obs::ScopedSpan span(obs::SpanKind::kEvidenceCreate, place_);
 
   if (!inst.guard.empty()) {
     // "Fail early and avoid the attestation effort" (§5.1).
@@ -31,6 +34,8 @@ EngineResult EvidenceEngine::create(const nac::HopInstruction& inst,
       res.evidence = Evidence::empty();
       res.guard_failed = true;
       res.cost = costs_.cache_lookup_cost;  // a test is about as cheap
+      PERA_OBS_COUNT("pera.engine.guard_failures");
+      span.set_cost(res.cost);
       return res;
     }
   }
@@ -55,6 +60,8 @@ EngineResult EvidenceEngine::create(const nac::HopInstruction& inst,
   if (auto cached = cache_->lookup(detail, nonce, *mu_, variant)) {
     res.evidence = *cached;
     res.from_cache = true;
+    span.set_cost(res.cost);
+    span.set_value(1);  // served from cache
     return res;
   }
 
@@ -86,15 +93,20 @@ EngineResult EvidenceEngine::create(const nac::HopInstruction& inst,
     acc = Evidence::hashed(place_, copland::digest(acc));
     res.cost += costs_.hash_cost_per_kb *
                 static_cast<netsim::SimTime>(sz / 1024 + 1);
+    PERA_OBS_COUNT("pera.engine.hashes");
   }
   if (inst.sign_evidence) {
     crypto::Signature sig = signer_->sign(copland::digest(acc));
     acc = Evidence::signature(place_, acc, std::move(sig));
     res.cost += sign_cost();
+    PERA_OBS_COUNT("pera.sign.count");
+    PERA_OBS_OBSERVE("pera.sign.sim_ns", sign_cost());
+    PERA_OBS_EVENT(obs::SpanKind::kSign, place_, sign_cost());
   }
 
   cache_->store(detail, nonce, acc, *mu_, variant);
   res.evidence = std::move(acc);
+  span.set_cost(res.cost);
   return res;
 }
 
@@ -103,6 +115,8 @@ EngineResult EvidenceEngine::compose(const EvidencePtr& prior,
                                      nac::CompositionMode mode) const {
   EngineResult res;
   res.cost = costs_.compose_cost;
+  PERA_OBS_EVENT(obs::SpanKind::kEvidenceCompose, place_, res.cost,
+                 mode == nac::CompositionMode::kChained ? 1 : 0);
   if (!prior || prior->kind == copland::EvidenceKind::kEmpty) {
     res.evidence = fresh;
     return res;
@@ -125,6 +139,8 @@ std::pair<std::vector<EvidencePtr>, netsim::SimTime> EvidenceEngine::inspect(
         crypto::BytesView{rec.evidence.data(), rec.evidence.size()}));
     cost += costs_.compose_cost;
   }
+  PERA_OBS_EVENT(obs::SpanKind::kEvidenceInspect, place_, cost,
+                 carrier.records.size());
   return {std::move(out), cost};
 }
 

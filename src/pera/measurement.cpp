@@ -2,10 +2,15 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace pera::pera {
 
 crypto::Digest MeasurementUnit::measure(nac::EvidenceDetail level,
                                         const crypto::Bytes* packet_bytes) const {
+  PERA_OBS_COUNT("pera.measure." + nac::to_string(level));
+  PERA_OBS_EVENT(obs::SpanKind::kMeasure, nac::to_string(level), 0,
+                 static_cast<std::uint64_t>(level));
   switch (level) {
     case nac::EvidenceDetail::kHardware:
       return hw_.digest();

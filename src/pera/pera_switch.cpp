@@ -1,9 +1,29 @@
 #include "pera/pera_switch.h"
 
+#include "obs/obs.h"
+
 namespace pera::pera {
 
 using copland::Evidence;
 using copland::EvidencePtr;
+
+namespace {
+
+/// Attribute encoded-evidence bytes to each inertia level present in the
+/// instruction's detail mask (docs/OBSERVABILITY.md: pera.wire.bytes.*).
+void count_wire_bytes_per_level(nac::DetailMask detail, std::size_t bytes) {
+  constexpr nac::EvidenceDetail kLevels[] = {
+      nac::EvidenceDetail::kHardware, nac::EvidenceDetail::kProgram,
+      nac::EvidenceDetail::kTables, nac::EvidenceDetail::kProgState,
+      nac::EvidenceDetail::kPacket};
+  for (const nac::EvidenceDetail level : kLevels) {
+    if (nac::has_detail(detail, level)) {
+      obs::count("pera.wire.bytes." + nac::to_string(level), bytes);
+    }
+  }
+}
+
+}  // namespace
 
 PeraSwitch::PeraSwitch(std::string name,
                        std::shared_ptr<dataplane::DataplaneProgram> program,
@@ -70,6 +90,8 @@ PeraResult PeraSwitch::process(const dataplane::RawPacket& in,
     const auto instructions = header->instructions_for(name_);
     if (!instructions.empty() &&
         sampler_fires(header->nonce.value, header->sampling_log2)) {
+      PERA_OBS_COUNT("pera.sampler.attest");
+      PERA_OBS_EVENT(obs::SpanKind::kSampleDecision, name_, 0, 1);
       for (const nac::HopInstruction* inst : instructions) {
         // Guard tests see the parsed packet.
         const GuardTest guard = [this, &pkt](const std::string& test) {
@@ -91,6 +113,7 @@ PeraResult PeraSwitch::process(const dataplane::RawPacket& in,
         result.ra_latency += ev.cost;
         if (ev.guard_failed) {
           ++stats_.guard_failures;
+          PERA_OBS_COUNT("pera.guard.failures");
           continue;
         }
         ++stats_.attestations;
@@ -106,6 +129,12 @@ PeraResult PeraSwitch::process(const dataplane::RawPacket& in,
           if (receipts) {
             // One signing operation amortized over the whole batch.
             result.ra_latency += config_.costs.sign_cost_hmac;
+            PERA_OBS_COUNT("pera.batch.flushes");
+            PERA_OBS_COUNT("pera.batch.items", receipts->size());
+            PERA_OBS_COUNT("pera.sign.count");
+            PERA_OBS_OBSERVE("pera.sign.sim_ns", config_.costs.sign_cost_hmac);
+            PERA_OBS_EVENT(obs::SpanKind::kSign, name_,
+                           config_.costs.sign_cost_hmac, receipts->size());
             for (std::size_t i = 0; i < pending_oob_.size(); ++i) {
               const auto& p = pending_oob_[i];
               const copland::EvidencePtr signed_ev =
@@ -117,6 +146,9 @@ PeraResult PeraSwitch::process(const dataplane::RawPacket& in,
               result.out_of_band.push_back(OutOfBandEvidence{
                   p.to, copland::encode(signed_ev), p.nonce});
               ++stats_.out_of_band_messages;
+              PERA_OBS_COUNT("pera.oob.messages");
+              PERA_OBS_COUNT("pera.oob.bytes",
+                             result.out_of_band.back().evidence.size());
             }
             pending_oob_.clear();
           }
@@ -124,21 +156,35 @@ PeraResult PeraSwitch::process(const dataplane::RawPacket& in,
         }
 
         const crypto::Bytes encoded = copland::encode(ev.evidence);
+        if (obs::enabled()) {
+          count_wire_bytes_per_level(effective.detail == 0
+                                         ? nac::mask_of(
+                                               nac::EvidenceDetail::kProgram)
+                                         : effective.detail,
+                                     encoded.size());
+        }
+        PERA_OBS_EVENT(obs::SpanKind::kWireEncode, name_, 0, encoded.size());
         if (goes_out_of_band) {
           result.out_of_band.push_back(
               OutOfBandEvidence{collector, encoded, header->nonce});
           ++stats_.out_of_band_messages;
+          PERA_OBS_COUNT("pera.oob.messages");
+          PERA_OBS_COUNT("pera.oob.bytes", encoded.size());
         } else if (carrier != nullptr) {
           // In-band: compose with what earlier hops appended.
           carrier->add(name_, encoded);
           result.inband_bytes_added += encoded.size() + name_.size() + 8;
           stats_.inband_bytes_added += encoded.size();
+          PERA_OBS_COUNT("pera.inband.bytes", encoded.size());
         }
       }
     } else if (!instructions.empty()) {
       ++stats_.skipped_by_sampling;
+      PERA_OBS_COUNT("pera.sampler.skip");
+      PERA_OBS_EVENT(obs::SpanKind::kSampleDecision, name_, 0, 0);
     }
   }
+  PERA_OBS_OBSERVE("pera.process.sim_ns", result.ra_latency);
   stats_.ra_time_total += result.ra_latency;
 
   result.forwarded = switch_.deparse(pkt);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace pera::ra {
 
 using copland::Evidence;
@@ -50,6 +52,8 @@ EvidencePtr Attester::attest(const std::vector<std::string>& targets,
     acc = Evidence::hashed(name_, copland::digest(acc));
   }
   crypto::Signature sig = signer_->sign(copland::digest(acc));
+  PERA_OBS_COUNT("ra.attest.count");
+  PERA_OBS_EVENT(obs::SpanKind::kSign, name_);
   return Evidence::signature(name_, acc, std::move(sig));
 }
 
@@ -74,6 +78,7 @@ AttestationResult Appraiser::appraise(
     const std::optional<crypto::Nonce>& expected_nonce, bool certify,
     std::int64_t now, bool enforce_freshness) {
   ++appraisal_count_;
+  obs::ScopedSpan span(obs::SpanKind::kAppraise, name_);
   AttestationResult result;
   result.detail =
       copland::appraise(evidence, goldens_, *keys_, expected_nonce);
@@ -98,6 +103,8 @@ AttestationResult Appraiser::appraise(
     }
   }
   result.ok = result.detail.ok;
+  span.set_value(result.ok ? 1 : 0);
+  PERA_OBS_COUNT(result.ok ? "ra.appraise.ok" : "ra.appraise.fail");
 
   if (certify) {
     crypto::Signer* signer = keys_->signer_for(name_);
@@ -111,6 +118,7 @@ AttestationResult Appraiser::appraise(
       cert.sig = signer->sign(cert.signing_payload());
       cert_store_[cert.nonce.value] = cert;
       result.certificate = std::move(cert);
+      PERA_OBS_COUNT("ra.certificates.issued");
     }
   }
   return result;
@@ -145,6 +153,7 @@ std::vector<Certificate> Appraiser::failed_certificates() const {
 
 bool RelyingParty::accept(const Certificate& cert,
                           const crypto::Verifier& appraiser_key) {
+  PERA_OBS_EVENT(obs::SpanKind::kVerify, name_);
   if (!cert.verify(appraiser_key)) return false;
   const bool fresh_nonce = cert.nonce.value.is_zero()
                                ? true
@@ -153,6 +162,7 @@ bool RelyingParty::accept(const Certificate& cert,
   if (!fresh_nonce) return false;
   if (!cert.verdict) return false;
   ++accepted_;
+  PERA_OBS_COUNT("ra.rp.accepted");
   return true;
 }
 

@@ -1,0 +1,256 @@
+// Observability subsystem: metrics registry correctness, trace-ring
+// overflow accounting, JSON export round-trip, and the disabled-toggle
+// no-op guarantee — plus an end-to-end check that a PERA switch actually
+// populates the registry.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "crypto/keystore.h"
+#include "dataplane/builder.h"
+#include "obs/obs.h"
+#include "pera/pera_switch.h"
+
+namespace {
+
+using namespace pera;
+
+// Minimal JSON scraping for round-trip checks: find the integer value
+// following `"key":` (first occurrence).
+std::optional<long long> json_int(const std::string& json,
+                                  const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  std::size_t i = at + needle.size();
+  bool neg = false;
+  if (i < json.size() && json[i] == '-') {
+    neg = true;
+    ++i;
+  }
+  if (i >= json.size() || !std::isdigit(static_cast<unsigned char>(json[i]))) {
+    return std::nullopt;
+  }
+  long long v = 0;
+  while (i < json.size() && std::isdigit(static_cast<unsigned char>(json[i]))) {
+    v = v * 10 + (json[i++] - '0');
+  }
+  return neg ? -v : v;
+}
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::reset();
+    obs::set_enabled(true);
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::reset();
+  }
+};
+
+TEST_F(ObsTest, CounterAccumulatesAndResets) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("x.count");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name returns the same counter.
+  EXPECT_EQ(&reg.counter("x.count"), &c);
+  reg.reset_values();
+  EXPECT_EQ(c.value(), 0u);  // handle survives reset
+}
+
+TEST_F(ObsTest, GaugeSetAddValue) {
+  obs::MetricsRegistry reg;
+  obs::Gauge& g = reg.gauge("x.depth");
+  g.set(7);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 4);
+}
+
+TEST_F(ObsTest, HistogramBucketsSumMinMaxOverflow) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("x.lat", {10, 100, 1000});
+  h.observe(5);     // bucket 0 (<= 10)
+  h.observe(10);    // bucket 0 (boundary is inclusive)
+  h.observe(11);    // bucket 1
+  h.observe(1000);  // bucket 2
+  h.observe(5000);  // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 5 + 10 + 11 + 1000 + 5000);
+  EXPECT_EQ(h.min(), 5);
+  EXPECT_EQ(h.max(), 5000);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 6026.0 / 5.0);
+}
+
+TEST_F(ObsTest, HistogramRejectsBadBounds) {
+  obs::MetricsRegistry reg;
+  EXPECT_THROW(reg.histogram("bad.empty", {}), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("bad.unsorted", {10, 5}), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("bad.dup", {10, 10}), std::invalid_argument);
+}
+
+TEST_F(ObsTest, RegistryJsonRoundTrip) {
+  obs::MetricsRegistry reg;
+  reg.counter("a.hits").add(17);
+  reg.gauge("b.depth").set(-4);
+  obs::Histogram& h = reg.histogram("c.lat", {100, 200});
+  h.observe(50);
+  h.observe(150);
+  h.observe(999);
+
+  const std::string json = reg.to_json();
+  EXPECT_EQ(json_int(json, "a.hits"), 17);
+  EXPECT_EQ(json_int(json, "b.depth"), -4);
+  EXPECT_EQ(json_int(json, "count"), 3);  // first histogram field
+  EXPECT_EQ(json_int(json, "sum"), 50 + 150 + 999);
+  EXPECT_EQ(json_int(json, "overflow"), 1);
+  // Exported values match the live registry exactly.
+  EXPECT_EQ(static_cast<unsigned long long>(*json_int(json, "a.hits")),
+            reg.counter("a.hits").value());
+}
+
+TEST_F(ObsTest, TraceRingOverflowDropAccounting) {
+  obs::TraceSink sink(4);
+  for (int i = 0; i < 10; ++i) {
+    obs::SpanEvent ev;
+    ev.kind = obs::SpanKind::kMeasure;
+    ev.name = "e" + std::to_string(i);
+    ev.value = static_cast<std::uint64_t>(i);
+    sink.record(std::move(ev));
+  }
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.recorded(), 10u);
+  EXPECT_EQ(sink.dropped(), 6u);
+  // The newest events are retained, oldest-first, with monotonic seq.
+  const auto events = sink.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().name, "e6");
+  EXPECT_EQ(events.back().name, "e9");
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+  }
+
+  const std::string json = sink.to_json();
+  EXPECT_EQ(json_int(json, "recorded"), 10);
+  EXPECT_EQ(json_int(json, "dropped"), 6);
+  EXPECT_EQ(json_int(json, "capacity"), 4);
+
+  sink.clear();
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.dropped(), 0u);
+}
+
+TEST_F(ObsTest, SetCapacityResizesAndClears) {
+  obs::TraceSink sink(2);
+  sink.record({});
+  sink.record({});
+  sink.record({});
+  EXPECT_EQ(sink.dropped(), 1u);
+  sink.set_capacity(8);
+  EXPECT_EQ(sink.capacity(), 8u);
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  EXPECT_THROW(sink.set_capacity(0), std::invalid_argument);
+}
+
+TEST_F(ObsTest, DisabledToggleIsANoOp) {
+  obs::set_enabled(false);
+  const std::uint64_t before = obs::trace().recorded();
+
+  PERA_OBS_COUNT("noop.count");
+  PERA_OBS_GAUGE("noop.gauge", 9);
+  PERA_OBS_OBSERVE("noop.lat", 123);
+  PERA_OBS_EVENT(obs::SpanKind::kSign, "noop");
+  { obs::ScopedSpan span(obs::SpanKind::kAppraise, "noop"); }
+
+  EXPECT_EQ(obs::metrics().find_counter("noop.count"), nullptr);
+  EXPECT_EQ(obs::metrics().find_gauge("noop.gauge"), nullptr);
+  EXPECT_EQ(obs::metrics().find_histogram("noop.lat"), nullptr);
+  EXPECT_EQ(obs::trace().recorded(), before);
+
+  // Direct helper calls are gated too (macros are just lazy-arg sugar).
+  obs::count("noop.count");
+  EXPECT_EQ(obs::metrics().find_counter("noop.count"), nullptr);
+}
+
+TEST_F(ObsTest, ScopedSpanRecordsCostAndValue) {
+  {
+    obs::ScopedSpan span(obs::SpanKind::kEvidenceCreate, "unit");
+    span.add_cost(100);
+    span.add_cost(20);
+    span.set_value(7);
+  }
+  const auto events = obs::trace().snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, obs::SpanKind::kEvidenceCreate);
+  EXPECT_EQ(events[0].name, "unit");
+  EXPECT_EQ(events[0].duration, 120);
+  EXPECT_EQ(events[0].value, 7u);
+}
+
+TEST_F(ObsTest, SpanKindNamesAreStable) {
+  EXPECT_STREQ(obs::to_string(obs::SpanKind::kCacheHit), "cache_hit");
+  EXPECT_STREQ(obs::to_string(obs::SpanKind::kWireDecode), "wire_decode");
+}
+
+// End-to-end: one attested packet through a PERA switch populates the
+// cache counters, the sign histogram and the per-level wire bytes that
+// bench_fig4_design_space --metrics-json exports.
+TEST_F(ObsTest, PeraSwitchPopulatesPipelineMetrics) {
+  crypto::KeyStore keys(7);
+  ::pera::pera::PeraSwitch sw("sw1", dataplane::make_router(),
+                              keys.provision_hmac("sw1"));
+
+  nac::CompiledPolicy pol;
+  nac::HopInstruction inst;
+  inst.wildcard = true;
+  inst.detail = nac::mask_of(nac::EvidenceDetail::kProgram);
+  inst.sign_evidence = true;
+  pol.hops = {inst};
+  pol.appraiser = "Appraiser";
+  const nac::PolicyHeader hdr = nac::make_header(
+      pol, crypto::Nonce{crypto::sha256("flow")}, /*in_band=*/true, 0);
+
+  const dataplane::RawPacket pkt = dataplane::make_tcp_packet({});
+  for (int i = 0; i < 4; ++i) {
+    nac::EvidenceCarrier carrier;
+    const auto res = sw.process(pkt, &hdr, &carrier);
+    EXPECT_TRUE(res.attested);
+  }
+
+  const obs::Counter* miss = obs::metrics().find_counter("pera.cache.miss");
+  const obs::Counter* hit = obs::metrics().find_counter("pera.cache.hit");
+  ASSERT_NE(miss, nullptr);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(miss->value(), 1u);  // first packet misses...
+  EXPECT_EQ(hit->value(), 3u);   // ...the rest hit
+
+  const obs::Histogram* sign =
+      obs::metrics().find_histogram("pera.sign.sim_ns");
+  ASSERT_NE(sign, nullptr);
+  EXPECT_EQ(sign->count(), 1u);  // signed once, then cached
+  EXPECT_GT(sign->sum(), 0);
+
+  const obs::Counter* bytes =
+      obs::metrics().find_counter("pera.wire.bytes.Program");
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_GT(bytes->value(), 0u);
+
+  // The full dump contains both sections.
+  const std::string json = obs::dump_json();
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace\""), std::string::npos);
+  EXPECT_NE(json.find("pera.cache.hit"), std::string::npos);
+  EXPECT_GT(obs::trace().recorded(), 0u);
+}
+
+}  // namespace
