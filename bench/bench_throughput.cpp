@@ -1,0 +1,213 @@
+// Sharded-pipeline throughput benchmark.
+//
+// Sweeps the shard count (1/2/4/8), evidence cache (on/off) and
+// out-of-band signing batch (1/32) over a fixed multi-flow packet
+// stream, emitting BENCH_throughput.json. Two measurements per cell:
+//
+//   * simulated packets/sec — the methodology-level number. The
+//     dispatcher clock (serial fraction) and per-shard pipe clocks use
+//     the same deterministic CostModel as the rest of the reproduction,
+//     so this scales with shards regardless of host core count.
+//   * wall-clock packets/sec — the host-dependent number, reported for
+//     context (a 1-core container serializes the worker threads).
+//
+// Extra flags (stripped before Google Benchmark sees the rest):
+//   --shards=N     restrict the sweep to one shard count
+//   --packets=N    stream length per cell (default 4096)
+//   --flows=N      distinct 5-tuples in the stream (default 64)
+//   --json=PATH    output path (default BENCH_throughput.json)
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs_bench_main.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/reassembler.h"
+
+namespace {
+
+using namespace pera;
+using pipeline::PeraPipeline;
+using pipeline::PipelineOptions;
+using pipeline::PipelineReport;
+
+struct SweepConfig {
+  std::size_t packets = 4096;
+  std::size_t flows = 64;
+  std::size_t only_shards = 0;  // 0 = sweep 1/2/4/8
+  std::string json_path = "BENCH_throughput.json";
+};
+
+std::vector<dataplane::RawPacket> make_stream(std::size_t packets,
+                                              std::size_t flows) {
+  std::vector<dataplane::RawPacket> out;
+  out.reserve(packets);
+  for (std::size_t i = 0; i < packets; ++i) {
+    dataplane::PacketSpec spec;
+    spec.sport = static_cast<std::uint16_t>(40000 + i % flows);
+    spec.ip_src = 0x0a000100 + static_cast<std::uint32_t>(i % flows);
+    out.push_back(dataplane::make_tcp_packet(spec));
+  }
+  return out;
+}
+
+nac::PolicyHeader make_policy_header() {
+  nac::HopInstruction inst;
+  inst.detail = nac::mask_of(nac::EvidenceDetail::kProgram);
+  inst.sign_evidence = true;
+  inst.wildcard = true;
+  inst.out_of_band = true;
+  nac::CompiledPolicy pol;
+  pol.hops = {inst};
+  pol.appraiser = "Appraiser";
+  return nac::make_header(pol, crypto::Nonce{crypto::sha256("bench")}, true);
+}
+
+struct CellResult {
+  std::size_t shards = 0;
+  bool cache = false;
+  std::size_t batch = 0;
+  PipelineReport report;
+  double wall_pps = 0.0;
+};
+
+CellResult run_cell(std::size_t shards, bool cache, std::size_t batch,
+                    const std::vector<dataplane::RawPacket>& stream,
+                    const nac::PolicyHeader& hdr) {
+  PipelineOptions opt;
+  opt.shards = shards;
+  opt.queue_capacity = 4096;
+  opt.drop_on_full = false;
+  opt.pera.cache_enabled = cache;
+  opt.pera.oob_batch_size = batch;
+  PeraPipeline pipe("sw1", [] { return dataplane::make_router(); },
+                    crypto::sha256("bench-root"), opt);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  pipe.start();
+  for (const dataplane::RawPacket& raw : stream) (void)pipe.submit(raw, &hdr);
+  pipe.stop();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  CellResult cell;
+  cell.shards = shards;
+  cell.cache = cache;
+  cell.batch = batch;
+  cell.report = pipe.report();
+  const double wall_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+          .count();
+  if (wall_s > 0) {
+    cell.wall_pps = static_cast<double>(cell.report.processed()) / wall_s;
+  }
+  return cell;
+}
+
+void write_json(const std::vector<CellResult>& cells, const SweepConfig& cfg) {
+  std::FILE* f = std::fopen(cfg.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_throughput: cannot write %s\n",
+                 cfg.json_path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"packets\": %zu,\n  \"flows\": %zu,\n  \"cells\": [\n",
+               cfg.packets, cfg.flows);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"shards\": %zu, \"cache\": %s, \"batch\": %zu, "
+        "\"sim_packets_per_sec\": %.1f, "
+        "\"sim_latency_p50_ns\": %lld, \"sim_latency_p99_ns\": %lld, "
+        "\"sim_makespan_ns\": %lld, \"wall_packets_per_sec\": %.1f, "
+        "\"processed\": %llu, \"dropped\": %llu}%s\n",
+        c.shards, c.cache ? "true" : "false", c.batch,
+        c.report.sim_packets_per_sec,
+        static_cast<long long>(c.report.latency_percentile(0.50)),
+        static_cast<long long>(c.report.latency_percentile(0.99)),
+        static_cast<long long>(c.report.makespan), c.wall_pps,
+        static_cast<unsigned long long>(c.report.processed()),
+        static_cast<unsigned long long>(c.report.dropped),
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+int run_sweep(const SweepConfig& cfg) {
+  const std::vector<dataplane::RawPacket> stream =
+      make_stream(cfg.packets, cfg.flows);
+  const nac::PolicyHeader hdr = make_policy_header();
+
+  std::vector<CellResult> cells;
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    if (cfg.only_shards != 0 && shards != cfg.only_shards) continue;
+    for (const bool cache : {true, false}) {
+      for (const std::size_t batch : {1u, 32u}) {
+        cells.push_back(run_cell(shards, cache, batch, stream, hdr));
+        const CellResult& c = cells.back();
+        std::printf(
+            "shards=%zu cache=%-3s batch=%-2zu  sim=%10.0f pps  "
+            "p50=%6lld ns  p99=%6lld ns  wall=%9.0f pps\n",
+            c.shards, c.cache ? "on" : "off", c.batch,
+            c.report.sim_packets_per_sec,
+            static_cast<long long>(c.report.latency_percentile(0.50)),
+            static_cast<long long>(c.report.latency_percentile(0.99)),
+            c.wall_pps);
+      }
+    }
+  }
+  write_json(cells, cfg);
+  std::printf("wrote %s\n", cfg.json_path.c_str());
+  return 0;
+}
+
+// A Google-Benchmark view of the same cell (wall time per full stream
+// pass), so this binary also composes with the standard bench tooling.
+void BM_PipelineStream(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  const std::vector<dataplane::RawPacket> stream = make_stream(512, 32);
+  const nac::PolicyHeader hdr = make_policy_header();
+  double sim_pps = 0.0;
+  for (auto _ : state) {
+    const CellResult c = run_cell(shards, true, 1, stream, hdr);
+    sim_pps = c.report.sim_packets_per_sec;
+    benchmark::DoNotOptimize(c.report.makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+  state.counters["sim_pps"] = sim_pps;
+}
+BENCHMARK(BM_PipelineStream)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepConfig cfg;
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const std::string& name) -> const char* {
+      const std::string prefix = name + "=";
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + prefix.size() : nullptr;
+    };
+    if (const char* v = value_of("--shards")) {
+      cfg.only_shards = static_cast<std::size_t>(std::atoll(v));
+    } else if (const char* v = value_of("--packets")) {
+      cfg.packets = static_cast<std::size_t>(std::atoll(v));
+    } else if (const char* v = value_of("--flows")) {
+      cfg.flows = static_cast<std::size_t>(std::atoll(v));
+    } else if (const char* v = value_of("--json")) {
+      cfg.json_path = v;
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  argc = out_argc;
+
+  const int sweep_rc = run_sweep(cfg);
+  if (sweep_rc != 0) return sweep_rc;
+  return ::pera::obs_bench::run(argc, argv);
+}

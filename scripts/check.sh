@@ -13,9 +13,20 @@ cmake --build build
 ctest --test-dir build --output-on-failure
 
 for b in build/bench/bench_*; do
+  # bench_throughput writes BENCH_throughput.json to the cwd; it gets a
+  # dedicated smoke below so the committed baseline isn't clobbered.
+  [ "$(basename "$b")" = "bench_throughput" ] && continue
   echo "== $b (smoke) =="
   "$b" --benchmark_min_time=0.01 > /dev/null
 done
+
+echo "== sharded pipeline bench (smoke) =="
+build/bench/bench_throughput --shards=2 --packets=512 \
+  --json=build/BENCH_throughput.smoke.json \
+  --metrics-json=build/throughput.metrics.json \
+  --benchmark_min_time=0.01 > /dev/null
+grep -q '"pipeline.shard.packets.0"' build/throughput.metrics.json
+grep -q '"sim_packets_per_sec"' build/BENCH_throughput.smoke.json
 
 # The Fig. 4 design-space bench must export a usable metrics dump
 # (see docs/OBSERVABILITY.md).
@@ -31,5 +42,19 @@ for ex in build/examples/*; do
   echo "== $ex =="
   "$ex" > /dev/null
 done
+
+# ThreadSanitizer pass over the concurrent pipeline: the SPSC rings, the
+# seqlock epoch block and the dispatcher/worker threads are the only
+# cross-thread code in the tree, so only those tests (plus a threaded
+# bench smoke) need the instrumented build.
+echo "== ThreadSanitizer (pipeline) =="
+cmake -B build-tsan -G Ninja -DPERA_WERROR=ON -DPERA_SANITIZE=thread
+cmake --build build-tsan --target pera_tests bench_throughput
+./build-tsan/tests/pera_tests \
+  --gtest_filter='SpscQueue*:FlowHash*:EpochBlock*:Pipeline*'
+./build-tsan/bench/bench_throughput --shards=2 --packets=256 \
+  --json=build-tsan/BENCH_throughput.smoke.json \
+  --metrics-json=build-tsan/throughput.metrics.json \
+  --benchmark_min_time=0.01 > /dev/null
 
 echo "ALL CHECKS PASSED"

@@ -18,14 +18,24 @@ std::array<std::uint8_t, 64> pad_key(BytesView key) {
 
 }  // namespace
 
-Hmac::Hmac(BytesView key) {
+HmacKey::HmacKey(BytesView key) {
   const auto block = pad_key(key);
   std::array<std::uint8_t, 64> ipad{};
+  std::array<std::uint8_t, 64> opad{};
   for (std::size_t i = 0; i < 64; ++i) {
     ipad[i] = block[i] ^ 0x36;
-    opad_key_[i] = block[i] ^ 0x5c;
+    opad[i] = block[i] ^ 0x5c;
   }
-  inner_.update(BytesView{ipad.data(), ipad.size()});
+  inner_mid_.update(BytesView{ipad.data(), ipad.size()});
+  outer_mid_.update(BytesView{opad.data(), opad.size()});
+}
+
+Digest HmacKey::mac(BytesView data) const {
+  Sha256 inner = inner_mid_;
+  inner.update(data);
+  Sha256 outer = outer_mid_;
+  outer.update(inner.finish());
+  return outer.finish();
 }
 
 Hmac& Hmac::update(BytesView data) {
@@ -34,25 +44,21 @@ Hmac& Hmac::update(BytesView data) {
 }
 
 Digest Hmac::finish() {
-  const Digest inner_digest = inner_.finish();
-  Sha256 outer;
-  outer.update(BytesView{opad_key_.data(), opad_key_.size()});
-  outer.update(inner_digest);
-  return outer.finish();
+  outer_mid_.update(inner_.finish());
+  return outer_mid_.finish();
 }
 
 Digest hmac_sha256(BytesView key, BytesView data) {
-  Hmac h(key);
-  h.update(data);
-  return h.finish();
+  return HmacKey(key).mac(data);
 }
 
 std::vector<Digest> derive_keys(BytesView root, std::string_view label,
                                 std::size_t n) {
+  const HmacKey key(root);  // one key schedule for all n derivations
   std::vector<Digest> out;
   out.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    Hmac h(root);
+    Hmac h(key);
     h.update(label);
     Bytes idx;
     append_u64(idx, i);

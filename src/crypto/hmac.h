@@ -9,13 +9,36 @@
 
 namespace pera::crypto {
 
+/// Precomputed HMAC key schedule: the SHA-256 midstates left after
+/// compressing the ipad- and opad-padded key blocks. Building one costs
+/// the two key-schedule compressions exactly once; every mac() after that
+/// clones the midstates instead of re-running the schedule — the fix for
+/// per-signature key-schedule work in HmacSigner::sign.
+class HmacKey {
+ public:
+  explicit HmacKey(BytesView key);
+
+  /// HMAC-SHA-256 over `data` with the precomputed key.
+  [[nodiscard]] Digest mac(BytesView data) const;
+  [[nodiscard]] Digest mac(const Digest& d) const {
+    return mac(BytesView{d.v.data(), d.v.size()});
+  }
+
+ private:
+  friend class Hmac;
+  Sha256 inner_mid_;  // state after the ipad key block
+  Sha256 outer_mid_;  // state after the opad key block
+};
+
 /// One-shot HMAC-SHA-256 over `data` with `key` (any length).
 [[nodiscard]] Digest hmac_sha256(BytesView key, BytesView data);
 
 /// Incremental HMAC context for multi-part messages.
 class Hmac {
  public:
-  explicit Hmac(BytesView key);
+  explicit Hmac(BytesView key) : Hmac(HmacKey(key)) {}
+  explicit Hmac(const HmacKey& key)
+      : inner_(key.inner_mid_), outer_mid_(key.outer_mid_) {}
 
   Hmac& update(BytesView data);
   Hmac& update(std::string_view s) { return update(as_bytes(s)); }
@@ -27,11 +50,12 @@ class Hmac {
 
  private:
   Sha256 inner_;
-  std::array<std::uint8_t, 64> opad_key_{};
+  Sha256 outer_mid_;
 };
 
 /// HKDF-style expansion: derive `n` independent digests from a root key and
-/// a context label. Deterministic; used to derive per-chain WOTS+ secrets.
+/// a context label. Deterministic; used to derive per-chain WOTS+ secrets
+/// and per-shard pipeline device keys.
 [[nodiscard]] std::vector<Digest> derive_keys(BytesView root,
                                               std::string_view label,
                                               std::size_t n);

@@ -106,6 +106,15 @@ Sha256& Sha256::update(BytesView data) {
   return *this;
 }
 
+void Sha256::extract_digest(Digest& out) const {
+  for (int i = 0; i < 8; ++i) {
+    out.v[4 * i] = static_cast<std::uint8_t>(state_[i] >> 24);
+    out.v[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    out.v[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    out.v[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+}
+
 Digest Sha256::finish() {
   const std::uint64_t bits = total_bits_;
   // Padding: 0x80, zeros, 64-bit big-endian length.
@@ -123,13 +132,39 @@ Digest Sha256::finish() {
   update(BytesView{len_be, 8});
 
   Digest out;
-  for (int i = 0; i < 8; ++i) {
-    out.v[4 * i] = static_cast<std::uint8_t>(state_[i] >> 24);
-    out.v[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
-    out.v[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
-    out.v[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
-  }
+  extract_digest(out);
   return out;
+}
+
+void Sha256::digest_into(BytesView data, Digest& out) {
+  Sha256 h;
+  const std::size_t n = data.size();
+  std::size_t i = 0;
+  while (i + 64 <= n) {
+    h.process_block(data.data() + i);
+    i += 64;
+  }
+
+  // Tail + padding assembled in scratch blocks (no streaming buffer).
+  const std::size_t rem = n - i;
+  std::uint8_t block[64] = {};
+  if (rem > 0) std::memcpy(block, data.data() + i, rem);
+  block[rem] = 0x80;
+  const std::uint64_t bits = static_cast<std::uint64_t>(n) * 8;
+  if (rem < 56) {
+    for (int j = 0; j < 8; ++j) {
+      block[56 + j] = static_cast<std::uint8_t>(bits >> (56 - 8 * j));
+    }
+    h.process_block(block);
+  } else {
+    h.process_block(block);
+    std::uint8_t last[64] = {};
+    for (int j = 0; j < 8; ++j) {
+      last[56 + j] = static_cast<std::uint8_t>(bits >> (56 - 8 * j));
+    }
+    h.process_block(last);
+  }
+  h.extract_digest(out);
 }
 
 Digest sha256(BytesView data) {
@@ -141,9 +176,14 @@ Digest sha256(BytesView data) {
 Digest sha256(std::string_view s) { return sha256(as_bytes(s)); }
 
 Digest sha256_pair(const Digest& left, const Digest& right) {
-  Sha256 h;
-  h.update(left).update(right);
-  return h.finish();
+  // Exactly one aligned block: the digest_into fast path compresses it
+  // straight off the stack — this is the Merkle-tree hot combiner.
+  std::uint8_t block[64];
+  std::memcpy(block, left.v.data(), 32);
+  std::memcpy(block + 32, right.v.data(), 32);
+  Digest out;
+  Sha256::digest_into(BytesView{block, 64}, out);
+  return out;
 }
 
 }  // namespace pera::crypto

@@ -32,8 +32,16 @@ class Sha256 {
   /// further use.
   [[nodiscard]] Digest finish();
 
+  /// One-shot fast path: hash `data` into `out`. Block-aligned input is
+  /// compressed directly from `data` without staging through the
+  /// streaming buffer, and the padding is built in one scratch block
+  /// instead of finish()'s byte-at-a-time update loop. Byte-identical to
+  /// sha256(data) — the Merkle node combiner (sha256_pair) runs on this.
+  static void digest_into(BytesView data, Digest& out);
+
  private:
   void process_block(const std::uint8_t* block);
+  void extract_digest(Digest& out) const;
 
   std::uint32_t state_[8];
   std::uint8_t buffer_[64];

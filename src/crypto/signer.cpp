@@ -103,7 +103,7 @@ Signature Signature::deserialize(BytesView data) {
 std::size_t Signature::wire_size() const { return 37 + payload.size(); }
 
 HmacSigner::HmacSigner(Digest device_key)
-    : device_key_(device_key),
+    : schedule_(BytesView{device_key.v.data(), device_key.v.size()}),
       key_id_(make_key_id(SignatureScheme::kHmacDeviceKey,
                           sha256(BytesView{device_key.v.data(),
                                            device_key.v.size()}))) {}
@@ -112,15 +112,12 @@ Signature HmacSigner::sign(const Digest& message) {
   Signature sig;
   sig.scheme = SignatureScheme::kHmacDeviceKey;
   sig.key_id = key_id_;
-  const Digest mac = hmac_sha256(
-      BytesView{device_key_.v.data(), device_key_.v.size()},
-      BytesView{message.v.data(), message.v.size()});
-  sig.payload = mac.to_bytes();
+  sig.payload = schedule_.mac(message).to_bytes();
   return sig;
 }
 
 HmacVerifier::HmacVerifier(Digest device_key)
-    : device_key_(device_key),
+    : schedule_(BytesView{device_key.v.data(), device_key.v.size()}),
       key_id_(make_key_id(SignatureScheme::kHmacDeviceKey,
                           sha256(BytesView{device_key.v.data(),
                                            device_key.v.size()}))) {}
@@ -128,9 +125,7 @@ HmacVerifier::HmacVerifier(Digest device_key)
 bool HmacVerifier::verify(const Digest& message, const Signature& sig) const {
   if (sig.scheme != SignatureScheme::kHmacDeviceKey) return false;
   if (sig.key_id != key_id_) return false;
-  const Digest expect = hmac_sha256(
-      BytesView{device_key_.v.data(), device_key_.v.size()},
-      BytesView{message.v.data(), message.v.size()});
+  const Digest expect = schedule_.mac(message);
   return ct_equal(BytesView{expect.v.data(), expect.v.size()},
                   BytesView{sig.payload.data(), sig.payload.size()});
 }

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "crypto/bytes.h"
+#include "crypto/hmac.h"
 #include "crypto/merkle.h"
 #include "crypto/sha256.h"
 
@@ -73,7 +74,9 @@ class Verifier {
   [[nodiscard]] virtual Digest key_id() const = 0;
 };
 
-/// Symmetric device-key signer (simulated TPM HMAC key).
+/// Symmetric device-key signer (simulated TPM HMAC key). The HMAC key
+/// schedule (ipad/opad compressions) is precomputed at construction;
+/// sign() clones the midstates instead of re-deriving them per signature.
 class HmacSigner final : public Signer {
  public:
   explicit HmacSigner(Digest device_key);
@@ -85,7 +88,7 @@ class HmacSigner final : public Signer {
   }
 
  private:
-  Digest device_key_;
+  HmacKey schedule_;
   Digest key_id_;
 };
 
@@ -99,7 +102,7 @@ class HmacVerifier final : public Verifier {
   [[nodiscard]] Digest key_id() const override { return key_id_; }
 
  private:
-  Digest device_key_;
+  HmacKey schedule_;
   Digest key_id_;
 };
 

@@ -191,6 +191,31 @@ PeraResult PeraSwitch::process(const dataplane::RawPacket& in,
   return result;
 }
 
+std::vector<OutOfBandEvidence> PeraSwitch::flush_pending() {
+  std::vector<OutOfBandEvidence> out;
+  if (!batcher_.has_value() || pending_oob_.empty()) return out;
+  const std::vector<BatchedSignature> receipts = batcher_->flush();
+  stats_.ra_time_total += config_.costs.sign_cost_hmac;
+  PERA_OBS_COUNT("pera.batch.flushes");
+  PERA_OBS_COUNT("pera.batch.items", receipts.size());
+  PERA_OBS_COUNT("pera.sign.count");
+  out.reserve(pending_oob_.size());
+  for (std::size_t i = 0; i < pending_oob_.size(); ++i) {
+    const auto& p = pending_oob_[i];
+    const copland::EvidencePtr signed_ev = copland::Evidence::signature(
+        name_, p.evidence,
+        crypto::wrap_batched(receipts[i].root, receipts[i].proof,
+                             receipts[i].root_sig));
+    out.push_back(OutOfBandEvidence{p.to, copland::encode(signed_ev),
+                                    p.nonce});
+    ++stats_.out_of_band_messages;
+    PERA_OBS_COUNT("pera.oob.messages");
+    PERA_OBS_COUNT("pera.oob.bytes", out.back().evidence.size());
+  }
+  pending_oob_.clear();
+  return out;
+}
+
 EvidencePtr PeraSwitch::attest_challenge(nac::DetailMask detail,
                                          const crypto::Nonce& nonce,
                                          bool hash_before_sign) {

@@ -88,6 +88,14 @@ class PeraSwitch {
                                    const nac::PolicyHeader* header,
                                    nac::EvidenceCarrier* carrier);
 
+  /// Force-flush evidence deferred by the out-of-band batcher (end of a
+  /// measurement interval, pipeline drain). Returns the signed records;
+  /// empty when nothing is pending or batching is off.
+  [[nodiscard]] std::vector<OutOfBandEvidence> flush_pending();
+
+  /// Items currently queued in the out-of-band batcher.
+  [[nodiscard]] std::size_t pending_oob() const { return pending_oob_.size(); }
+
   // --- direct attestation (Fig. 2, out-of-band challenge) ------------------
   /// Respond to an RP's challenge: attest `detail` levels bound to
   /// `nonce`, hash-then-sign (expression (3)'s  attest -> # -> !).

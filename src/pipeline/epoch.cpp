@@ -1,0 +1,28 @@
+#include "pipeline/epoch.h"
+
+namespace pera::pipeline {
+
+void EpochBlock::publish(ControlOp op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // even -> odd: readers that peek now resync once the op lands.
+  seq_.fetch_add(1, std::memory_order_release);
+  log_.push_back(std::move(op));
+  // odd -> even: stable again.
+  seq_.fetch_add(1, std::memory_order_release);
+}
+
+std::uint64_t EpochBlock::ops_since(std::size_t applied_ops,
+                                    std::vector<ControlOp>& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = applied_ops; i < log_.size(); ++i) {
+    out.push_back(log_[i]);
+  }
+  return seq_.load(std::memory_order_relaxed);
+}
+
+std::size_t EpochBlock::op_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_.size();
+}
+
+}  // namespace pera::pipeline

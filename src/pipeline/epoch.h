@@ -1,0 +1,74 @@
+// Seqlock-style shared epoch block — the only state that crosses shards.
+//
+// Control-plane mutations (program swap, table writes) are the slow,
+// rare events of the pipeline; packet processing is the fast, constant
+// one. The epoch block keeps the fast path lock-free: workers read a
+// single version counter with an acquire load per packet, and only when
+// it moved do they take the mutex, replay the missed control ops onto
+// their own shard-private switch, and let the existing MeasurementUnit
+// epoch machinery invalidate their evidence caches lazily.
+//
+// Seqlock convention: the version is even when stable and odd while a
+// writer is mid-publish. A worker that observes an odd version simply
+// treats it as "changed" and resynchronizes on the mutex — publication
+// is never blocked by readers and readers never spin.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dataplane/program.h"
+#include "dataplane/table.h"
+
+namespace pera::pipeline {
+
+/// Builds a fresh, shard-private instance of a dataplane program.
+/// DataplaneProgram owns its tables (unique_ptr, not copyable), so each
+/// shard materializes its own copy — exactly like each hardware pipe
+/// having its own table memory — and the factory must be deterministic so
+/// shard program digests agree.
+using ProgramFactory =
+    std::function<std::shared_ptr<dataplane::DataplaneProgram>()>;
+
+/// One control-plane mutation, replayed by every shard.
+struct ControlOp {
+  enum class Kind : std::uint8_t { kLoadProgram, kUpdateTable };
+  Kind kind = Kind::kUpdateTable;
+  ProgramFactory factory;            // kLoadProgram
+  std::string table;                 // kUpdateTable
+  dataplane::TableEntry entry;       // kUpdateTable
+};
+
+class EpochBlock {
+ public:
+  /// Lock-free fast-path read (acquire). Even = stable; odd = a publish
+  /// is in flight. Workers compare against their last-synced version.
+  [[nodiscard]] std::uint64_t version() const {
+    return seq_.load(std::memory_order_acquire);
+  }
+
+  /// Append one control op and advance the version (even -> odd ->
+  /// even). Writers are serialized on the mutex.
+  void publish(ControlOp op);
+
+  /// Cold path: copy every op the reader has not applied yet.
+  /// `applied_ops` is the count of ops the reader already replayed;
+  /// returns the new stable version. Takes the mutex.
+  [[nodiscard]] std::uint64_t ops_since(std::size_t applied_ops,
+                                        std::vector<ControlOp>& out) const;
+
+  /// Total ops ever published (for stats / tests).
+  [[nodiscard]] std::size_t op_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::vector<ControlOp> log_;
+};
+
+}  // namespace pera::pipeline

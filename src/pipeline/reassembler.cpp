@@ -1,0 +1,127 @@
+#include "pipeline/reassembler.h"
+
+#include <algorithm>
+
+#include "copland/evidence.h"
+#include "crypto/hmac.h"
+#include "obs/obs.h"
+#include "pipeline/pipeline.h"
+
+namespace pera::pipeline {
+
+ShardedAppraiser::ShardedAppraiser(const crypto::Digest& root_key,
+                                   std::string_view label,
+                                   std::size_t max_shards,
+                                   nac::CompositionMode mode)
+    : mode_(mode) {
+  const std::vector<crypto::Digest> keys =
+      PeraPipeline::shard_keys(root_key, label, max_shards);
+  verifiers_.reserve(keys.size());
+  for (const crypto::Digest& k : keys) {
+    verifiers_.emplace_back(k);
+    by_key_id_[verifiers_.back().key_id()] = verifiers_.size() - 1;
+  }
+}
+
+void ShardedAppraiser::ingest(const EvidenceItem& item) {
+  flows_[item.flow].push_back(item);
+}
+
+std::map<std::uint64_t, FlowVerdict> ShardedAppraiser::appraise() const {
+  std::map<std::uint64_t, FlowVerdict> out;
+  for (const auto& [flow, records] : flows_) {
+    // Restore per-flow order: the dispatcher's sequence numbers are
+    // global, so they order a flow's records no matter which shard (or
+    // how many shards) produced them.
+    std::vector<const EvidenceItem*> ordered;
+    ordered.reserve(records.size());
+    for (const EvidenceItem& r : records) ordered.push_back(&r);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const EvidenceItem* a, const EvidenceItem* b) {
+                if (a->seq != b->seq) return a->seq < b->seq;
+                return a->shard < b->shard;
+              });
+
+    FlowVerdict verdict;
+    verdict.flow = flow;
+    verdict.records = ordered.size();
+    verdict.ok = true;
+
+    copland::EvidencePtr chain = copland::Evidence::empty();
+    crypto::Sha256 pointwise;
+    pointwise.update("pera.pipeline.pointwise");
+
+    for (const EvidenceItem* item : ordered) {
+      bool sig_ok = false;
+      copland::EvidencePtr content;
+      try {
+        const copland::EvidencePtr ev = copland::decode(
+            crypto::BytesView{item->evidence.data(), item->evidence.size()});
+        if (ev->kind == copland::EvidenceKind::kSignature &&
+            ev->child != nullptr) {
+          const auto it = by_key_id_.find(ev->sig.key_id);
+          if (it != by_key_id_.end()) {
+            sig_ok = crypto::verify_any(verifiers_[it->second],
+                                        copland::digest(ev->child), ev->sig);
+          }
+          content = ev->child;
+        } else {
+          content = ev;  // unsigned evidence: content-only appraisal
+          sig_ok = true;
+        }
+      } catch (const std::exception&) {
+        verdict.ok = false;
+        ++verdict.signature_failures;
+        continue;
+      }
+      PERA_OBS_COUNT(sig_ok ? "pipeline.appraise.sig_ok"
+                            : "pipeline.appraise.sig_fail");
+      if (!sig_ok) {
+        verdict.ok = false;
+        ++verdict.signature_failures;
+      }
+      // Fold the signed content (shard-key independent) into the flow
+      // transcript under the policy's composition mode.
+      if (mode_ == nac::CompositionMode::kChained) {
+        chain = copland::Evidence::extend(chain, content);
+      } else {
+        pointwise.update(copland::digest(content));
+        pointwise.update(crypto::BytesView{
+            reinterpret_cast<const std::uint8_t*>(&sig_ok), 1});
+      }
+    }
+
+    if (mode_ == nac::CompositionMode::kChained) {
+      crypto::Sha256 h;
+      h.update("pera.pipeline.chained");
+      h.update(copland::digest(chain));
+      const std::uint8_t ok_byte = verdict.ok ? 1 : 0;
+      h.update(crypto::BytesView{&ok_byte, 1});
+      verdict.transcript = h.finish();
+    } else {
+      verdict.transcript = pointwise.finish();
+    }
+    PERA_OBS_EVENT(obs::SpanKind::kAppraise, "pipeline", 0,
+                   verdict.ok ? 1 : 0);
+    out[flow] = verdict;
+  }
+  return out;
+}
+
+crypto::Digest ShardedAppraiser::summary(
+    const std::map<std::uint64_t, FlowVerdict>& verdicts) {
+  crypto::Sha256 h;
+  h.update("pera.pipeline.summary");
+  for (const auto& [flow, v] : verdicts) {
+    crypto::Bytes b;
+    crypto::append_u64(b, flow);
+    crypto::append_u64(b, v.records);
+    crypto::append_u64(b, v.signature_failures);
+    b.push_back(v.ok ? 1 : 0);
+    h.update(crypto::BytesView{b.data(), b.size()});
+    h.update(v.transcript);
+  }
+  return h.finish();
+}
+
+}  // namespace pera::pipeline

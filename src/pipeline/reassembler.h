@@ -1,0 +1,70 @@
+// Appraiser-side reassembly of shard-interleaved evidence streams.
+//
+// Shards emit evidence records in their own local order, so what reaches
+// the appraiser is an interleaving across flows. The reassembler buckets
+// records per flow, restores per-flow order by dispatcher sequence
+// number, verifies each signature against the per-shard device keys
+// (derived from the same root the pipeline used), and folds the per-flow
+// composition — chained (Seq) or pointwise (§5.2, Fig. 4).
+//
+// The per-flow transcript digest deliberately covers only the *signed
+// content* (the evidence under the signature node) plus the verification
+// outcome, not the signature bytes: shard keys differ by shard, so the
+// same flow processed by shard 0 (at 1 shard) or shard 3 (at 4 shards)
+// yields different signatures over bit-identical content. That is what
+// makes verdicts shard-count invariant — the property the determinism
+// tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "crypto/signer.h"
+#include "nac/binder.h"
+#include "pipeline/worker.h"
+
+namespace pera::pipeline {
+
+struct FlowVerdict {
+  std::uint64_t flow = 0;
+  std::size_t records = 0;
+  std::size_t signature_failures = 0;
+  bool ok = false;               // all records present-and-verified
+  crypto::Digest transcript{};   // composition-mode-sensitive fold
+};
+
+class ShardedAppraiser {
+ public:
+  /// Provision verifiers for up to `max_shards` derived device keys (the
+  /// appraiser does not know the attester's shard count; signatures are
+  /// resolved by key id).
+  ShardedAppraiser(const crypto::Digest& root_key, std::string_view label,
+                   std::size_t max_shards,
+                   nac::CompositionMode mode = nac::CompositionMode::kChained);
+
+  /// Feed one record; any order, any interleaving.
+  void ingest(const EvidenceItem& item);
+  void ingest(const std::vector<EvidenceItem>& items) {
+    for (const EvidenceItem& i : items) ingest(i);
+  }
+
+  /// Verify + reassemble every buffered flow. Deterministic: flows are
+  /// keyed and records ordered by (seq, shard).
+  [[nodiscard]] std::map<std::uint64_t, FlowVerdict> appraise() const;
+
+  /// Digest over all flow transcripts — one value to compare across
+  /// shard counts (the determinism tests' fixed point).
+  [[nodiscard]] static crypto::Digest summary(
+      const std::map<std::uint64_t, FlowVerdict>& verdicts);
+
+  [[nodiscard]] std::size_t flows() const { return flows_.size(); }
+
+ private:
+  nac::CompositionMode mode_;
+  std::vector<crypto::HmacVerifier> verifiers_;
+  std::map<crypto::Digest, std::size_t> by_key_id_;
+  std::map<std::uint64_t, std::vector<EvidenceItem>> flows_;
+};
+
+}  // namespace pera::pipeline

@@ -1,0 +1,71 @@
+// Bounded lock-free single-producer/single-consumer ring queue.
+//
+// The dispatcher (sole producer) and one shard worker (sole consumer)
+// communicate exclusively through one of these, so the packet hot path
+// never takes a lock: push is a tail store with release ordering, pop a
+// head store with release ordering, and each side reads the other's index
+// with acquire ordering. Capacity is rounded up to a power of two so the
+// index math is a mask, like the rte_ring/NFOS-style rings this models.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace pera::pipeline {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. Returns false when the ring is full (backpressure —
+  /// the caller decides whether to drop or retry).
+  bool try_push(T&& v) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_) return false;  // full
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;  // empty
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy (exact only when called by producer or
+  /// consumer while the other side is quiescent). Used for depth gauges.
+  [[nodiscard]] std::size_t size() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail - head);
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer cursor
+};
+
+}  // namespace pera::pipeline

@@ -1,0 +1,112 @@
+#include "pipeline/worker.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "obs/obs.h"
+
+namespace pera::pipeline {
+
+ShardWorker::ShardWorker(std::uint32_t id, std::string place,
+                         const ProgramFactory& factory,
+                         const crypto::Digest& device_key,
+                         const EpochBlock& epochs, pera::PeraConfig config,
+                         std::size_t queue_capacity,
+                         netsim::SimTime base_packet_cost)
+    : id_(id),
+      signer_(device_key),
+      switch_(std::move(place), factory(), signer_, config),
+      epochs_(&epochs),
+      queue_(queue_capacity),
+      base_packet_cost_(base_packet_cost) {}
+
+void ShardWorker::run(const std::atomic<bool>& stop) {
+  PacketJob job;
+  for (;;) {
+    if (queue_.try_pop(job)) {
+      process(std::move(job));
+      continue;
+    }
+    if (stop.load(std::memory_order_acquire) && queue_.empty()) break;
+    std::this_thread::yield();
+  }
+}
+
+void ShardWorker::sync_epoch() {
+  std::vector<ControlOp> ops;
+  const std::uint64_t v = epochs_->ops_since(applied_ops_, ops);
+  for (const ControlOp& op : ops) {
+    if (op.kind == ControlOp::Kind::kLoadProgram) {
+      switch_.load_program(op.factory());
+    } else {
+      switch_.update_table(op.table, op.entry);
+    }
+    ++applied_ops_;
+  }
+  synced_version_ = v;
+  ++report_.epoch_syncs;
+  PERA_OBS_COUNT("pipeline.epoch.syncs");
+}
+
+void ShardWorker::process(PacketJob job) {
+  // Seqlock fast path: one acquire load; an odd (mid-publish) or moved
+  // version sends us to the mutex-protected resync.
+  if (epochs_->version() != synced_version_) sync_epoch();
+
+  const std::uint64_t attested_before = switch_.ra_stats().attestations;
+  nac::EvidenceCarrier carrier;
+  const ::pera::pera::PeraResult res =
+      switch_.process(job.raw, job.header, &carrier);
+
+  // Simulated-time accounting: the shard is a serial pipe; a packet
+  // starts when both it and the pipe are ready.
+  const netsim::SimTime cost = base_packet_cost_ + res.ra_latency;
+  const netsim::SimTime start = std::max(clock_, job.arrival);
+  clock_ = start + cost;
+  report_.busy += cost;
+  report_.completion = clock_;
+  latencies_.push_back(clock_ - job.arrival);
+
+  ++report_.processed;
+  if (res.forwarded.has_value()) ++report_.forwarded;
+  if (res.attested) ++report_.attested;
+  PERA_OBS_COUNT("pipeline.shard.packets." + std::to_string(id_));
+
+  // In-band evidence surfaces on the carrier immediately.
+  for (const nac::EvidenceRecord& rec : carrier.records) {
+    evidence_.push_back(
+        EvidenceItem{job.flow, job.seq, id_, rec.evidence, job.header->nonce});
+  }
+  // Every remaining attestation went out of band and will surface as
+  // exactly one record — now, or later when the batcher flushes. Tag them
+  // (flow, seq) in FIFO order, which the batcher preserves. (With a
+  // batcher configured, signed OOB evidence is uniformly batched, so
+  // immediate and deferred records never interleave across packets.)
+  const std::uint64_t delta =
+      switch_.ra_stats().attestations - attested_before;
+  const std::uint64_t oob = delta - carrier.records.size();
+  for (std::uint64_t k = 0; k < oob; ++k) {
+    deferred_.emplace_back(job.flow, job.seq);
+  }
+  for (const ::pera::pera::OutOfBandEvidence& oob : res.out_of_band) {
+    const auto [flow, seq] = deferred_.front();
+    deferred_.pop_front();
+    evidence_.push_back(EvidenceItem{flow, seq, id_, oob.evidence, oob.nonce});
+  }
+}
+
+void ShardWorker::drain_deferred() {
+  for (const ::pera::pera::OutOfBandEvidence& oob : switch_.flush_pending()) {
+    const auto [flow, seq] = deferred_.front();
+    deferred_.pop_front();
+    evidence_.push_back(EvidenceItem{flow, seq, id_, oob.evidence, oob.nonce});
+  }
+}
+
+ShardReport ShardWorker::report() const {
+  ShardReport r = report_;
+  r.cache = switch_.cache().stats();
+  return r;
+}
+
+}  // namespace pera::pipeline

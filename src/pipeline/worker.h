@@ -1,0 +1,111 @@
+// One shard of the parallel PERA pipeline.
+//
+// A ShardWorker is shared-nothing on the packet path: it owns its own
+// PeraSwitch (and through it a MeasurementUnit, EvidenceCache and
+// EvidenceBatcher), its own HmacSigner keyed with a per-shard device key,
+// and its own SPSC ingress queue. The only cross-shard state it touches
+// is the EpochBlock version word (one acquire load per packet) — control
+// ops are replayed onto the shard-private switch only when that word
+// moves, and the switch's measurement-epoch machinery then invalidates
+// cached evidence lazily, exactly as on the serial path.
+//
+// Every worker uses the *same* place name (the pipeline's switch name):
+// the shards model the parallel pipes of one PERA element, so unsigned
+// evidence content is bit-identical no matter which shard produced it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "pera/pera_switch.h"
+#include "pipeline/epoch.h"
+#include "pipeline/spsc_queue.h"
+
+namespace pera::pipeline {
+
+/// A dispatched packet: raw bytes plus the dispatcher-assigned flow hash,
+/// global sequence number and simulated arrival time. `header` borrows
+/// the caller's policy header — it must outlive the pipeline run.
+struct PacketJob {
+  dataplane::RawPacket raw;
+  const nac::PolicyHeader* header = nullptr;
+  std::uint64_t flow = 0;
+  std::uint64_t seq = 0;
+  netsim::SimTime arrival = 0;
+};
+
+/// One evidence record leaving a shard, tagged for reassembly: the
+/// appraiser reorders shard-interleaved streams per flow by (flow, seq).
+struct EvidenceItem {
+  std::uint64_t flow = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t shard = 0;
+  crypto::Bytes evidence;  // copland::encode() of the signed evidence
+  crypto::Nonce nonce{};
+};
+
+struct ShardReport {
+  std::uint64_t processed = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t attested = 0;
+  std::uint64_t epoch_syncs = 0;
+  netsim::SimTime busy = 0;        // sum of per-packet simulated costs
+  netsim::SimTime completion = 0;  // shard sim clock after its last packet
+  pera::CacheStats cache;
+};
+
+class ShardWorker {
+ public:
+  ShardWorker(std::uint32_t id, std::string place, const ProgramFactory& factory,
+              const crypto::Digest& device_key, const EpochBlock& epochs,
+              pera::PeraConfig config, std::size_t queue_capacity,
+              netsim::SimTime base_packet_cost);
+
+  [[nodiscard]] SpscQueue<PacketJob>& queue() { return queue_; }
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+
+  /// Thread body: pop-process until `stop` is set AND the queue is dry.
+  void run(const std::atomic<bool>& stop);
+
+  /// Process one packet (also the inline single-threaded mode).
+  void process(PacketJob job);
+
+  /// Flush evidence still deferred in the batcher (call after run()).
+  void drain_deferred();
+
+  // --- post-run results (owner thread only, after join) -------------------
+  [[nodiscard]] const std::vector<EvidenceItem>& evidence() const {
+    return evidence_;
+  }
+  [[nodiscard]] const std::vector<netsim::SimTime>& latencies() const {
+    return latencies_;
+  }
+  [[nodiscard]] ShardReport report() const;
+  [[nodiscard]] const ::pera::pera::PeraSwitch& pera_switch() const {
+    return switch_;
+  }
+
+ private:
+  void sync_epoch();
+
+  std::uint32_t id_;
+  crypto::HmacSigner signer_;
+  ::pera::pera::PeraSwitch switch_;
+  const EpochBlock* epochs_;
+  SpscQueue<PacketJob> queue_;
+  netsim::SimTime base_packet_cost_;
+
+  std::uint64_t synced_version_ = 0;
+  std::size_t applied_ops_ = 0;
+  netsim::SimTime clock_ = 0;  // shard-local simulated clock
+
+  ShardReport report_;
+  std::vector<EvidenceItem> evidence_;
+  std::vector<netsim::SimTime> latencies_;
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> deferred_;  // flow,seq
+};
+
+}  // namespace pera::pipeline

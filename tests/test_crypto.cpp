@@ -114,6 +114,30 @@ TEST(Sha256, PairCombinerDiffersFromConcat) {
   EXPECT_NE(sha256_pair(a, b), sha256_pair(b, a));
 }
 
+TEST(Sha256, DigestIntoMatchesStreaming) {
+  // The one-shot fast path must be byte-identical to the streaming
+  // context at every padding boundary, including the empty input.
+  for (std::size_t len :
+       {0u, 1u, 31u, 55u, 56u, 57u, 63u, 64u, 65u, 127u, 128u, 1000u}) {
+    Bytes data(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      data[i] = static_cast<std::uint8_t>(i * 31 + 7);
+    }
+    const BytesView view{data.data(), data.size()};
+    Digest fast;
+    Sha256::digest_into(view, fast);
+    EXPECT_EQ(fast, sha256(view)) << "len " << len;
+  }
+}
+
+TEST(Sha256, PairCombinerMatchesStreamingPath) {
+  const Digest a = sha256("left");
+  const Digest b = sha256("right");
+  Sha256 h;
+  h.update(a).update(b);
+  EXPECT_EQ(sha256_pair(a, b), h.finish());
+}
+
 // --- HMAC (RFC 4231 test cases) -----------------------------------------------
 
 TEST(Hmac, Rfc4231Case1) {
@@ -155,6 +179,58 @@ TEST(Hmac, IncrementalMatchesOneShot) {
   h.update(std::string_view{"part1"});
   h.update(std::string_view{"part2"});
   EXPECT_EQ(h.finish(), hmac_sha256(as_bytes("key"), as_bytes("part1part2")));
+}
+
+TEST(Hmac, PrecomputedScheduleMatchesReferencePath) {
+  // Micro-assert for the HmacSigner key-schedule precompute: HmacKey::mac
+  // must be byte-identical to a from-scratch RFC 2104 evaluation (the old
+  // per-sign path: pad the key, then two full Sha256 passes).
+  for (const std::string& key :
+       {std::string("k"), std::string(64, 'K'), std::string(131, 'Q')}) {
+    const BytesView key_view = as_bytes(key);
+    std::array<std::uint8_t, 64> block{};
+    if (key.size() > 64) {
+      const Digest hashed = sha256(key_view);
+      std::copy(hashed.v.begin(), hashed.v.end(), block.begin());
+    } else {
+      std::copy(key_view.begin(), key_view.end(), block.begin());
+    }
+    std::array<std::uint8_t, 64> ipad{};
+    std::array<std::uint8_t, 64> opad{};
+    for (std::size_t i = 0; i < 64; ++i) {
+      ipad[i] = block[i] ^ 0x36;
+      opad[i] = block[i] ^ 0x5c;
+    }
+    const std::string msg = "the quick brown packet";
+    Sha256 inner;
+    inner.update(BytesView{ipad.data(), ipad.size()}).update(msg);
+    Sha256 outer;
+    outer.update(BytesView{opad.data(), opad.size()}).update(inner.finish());
+    const Digest reference = outer.finish();
+
+    const HmacKey schedule(key_view);
+    EXPECT_EQ(schedule.mac(as_bytes(msg)), reference) << "key len "
+                                                      << key.size();
+    // Reusing the same schedule must not perturb later MACs.
+    EXPECT_EQ(schedule.mac(as_bytes(msg)), reference);
+  }
+}
+
+TEST(Hmac, SignerReusesScheduleAcrossSignatures) {
+  const Digest device_key = sha256("device");
+  HmacSigner signer(device_key);
+  const Digest m1 = sha256("m1");
+  const Digest m2 = sha256("m2");
+  const Signature s1 = signer.sign(m1);
+  const Signature s2 = signer.sign(m2);
+  const Signature s1_again = signer.sign(m1);
+  EXPECT_EQ(s1.payload, s1_again.payload);
+  EXPECT_NE(s1.payload, s2.payload);
+  // And each signature equals the one-shot HMAC of its message.
+  EXPECT_EQ(s1.payload,
+            hmac_sha256(BytesView{device_key.v.data(), device_key.v.size()},
+                        BytesView{m1.v.data(), m1.v.size()})
+                .to_bytes());
 }
 
 TEST(Hmac, DeriveKeysAreDistinctAndStable) {

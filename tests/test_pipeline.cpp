@@ -1,0 +1,448 @@
+// Tests for the sharded multi-worker PERA pipeline: SPSC ring semantics,
+// flow hashing, the seqlock epoch block, shard-count-invariant evidence
+// verdicts, queue overflow/backpressure, and the epoch-invalidation race
+// (the threaded tests are the TSan targets wired into scripts/check.sh).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "pipeline/pipeline.h"
+#include "pipeline/reassembler.h"
+
+namespace pera::pipeline {
+namespace {
+
+using dataplane::make_router;
+using dataplane::make_tcp_packet;
+using dataplane::PacketSpec;
+
+crypto::Digest root_key() { return crypto::sha256("pipeline-root-key"); }
+
+ProgramFactory router_factory() {
+  return [] { return make_router(); };
+}
+
+nac::PolicyHeader make_policy_header(bool out_of_band, bool sign = true) {
+  nac::HopInstruction inst;
+  inst.detail = nac::mask_of(nac::EvidenceDetail::kProgram);
+  inst.sign_evidence = sign;
+  inst.wildcard = true;
+  inst.out_of_band = out_of_band;
+  nac::CompiledPolicy pol;
+  pol.hops = {inst};
+  pol.appraiser = "Appraiser";
+  // sampling_log2 stays 0: per-shard sampler counters would otherwise make
+  // attest/skip decisions depend on the shard count.
+  return nac::make_header(pol, crypto::Nonce{crypto::sha256("n")}, true);
+}
+
+/// A packet stream spread over `flows` distinct 5-tuples, round-robin.
+std::vector<dataplane::RawPacket> make_stream(std::size_t packets,
+                                              std::size_t flows) {
+  std::vector<dataplane::RawPacket> out;
+  out.reserve(packets);
+  for (std::size_t i = 0; i < packets; ++i) {
+    PacketSpec spec;
+    spec.sport = static_cast<std::uint16_t>(40000 + i % flows);
+    spec.ip_src = 0x0a000100 + static_cast<std::uint32_t>(i % flows);
+    out.push_back(make_tcp_packet(spec));
+  }
+  return out;
+}
+
+/// Run a full pipeline pass over `stream` and return the appraiser summary.
+struct RunResult {
+  crypto::Digest summary;
+  std::map<std::uint64_t, FlowVerdict> verdicts;
+  PipelineReport report;
+  std::vector<EvidenceItem> evidence;
+};
+
+RunResult run_pipeline(std::size_t shards,
+                       const std::vector<dataplane::RawPacket>& stream,
+                       const nac::PolicyHeader& hdr,
+                       ::pera::pera::PeraConfig pera_cfg = {},
+                       nac::CompositionMode mode =
+                           nac::CompositionMode::kChained) {
+  PipelineOptions opt;
+  opt.shards = shards;
+  opt.pera = pera_cfg;
+  opt.drop_on_full = false;  // lossless: determinism tests need every packet
+  PeraPipeline pipe("sw1", router_factory(), root_key(), opt);
+  pipe.start();
+  for (const dataplane::RawPacket& raw : stream) {
+    (void)pipe.submit(raw, &hdr);
+  }
+  pipe.stop();
+
+  RunResult r;
+  r.evidence = pipe.collect_evidence();
+  ShardedAppraiser appraiser(root_key(), pipe.options().shard_key_label,
+                             /*max_shards=*/8, mode);
+  appraiser.ingest(r.evidence);
+  r.verdicts = appraiser.appraise();
+  r.summary = ShardedAppraiser::summary(r.verdicts);
+  r.report = pipe.report();
+  return r;
+}
+
+// --- SPSC queue -----------------------------------------------------------------
+
+TEST(SpscQueue, FifoOrderAndCapacityRounding) {
+  SpscQueue<int> q(3);  // rounds up to 4
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_TRUE(q.try_push(4));
+  EXPECT_FALSE(q.try_push(5));  // full
+  int v = 0;
+  EXPECT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(q.try_push(5));  // slot freed
+  for (const int want : {2, 3, 4, 5}) {
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, want);
+  }
+  EXPECT_FALSE(q.try_pop(v));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueue, FailedPushLeavesValueIntact) {
+  SpscQueue<std::string> q(1);
+  ASSERT_TRUE(q.try_push("a"));
+  std::string keep = "survivor";
+  EXPECT_FALSE(q.try_push(std::move(keep)));
+  EXPECT_EQ(keep, "survivor");  // not moved-from on failure
+}
+
+TEST(SpscQueue, ConcurrentProducerConsumerDeliversEverything) {
+  constexpr int kItems = 20000;
+  SpscQueue<int> q(64);
+  std::int64_t sum = 0;
+  std::thread consumer([&] {
+    int v = 0;
+    int got = 0;
+    while (got < kItems) {
+      if (q.try_pop(v)) {
+        sum += v;
+        ++got;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (int i = 1; i <= kItems; ++i) {
+    while (!q.try_push(std::move(i))) std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_EQ(sum, static_cast<std::int64_t>(kItems) * (kItems + 1) / 2);
+}
+
+// --- flow hashing ---------------------------------------------------------------
+
+TEST(FlowHash, SameTupleSameHashDifferentTupleDiffers) {
+  const dataplane::RawPacket a = make_tcp_packet({.sport = 40000});
+  const dataplane::RawPacket b = make_tcp_packet({.sport = 40000});
+  const dataplane::RawPacket c = make_tcp_packet({.sport = 40001});
+  EXPECT_EQ(flow_hash(extract_flow_key(a)), flow_hash(extract_flow_key(b)));
+  EXPECT_NE(flow_hash(extract_flow_key(a)), flow_hash(extract_flow_key(c)));
+}
+
+TEST(FlowHash, ExtractsTupleFromWire) {
+  const FlowKey key = extract_flow_key(make_tcp_packet(
+      {.ip_src = 0x0a000101, .ip_dst = 0x0a000202, .sport = 1234,
+       .dport = 443}));
+  EXPECT_TRUE(key.valid);
+  EXPECT_EQ(key.src_ip, 0x0a000101u);
+  EXPECT_EQ(key.dst_ip, 0x0a000202u);
+  EXPECT_EQ(key.sport, 1234);
+  EXPECT_EQ(key.dport, 443);
+  EXPECT_EQ(key.proto, 6);
+}
+
+TEST(FlowHash, NonIpFramesStillHashDeterministically) {
+  dataplane::RawPacket junk;
+  junk.data = {0xde, 0xad, 0xbe, 0xef};
+  const std::uint64_t h1 = flow_hash(extract_flow_key(junk));
+  const std::uint64_t h2 = flow_hash(extract_flow_key(junk));
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(h1, 0u);
+  EXPECT_LT(shard_of(junk, 4), 4u);
+}
+
+TEST(FlowHash, ShardOfCoversAllShardsAcrossFlows) {
+  std::set<std::size_t> seen;
+  for (std::uint16_t p = 0; p < 64; ++p) {
+    seen.insert(shard_of(make_tcp_packet({.sport =
+                             static_cast<std::uint16_t>(40000 + p)}),
+                         4));
+  }
+  EXPECT_EQ(seen.size(), 4u);  // 64 flows should hit all 4 shards
+  EXPECT_EQ(shard_of(make_tcp_packet({}), 1), 0u);
+}
+
+// --- epoch block ----------------------------------------------------------------
+
+TEST(EpochBlock, VersionIsEvenAndMonotonic) {
+  EpochBlock block;
+  EXPECT_EQ(block.version(), 0u);
+  ControlOp op;
+  op.kind = ControlOp::Kind::kLoadProgram;
+  op.factory = router_factory();
+  block.publish(std::move(op));
+  EXPECT_EQ(block.version(), 2u);
+  EXPECT_EQ(block.op_count(), 1u);
+}
+
+TEST(EpochBlock, OpsSinceReplaysOnlyUnapplied) {
+  EpochBlock block;
+  for (int i = 0; i < 3; ++i) {
+    ControlOp op;
+    op.kind = ControlOp::Kind::kUpdateTable;
+    op.table = "route";
+    block.publish(std::move(op));
+  }
+  std::vector<ControlOp> ops;
+  EXPECT_EQ(block.ops_since(1, ops), block.version());
+  EXPECT_EQ(ops.size(), 2u);
+}
+
+// --- shard-count invariance (the tentpole property) -----------------------------
+
+TEST(PipelineDeterminism, OutOfBandVerdictsInvariantAcrossShardCounts) {
+  const std::vector<dataplane::RawPacket> stream = make_stream(96, 12);
+  const nac::PolicyHeader hdr = make_policy_header(/*out_of_band=*/true);
+  const RunResult one = run_pipeline(1, stream, hdr);
+  const RunResult two = run_pipeline(2, stream, hdr);
+  const RunResult four = run_pipeline(4, stream, hdr);
+
+  EXPECT_EQ(one.verdicts.size(), 12u);
+  for (const auto& [flow, v] : one.verdicts) {
+    EXPECT_TRUE(v.ok) << "flow " << flow;
+    EXPECT_EQ(v.signature_failures, 0u);
+  }
+  // Bit-identical per-flow transcripts, summarized in one digest.
+  EXPECT_EQ(one.summary, two.summary);
+  EXPECT_EQ(one.summary, four.summary);
+  EXPECT_EQ(one.report.processed(), 96u);
+  EXPECT_EQ(four.report.processed(), 96u);
+}
+
+TEST(PipelineDeterminism, InBandVerdictsInvariantAcrossShardCounts) {
+  const std::vector<dataplane::RawPacket> stream = make_stream(64, 8);
+  const nac::PolicyHeader hdr = make_policy_header(/*out_of_band=*/false);
+  const RunResult one = run_pipeline(1, stream, hdr);
+  const RunResult four = run_pipeline(4, stream, hdr);
+  EXPECT_EQ(one.verdicts.size(), 8u);
+  EXPECT_EQ(one.summary, four.summary);
+  for (const auto& [flow, v] : four.verdicts) {
+    EXPECT_TRUE(v.ok) << "flow " << flow;
+  }
+}
+
+TEST(PipelineDeterminism, BatchedSigningPreservesVerdicts) {
+  // Merkle-batched deferred signing changes the signature scheme, not the
+  // signed content — verdict transcripts must match the unbatched run.
+  const std::vector<dataplane::RawPacket> stream = make_stream(64, 8);
+  const nac::PolicyHeader hdr = make_policy_header(/*out_of_band=*/true);
+  ::pera::pera::PeraConfig batched;
+  batched.oob_batch_size = 32;
+  const RunResult plain = run_pipeline(2, stream, hdr);
+  const RunResult merkle = run_pipeline(2, stream, hdr, batched);
+  ASSERT_EQ(plain.evidence.size(), merkle.evidence.size());
+  EXPECT_EQ(plain.summary, merkle.summary);
+}
+
+TEST(PipelineDeterminism, PointwiseAndChainedTranscriptsDiffer) {
+  const std::vector<dataplane::RawPacket> stream = make_stream(32, 4);
+  const nac::PolicyHeader hdr = make_policy_header(/*out_of_band=*/true);
+  const RunResult chained = run_pipeline(2, stream, hdr, {},
+                                         nac::CompositionMode::kChained);
+  const RunResult pointwise = run_pipeline(2, stream, hdr, {},
+                                           nac::CompositionMode::kPointwise);
+  EXPECT_NE(chained.summary, pointwise.summary);
+  // ...but both modes agree the evidence verifies.
+  for (const auto& [flow, v] : pointwise.verdicts) {
+    EXPECT_TRUE(v.ok) << "flow " << flow;
+  }
+}
+
+TEST(PipelineDeterminism, FlowsNeverSplitAcrossShards) {
+  const std::vector<dataplane::RawPacket> stream = make_stream(64, 8);
+  const nac::PolicyHeader hdr = make_policy_header(/*out_of_band=*/true);
+  const RunResult r = run_pipeline(4, stream, hdr);
+  std::map<std::uint64_t, std::set<std::uint32_t>> shards_by_flow;
+  for (const EvidenceItem& item : r.evidence) {
+    shards_by_flow[item.flow].insert(item.shard);
+  }
+  for (const auto& [flow, shards] : shards_by_flow) {
+    EXPECT_EQ(shards.size(), 1u) << "flow " << flow << " split";
+  }
+}
+
+TEST(PipelineDeterminism, TamperedEvidenceFailsAppraisal) {
+  const std::vector<dataplane::RawPacket> stream = make_stream(8, 2);
+  const nac::PolicyHeader hdr = make_policy_header(/*out_of_band=*/true);
+  PipelineOptions opt;
+  opt.shards = 2;
+  opt.drop_on_full = false;
+  PeraPipeline pipe("sw1", router_factory(), root_key(), opt);
+  pipe.start();
+  for (const dataplane::RawPacket& raw : stream) (void)pipe.submit(raw, &hdr);
+  pipe.stop();
+
+  std::vector<EvidenceItem> evidence = pipe.collect_evidence();
+  ASSERT_FALSE(evidence.empty());
+  evidence.front().evidence.back() ^= 0xff;  // flip a signature byte
+
+  ShardedAppraiser appraiser(root_key(), pipe.options().shard_key_label, 8);
+  appraiser.ingest(evidence);
+  const auto verdicts = appraiser.appraise();
+  std::size_t failures = 0;
+  for (const auto& [flow, v] : verdicts) failures += v.signature_failures;
+  EXPECT_EQ(failures, 1u);
+  EXPECT_TRUE(std::any_of(verdicts.begin(), verdicts.end(),
+                          [](const auto& kv) { return !kv.second.ok; }));
+}
+
+// --- queue overflow / backpressure ----------------------------------------------
+
+TEST(PipelineBackpressure, DropOnFullCountsDrops) {
+  PipelineOptions opt;
+  opt.shards = 1;
+  opt.queue_capacity = 8;
+  opt.drop_on_full = true;
+  PeraPipeline pipe("sw1", router_factory(), root_key(), opt);
+  // Workers not started: the ring fills after 8 packets.
+  const dataplane::RawPacket pkt = make_tcp_packet({});
+  int accepted = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (pipe.submit(pkt, nullptr)) ++accepted;
+  }
+  EXPECT_EQ(accepted, 8);
+  pipe.start();
+  pipe.stop();
+  const PipelineReport rep = pipe.report();
+  EXPECT_EQ(rep.submitted, 20u);
+  EXPECT_EQ(rep.dropped, 12u);
+  EXPECT_EQ(rep.processed(), 8u);
+}
+
+TEST(PipelineBackpressure, LosslessModeDeliversEverything) {
+  PipelineOptions opt;
+  opt.shards = 2;
+  opt.queue_capacity = 8;  // tiny ring: the dispatcher must wait
+  opt.drop_on_full = false;
+  PeraPipeline pipe("sw1", router_factory(), root_key(), opt);
+  pipe.start();
+  const nac::PolicyHeader hdr = make_policy_header(true);
+  for (const dataplane::RawPacket& raw : make_stream(400, 16)) {
+    EXPECT_TRUE(pipe.submit(raw, &hdr));
+  }
+  pipe.stop();
+  const PipelineReport rep = pipe.report();
+  EXPECT_EQ(rep.dropped, 0u);
+  EXPECT_EQ(rep.processed(), 400u);
+}
+
+// --- epoch invalidation ---------------------------------------------------------
+
+TEST(PipelineEpoch, ControlOpsInvalidateShardCaches) {
+  // Inline (no threads): one worker, deterministic interleaving.
+  EpochBlock epochs;
+  ShardWorker worker(0, "sw1", router_factory(),
+                     crypto::sha256("k0"), epochs, {}, 16, 100);
+  const nac::PolicyHeader hdr = make_policy_header(/*out_of_band=*/true);
+  const dataplane::RawPacket pkt = make_tcp_packet({});
+  const std::uint64_t flow = flow_hash(extract_flow_key(pkt));
+
+  worker.process(PacketJob{pkt, &hdr, flow, 0, 0});
+  worker.process(PacketJob{pkt, &hdr, flow, 1, 0});
+  EXPECT_EQ(worker.report().cache.hits, 1u);  // warm second packet
+
+  ControlOp op;
+  op.kind = ControlOp::Kind::kLoadProgram;
+  op.factory = [] { return make_router("v2"); };
+  epochs.publish(std::move(op));
+
+  worker.process(PacketJob{pkt, &hdr, flow, 2, 0});
+  const ShardReport rep = worker.report();
+  EXPECT_EQ(rep.epoch_syncs, 1u);
+  EXPECT_EQ(rep.cache.invalidations, 1u);  // program epoch moved
+  EXPECT_EQ(rep.processed, 3u);
+}
+
+TEST(PipelineEpoch, ConcurrentControlOpsConvergeAcrossShards) {
+  // The TSan race target: a control thread swaps programs and writes
+  // tables while the dispatcher streams packets. After a final round of
+  // packets (every shard must observe the last epoch), all shards agree
+  // on the program digest.
+  PipelineOptions opt;
+  opt.shards = 4;
+  opt.drop_on_full = false;
+  PeraPipeline pipe("sw1", router_factory(), root_key(), opt);
+  pipe.start();
+  const nac::PolicyHeader hdr = make_policy_header(/*out_of_band=*/true);
+  const std::vector<dataplane::RawPacket> stream = make_stream(256, 32);
+
+  std::thread control([&] {
+    for (int i = 0; i < 8; ++i) {
+      dataplane::TableEntry e;
+      e.keys = {dataplane::KeyMatch::lpm(0xC0A80000 + i, 24)};
+      e.action = "forward";
+      e.action_params = {2};
+      pipe.update_table("route", e);
+      if (i % 3 == 2) {
+        pipe.load_program([i] {
+          return make_router("v" + std::to_string(i));
+        });
+      }
+      std::this_thread::yield();
+    }
+  });
+  for (const dataplane::RawPacket& raw : stream) (void)pipe.submit(raw, &hdr);
+  control.join();
+  // Final round after the last publish: make_stream(64, 32) revisits the
+  // same 32 flows, which cover all four shards.
+  for (const dataplane::RawPacket& raw : make_stream(64, 32)) {
+    (void)pipe.submit(raw, &hdr);
+  }
+  pipe.stop();
+
+  EXPECT_EQ(pipe.epochs().version() % 2, 0u);
+  std::set<crypto::Digest> program_digests;
+  for (std::size_t i = 0; i < pipe.shards(); ++i) {
+    program_digests.insert(
+        pipe.worker(i).pera_switch().dataplane().program().program_digest());
+    EXPECT_GT(pipe.worker(i).report().epoch_syncs, 0u);
+  }
+  EXPECT_EQ(program_digests.size(), 1u);  // all shards converged
+
+  // Evidence from a stream crossing epochs still verifies shard-by-shard.
+  ShardedAppraiser appraiser(root_key(), pipe.options().shard_key_label, 8);
+  appraiser.ingest(pipe.collect_evidence());
+  for (const auto& [flow, v] : appraiser.appraise()) {
+    EXPECT_TRUE(v.ok) << "flow " << flow;
+  }
+}
+
+// --- report ---------------------------------------------------------------------
+
+TEST(PipelineReporting, SimThroughputScalesWithShards) {
+  // The simulated clock is the methodology-level throughput metric: the
+  // dispatcher is the serial fraction, shards process in parallel.
+  const std::vector<dataplane::RawPacket> stream = make_stream(256, 32);
+  const nac::PolicyHeader hdr = make_policy_header(/*out_of_band=*/true);
+  const RunResult one = run_pipeline(1, stream, hdr);
+  const RunResult four = run_pipeline(4, stream, hdr);
+  EXPECT_GT(one.report.sim_packets_per_sec, 0.0);
+  EXPECT_GT(four.report.sim_packets_per_sec,
+            2.0 * one.report.sim_packets_per_sec);
+  EXPECT_GE(one.report.latency_percentile(0.99),
+            one.report.latency_percentile(0.50));
+}
+
+}  // namespace
+}  // namespace pera::pipeline
