@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # Full verification pipeline: configure with warnings-as-errors
-# (-Wall -Wextra -Werror via PERA_WERROR), build, run every test,
-# smoke-run every benchmark and every example, and check the
-# observability JSON export end-to-end.
+# (-Wall -Wextra -Werror via PERA_WERROR), build, run every test, run the
+# policy verifier over the paper fixtures, smoke-run every benchmark and
+# every example, check the observability JSON export end-to-end, then the
+# instrumented passes (clang-tidy if available, ASan+UBSan, TSan).
 #
 # One command verifies the tree:   scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja -DPERA_WERROR=ON
+cmake -B build -G Ninja -DPERA_WERROR=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build build
 ctest --test-dir build --output-on-failure
+
+echo "== policy verifier fixtures =="
+scripts/run_verify_fixtures.sh build
 
 for b in build/bench/bench_*; do
   # bench_throughput writes BENCH_throughput.json to the cwd; it gets a
@@ -42,6 +46,27 @@ for ex in build/examples/*; do
   echo "== $ex =="
   "$ex" > /dev/null
 done
+
+# clang-tidy over the library and tool sources (config in .clang-tidy).
+# Gated on availability: the local toolchain may be gcc-only, and CI runs
+# this stage unconditionally (.github/workflows/ci.yml).
+if command -v run-clang-tidy > /dev/null 2>&1; then
+  echo "== clang-tidy =="
+  run-clang-tidy -p build -quiet "$(pwd)/src/.*" "$(pwd)/tools/.*"
+elif command -v clang-tidy > /dev/null 2>&1; then
+  echo "== clang-tidy =="
+  find src tools -name '*.cpp' -print0 |
+    xargs -0 clang-tidy -p build --quiet
+else
+  echo "== clang-tidy: not installed, skipping (CI runs it) =="
+fi
+
+# AddressSanitizer + UBSan over the full test suite.
+echo "== ASan+UBSan (full suite) =="
+cmake -B build-asan -G Ninja -DPERA_WERROR=ON \
+  -DPERA_SANITIZE=address,undefined
+cmake --build build-asan --target pera_tests
+ctest --test-dir build-asan --output-on-failure
 
 # ThreadSanitizer pass over the concurrent pipeline: the SPSC rings, the
 # seqlock epoch block and the dispatcher/worker threads are the only

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Drive tools/pera_verify over the policy fixtures in tests/fixtures/verify:
+# every paper policy (AP1-AP3, expressions (1)-(4)) must verify, and each
+# deliberately broken fixture must be rejected with the expected diagnostic
+# code and a non-zero exit.
+#
+# usage: scripts/run_verify_fixtures.sh [BUILD_DIR]   (default: build)
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-build}"
+[[ "$BUILD" = /* ]] || BUILD="$ROOT/$BUILD"
+VERIFY="$BUILD/tools/pera_verify"
+FIXTURES="$ROOT/tests/fixtures/verify"
+
+if [[ ! -x "$VERIFY" ]]; then
+  echo "run_verify_fixtures: $VERIFY not built" >&2
+  exit 1
+fi
+
+fail=0
+
+# accept NAME [extra pera_verify flags...]
+accept() {
+  local name="$1"; shift
+  if "$VERIFY" "$@" "$FIXTURES/$name.copland" > /dev/null; then
+    echo "  accept $name: ok"
+  else
+    echo "  accept $name: FAILED (expected exit 0)"
+    "$VERIFY" "$@" "$FIXTURES/$name.copland" || true
+    fail=1
+  fi
+}
+
+# reject NAME CODE [extra pera_verify flags...]
+reject() {
+  local name="$1" code="$2"; shift 2
+  local out
+  out="$("$VERIFY" "$@" "$FIXTURES/$name.copland" 2>&1)"
+  local rc=$?
+  if [[ $rc -ne 0 ]] && grep -q "error\[$code\]" <<< "$out"; then
+    echo "  reject $name: ok (error[$code], exit $rc)"
+  else
+    echo "  reject $name: FAILED (wanted error[$code] and non-zero exit," \
+         "got exit $rc)"
+    echo "$out"
+    fail=1
+  fi
+}
+
+echo "pera_verify fixture sweep ($FIXTURES)"
+
+accept expr1
+accept expr2
+accept expr3a --node Switch --node Appraiser:appraiser --link Switch-Appraiser
+accept expr3b
+accept expr4 --node Switch --node Appraiser:appraiser --link Switch-Appraiser
+accept ap1 --bind client=client
+accept ap2
+accept ap3 --bind p=edge1 --bind q=core1 --bind r=core2 \
+  --bind peer1=client --bind peer2=pm_phone
+
+reject broken_v1 V1 --node Switch --node Appraiser:appraiser
+reject broken_v2 V2 --guard Ktest=false
+reject broken_v3 V3 --ra ''
+reject broken_v4 V4
+reject broken_v5 V5 --no-key edge1
+
+# --force demotes a failing policy to exit 0 (diagnostics still printed).
+if "$VERIFY" --force --no-key edge1 "$FIXTURES/broken_v5.copland" \
+    > /dev/null; then
+  echo "  force broken_v5: ok"
+else
+  echo "  force broken_v5: FAILED (expected exit 0 under --force)"
+  fail=1
+fi
+
+# JSON output must carry the code machine-readably.
+if "$VERIFY" --json --no-key edge1 "$FIXTURES/broken_v5.copland" \
+    | grep -q '"code": "V5"'; then
+  echo "  json broken_v5: ok"
+else
+  echo "  json broken_v5: FAILED (no \"code\": \"V5\" in JSON output)"
+  fail=1
+fi
+
+exit $fail

@@ -349,6 +349,121 @@ WellFormedness check_well_formed(const TermPtr& t) {
 
 namespace {
 
+// --- cross-place evidence-flow tracking (V4 support) ------------------------
+
+// One piece of evidence in flight. Shared across bundle copies so a '!'
+// in one branch arm marks the same piece signed everywhere it flows.
+struct FlowItem {
+  std::string description;
+  std::string place;  // producing place
+  const Term* node = nullptr;
+  bool is_signed = false;
+  bool reported = false;
+};
+using ItemRef = std::shared_ptr<FlowItem>;
+using Bundle = std::vector<ItemRef>;
+
+const std::set<std::string> kCollectorFuncs = {"appraise", "certify", "store",
+                                               "retrieve"};
+
+struct LeakWalker {
+  std::set<std::string> params;
+  std::vector<CrossPlaceLeak> leaks;
+
+  ItemRef make(const Term* node, std::string description, std::string place) {
+    auto item = std::make_shared<FlowItem>();
+    item->description = std::move(description);
+    item->place = std::move(place);
+    item->node = node;
+    return item;
+  }
+
+  // The bundle moves from place context `from` into `to`: every unsigned
+  // piece crossing for the first time is a leak.
+  void cross(Bundle& bundle, const std::string& from, const std::string& to) {
+    if (from == to) return;
+    for (auto& item : bundle) {
+      if (!item->is_signed && !item->reported) {
+        item->reported = true;
+        leaks.push_back(CrossPlaceLeak{item->description, from, to,
+                                       item->node});
+      }
+    }
+  }
+
+  Bundle walk(const TermPtr& t, const std::string& place, Bundle in) {
+    if (!t) return in;
+    switch (t->kind) {
+      case TermKind::kNil:
+        return in;
+      case TermKind::kAtom:
+        if (params.contains(t->target)) return in;  // protocol input
+        in.push_back(
+            make(t.get(), "measurement of '" + t->target + "'", place));
+        return in;
+      case TermKind::kMeasure:
+        in.push_back(make(t.get(),
+                          "measurement of '" + t->target + "' by '" + t->asp +
+                              "'",
+                          place));
+        return in;
+      case TermKind::kSign:
+        for (auto& item : in) item->is_signed = true;
+        return in;
+      case TermKind::kHash:
+        return in;  // an unsigned digest is still forgeable in transit
+      case TermKind::kFunc:
+        if (kCollectorFuncs.contains(t->func)) return {};  // delivered
+        if (t->func == "attest") {
+          in.push_back(make(t.get(), "attestation evidence", place));
+          return in;
+        }
+        in.push_back(
+            make(t.get(), "output of " + t->func + "()", place));
+        return in;
+      case TermKind::kAtPlace: {
+        cross(in, place, t->place);  // request + carried evidence enter
+        Bundle out = walk(t->child, t->place, std::move(in));
+        cross(out, t->place, place);  // results return to the caller
+        return out;
+      }
+      case TermKind::kPipe:
+        return walk(t->right, place, walk(t->left, place, std::move(in)));
+      case TermKind::kBranch: {
+        Bundle in_l = t->pass_left ? in : Bundle{};
+        Bundle in_r = t->pass_right ? in : Bundle{};
+        Bundle l = walk(t->left, place, std::move(in_l));
+        const Bundle r = walk(t->right, place, std::move(in_r));
+        l.insert(l.end(), r.begin(), r.end());
+        return l;
+      }
+      case TermKind::kGuard:
+        return walk(t->child, place, std::move(in));
+      case TermKind::kPathStar: {
+        // Chained composition: per-hop evidence flows into the path tail.
+        Bundle l = walk(t->left, place, std::move(in));
+        return walk(t->right, place, std::move(l));
+      }
+      case TermKind::kForall:
+        return walk(t->child, place, std::move(in));
+    }
+    return in;
+  }
+};
+
+}  // namespace
+
+std::vector<CrossPlaceLeak> find_cross_place_leaks(
+    const TermPtr& t, const std::string& root_place,
+    const std::vector<std::string>& params) {
+  LeakWalker w;
+  w.params.insert(params.begin(), params.end());
+  (void)w.walk(t, root_place, Bundle{});
+  return w.leaks;
+}
+
+namespace {
+
 using Visibility = std::map<std::string, std::set<std::string>>;
 using Content = std::set<std::string>;
 

@@ -128,6 +128,28 @@ struct WellFormedness {
 ///  * nested `forall` must not shadow an outer variable.
 [[nodiscard]] WellFormedness check_well_formed(const TermPtr& t);
 
+/// One unsigned-evidence place crossing (the V4 verifier check): a piece
+/// of evidence produced at `from_place` crosses into `to_place` with no
+/// signature covering it — an on-path adversary could alter it undetected.
+struct CrossPlaceLeak {
+  std::string description;  // what was measured / produced
+  std::string from_place;   // place context the evidence left
+  std::string to_place;     // place context it entered
+  const Term* node = nullptr;  // producing node (owned by the input term)
+};
+
+/// Cross-place extension of the happens-before event structure: track each
+/// piece of measurement evidence through pipes, branches, '@' boundaries
+/// and '*=>' chaining, and report every place boundary an *unsigned* piece
+/// crosses (each piece at most once, at its first unsigned crossing).
+/// `params` names request parameters (nonces / property names): bare atoms
+/// naming one are protocol inputs, not measurements. Collector functions
+/// (appraise / certify / store / retrieve) consume the evidence handed to
+/// them; a Copland '!' signs everything accrued in the current pipeline.
+[[nodiscard]] std::vector<CrossPlaceLeak> find_cross_place_leaks(
+    const TermPtr& t, const std::string& root_place,
+    const std::vector<std::string>& params = {});
+
 /// Evidence-flow visibility: which measurement targets' evidence each
 /// place gets to see while the protocol runs. Copland's `#` deliberately
 /// collapses evidence to a digest, so places downstream of a hash see only

@@ -81,6 +81,14 @@ struct Term {
   // kForall: abstract place variables bound over `child`
   std::vector<std::string> vars;
 
+  // Source span: byte offsets into the policy text this node was parsed
+  // from (begin inclusive, end exclusive). Synthesized nodes (factories,
+  // binder output) carry {0, 0}; src_end > src_begin iff the span is real.
+  std::size_t src_begin = 0;
+  std::size_t src_end = 0;
+
+  [[nodiscard]] bool has_span() const { return src_end > src_begin; }
+
   // --- factories ---------------------------------------------------------
   static TermPtr nil();
   static TermPtr atom(std::string target);

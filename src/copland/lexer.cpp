@@ -59,6 +59,11 @@ std::vector<Token> lex(std::string_view src) {
       ++i;
       continue;
     }
+    // '//' line comments (used by .copland policy files for headers).
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
     const std::size_t pos = i;
     // Multi-char tokens first.
     if (c == '*' && i + 2 < src.size() && src[i + 1] == '=' &&

@@ -47,7 +47,17 @@ class Parser {
   }
 
  private:
+  // Stamp a freshly built node with the source span [begin, last_end_).
+  // Nodes are copied rather than mutated so TermPtr stays pointer-to-const.
+  TermPtr spanned(const TermPtr& t, std::size_t begin) const {
+    auto c = std::make_shared<Term>(*t);
+    c->src_begin = begin;
+    c->src_end = last_end_;
+    return c;
+  }
+
   TermPtr parse_body() {
+    const std::size_t begin = cur().pos;
     if (at(TokKind::kForall)) {
       advance();
       std::vector<std::string> vars;
@@ -57,30 +67,33 @@ class Parser {
         vars.push_back(expect(TokKind::kIdent).text);
       }
       expect(TokKind::kColon);
-      return Term::forall(std::move(vars), parse_pathterm());
+      return spanned(Term::forall(std::move(vars), parse_pathterm()), begin);
     }
     return parse_pathterm();
   }
 
   TermPtr parse_pathterm() {
+    const std::size_t begin = cur().pos;
     TermPtr t = parse_guardterm();
     while (at(TokKind::kPathStar)) {
       advance();
-      t = Term::path_star(t, parse_guardterm());
+      t = spanned(Term::path_star(t, parse_guardterm()), begin);
     }
     return t;
   }
 
   TermPtr parse_guardterm() {
+    const std::size_t begin = cur().pos;
     if (at(TokKind::kIdent) && peek(1).kind == TokKind::kGuard) {
       const std::string test = advance().text;
       advance();  // consume '|>'
-      return Term::guard(test, parse_branchterm());
+      return spanned(Term::guard(test, parse_branchterm()), begin);
     }
     return parse_branchterm();
   }
 
   TermPtr parse_branchterm() {
+    const std::size_t begin = cur().pos;
     TermPtr t = parse_pipe();
     while (at(TokKind::kBranch)) {
       const std::string op = advance().text;  // e.g. "-<-", "+~+"
@@ -92,27 +105,30 @@ class Parser {
       } else {
         t = Term::par(std::move(t), std::move(rhs), pass_l, pass_r);
       }
+      t = spanned(t, begin);
     }
     return t;
   }
 
   TermPtr parse_pipe() {
+    const std::size_t begin = cur().pos;
     TermPtr t = parse_atom();
     while (at(TokKind::kArrow)) {
       advance();
-      t = Term::pipe(std::move(t), parse_atom());
+      t = spanned(Term::pipe(std::move(t), parse_atom()), begin);
     }
     return t;
   }
 
   TermPtr parse_atom() {
+    const std::size_t begin = cur().pos;
     if (at(TokKind::kAt)) {
       advance();
       std::string place = expect(TokKind::kIdent).text;
       expect(TokKind::kLBracket);
       TermPtr body = parse_body();
       expect(TokKind::kRBracket);
-      return Term::at(std::move(place), std::move(body));
+      return spanned(Term::at(std::move(place), std::move(body)), begin);
     }
     if (at(TokKind::kLParen)) {
       advance();
@@ -122,15 +138,15 @@ class Parser {
     }
     if (at(TokKind::kBang)) {
       advance();
-      return Term::sign();
+      return spanned(Term::sign(), begin);
     }
     if (at(TokKind::kHashSym)) {
       advance();
-      return Term::hash();
+      return spanned(Term::hash(), begin);
     }
     if (at(TokKind::kNilBraces)) {
       advance();
-      return Term::nil();
+      return spanned(Term::nil(), begin);
     }
     if (at(TokKind::kIdent)) {
       const Token head = advance();
@@ -145,21 +161,21 @@ class Parser {
           }
         }
         expect(TokKind::kRParen);
-        return Term::call(head.text, std::move(args));
+        return spanned(Term::call(head.text, std::move(args)), begin);
       }
       if (at(TokKind::kIdent) && peek(1).kind == TokKind::kIdent) {
         const std::string place = advance().text;
         const std::string target = advance().text;
-        return Term::measure(head.text, place, target);
+        return spanned(Term::measure(head.text, place, target), begin);
       }
       // The paper writes the standard functions bare ("appraise -> store");
       // recognize them as zero-argument function calls.
       static const std::set<std::string> kBareFuncs = {
           "attest", "appraise", "certify", "store", "retrieve"};
       if (kBareFuncs.contains(head.text)) {
-        return Term::call(head.text);
+        return spanned(Term::call(head.text), begin);
       }
-      return Term::atom(head.text);
+      return spanned(Term::atom(head.text), begin);
     }
     throw ParseError("expected a term, found " + to_string(cur().kind),
                      cur().pos);
@@ -175,7 +191,11 @@ class Parser {
 
   [[nodiscard]] bool at(TokKind k) const { return cur().kind == k; }
 
-  Token advance() { return toks_[pos_++]; }
+  Token advance() {
+    const Token& t = toks_[pos_];
+    last_end_ = t.pos + t.text.size();
+    return toks_[pos_++];
+  }
 
   Token expect(TokKind k) {
     if (!at(k)) {
@@ -188,6 +208,7 @@ class Parser {
 
   std::vector<Token> toks_;
   std::size_t pos_ = 0;
+  std::size_t last_end_ = 0;  // end offset of the last consumed token
 };
 
 }  // namespace

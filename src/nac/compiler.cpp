@@ -183,8 +183,24 @@ struct Compiler {
 
 }  // namespace
 
+namespace {
+
+PrecompileCheck& precompile_check_slot() {
+  static PrecompileCheck slot;
+  return slot;
+}
+
+}  // namespace
+
+PrecompileCheck set_precompile_check(PrecompileCheck check) {
+  PrecompileCheck prev = std::move(precompile_check_slot());
+  precompile_check_slot() = std::move(check);
+  return prev;
+}
+
 CompiledPolicy compile(const copland::Request& req,
                        CompositionMode composition) {
+  if (const PrecompileCheck& check = precompile_check_slot()) check(req);
   Compiler c;
   c.out.relying_party = req.relying_party;
   c.out.params = req.params;

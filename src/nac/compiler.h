@@ -12,6 +12,7 @@
 // RA-capable element on the path.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -65,5 +66,14 @@ class CompileError : public std::runtime_error {
 [[nodiscard]] CompiledPolicy compile(const std::string& source,
                                      CompositionMode composition =
                                          CompositionMode::kChained);
+
+/// Optional pre-compile verification hook (installed by the static
+/// verifier, see verify/verifier.h): when set, `compile()` invokes it with
+/// the parsed request before code generation; the hook refuses a policy by
+/// throwing CompileError. Returns the previously installed hook so callers
+/// can restore it (RAII-style nesting). Not thread-safe: install once at
+/// startup or guard externally.
+using PrecompileCheck = std::function<void(const copland::Request&)>;
+PrecompileCheck set_precompile_check(PrecompileCheck check);
 
 }  // namespace pera::nac

@@ -85,6 +85,12 @@ PolicyHeader PolicyHeader::deserialize(BytesView data) {
   h.appraiser = get_str(data, off);
   const std::uint32_t n = crypto::read_u32(data, off);
   off += 4;
+  // A hop needs at least two length-prefixed strings + flags + detail +
+  // target count = 14 bytes; reject counts the payload cannot hold before
+  // reserving attacker-controlled amounts of memory.
+  if (n > (data.size() - off) / 14) {
+    throw std::invalid_argument("PolicyHeader: hop count exceeds payload");
+  }
   h.hops.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     HopInstruction hop;
@@ -102,6 +108,9 @@ PolicyHeader PolicyHeader::deserialize(BytesView data) {
     hop.detail = data[off++];
     const std::uint32_t nt = crypto::read_u32(data, off);
     off += 4;
+    if (nt > (data.size() - off) / 4) {  // >= 4 bytes per string
+      throw std::invalid_argument("PolicyHeader: target count exceeds payload");
+    }
     hop.custom_targets.reserve(nt);
     for (std::uint32_t j = 0; j < nt; ++j) {
       hop.custom_targets.push_back(get_str(data, off));
@@ -169,6 +178,9 @@ EvidenceCarrier EvidenceCarrier::deserialize(BytesView data) {
   std::size_t off = 0;
   const std::uint32_t n = crypto::read_u32(data, off);
   off += 4;
+  if (n > (data.size() - off) / 8) {  // >= 8 bytes per record
+    throw std::invalid_argument("EvidenceCarrier: record count exceeds payload");
+  }
   c.records.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     EvidenceRecord r;

@@ -1,0 +1,136 @@
+#include "verify/diagnostics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+namespace pera::verify {
+
+std::string to_string(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+void DiagnosticEngine::report(Diagnostic d) { diags_.push_back(std::move(d)); }
+
+void DiagnosticEngine::error(std::string code, std::string message, Span span,
+                             std::string place) {
+  report(Diagnostic{std::move(code), Severity::kError, std::move(message),
+                    span, std::move(place)});
+}
+
+void DiagnosticEngine::warning(std::string code, std::string message,
+                               Span span, std::string place) {
+  report(Diagnostic{std::move(code), Severity::kWarning, std::move(message),
+                    span, std::move(place)});
+}
+
+void DiagnosticEngine::note(std::string code, std::string message, Span span,
+                            std::string place) {
+  report(Diagnostic{std::move(code), Severity::kNote, std::move(message),
+                    span, std::move(place)});
+}
+
+std::size_t DiagnosticEngine::count(Severity s) const {
+  return static_cast<std::size_t>(
+      std::count_if(diags_.begin(), diags_.end(),
+                    [s](const Diagnostic& d) { return d.severity == s; }));
+}
+
+namespace {
+
+// Line containing `offset` (for multi-line policy files) and the offset of
+// its first character.
+std::pair<std::string_view, std::size_t> line_at(std::string_view src,
+                                                 std::size_t offset) {
+  if (offset > src.size()) offset = src.size();
+  std::size_t begin = src.rfind('\n', offset == 0 ? 0 : offset - 1);
+  begin = (begin == std::string_view::npos) ? 0 : begin + 1;
+  std::size_t end = src.find('\n', offset);
+  if (end == std::string_view::npos) end = src.size();
+  if (end < begin) end = begin;
+  return {src.substr(begin, end - begin), begin};
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::string DiagnosticEngine::render_human() const {
+  std::ostringstream out;
+  for (const Diagnostic& d : diags_) {
+    out << to_string(d.severity) << '[' << d.code << "]: " << d.message
+        << '\n';
+    if (d.span.valid() && !source_.empty() && d.span.begin < source_.size()) {
+      const auto [line, line_begin] = line_at(source_, d.span.begin);
+      const std::size_t col = d.span.begin - line_begin;
+      const std::size_t len =
+          std::max<std::size_t>(1, std::min(d.span.end, line_begin +
+                                                            line.size()) -
+                                       d.span.begin);
+      out << "  --> offset " << d.span.begin << '\n';
+      out << "   | " << line << '\n';
+      out << "   | " << std::string(col, ' ') << std::string(len, '^')
+          << '\n';
+    }
+  }
+  out << error_count() << " error(s), " << warning_count() << " warning(s)\n";
+  return out.str();
+}
+
+std::string DiagnosticEngine::render_json() const {
+  std::string out = "{\n  \"diagnostics\": [";
+  bool first = true;
+  for (const Diagnostic& d : diags_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"code\": ";
+    append_json_string(out, d.code);
+    out += ", \"severity\": ";
+    append_json_string(out, to_string(d.severity));
+    out += ", \"message\": ";
+    append_json_string(out, d.message);
+    out += ", \"span\": {\"begin\": " + std::to_string(d.span.begin) +
+           ", \"end\": " + std::to_string(d.span.end) + "}";
+    if (!d.place.empty()) {
+      out += ", \"place\": ";
+      append_json_string(out, d.place);
+    }
+    out += "}";
+  }
+  out += first ? "]" : "\n  ]";
+  out += ",\n  \"errors\": " + std::to_string(error_count());
+  out += ",\n  \"warnings\": " + std::to_string(warning_count());
+  out += ",\n  \"ok\": ";
+  out += ok() ? "true" : "false";
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace pera::verify

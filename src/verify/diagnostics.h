@@ -1,0 +1,91 @@
+// Diagnostics for the pre-deployment policy verifier (pera-verify).
+//
+// Every analysis pass reports through a DiagnosticEngine: a stable code
+// (V1..V5 for the deployment checks, V0 for well-formedness lints, P0 for
+// parse failures), a severity, a message, and — when the offending AST
+// node was parsed from text — a byte span into the policy source that the
+// human renderer turns into a caret-underlined excerpt. The JSON renderer
+// emits the same data machine-readably (schema in docs/VERIFY.md).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pera::verify {
+
+enum class Severity { kNote, kWarning, kError };
+
+[[nodiscard]] std::string to_string(Severity s);
+
+/// Half-open byte range [begin, end) into the policy source text.
+struct Span {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] bool valid() const { return end > begin; }
+
+  friend bool operator==(const Span&, const Span&) = default;
+};
+
+// Diagnostic codes, one per analysis (docs/VERIFY.md documents them).
+inline constexpr const char* kCodeParse = "P0";          // source rejected
+inline constexpr const char* kCodeWellFormed = "V0";     // structural lints
+inline constexpr const char* kCodePath = "V1";           // path realizability
+inline constexpr const char* kCodeDeadGuard = "V2";      // unsatisfiable '|>'
+inline constexpr const char* kCodeQuantifier = "V3";     // forall domains
+inline constexpr const char* kCodeEvidenceFlow = "V4";   // unsigned crossings
+inline constexpr const char* kCodeKey = "V5";            // key availability
+
+struct Diagnostic {
+  std::string code;
+  Severity severity = Severity::kError;
+  std::string message;
+  Span span;          // {0,0} when no source location applies
+  std::string place;  // offending place name, when one is identifiable
+};
+
+/// Accumulates diagnostics for one policy and renders them. Construct with
+/// the policy source text to get source excerpts in the human rendering.
+class DiagnosticEngine {
+ public:
+  DiagnosticEngine() = default;
+  explicit DiagnosticEngine(std::string source) : source_(std::move(source)) {}
+
+  void report(Diagnostic d);
+  void error(std::string code, std::string message, Span span = {},
+             std::string place = "");
+  void warning(std::string code, std::string message, Span span = {},
+               std::string place = "");
+  void note(std::string code, std::string message, Span span = {},
+            std::string place = "");
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+  [[nodiscard]] std::size_t count(Severity s) const;
+  [[nodiscard]] std::size_t error_count() const {
+    return count(Severity::kError);
+  }
+  [[nodiscard]] std::size_t warning_count() const {
+    return count(Severity::kWarning);
+  }
+  /// True iff no error-severity diagnostics were reported.
+  [[nodiscard]] bool ok() const { return error_count() == 0; }
+
+  [[nodiscard]] const std::string& source() const { return source_; }
+
+  /// Compiler-style rendering: one "severity[code]: message" line per
+  /// diagnostic, with a caret-underlined source excerpt when a span and
+  /// source text are available, then a summary line.
+  [[nodiscard]] std::string render_human() const;
+
+  /// Machine-readable rendering (docs/VERIFY.md documents the schema).
+  [[nodiscard]] std::string render_json() const;
+
+ private:
+  std::string source_;
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace pera::verify

@@ -1,0 +1,614 @@
+#include "verify/verifier.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+
+#include "copland/analysis.h"
+#include "copland/parser.h"
+#include "core/reachability.h"
+#include "nac/compiler.h"
+#include "netkat/eval.h"
+
+namespace pera::verify {
+
+using copland::Term;
+using copland::TermKind;
+using copland::TermPtr;
+
+namespace {
+
+const std::set<std::string> kCollectorFuncs = {"appraise", "certify", "store",
+                                               "retrieve"};
+
+Span span_of(const Term* t) {
+  return (t != nullptr && t->has_span()) ? Span{t->src_begin, t->src_end}
+                                         : Span{};
+}
+
+Span span_of(const TermPtr& t) { return span_of(t.get()); }
+
+// Pre-order walk carrying the enclosing place context and whether the node
+// sits inside the left phrase of a '*=>' (where abstract places become
+// wildcard hops).
+using NodeFn =
+    std::function<void(const TermPtr&, const std::string& place, bool star_left)>;
+
+void walk_places(const TermPtr& t, const std::string& place, bool star_left,
+                 const NodeFn& fn) {
+  if (!t) return;
+  fn(t, place, star_left);
+  switch (t->kind) {
+    case TermKind::kAtPlace:
+      walk_places(t->child, t->place, star_left, fn);
+      return;
+    case TermKind::kGuard:
+    case TermKind::kForall:
+      walk_places(t->child, place, star_left, fn);
+      return;
+    case TermKind::kPipe:
+    case TermKind::kBranch:
+      walk_places(t->left, place, star_left, fn);
+      walk_places(t->right, place, star_left, fn);
+      return;
+    case TermKind::kPathStar:
+      walk_places(t->left, place, true, fn);
+      walk_places(t->right, place, star_left, fn);
+      return;
+    case TermKind::kFunc:
+      for (const auto& a : t->args) walk_places(a, place, star_left, fn);
+      return;
+    default:
+      return;
+  }
+}
+
+// Does this hop body satisfy `pred` on some node, not counting nested '@'
+// blocks (those are their own hops)?
+bool body_contains(const TermPtr& t, bool (*pred)(const Term&)) {
+  if (!t) return false;
+  if (t->kind == TermKind::kAtPlace) return false;
+  if (pred(*t)) return true;
+  switch (t->kind) {
+    case TermKind::kPipe:
+    case TermKind::kBranch:
+    case TermKind::kPathStar:
+      return body_contains(t->left, pred) || body_contains(t->right, pred);
+    case TermKind::kGuard:
+    case TermKind::kForall:
+      return body_contains(t->child, pred);
+    case TermKind::kFunc:
+      return std::any_of(t->args.begin(), t->args.end(),
+                         [pred](const TermPtr& a) {
+                           return body_contains(a, pred);
+                         });
+    default:
+      return false;
+  }
+}
+
+// A collector step (appraise/certify/...) in this hop body?
+bool body_is_collector(const TermPtr& t) {
+  return body_contains(t, [](const Term& n) {
+    return n.kind == TermKind::kFunc && kCollectorFuncs.contains(n.func);
+  });
+}
+
+// A PERA-engine attest() call in this hop body? (Software measurements —
+// bare atoms, 'asp place target' — run on any host; attest() needs an
+// RA-capable element.)
+bool body_attests(const TermPtr& t) {
+  return body_contains(t, [](const Term& n) {
+    return n.kind == TermKind::kFunc && n.func == "attest";
+  });
+}
+
+// Everything the passes share about one policy + model.
+struct Ctx {
+  const copland::Request& req;
+  const VerifyModel& model;
+
+  std::set<std::string> abstract_vars;  // every forall-bound variable
+  std::set<std::string> hop_vars;       // abstract vars used as '@' place
+                                        // inside a '*=>' left phrase
+  std::set<std::string> attesting_vars;  // abstract vars whose hop body
+                                         // calls the PERA engine (attest)
+  std::set<std::string> ra;             // resolved RA-capable element set
+
+  explicit Ctx(const copland::Request& r, const VerifyModel& m)
+      : req(r), model(m) {
+    walk_places(r.body, r.relying_party, false,
+                [this](const TermPtr& t, const std::string&, bool star_left) {
+                  if (t->kind == TermKind::kForall) {
+                    abstract_vars.insert(t->vars.begin(), t->vars.end());
+                  }
+                  if (t->kind == TermKind::kAtPlace &&
+                      abstract_vars.contains(t->place)) {
+                    if (star_left) hop_vars.insert(t->place);
+                    if (body_attests(t->child)) {
+                      attesting_vars.insert(t->place);
+                    }
+                  }
+                });
+    if (model.ra_capable.has_value()) {
+      ra = *model.ra_capable;
+    } else if (model.topology != nullptr) {
+      for (const auto& n : model.topology->nodes()) {
+        if (n.kind == netsim::NodeKind::kSwitch ||
+            n.kind == netsim::NodeKind::kAppliance) {
+          ra.insert(n.name);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] bool is_bound(const std::string& place) const {
+    return model.bindings.contains(place);
+  }
+
+  [[nodiscard]] bool is_abstract(const std::string& place) const {
+    return abstract_vars.contains(place) && !is_bound(place);
+  }
+
+  /// Deployment-time name of a policy place (identity for concrete ones).
+  [[nodiscard]] std::string resolve(const std::string& place) const {
+    const auto it = model.bindings.find(place);
+    return it == model.bindings.end() ? place : it->second;
+  }
+
+  [[nodiscard]] bool in_topology(const std::string& place) const {
+    return model.topology != nullptr &&
+           model.topology->find(place).has_value();
+  }
+};
+
+// One '@place [...]' block in policy order.
+struct Stop {
+  std::string raw;       // place name as written
+  std::string resolved;  // after deployment bindings
+  Span span;
+  bool is_collector = false;
+  bool is_abstract = false;
+};
+
+std::vector<Stop> itinerary(const Ctx& ctx) {
+  std::vector<Stop> stops;
+  walk_places(ctx.req.body, ctx.req.relying_party, false,
+              [&](const TermPtr& t, const std::string&, bool) {
+                if (t->kind != TermKind::kAtPlace) return;
+                Stop s;
+                s.raw = t->place;
+                s.resolved = ctx.resolve(t->place);
+                s.span = span_of(t);
+                s.is_collector = body_is_collector(t->child);
+                s.is_abstract = ctx.is_abstract(t->place);
+                stops.push_back(std::move(s));
+              });
+  return stops;
+}
+
+}  // namespace
+
+// --- V0: structural lints ----------------------------------------------------
+
+void check_well_formed_lints(const copland::Request& req,
+                             DiagnosticEngine& de) {
+  const copland::WellFormedness wf = copland::check_well_formed(req.body);
+  for (const auto& issue : wf.issues) {
+    de.warning(kCodeWellFormed, issue);
+  }
+}
+
+// --- V1: path realizability --------------------------------------------------
+
+void check_path_realizability(const copland::Request& req,
+                              const VerifyModel& model, DiagnosticEngine& de) {
+  if (model.topology == nullptr) {
+    de.note(kCodePath, "no topology model given; path realizability (V1) "
+                       "not checked");
+    return;
+  }
+  const Ctx ctx(req, model);
+  const core::NetkatTopology nt = core::encode_topology(*model.topology);
+  const std::vector<Stop> stops = itinerary(ctx);
+
+  // Places the topology does not know are host-internal (the paper's
+  // ks/us kernel- and user-space places) — noted once, then skipped.
+  std::set<std::string> noted;
+  const auto known = [&](const Stop& s) {
+    if (s.is_abstract) return false;
+    if (ctx.in_topology(s.resolved)) return true;
+    if (noted.insert(s.resolved).second) {
+      de.note(kCodePath,
+              "place '" + s.resolved +
+                  "' is not a network element in the topology; treated as "
+                  "host-internal",
+              s.span, s.resolved);
+    }
+    return false;
+  };
+
+  // (a) Consecutive pinned on-path places must be connected — this is the
+  // realizability of every policy segment, '*=>' gaps included (the star
+  // matches zero or more hops *along some path*, so its two concrete
+  // endpoints must be connected for any instantiation to exist).
+  const Stop* prev = nullptr;
+  for (const Stop& s : stops) {
+    if (s.is_collector || s.is_abstract) continue;
+    if (!known(s)) continue;
+    if (prev != nullptr && prev->resolved != s.resolved &&
+        !core::reachable_in(nt, prev->resolved, s.resolved)) {
+      de.error(kCodePath,
+               "policy segment from '" + prev->resolved + "' to '" +
+                   s.resolved +
+                   "' is not realizable: the topology has no path between "
+                   "them",
+               s.span, s.resolved);
+    }
+    prev = &s;
+  }
+
+  // (b) Every evidence producer must reach the evidence collector
+  // (Prim3: the appraiser's reachability, checked over the NetKAT
+  // encoding rather than an ad-hoc BFS).
+  const Stop* collector = nullptr;
+  for (const Stop& s : stops) {
+    if (s.is_collector && !s.is_abstract && ctx.in_topology(s.resolved)) {
+      collector = &s;
+      break;
+    }
+  }
+  if (collector == nullptr) return;
+  std::set<std::string> checked;
+  for (const Stop& s : stops) {
+    if (s.is_collector || s.is_abstract) continue;
+    if (!ctx.in_topology(s.resolved)) continue;
+    if (!checked.insert(s.resolved).second) continue;
+    if (s.resolved != collector->resolved &&
+        !core::reachable_in(nt, s.resolved, collector->resolved)) {
+      de.error(kCodePath,
+               "evidence producer '" + s.resolved +
+                   "' cannot reach the collector '" + collector->resolved +
+                   "'",
+               s.span, s.resolved);
+    }
+  }
+  // Wildcard hops execute on every RA-capable element: each must be able
+  // to deliver its evidence to the collector.
+  if (!ctx.hop_vars.empty()) {
+    for (const auto& element : ctx.ra) {
+      if (!ctx.in_topology(element)) continue;
+      if (element != collector->resolved &&
+          !core::reachable_in(nt, element, collector->resolved)) {
+        de.error(kCodePath,
+                 "RA-capable element '" + element +
+                     "' (a wildcard hop candidate) cannot reach the "
+                     "collector '" +
+                     collector->resolved + "'",
+                 collector->span, element);
+      }
+    }
+  }
+}
+
+// --- V2: dead guards ---------------------------------------------------------
+
+namespace {
+
+void collect_pred_values(const netkat::PredPtr& p,
+                         std::map<std::string, std::set<std::uint64_t>>& out) {
+  if (!p) return;
+  switch (p->kind) {
+    case netkat::PredKind::kTest:
+    case netkat::PredKind::kTestMasked:
+      out[p->field].insert(p->value);
+      out[p->field].insert(0);
+      break;
+    case netkat::PredKind::kAnd:
+    case netkat::PredKind::kOr:
+    case netkat::PredKind::kNot:
+      collect_pred_values(p->left, out);
+      collect_pred_values(p->right, out);
+      break;
+    default:
+      break;
+  }
+}
+
+// Finite-witness satisfiability: a NetKAT predicate only distinguishes
+// packets through the (field, value) tests it mentions, so trying every
+// combination of mentioned values (plus 0 = "absent") per field decides
+// satisfiability exactly.
+bool pred_satisfiable(const netkat::PredPtr& p, bool* decided) {
+  *decided = true;
+  std::map<std::string, std::set<std::uint64_t>> values;
+  collect_pred_values(p, values);
+  std::vector<std::string> fields;
+  std::vector<std::vector<std::uint64_t>> choices;
+  std::size_t combos = 1;
+  for (const auto& [field, vals] : values) {
+    fields.push_back(field);
+    choices.emplace_back(vals.begin(), vals.end());
+    combos *= vals.size();
+    if (combos > 4096) {  // guard against pathological predicates
+      *decided = false;
+      return true;
+    }
+  }
+  std::vector<std::size_t> idx(fields.size(), 0);
+  for (;;) {
+    netkat::Packet pkt;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      pkt.set(fields[i], choices[i][idx[i]]);
+    }
+    if (netkat::eval(p, pkt)) return true;
+    std::size_t i = 0;
+    for (; i < idx.size(); ++i) {
+      if (++idx[i] < choices[i].size()) break;
+      idx[i] = 0;
+    }
+    if (i == idx.size()) return false;
+  }
+}
+
+}  // namespace
+
+void check_dead_guards(const copland::Request& req, const VerifyModel& model,
+                       DiagnosticEngine& de) {
+  const Ctx ctx(req, model);
+  walk_places(
+      req.body, req.relying_party, false,
+      [&](const TermPtr& t, const std::string& place, bool) {
+        if (t->kind != TermKind::kGuard) return;
+        const auto it = model.guards.find(t->test);
+        if (it == model.guards.end()) {
+          de.note(kCodeDeadGuard,
+                  "guard '" + t->test +
+                      "' has no predicate model; assumed satisfiable",
+                  span_of(t), ctx.resolve(place));
+          return;
+        }
+        bool satisfiable;
+        if (!model.packet_universe.empty()) {
+          satisfiable = std::any_of(
+              model.packet_universe.begin(), model.packet_universe.end(),
+              [&](const netkat::Packet& pkt) {
+                return netkat::eval(it->second, pkt);
+              });
+        } else {
+          bool decided = true;
+          satisfiable = pred_satisfiable(it->second, &decided);
+          if (!decided) {
+            de.note(kCodeDeadGuard,
+                    "guard '" + t->test +
+                        "' is too large to decide; assumed satisfiable",
+                    span_of(t), ctx.resolve(place));
+            return;
+          }
+        }
+        if (!satisfiable) {
+          de.error(kCodeDeadGuard,
+                   "guard '" + t->test + "' at place '" +
+                       ctx.resolve(place) +
+                       "' is dead: no packet reaching this place can "
+                       "satisfy it",
+                   span_of(t), ctx.resolve(place));
+        }
+      });
+}
+
+// --- V3: quantifier domains --------------------------------------------------
+
+void check_quantifier_domains(const copland::Request& req,
+                              const VerifyModel& model, DiagnosticEngine& de) {
+  const Ctx ctx(req, model);
+
+  // Span of the forall node binding each variable.
+  std::map<std::string, Span> var_span;
+  Span star_span;
+  walk_places(req.body, req.relying_party, false,
+              [&](const TermPtr& t, const std::string&, bool) {
+                if (t->kind == TermKind::kForall) {
+                  for (const auto& v : t->vars) {
+                    var_span.emplace(v, span_of(t));
+                  }
+                }
+                if (t->kind == TermKind::kPathStar && !star_span.valid()) {
+                  star_span = span_of(t);
+                }
+              });
+
+  for (const auto& v : ctx.abstract_vars) {
+    const Span vspan = var_span.contains(v) ? var_span.at(v) : Span{};
+    if (ctx.is_bound(v)) {
+      const std::string target = ctx.resolve(v);
+      if (model.topology != nullptr && !ctx.in_topology(target)) {
+        de.error(kCodeQuantifier,
+                 "binding of forall place '" + v + "' to '" + target +
+                     "' names no element in the deployment topology",
+                 vspan, target);
+      } else if (ctx.attesting_vars.contains(v) && !ctx.ra.contains(target)) {
+        // Only attest() needs a PERA engine; guard/sign-only bodies (AP3's
+        // path endpoints) may bind to plain hosts.
+        de.error(kCodeQuantifier,
+                 "forall place '" + v + "' calls attest() but its binding '" +
+                     target + "' is not RA-capable",
+                 vspan, target);
+      }
+      continue;
+    }
+    if (ctx.hop_vars.contains(v)) {
+      // Wildcard hop variable: its domain is the RA-capable elements.
+      std::size_t domain = 0;
+      for (const auto& element : ctx.ra) {
+        if (model.topology == nullptr || ctx.in_topology(element)) ++domain;
+      }
+      if (domain == 0) {
+        de.error(kCodeQuantifier,
+                 "forall place '" + v +
+                     "' has an empty instantiation domain: the deployment "
+                     "has no RA-capable element",
+                 vspan, v);
+      }
+      continue;
+    }
+    de.warning(kCodeQuantifier,
+               "abstract place '" + v +
+                   "' is not pinned by the deployment model; bind it "
+                   "before this policy can run",
+               vspan, v);
+  }
+
+  // Wildcard hops execute on every element of the forwarding path: any
+  // non-RA-capable switch/appliance on an expected flow's path is a hole
+  // in the attestation chain.
+  if (!ctx.hop_vars.empty() && model.topology != nullptr) {
+    for (const auto& [src, dst] : model.flows) {
+      if (!ctx.in_topology(src) || !ctx.in_topology(dst)) {
+        de.warning(kCodeQuantifier,
+                   "flow endpoint '" +
+                       (ctx.in_topology(src) ? dst : src) +
+                       "' is not in the topology; wildcard-hop coverage "
+                       "not checked for this flow",
+                   star_span);
+        continue;
+      }
+      const auto path = model.topology->shortest_path(src, dst);
+      for (const auto id : path) {
+        const auto& n = model.topology->node(id);
+        const bool forwarding = n.kind == netsim::NodeKind::kSwitch ||
+                                n.kind == netsim::NodeKind::kAppliance;
+        if (forwarding && !ctx.ra.contains(n.name)) {
+          de.error(kCodeQuantifier,
+                   "wildcard hop lands on non-RA-capable element '" +
+                       n.name + "' on the path " + src + " -> " + dst,
+                   star_span, n.name);
+        }
+      }
+    }
+  }
+}
+
+// --- V4: evidence flow -------------------------------------------------------
+
+void check_evidence_flow(const copland::Request& req, const VerifyModel& model,
+                         DiagnosticEngine& de) {
+  const Ctx ctx(req, model);
+  const std::vector<copland::CrossPlaceLeak> leaks =
+      copland::find_cross_place_leaks(req.body, req.relying_party, req.params);
+  for (const auto& leak : leaks) {
+    const std::string from = ctx.resolve(leak.from_place);
+    const std::string to = ctx.resolve(leak.to_place);
+    const std::string msg = leak.description + " crosses the place boundary '" +
+                            from + "' -> '" + to + "' unsigned";
+    // A crossing that provably touches a network element is an error: an
+    // on-path adversary can alter the evidence undetected. Host-internal
+    // boundaries (ks/us) or unmodelled places stay warnings.
+    const bool network = ctx.in_topology(from) || ctx.in_topology(to);
+    if (network) {
+      de.error(kCodeEvidenceFlow,
+               msg + " — an on-path adversary can alter it undetected; "
+                     "sign ('!') before the evidence leaves '" +
+                   from + "'",
+               span_of(leak.node), from);
+    } else {
+      de.warning(kCodeEvidenceFlow, msg + " (host-internal boundary)",
+                 span_of(leak.node), from);
+    }
+  }
+}
+
+// --- V5: key availability ----------------------------------------------------
+
+void check_key_availability(const copland::Request& req,
+                            const VerifyModel& model, DiagnosticEngine& de) {
+  if (model.keys == nullptr) {
+    de.note(kCodeKey, "no keystore model given; key availability (V5) not "
+                      "checked");
+    return;
+  }
+  const Ctx ctx(req, model);
+  std::set<std::string> flagged;
+  walk_places(
+      req.body, req.relying_party, false,
+      [&](const TermPtr& t, const std::string& place, bool) {
+        if (t->kind != TermKind::kSign) return;
+        if (ctx.is_abstract(place)) {
+          if (!ctx.hop_vars.contains(place)) return;  // V3 already warns
+          // A wildcard signing hop runs on every RA-capable element, so
+          // each needs a device key.
+          for (const auto& element : ctx.ra) {
+            if (!model.keys->has(element) && flagged.insert(element).second) {
+              de.error(kCodeKey,
+                       "wildcard signing hop '" + place +
+                           "': no device key derivable for RA-capable "
+                           "element '" +
+                           element + "'",
+                       span_of(t), element);
+            }
+          }
+          return;
+        }
+        const std::string resolved = ctx.resolve(place);
+        if (!model.keys->has(resolved) && flagged.insert(resolved).second) {
+          de.error(kCodeKey,
+                   "no device key derivable for signing place '" + resolved +
+                       "'",
+                   span_of(t), resolved);
+        }
+      });
+}
+
+// --- driver ------------------------------------------------------------------
+
+bool verify(const copland::Request& req, const VerifyModel& model,
+            DiagnosticEngine& de) {
+  check_well_formed_lints(req, de);
+  check_path_realizability(req, model, de);
+  check_dead_guards(req, model, de);
+  check_quantifier_domains(req, model, de);
+  check_evidence_flow(req, model, de);
+  check_key_availability(req, model, de);
+  return de.ok();
+}
+
+bool verify_source(const std::string& source, const VerifyModel& model,
+                   DiagnosticEngine& de) {
+  copland::Request req;
+  try {
+    req = copland::parse_request(source);
+  } catch (const copland::ParseError& e) {
+    de.error(kCodeParse, e.what(), Span{e.pos(), e.pos() + 1});
+    return false;
+  }
+  return verify(req, model, de);
+}
+
+// --- compiler integration ----------------------------------------------------
+
+struct ScopedCompileGuard::Impl {
+  VerifyModel model;
+  bool force = false;
+  nac::PrecompileCheck prev;
+};
+
+ScopedCompileGuard::ScopedCompileGuard(VerifyModel model, bool force)
+    : impl_(std::make_shared<Impl>()) {
+  impl_->model = std::move(model);
+  impl_->force = force;
+  auto impl = impl_;
+  impl_->prev =
+      nac::set_precompile_check([impl](const copland::Request& req) {
+        DiagnosticEngine de;
+        if (!verify(req, impl->model, de) && !impl->force) {
+          throw nac::CompileError("policy failed static verification:\n" +
+                                  de.render_human());
+        }
+      });
+}
+
+ScopedCompileGuard::~ScopedCompileGuard() {
+  nac::set_precompile_check(std::move(impl_->prev));
+}
+
+}  // namespace pera::verify

@@ -1,0 +1,123 @@
+// pera-verify: static pre-deployment verification of network-aware
+// Copland policies against a concrete topology and deployment model.
+//
+// The paper treats attestation policies (AP1-AP3, expressions (1)-(4)) as
+// specifications that must hold over a concrete network. Nothing in the
+// compiler enforces that: a '*=>' segment can span a partitioned
+// topology, a '|>' guard can be unsatisfiable, a 'forall' place can have
+// an empty instantiation domain, evidence can leave a place unsigned, and
+// a signing place can lack a device key. This pass finds all five classes
+// *before* nac::compile emits hop instructions:
+//
+//   V1  path realizability    — consecutive pinned places of every policy
+//                               segment are connected in the topology, and
+//                               every evidence producer reaches the
+//                               collector (reuses core/reachability's
+//                               NetKAT encoding, the paper's Prim3).
+//   V2  dead guards           — a '|>' test no packet can satisfy.
+//   V3  quantifier domains    — every forall-bound place has >= 1
+//                               RA-capable instantiation; wildcard hops
+//                               only land on RA-capable elements.
+//   V4  evidence flow         — measurements are signed ('!') before
+//                               their evidence crosses a network place
+//                               boundary (cross-place extension of the
+//                               copland/analysis happens-before events).
+//   V5  key availability      — every signing place has a device key
+//                               derivable from the keystore.
+//
+// Plus V0: the existing check_well_formed() lints, reported as warnings.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "copland/ast.h"
+#include "crypto/keystore.h"
+#include "netkat/policy.h"
+#include "netsim/topology.h"
+#include "verify/diagnostics.h"
+
+namespace pera::verify {
+
+/// The concrete deployment a policy is verified against. All pointers are
+/// non-owning and may be null: a null topology skips V1/V3 path checks, a
+/// null keystore skips V5.
+struct VerifyModel {
+  const netsim::Topology* topology = nullptr;
+
+  /// RA-capable elements (places with a PERA engine). nullopt derives the
+  /// default from the topology: every switch and appliance node. An
+  /// explicitly empty set means "no element is RA-capable" (V3 errors).
+  std::optional<std::set<std::string>> ra_capable;
+
+  /// Deployment-time pins for abstract (forall-bound) places, e.g.
+  /// {"client", "laptop"}. Unpinned non-hop variables get a V3 warning.
+  std::map<std::string, std::string> bindings;
+
+  /// Device-key provisioning authority; null skips V5.
+  const crypto::KeyStore* keys = nullptr;
+
+  /// Named '|>' guard tests modelled as NetKAT predicates. Guards with no
+  /// entry are assumed satisfiable (a note is emitted).
+  std::map<std::string, netkat::PredPtr> guards;
+
+  /// Packet universe for dead-guard checking. When non-empty, a guard is
+  /// dead iff no universe packet satisfies it; when empty, satisfiability
+  /// is decided over candidate packets enumerated from the values the
+  /// predicate mentions.
+  std::vector<netkat::Packet> packet_universe;
+
+  /// Expected (src, dst) flows the policy will be attached to; used by V3
+  /// to check that wildcard hops only land on RA-capable elements along
+  /// each flow's forwarding path.
+  std::vector<std::pair<std::string, std::string>> flows;
+};
+
+/// Run every check over a parsed request; diagnostics accumulate into
+/// `de`. Returns de.ok() (no error-severity diagnostics).
+bool verify(const copland::Request& req, const VerifyModel& model,
+            DiagnosticEngine& de);
+
+/// Parse `source` and verify. Lexical/syntax errors become P0 diagnostics
+/// (with the failing offset as span) instead of exceptions.
+bool verify_source(const std::string& source, const VerifyModel& model,
+                   DiagnosticEngine& de);
+
+// --- individual passes (exposed for tests and tooling) ----------------------
+void check_well_formed_lints(const copland::Request& req, DiagnosticEngine& de);
+void check_path_realizability(const copland::Request& req,
+                              const VerifyModel& model, DiagnosticEngine& de);
+void check_dead_guards(const copland::Request& req, const VerifyModel& model,
+                       DiagnosticEngine& de);
+void check_quantifier_domains(const copland::Request& req,
+                              const VerifyModel& model, DiagnosticEngine& de);
+void check_evidence_flow(const copland::Request& req, const VerifyModel& model,
+                         DiagnosticEngine& de);
+void check_key_availability(const copland::Request& req,
+                            const VerifyModel& model, DiagnosticEngine& de);
+
+/// RAII integration with the compiler: while alive, nac::compile() runs
+/// the verifier over every request and throws nac::CompileError (with the
+/// rendered diagnostics as message) when verification reports errors —
+/// unless constructed with force=true, which demotes refusal to a
+/// pass-through (diagnostics are still computed). Restores the previously
+/// installed hook on destruction.
+class ScopedCompileGuard {
+ public:
+  explicit ScopedCompileGuard(VerifyModel model, bool force = false);
+  ~ScopedCompileGuard();
+
+  ScopedCompileGuard(const ScopedCompileGuard&) = delete;
+  ScopedCompileGuard& operator=(const ScopedCompileGuard&) = delete;
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace pera::verify

@@ -9,6 +9,14 @@
 namespace pera::dataplane {
 namespace {
 
+// ParsedPacket borrows HeaderSpec pointers from the program that parsed it
+// (see dataplane/packet.h), so packets stored in a local must not come from
+// a temporary ParserProgram. Parse through this long-lived instance instead.
+const ParserProgram& std_parser() {
+  static const ParserProgram p = standard_parser();
+  return p;
+}
+
 // --- header packing ---------------------------------------------------------
 
 class PackRoundTrip
@@ -114,7 +122,7 @@ TEST(Table, ExactMatch) {
   e.keys = {KeyMatch::exact(443)};
   e.action = "hit";
   t.add_entry(e);
-  const ParsedPacket pkt = standard_parser().parse(make_tcp_packet({}));
+  const ParsedPacket pkt = std_parser().parse(make_tcp_packet({}));
   TableEntry* hit = t.lookup(pkt);
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->action, "hit");
@@ -127,7 +135,7 @@ TEST(Table, ExactMiss) {
   e.keys = {KeyMatch::exact(80)};
   e.action = "hit";
   t.add_entry(e);
-  const ParsedPacket pkt = standard_parser().parse(make_tcp_packet({}));
+  const ParsedPacket pkt = std_parser().parse(make_tcp_packet({}));
   EXPECT_EQ(t.lookup(pkt), nullptr);
 }
 
@@ -143,7 +151,7 @@ TEST(Table, LpmPrefersLongestPrefix) {
   t.add_entry(narrow);
   PacketSpec spec;
   spec.ip_dst = 0x0a000042;
-  const ParsedPacket pkt = standard_parser().parse(make_tcp_packet(spec));
+  const ParsedPacket pkt = std_parser().parse(make_tcp_packet(spec));
   TableEntry* hit = t.lookup(pkt);
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(hit->action, "narrow");
@@ -159,9 +167,9 @@ TEST(Table, LpmRespectsFieldWidth) {
   in_subnet.ip_dst = 0x0a0001fe;
   PacketSpec out_subnet;
   out_subnet.ip_dst = 0x0a0002fe;
-  EXPECT_NE(t.lookup(standard_parser().parse(make_tcp_packet(in_subnet))),
+  EXPECT_NE(t.lookup(std_parser().parse(make_tcp_packet(in_subnet))),
             nullptr);
-  EXPECT_EQ(t.lookup(standard_parser().parse(make_tcp_packet(out_subnet))),
+  EXPECT_EQ(t.lookup(std_parser().parse(make_tcp_packet(out_subnet))),
             nullptr);
 }
 
@@ -177,11 +185,11 @@ TEST(Table, TernaryAndPriority) {
   https.priority = 10;
   https.action = "https";
   t.add_entry(https);
-  const ParsedPacket pkt = standard_parser().parse(make_tcp_packet({}));
+  const ParsedPacket pkt = std_parser().parse(make_tcp_packet({}));
   EXPECT_EQ(t.lookup(pkt)->action, "https");
   PacketSpec other;
   other.dport = 8080;
-  EXPECT_EQ(t.lookup(standard_parser().parse(make_tcp_packet(other)))->action,
+  EXPECT_EQ(t.lookup(std_parser().parse(make_tcp_packet(other)))->action,
             "any");
 }
 
@@ -193,9 +201,9 @@ TEST(Table, MetadataKeys) {
   t.add_entry(e);
   PacketSpec spec;
   spec.ingress_port = 4;
-  EXPECT_NE(t.lookup(standard_parser().parse(make_tcp_packet(spec))), nullptr);
+  EXPECT_NE(t.lookup(std_parser().parse(make_tcp_packet(spec))), nullptr);
   spec.ingress_port = 5;
-  EXPECT_EQ(t.lookup(standard_parser().parse(make_tcp_packet(spec))), nullptr);
+  EXPECT_EQ(t.lookup(std_parser().parse(make_tcp_packet(spec))), nullptr);
 }
 
 TEST(Table, MissingHeaderNeverMatches) {
@@ -207,7 +215,7 @@ TEST(Table, MissingHeaderNeverMatches) {
   const HeaderSpec eth = stdhdr::ethernet();
   RawPacket raw;
   raw.data = pack_header(eth, {1, 2, 0x0806});
-  const ParsedPacket pkt = standard_parser().parse(raw);
+  const ParsedPacket pkt = std_parser().parse(raw);
   EXPECT_EQ(t.lookup(pkt), nullptr);
 }
 
@@ -233,25 +241,25 @@ TEST(Table, ContentDigestTracksEntries) {
 // --- actions / registers --------------------------------------------------------
 
 TEST(Action, ForwardSetsEgress) {
-  ParsedPacket pkt = standard_parser().parse(make_tcp_packet({}));
+  ParsedPacket pkt = std_parser().parse(make_tcp_packet({}));
   stdaction::forward().execute(pkt, {7}, nullptr);
   EXPECT_EQ(pkt.meta.egress_port, 7u);
 }
 
 TEST(Action, DropSetsFlag) {
-  ParsedPacket pkt = standard_parser().parse(make_tcp_packet({}));
+  ParsedPacket pkt = std_parser().parse(make_tcp_packet({}));
   stdaction::drop().execute(pkt, {}, nullptr);
   EXPECT_TRUE(pkt.meta.drop);
 }
 
 TEST(Action, SetFieldMasksToWidth) {
-  ParsedPacket pkt = standard_parser().parse(make_tcp_packet({}));
+  ParsedPacket pkt = std_parser().parse(make_tcp_packet({}));
   stdaction::set_field("ipv4.ttl").execute(pkt, {0x1ff}, nullptr);
   EXPECT_EQ(pkt.get("ipv4.ttl"), 0xffu);  // 8-bit field
 }
 
 TEST(Action, MissingParamThrows) {
-  ParsedPacket pkt = standard_parser().parse(make_tcp_packet({}));
+  ParsedPacket pkt = std_parser().parse(make_tcp_packet({}));
   EXPECT_THROW(stdaction::forward().execute(pkt, {}, nullptr),
                std::runtime_error);
 }
@@ -265,7 +273,7 @@ TEST(Action, RegisterOpsNeedRegisterFile) {
   op.a = Operand::imm(0);
   op.b = Operand::imm(5);
   a.ops.push_back(op);
-  ParsedPacket pkt = standard_parser().parse(make_tcp_packet({}));
+  ParsedPacket pkt = std_parser().parse(make_tcp_packet({}));
   EXPECT_THROW(a.execute(pkt, {}, nullptr), std::runtime_error);
   RegisterFile regs;
   regs.declare("r", 4);

@@ -1,0 +1,447 @@
+// Tests for the pre-deployment policy verifier (src/verify): diagnostics
+// rendering, parser span stamping, cross-place leak analysis, the V1-V5
+// checks over the paper's fixtures, and the nac::compile integration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "copland/analysis.h"
+#include "copland/lexer.h"
+#include "copland/parser.h"
+#include "crypto/keystore.h"
+#include "nac/compiler.h"
+#include "netkat/policy.h"
+#include "netsim/topology.h"
+#include "verify/diagnostics.h"
+#include "verify/verifier.h"
+
+namespace pera {
+namespace {
+
+using verify::DiagnosticEngine;
+using verify::Severity;
+using verify::Span;
+using verify::VerifyModel;
+
+// The paper's expressions (1)-(4) and policies AP1-AP3 (§4.2, §5.2).
+constexpr const char* kExpr1 =
+    "*bank : @ks [av us bmon] -~- @us [bmon us exts]";
+constexpr const char* kExpr2 =
+    "*bank : @ks [av us bmon -> !] -<- @us [bmon us exts -> !]";
+constexpr const char* kExpr3a =
+    "*RP1<n> : @Switch [attest(Hardware -~- Program) -> # -> !] +<+ "
+    "@Appraiser [appraise -> certify(n) -> ! -> store(n)]";
+constexpr const char* kExpr3b = "*RP2<n> : @Appraiser [retrieve(n)]";
+constexpr const char* kExpr4 =
+    "*RP1 : @Switch [attest(Hardware -~- Program) -> # -> !] -> "
+    "@RP2 [@Appraiser [appraise -> certify -> !]]";
+constexpr const char* kAP1 =
+    "*bank<n, X> : forall hop, client : (@hop [Khop |> attest(n, X) -> !] "
+    "-<+ @Appraiser [appraise -> store(n)]) *=> @client [Kclient |> "
+    "@ks [av us bmon -> !] -<- @us [bmon us exts -> !]]";
+constexpr const char* kAP2 =
+    "*scanner<P> : @scanner [P |> attest(P) -> !] -<+ "
+    "@Appraiser [appraise -> store]";
+constexpr const char* kAP3 =
+    "*pathCheck<F1, F2, Peer1, Peer2> : forall p, q, r, peer1, peer2 : "
+    "(@peer1 [Peer1 |> !] -<+ @p [attest(F1) -> !] -<+ @q [attest(F2) -> !] "
+    "-<+ @Appraiser [appraise -> store]) *=> (@r [Q |> !] -<+ "
+    "@peer2 [Peer2 |> !] -<+ @Appraiser [appraise -> store])";
+constexpr const char* kSimpleStar =
+    "*rp<n> : forall hop : @hop [attest(Program) -> !] *=> "
+    "@Appraiser [appraise]";
+
+bool has_code(const DiagnosticEngine& de, const std::string& code,
+              Severity severity) {
+  return std::any_of(de.diagnostics().begin(), de.diagnostics().end(),
+                     [&](const verify::Diagnostic& d) {
+                       return d.code == code && d.severity == severity;
+                     });
+}
+
+const verify::Diagnostic* first_error(const DiagnosticEngine& de) {
+  for (const auto& d : de.diagnostics()) {
+    if (d.severity == Severity::kError) return &d;
+  }
+  return nullptr;
+}
+
+// A fully provisioned isp() deployment: everything keyed, all switches and
+// the DPI appliance RA-capable.
+struct IspDeployment {
+  netsim::Topology topo = netsim::topo::isp();
+  crypto::KeyStore keys{42};
+
+  IspDeployment() {
+    for (const auto& n : topo.nodes()) keys.provision_hmac(n.name);
+    for (const char* p : {"bank", "ks", "us", "scanner", "rp", "pathCheck"}) {
+      keys.provision_hmac(p);
+    }
+  }
+
+  [[nodiscard]] VerifyModel model() const {
+    VerifyModel m;
+    m.topology = &topo;
+    m.keys = &keys;
+    return m;
+  }
+};
+
+// --- lexer / parser groundwork ----------------------------------------------
+
+TEST(VerifySpans, LexerSkipsLineComments) {
+  const auto req = copland::parse_request(
+      "// a policy header comment\n*bank : @ks [av us bmon -> !]\n// tail\n");
+  EXPECT_EQ(req.relying_party, "bank");
+  ASSERT_NE(req.body, nullptr);
+  EXPECT_EQ(req.body->kind, copland::TermKind::kAtPlace);
+}
+
+TEST(VerifySpans, ParserStampsSourceSpans) {
+  const std::string src = "*bank : @ks [av us bmon -> !]";
+  const auto req = copland::parse_request(src);
+  ASSERT_TRUE(req.body->has_span());
+  // The @ks block spans from '@' to the closing ']'.
+  EXPECT_EQ(req.body->src_begin, src.find('@'));
+  EXPECT_EQ(req.body->src_end, src.size());
+  // The measurement inside spans exactly "av us bmon".
+  const auto& pipe = req.body->child;
+  ASSERT_EQ(pipe->kind, copland::TermKind::kPipe);
+  EXPECT_EQ(src.substr(pipe->left->src_begin,
+                       pipe->left->src_end - pipe->left->src_begin),
+            "av us bmon");
+}
+
+TEST(VerifySpans, SynthesizedNodesHaveNoSpan) {
+  EXPECT_FALSE(copland::Term::sign()->has_span());
+  EXPECT_FALSE(copland::Term::atom("Program")->has_span());
+}
+
+// --- diagnostics engine ------------------------------------------------------
+
+TEST(Diagnostics, CountsAndOk) {
+  DiagnosticEngine de;
+  EXPECT_TRUE(de.ok());
+  de.note("V1", "a note");
+  de.warning("V0", "a warning");
+  EXPECT_TRUE(de.ok());
+  de.error("V5", "an error");
+  EXPECT_FALSE(de.ok());
+  EXPECT_EQ(de.error_count(), 1u);
+  EXPECT_EQ(de.warning_count(), 1u);
+  EXPECT_EQ(de.count(Severity::kNote), 1u);
+}
+
+TEST(Diagnostics, HumanRenderingUnderlinesSpan) {
+  DiagnosticEngine de("*rp : @edge1 [!]");
+  de.error("V5", "no key", Span{6, 12}, "edge1");
+  const std::string out = de.render_human();
+  EXPECT_NE(out.find("error[V5]: no key"), std::string::npos);
+  EXPECT_NE(out.find("@edge1"), std::string::npos);
+  EXPECT_NE(out.find("^^^^^^"), std::string::npos);
+  EXPECT_NE(out.find("1 error(s), 0 warning(s)"), std::string::npos);
+}
+
+TEST(Diagnostics, JsonRenderingEscapesAndReportsTotals) {
+  DiagnosticEngine de;
+  de.error("V2", "guard \"K\" is dead", Span{3, 7});
+  de.warning("V0", "line\nbreak");
+  const std::string out = de.render_json();
+  EXPECT_NE(out.find("\"code\": \"V2\""), std::string::npos);
+  EXPECT_NE(out.find("guard \\\"K\\\" is dead"), std::string::npos);
+  EXPECT_NE(out.find("line\\nbreak"), std::string::npos);
+  EXPECT_NE(out.find("\"span\": {\"begin\": 3, \"end\": 7}"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"ok\": false"), std::string::npos);
+}
+
+// --- cross-place leak analysis ----------------------------------------------
+
+TEST(CrossPlaceLeaks, UnsignedMeasurementLeaks) {
+  const auto req = copland::parse_request(
+      "*rp : @edge1 [attest(Program)] +<+ @Appraiser [appraise]");
+  const auto leaks = copland::find_cross_place_leaks(req.body, "rp");
+  ASSERT_EQ(leaks.size(), 1u);
+  EXPECT_EQ(leaks[0].from_place, "edge1");
+  EXPECT_EQ(leaks[0].to_place, "rp");
+}
+
+TEST(CrossPlaceLeaks, SignatureCoversTheCrossing) {
+  const auto req = copland::parse_request(
+      "*rp : @edge1 [attest(Program) -> !] +<+ @Appraiser [appraise]");
+  EXPECT_TRUE(copland::find_cross_place_leaks(req.body, "rp").empty());
+}
+
+TEST(CrossPlaceLeaks, CollectorConsumesEvidence) {
+  // appraise consumes what reaches it; nothing leaks past the appraiser.
+  const auto req = copland::parse_request(
+      "*rp : @edge1 [attest(Program) -> !] +<+ "
+      "@Appraiser [appraise -> certify -> !]");
+  EXPECT_TRUE(copland::find_cross_place_leaks(req.body, "rp").empty());
+}
+
+TEST(CrossPlaceLeaks, ParamsAreNotMeasurements) {
+  const auto req = copland::parse_request("*rp<n> : @edge1 [n -> !]");
+  EXPECT_TRUE(
+      copland::find_cross_place_leaks(req.body, "rp", req.params).empty());
+}
+
+TEST(CrossPlaceLeaks, EachLeakReportedOnce) {
+  // The same unsigned evidence crosses two boundaries; only the first
+  // crossing is reported.
+  const auto req = copland::parse_request(
+      "*rp : @edge1 [attest(Program)] -> @edge2 [{}]");
+  const auto leaks = copland::find_cross_place_leaks(req.body, "rp");
+  ASSERT_EQ(leaks.size(), 1u);
+  EXPECT_EQ(leaks[0].from_place, "edge1");
+}
+
+// --- golden accepts ----------------------------------------------------------
+
+TEST(VerifyGolden, PaperExpressionsVerify) {
+  const IspDeployment dep;
+  for (const char* policy : {kExpr1, kExpr2, kExpr3b}) {
+    DiagnosticEngine de(policy);
+    EXPECT_TRUE(verify::verify_source(policy, dep.model(), de))
+        << policy << "\n"
+        << de.render_human();
+  }
+  // Expressions (3a) and (4) name a literal 'Switch': give them one.
+  netsim::Topology topo;
+  topo.add_node("Switch", netsim::NodeKind::kSwitch);
+  topo.add_node("Appraiser", netsim::NodeKind::kAppraiser);
+  topo.add_link("Switch", "Appraiser");
+  crypto::KeyStore keys(7);
+  for (const char* p : {"Switch", "Appraiser", "RP1", "RP2"}) {
+    keys.provision_hmac(p);
+  }
+  VerifyModel m;
+  m.topology = &topo;
+  m.keys = &keys;
+  for (const char* policy : {kExpr3a, kExpr4}) {
+    DiagnosticEngine de(policy);
+    EXPECT_TRUE(verify::verify_source(policy, m, de))
+        << policy << "\n"
+        << de.render_human();
+  }
+}
+
+TEST(VerifyGolden, AttestationPoliciesVerify) {
+  const IspDeployment dep;
+  {
+    VerifyModel m = dep.model();
+    m.bindings = {{"client", "client"}};
+    DiagnosticEngine de(kAP1);
+    EXPECT_TRUE(verify::verify_source(kAP1, m, de)) << de.render_human();
+  }
+  {
+    DiagnosticEngine de(kAP2);
+    EXPECT_TRUE(verify::verify_source(kAP2, dep.model(), de))
+        << de.render_human();
+  }
+  {
+    VerifyModel m = dep.model();
+    m.bindings = {{"p", "edge1"},
+                  {"q", "core1"},
+                  {"r", "core2"},
+                  {"peer1", "client"},
+                  {"peer2", "pm_phone"}};
+    DiagnosticEngine de(kAP3);
+    EXPECT_TRUE(verify::verify_source(kAP3, m, de)) << de.render_human();
+  }
+}
+
+TEST(VerifyGolden, Expr1WarnsAboutHostInternalUnsignedEvidence) {
+  const IspDeployment dep;
+  DiagnosticEngine de(kExpr1);
+  EXPECT_TRUE(verify::verify_source(kExpr1, dep.model(), de));
+  // ks/us are host-internal, so the unsigned crossings are warnings.
+  EXPECT_TRUE(has_code(de, verify::kCodeEvidenceFlow, Severity::kWarning));
+  EXPECT_FALSE(has_code(de, verify::kCodeEvidenceFlow, Severity::kError));
+}
+
+// --- broken fixtures, one per check -----------------------------------------
+
+TEST(VerifyBroken, V1UnreachableCollector) {
+  netsim::Topology topo;  // two nodes, deliberately no link
+  topo.add_node("Switch", netsim::NodeKind::kSwitch);
+  topo.add_node("Appraiser", netsim::NodeKind::kAppraiser);
+  crypto::KeyStore keys(7);
+  keys.provision_hmac("Switch");
+  keys.provision_hmac("Appraiser");
+  VerifyModel m;
+  m.topology = &topo;
+  m.keys = &keys;
+  const std::string src =
+      "*rp<n> : @Switch [attest(Program) -> !] +<+ @Appraiser [appraise]";
+  DiagnosticEngine de(src);
+  EXPECT_FALSE(verify::verify_source(src, m, de));
+  const auto* err = first_error(de);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->code, verify::kCodePath);
+  EXPECT_TRUE(err->span.valid());
+  EXPECT_EQ(err->place, "Switch");
+}
+
+TEST(VerifyBroken, V2DeadGuard) {
+  const IspDeployment dep;
+  VerifyModel m = dep.model();
+  m.guards = {{"Ktest", netkat::Predicate::fls()}};
+  const std::string src =
+      "*rp<n> : @edge1 [Ktest |> attest(Program) -> !] +<+ "
+      "@Appraiser [appraise]";
+  DiagnosticEngine de(src);
+  EXPECT_FALSE(verify::verify_source(src, m, de));
+  const auto* err = first_error(de);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->code, verify::kCodeDeadGuard);
+  // Span covers the guard expression, starting at "Ktest".
+  EXPECT_EQ(err->span.begin, src.find("Ktest"));
+}
+
+TEST(VerifyBroken, V2GuardSatisfiableUnderUniverse) {
+  const IspDeployment dep;
+  VerifyModel m = dep.model();
+  m.guards = {{"Ktest", netkat::Predicate::test("port", 443)}};
+  const std::string src =
+      "*rp<n> : @edge1 [Ktest |> attest(Program) -> !] +<+ "
+      "@Appraiser [appraise]";
+  {  // No universe: witness enumeration finds port=443.
+    DiagnosticEngine de(src);
+    EXPECT_TRUE(verify::verify_source(src, m, de)) << de.render_human();
+  }
+  {  // A universe without port 443: the guard is dead for this deployment.
+    m.packet_universe = {netkat::Packet{{"port", 80}}};
+    DiagnosticEngine de(src);
+    EXPECT_FALSE(verify::verify_source(src, m, de));
+    EXPECT_TRUE(has_code(de, verify::kCodeDeadGuard, Severity::kError));
+  }
+}
+
+TEST(VerifyBroken, V3EmptyQuantifierDomain) {
+  const IspDeployment dep;
+  VerifyModel m = dep.model();
+  m.ra_capable = std::set<std::string>{};  // explicitly: nothing RA-capable
+  DiagnosticEngine de(kSimpleStar);
+  EXPECT_FALSE(verify::verify_source(kSimpleStar, m, de));
+  const auto* err = first_error(de);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->code, verify::kCodeQuantifier);
+  EXPECT_TRUE(err->span.valid());
+}
+
+TEST(VerifyBroken, V3WildcardHopOnNonRaElement) {
+  const IspDeployment dep;
+  VerifyModel m = dep.model();
+  // Drop core1 from the RA set and expect the client->Appraiser flow
+  // (which crosses the core) to be flagged.
+  std::set<std::string> ra;
+  for (const auto& n : dep.topo.nodes()) {
+    if (n.kind == netsim::NodeKind::kSwitch ||
+        n.kind == netsim::NodeKind::kAppliance) {
+      ra.insert(n.name);
+    }
+  }
+  ra.erase("core1");
+  m.ra_capable = ra;
+  m.flows = {{"client", "Appraiser"}};
+  DiagnosticEngine de(kSimpleStar);
+  EXPECT_FALSE(verify::verify_source(kSimpleStar, m, de));
+  const auto* err = first_error(de);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->code, verify::kCodeQuantifier);
+  EXPECT_EQ(err->place, "core1");
+}
+
+TEST(VerifyBroken, V4UnsignedNetworkCrossing) {
+  const IspDeployment dep;
+  const std::string src =
+      "*rp<n> : @edge1 [attest(Program)] +<+ @Appraiser [appraise]";
+  DiagnosticEngine de(src);
+  EXPECT_FALSE(verify::verify_source(src, dep.model(), de));
+  const auto* err = first_error(de);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->code, verify::kCodeEvidenceFlow);
+  EXPECT_TRUE(err->span.valid());
+  EXPECT_EQ(err->place, "edge1");
+}
+
+TEST(VerifyBroken, V5MissingSigningKey) {
+  const IspDeployment dep;
+  crypto::KeyStore keys(7);  // everything except edge1
+  for (const auto& n : dep.topo.nodes()) {
+    if (n.name != "edge1") keys.provision_hmac(n.name);
+  }
+  VerifyModel m = dep.model();
+  m.keys = &keys;
+  const std::string src =
+      "*rp<n> : @edge1 [attest(Program) -> !] +<+ @Appraiser [appraise]";
+  DiagnosticEngine de(src);
+  EXPECT_FALSE(verify::verify_source(src, m, de));
+  const auto* err = first_error(de);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->code, verify::kCodeKey);
+  EXPECT_EQ(err->place, "edge1");
+  // Span points at the '!' token.
+  EXPECT_EQ(src.substr(err->span.begin, err->span.end - err->span.begin),
+            "!");
+}
+
+TEST(VerifyBroken, ParseErrorBecomesP0Diagnostic) {
+  DiagnosticEngine de("*rp : @edge1 [");
+  EXPECT_FALSE(verify::verify_source("*rp : @edge1 [", {}, de));
+  const auto* err = first_error(de);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->code, verify::kCodeParse);
+}
+
+// --- compiler integration ----------------------------------------------------
+
+TEST(CompileGuard, RefusesFailingPolicyAndRestoresHook) {
+  const IspDeployment dep;
+  const std::string bad =
+      "*rp<n> : @edge1 [attest(Program)] +<+ @Appraiser [appraise]";
+  {
+    const verify::ScopedCompileGuard guard(dep.model());
+    EXPECT_THROW(
+        {
+          try {
+            (void)nac::compile(bad);
+          } catch (const nac::CompileError& e) {
+            EXPECT_NE(std::string(e.what()).find("static verification"),
+                      std::string::npos);
+            EXPECT_NE(std::string(e.what()).find("V4"), std::string::npos);
+            throw;
+          }
+        },
+        nac::CompileError);
+    // A clean policy still compiles under the guard.
+    EXPECT_NO_THROW((void)nac::compile(kExpr2));
+  }
+  // Guard destroyed: the bad policy compiles again.
+  EXPECT_NO_THROW((void)nac::compile(bad));
+}
+
+TEST(CompileGuard, ForceDemotesRefusalToPassThrough) {
+  const IspDeployment dep;
+  const verify::ScopedCompileGuard guard(dep.model(), /*force=*/true);
+  const auto compiled = nac::compile(
+      "*rp<n> : @edge1 [attest(Program)] +<+ @Appraiser [appraise]");
+  EXPECT_EQ(compiled.hops.size(), 2u);
+}
+
+TEST(CompileGuard, GuardsNest) {
+  const IspDeployment dep;
+  const std::string bad =
+      "*rp<n> : @edge1 [attest(Program)] +<+ @Appraiser [appraise]";
+  const verify::ScopedCompileGuard outer(dep.model());
+  {
+    const verify::ScopedCompileGuard inner(dep.model(), /*force=*/true);
+    EXPECT_NO_THROW((void)nac::compile(bad));
+  }
+  // Inner destroyed: the outer (strict) guard is active again.
+  EXPECT_THROW((void)nac::compile(bad), nac::CompileError);
+}
+
+}  // namespace
+}  // namespace pera
