@@ -13,16 +13,35 @@ cmake -B build -G Ninja -DPERA_WERROR=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+# The suite must pass identically with the SHA-256 engine pinned to the
+# portable scalar backend — auto dispatch (above) exercises SHA-NI/AVX2
+# where the host has them, this run proves the fallback.
+echo "== full suite, forced-scalar SHA-256 backend =="
+PERA_SHA256_BACKEND=scalar ctest --test-dir build --output-on-failure
+
 echo "== policy verifier fixtures =="
 scripts/run_verify_fixtures.sh build
 
 for b in build/bench/bench_*; do
-  # bench_throughput writes BENCH_throughput.json to the cwd; it gets a
-  # dedicated smoke below so the committed baseline isn't clobbered.
+  # bench_throughput and bench_crypto write their committed JSON records
+  # to the cwd; each gets a dedicated smoke below so the baselines aren't
+  # clobbered.
   [ "$(basename "$b")" = "bench_throughput" ] && continue
+  [ "$(basename "$b")" = "bench_crypto" ] && continue
   echo "== $b (smoke) =="
   "$b" --benchmark_min_time=0.01 > /dev/null
 done
+
+# Crypto engine smoke: once with auto dispatch, once forced-scalar, so
+# both the SIMD and fallback code paths execute end to end.
+echo "== crypto backend bench (smoke, auto) =="
+build/bench/bench_crypto --smoke --json=build/BENCH_crypto.smoke.json \
+  > /dev/null
+grep -q '"wots_signverify_ops"' build/BENCH_crypto.smoke.json
+echo "== crypto backend bench (smoke, forced-scalar) =="
+PERA_SHA256_BACKEND=scalar build/bench/bench_crypto --smoke \
+  --json=build/BENCH_crypto.smoke-scalar.json > /dev/null
+grep -q '"auto_backend": "scalar"' build/BENCH_crypto.smoke-scalar.json
 
 echo "== sharded pipeline bench (smoke) =="
 build/bench/bench_throughput --shards=2 --packets=512 \

@@ -1,5 +1,9 @@
 #include "crypto/hmac.h"
 
+#include <cstring>
+
+#include "crypto/sha256_backend.h"
+
 namespace pera::crypto {
 
 namespace {
@@ -30,6 +34,12 @@ HmacKey::HmacKey(BytesView key) {
   outer_mid_.update(BytesView{opad.data(), opad.size()});
 }
 
+void HmacKey::export_midstates(std::uint32_t inner[8],
+                               std::uint32_t outer[8]) const {
+  inner_mid_.export_state(inner);
+  outer_mid_.export_state(outer);
+}
+
 Digest HmacKey::mac(BytesView data) const {
   Sha256 inner = inner_mid_;
   inner.update(data);
@@ -52,19 +62,104 @@ Digest hmac_sha256(BytesView key, BytesView data) {
   return HmacKey(key).mac(data);
 }
 
-std::vector<Digest> derive_keys(BytesView root, std::string_view label,
-                                std::size_t n) {
+namespace {
+
+inline void store_be32_at(std::uint8_t* p, std::uint32_t x) {
+  p[0] = static_cast<std::uint8_t>(x >> 24);
+  p[1] = static_cast<std::uint8_t>(x >> 16);
+  p[2] = static_cast<std::uint8_t>(x >> 8);
+  p[3] = static_cast<std::uint8_t>(x);
+}
+
+inline void store_be64_at(std::uint8_t* p, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::uint8_t>(x >> (56 - 8 * i));
+  }
+}
+
+// Inner message per derivation is label || be64(i); it and the padding
+// fit one block iff label.size() + 8 + 1 + 8 <= 64.
+constexpr std::size_t kMaxOneBlockLabel = 47;
+
+void derive_keys_batched(const HmacKey& key, std::string_view label,
+                         Digest* out, std::size_t n) {
+  using engine::kMaxLanes;
+  const engine::Backend& be = engine::active();
+  const std::size_t lanes =
+      be.lanes < 1 ? 1 : (be.lanes > kMaxLanes ? kMaxLanes : be.lanes);
+
+  std::uint32_t inner_mid[8];
+  std::uint32_t outer_mid[8];
+  key.export_midstates(inner_mid, outer_mid);
+
+  const std::size_t len = label.size();
+  const std::uint64_t inner_bits = (64 + len + 8) * 8;
+  constexpr std::uint64_t kOuterBits = (64 + 32) * 8;
+
+  // Per-lane block template: label, a counter slot, padding and the
+  // inner bit length. Only the counter changes between derivations.
+  alignas(32) std::uint8_t blk[kMaxLanes][64];
+  std::uint32_t st[kMaxLanes][8];
+  for (std::size_t j = 0; j < lanes; ++j) {
+    std::memset(blk[j], 0, 64);
+    std::memcpy(blk[j], label.data(), len);
+    blk[j][len + 8] = 0x80;
+    store_be64_at(blk[j] + 56, inner_bits);
+  }
+
+  for (std::size_t base = 0; base < n; base += lanes) {
+    const std::size_t m = base + lanes <= n ? lanes : n - base;
+    for (std::size_t j = 0; j < m; ++j) {
+      store_be64_at(blk[j] + len, base + j);
+      std::memcpy(st[j], inner_mid, sizeof(st[j]));
+    }
+    be.compress_multi(st, blk, m);
+    // Rewrite each lane's block as the outer block: inner digest,
+    // padding, 768-bit length.
+    for (std::size_t j = 0; j < m; ++j) {
+      for (int i = 0; i < 8; ++i) store_be32_at(blk[j] + 4 * i, st[j][i]);
+      std::memset(blk[j] + 32, 0, 32);
+      blk[j][32] = 0x80;
+      store_be64_at(blk[j] + 56, kOuterBits);
+      std::memcpy(st[j], outer_mid, sizeof(st[j]));
+    }
+    be.compress_multi(st, blk, m);
+    for (std::size_t j = 0; j < m; ++j) {
+      for (int i = 0; i < 8; ++i) {
+        store_be32_at(out[base + j].v.data() + 4 * i, st[j][i]);
+      }
+      // Restore the inner-template constants the outer rewrite clobbered.
+      std::memset(blk[j], 0, 64);
+      std::memcpy(blk[j], label.data(), len);
+      blk[j][len + 8] = 0x80;
+      store_be64_at(blk[j] + 56, inner_bits);
+    }
+  }
+}
+
+}  // namespace
+
+void derive_keys_into(BytesView root, std::string_view label, Digest* out,
+                      std::size_t n) {
   const HmacKey key(root);  // one key schedule for all n derivations
-  std::vector<Digest> out;
-  out.reserve(n);
+  if (label.size() <= kMaxOneBlockLabel) {
+    derive_keys_batched(key, label, out, n);
+    return;
+  }
   for (std::size_t i = 0; i < n; ++i) {
     Hmac h(key);
     h.update(label);
     Bytes idx;
     append_u64(idx, i);
     h.update(BytesView{idx.data(), idx.size()});
-    out.push_back(h.finish());
+    out[i] = h.finish();
   }
+}
+
+std::vector<Digest> derive_keys(BytesView root, std::string_view label,
+                                std::size_t n) {
+  std::vector<Digest> out(n);
+  derive_keys_into(root, label, out.data(), n);
   return out;
 }
 

@@ -24,6 +24,11 @@ class HmacKey {
     return mac(BytesView{d.v.data(), d.v.size()});
   }
 
+  /// Copy the raw ipad/opad chaining words. Both midstates are
+  /// block-aligned by construction, so lane-batched callers can restart
+  /// compression from them through the backend engine.
+  void export_midstates(std::uint32_t inner[8], std::uint32_t outer[8]) const;
+
  private:
   friend class Hmac;
   Sha256 inner_mid_;  // state after the ipad key block
@@ -56,6 +61,16 @@ class Hmac {
 /// HKDF-style expansion: derive `n` independent digests from a root key and
 /// a context label. Deterministic; used to derive per-chain WOTS+ secrets
 /// and per-shard pipeline device keys.
+///
+/// out[i] = HMAC(root, label || be64(i)). When the label is short enough
+/// that each inner hash fits a single padded block (label <= 47 bytes —
+/// every in-tree label), the n derivations restart from the ipad/opad
+/// midstates and batch through the backend engine's multi-buffer lanes
+/// with no per-derivation allocation.
+void derive_keys_into(BytesView root, std::string_view label, Digest* out,
+                      std::size_t n);
+
+/// Allocating convenience wrapper around derive_keys_into().
 [[nodiscard]] std::vector<Digest> derive_keys(BytesView root,
                                               std::string_view label,
                                               std::size_t n);

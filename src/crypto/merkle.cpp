@@ -1,8 +1,36 @@
 #include "crypto/merkle.h"
 
+#include <cstring>
 #include <stdexcept>
 
 namespace pera::crypto {
+
+namespace {
+
+// Build one tree level: hash each sibling pair through the backend
+// engine's multi-buffer lanes (each left||right pair is exactly one
+// message block), promoting an unpaired trailing node unchanged.
+std::vector<Digest> build_level(const std::vector<Digest>& prev) {
+  const std::size_t pairs = prev.size() / 2;
+  std::vector<Digest> next((prev.size() + 1) / 2);
+
+  constexpr std::size_t kChunk = 64;  // pairs staged per batch
+  alignas(32) std::uint8_t blocks[kChunk][64];
+  for (std::size_t base = 0; base < pairs; base += kChunk) {
+    const std::size_t m = base + kChunk <= pairs ? kChunk : pairs - base;
+    for (std::size_t j = 0; j < m; ++j) {
+      std::memcpy(blocks[j], prev[2 * (base + j)].v.data(), 32);
+      std::memcpy(blocks[j] + 32, prev[2 * (base + j) + 1].v.data(), 32);
+    }
+    sha256_block_multi(blocks, next.data() + base, m);
+  }
+  if (prev.size() % 2 == 1) {
+    next.back() = prev.back();  // promote unpaired node
+  }
+  return next;
+}
+
+}  // namespace
 
 MerkleTree::MerkleTree(std::vector<Digest> leaves) {
   if (leaves.empty()) {
@@ -11,16 +39,7 @@ MerkleTree::MerkleTree(std::vector<Digest> leaves) {
   }
   levels_.push_back(std::move(leaves));
   while (levels_.back().size() > 1) {
-    const auto& prev = levels_.back();
-    std::vector<Digest> next;
-    next.reserve((prev.size() + 1) / 2);
-    for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
-      next.push_back(sha256_pair(prev[i], prev[i + 1]));
-    }
-    if (prev.size() % 2 == 1) {
-      next.push_back(prev.back());  // promote unpaired node
-    }
-    levels_.push_back(std::move(next));
+    levels_.push_back(build_level(levels_.back()));
   }
   root_ = levels_.back()[0];
 }

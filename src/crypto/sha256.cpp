@@ -1,87 +1,27 @@
 #include "crypto/sha256.h"
 
-#include <bit>
 #include <cstring>
 
 namespace pera::crypto {
 
 namespace {
 
-constexpr std::uint32_t kInit[8] = {
-    0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
-    0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u,
-};
-
-constexpr std::uint32_t kRound[64] = {
-    0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u, 0x3956c25bu,
-    0x59f111f1u, 0x923f82a4u, 0xab1c5ed5u, 0xd807aa98u, 0x12835b01u,
-    0x243185beu, 0x550c7dc3u, 0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u,
-    0xc19bf174u, 0xe49b69c1u, 0xefbe4786u, 0x0fc19dc6u, 0x240ca1ccu,
-    0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau, 0x983e5152u,
-    0xa831c66du, 0xb00327c8u, 0xbf597fc7u, 0xc6e00bf3u, 0xd5a79147u,
-    0x06ca6351u, 0x14292967u, 0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu,
-    0x53380d13u, 0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u,
-    0xa2bfe8a1u, 0xa81a664bu, 0xc24b8b70u, 0xc76c51a3u, 0xd192e819u,
-    0xd6990624u, 0xf40e3585u, 0x106aa070u, 0x19a4c116u, 0x1e376c08u,
-    0x2748774cu, 0x34b0bcb5u, 0x391c0cb3u, 0x4ed8aa4au, 0x5b9cca4fu,
-    0x682e6ff3u, 0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
-    0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u,
-};
-
-inline std::uint32_t rotr(std::uint32_t x, int n) { return std::rotr(x, n); }
+inline void store_be64(std::uint8_t* p, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::uint8_t>(x >> (56 - 8 * i));
+  }
+}
 
 }  // namespace
 
 void Sha256::reset() {
-  std::memcpy(state_, kInit, sizeof(state_));
+  std::memcpy(state_, engine::kInit, sizeof(state_));
   buffer_len_ = 0;
   total_bits_ = 0;
 }
 
 void Sha256::process_block(const std::uint8_t* block) {
-  std::uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
-           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
-           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
-           static_cast<std::uint32_t>(block[4 * i + 3]);
-  }
-  for (int i = 16; i < 64; ++i) {
-    const std::uint32_t s0 =
-        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    const std::uint32_t s1 =
-        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
-
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-
-  for (int i = 0; i < 64; ++i) {
-    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    const std::uint32_t ch = (e & f) ^ (~e & g);
-    const std::uint32_t t1 = h + s1 + ch + kRound[i] + w[i];
-    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const std::uint32_t t2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + t1;
-    d = c;
-    c = b;
-    b = a;
-    a = t1 + t2;
-  }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+  engine::compress(state_, block);
 }
 
 Sha256& Sha256::update(BytesView data) {
@@ -115,21 +55,23 @@ void Sha256::extract_digest(Digest& out) const {
   }
 }
 
+void Sha256::export_state(std::uint32_t out[8]) const {
+  std::memcpy(out, state_, sizeof(state_));
+}
+
 Digest Sha256::finish() {
+  // Padding assembled directly in the block buffer — no byte-at-a-time
+  // update loop on the (hot) HMAC finish path.
   const std::uint64_t bits = total_bits_;
-  // Padding: 0x80, zeros, 64-bit big-endian length.
-  const std::uint8_t pad80 = 0x80;
-  update(BytesView{&pad80, 1});
-  const std::uint8_t zero = 0;
-  // After the 0x80 byte, pad until buffer_len_ == 56 (mod 64).
-  while (buffer_len_ != 56) {
-    update(BytesView{&zero, 1});
+  buffer_[buffer_len_++] = 0x80;
+  if (buffer_len_ > 56) {
+    std::memset(buffer_ + buffer_len_, 0, 64 - buffer_len_);
+    process_block(buffer_);
+    buffer_len_ = 0;
   }
-  std::uint8_t len_be[8];
-  for (int i = 0; i < 8; ++i) {
-    len_be[i] = static_cast<std::uint8_t>(bits >> (56 - 8 * i));
-  }
-  update(BytesView{len_be, 8});
+  std::memset(buffer_ + buffer_len_, 0, 56 - buffer_len_);
+  store_be64(buffer_ + 56, bits);
+  process_block(buffer_);
 
   Digest out;
   extract_digest(out);
@@ -152,16 +94,12 @@ void Sha256::digest_into(BytesView data, Digest& out) {
   block[rem] = 0x80;
   const std::uint64_t bits = static_cast<std::uint64_t>(n) * 8;
   if (rem < 56) {
-    for (int j = 0; j < 8; ++j) {
-      block[56 + j] = static_cast<std::uint8_t>(bits >> (56 - 8 * j));
-    }
+    store_be64(block + 56, bits);
     h.process_block(block);
   } else {
     h.process_block(block);
     std::uint8_t last[64] = {};
-    for (int j = 0; j < 8; ++j) {
-      last[56 + j] = static_cast<std::uint8_t>(bits >> (56 - 8 * j));
-    }
+    store_be64(last + 56, bits);
     h.process_block(last);
   }
   h.extract_digest(out);
@@ -177,13 +115,54 @@ Digest sha256(std::string_view s) { return sha256(as_bytes(s)); }
 
 Digest sha256_pair(const Digest& left, const Digest& right) {
   // Exactly one aligned block: the digest_into fast path compresses it
-  // straight off the stack — this is the Merkle-tree hot combiner.
+  // straight off the stack — the Merkle proof-path combiner runs on this.
   std::uint8_t block[64];
   std::memcpy(block, left.v.data(), 32);
   std::memcpy(block + 32, right.v.data(), 32);
   Digest out;
   Sha256::digest_into(BytesView{block, 64}, out);
   return out;
+}
+
+void sha256_block_multi(const std::uint8_t (*blocks)[64], Digest* out,
+                        std::size_t n) {
+  using engine::kMaxLanes;
+  const engine::Backend& be = engine::active();
+  const std::size_t lanes =
+      be.lanes < 1 ? 1 : (be.lanes > kMaxLanes ? kMaxLanes : be.lanes);
+
+  // The second compression round is the same padding block for every
+  // lane: after 64 message bytes, 0x80 then the 512-bit big-endian
+  // length (0x0200 at bytes 62..63).
+  struct PadLanes {
+    alignas(32) std::uint8_t b[kMaxLanes][64]{};
+    PadLanes() {
+      for (auto& blk : b) {
+        blk[0] = 0x80;
+        blk[62] = 2;
+      }
+    }
+  };
+  static const PadLanes pad;
+
+  std::uint32_t states[kMaxLanes][8];
+  for (std::size_t base = 0; base < n; base += lanes) {
+    const std::size_t m = base + lanes <= n ? lanes : n - base;
+    for (std::size_t j = 0; j < m; ++j) {
+      std::memcpy(states[j], engine::kInit, sizeof(states[j]));
+    }
+    be.compress_multi(states, blocks + base, m);
+    be.compress_multi(states, pad.b, m);
+    for (std::size_t j = 0; j < m; ++j) {
+      for (int i = 0; i < 8; ++i) {
+        const std::uint32_t x = states[j][i];
+        out[base + j].v[4 * i] = static_cast<std::uint8_t>(x >> 24);
+        out[base + j].v[4 * i + 1] = static_cast<std::uint8_t>(x >> 16);
+        out[base + j].v[4 * i + 2] = static_cast<std::uint8_t>(x >> 8);
+        out[base + j].v[4 * i + 3] = static_cast<std::uint8_t>(x);
+      }
+    }
+  }
 }
 
 }  // namespace pera::crypto

@@ -2,12 +2,16 @@
 //
 // This is the root primitive of the whole attestation stack: program
 // measurement, evidence hashing (Copland's `#` operator), HMAC, WOTS+
-// chains and Merkle trees all bottom out here.
+// chains and Merkle trees all bottom out here. The 64-byte block
+// compression itself is delegated to the runtime-dispatched backend
+// engine (crypto/sha256_backend.h) — scalar, SHA-NI or AVX2
+// multi-buffer — so every path below speeds up with the host CPU.
 #pragma once
 
 #include <cstdint>
 
 #include "crypto/bytes.h"
+#include "crypto/sha256_backend.h"
 
 namespace pera::crypto {
 
@@ -34,10 +38,15 @@ class Sha256 {
 
   /// One-shot fast path: hash `data` into `out`. Block-aligned input is
   /// compressed directly from `data` without staging through the
-  /// streaming buffer, and the padding is built in one scratch block
-  /// instead of finish()'s byte-at-a-time update loop. Byte-identical to
-  /// sha256(data) — the Merkle node combiner (sha256_pair) runs on this.
+  /// streaming buffer, and the padding is built in one scratch block.
+  /// Byte-identical to sha256(data).
   static void digest_into(BytesView data, Digest& out);
+
+  /// Copy the eight 32-bit chaining words. Only meaningful when the
+  /// streaming buffer is block-aligned (e.g. an HMAC ipad/opad midstate);
+  /// lets lane-batched callers restart compression from a midstate via
+  /// the backend engine.
+  void export_state(std::uint32_t out[8]) const;
 
  private:
   void process_block(const std::uint8_t* block);
@@ -55,5 +64,12 @@ class Sha256 {
 
 /// Hash the concatenation of two digests — the Merkle-tree node combiner.
 [[nodiscard]] Digest sha256_pair(const Digest& left, const Digest& right);
+
+/// Batched one-block hasher: out[i] = SHA-256 of the exactly-64-byte
+/// message blocks[i], stepped through the backend engine's multi-buffer
+/// lanes. The Merkle level builder (n sibling pairs per level) runs on
+/// this; digests are byte-identical to sha256() per block.
+void sha256_block_multi(const std::uint8_t (*blocks)[64], Digest* out,
+                        std::size_t n);
 
 }  // namespace pera::crypto

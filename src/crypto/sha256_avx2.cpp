@@ -1,0 +1,151 @@
+// AVX2 8-lane multi-buffer SHA-256 backend.
+//
+// Structure-of-arrays over eight *independent* blocks: ymm word i holds
+// W[t] (or working variable) of lanes 0..7, so the 64 scalar rounds run
+// once for eight hashes. Lane transposition in/out is done with strided
+// vpgatherdd loads (the (*)[64] / (*)[8] array signatures guarantee the
+// fixed 64- and 32-byte strides) and store+scatter on exit. Partial
+// batches are padded into a local 8-lane buffer — correctness over
+// micro-optimizing the tail, which the lockstep callers rarely hit.
+//
+// Compiled with -mavx2 only when the toolchain supports it
+// (PERA_SHA256_AVX2 set by CMake); otherwise a stub.
+#include "crypto/sha256_backend_impl.h"
+
+#if defined(PERA_SHA256_AVX2)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace pera::crypto::engine::detail {
+
+bool avx2_compiled() { return true; }
+
+namespace {
+
+template <int N>
+inline __m256i rotr(__m256i x) {
+  return _mm256_or_si256(_mm256_srli_epi32(x, N), _mm256_slli_epi32(x, 32 - N));
+}
+
+inline __m256i add3(__m256i a, __m256i b, __m256i c) {
+  return _mm256_add_epi32(_mm256_add_epi32(a, b), c);
+}
+
+// Compress exactly eight lanes.
+void compress8(std::uint32_t (*states)[8], const std::uint8_t (*blocks)[64]) {
+  // Per-lane byte offsets between consecutive blocks / states.
+  const __m256i block_idx =
+      _mm256_setr_epi32(0, 64, 128, 192, 256, 320, 384, 448);
+  const __m256i state_idx = _mm256_setr_epi32(0, 8, 16, 24, 32, 40, 48, 56);
+  const __m256i bswap = _mm256_setr_epi8(
+      3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12,  //
+      3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12);
+
+  __m256i w[16];
+  for (int t = 0; t < 16; ++t) {
+    const __m256i v = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(blocks[0] + 4 * t), block_idx, 1);
+    w[t] = _mm256_shuffle_epi8(v, bswap);
+  }
+
+  __m256i s[8];
+  for (int i = 0; i < 8; ++i) {
+    s[i] = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(&states[0][i]), state_idx, 4);
+  }
+  __m256i a = s[0], b = s[1], c = s[2], d = s[3];
+  __m256i e = s[4], f = s[5], g = s[6], h = s[7];
+
+  for (int t = 0; t < 64; ++t) {
+    __m256i wt;
+    if (t < 16) {
+      wt = w[t];
+    } else {
+      const __m256i w15 = w[(t - 15) & 15];
+      const __m256i w2 = w[(t - 2) & 15];
+      const __m256i s0 = _mm256_xor_si256(
+          _mm256_xor_si256(rotr<7>(w15), rotr<18>(w15)),
+          _mm256_srli_epi32(w15, 3));
+      const __m256i s1 = _mm256_xor_si256(
+          _mm256_xor_si256(rotr<17>(w2), rotr<19>(w2)),
+          _mm256_srli_epi32(w2, 10));
+      wt = add3(_mm256_add_epi32(w[t & 15], s0), w[(t - 7) & 15], s1);
+      w[t & 15] = wt;
+    }
+    const __m256i sig1 = _mm256_xor_si256(
+        _mm256_xor_si256(rotr<6>(e), rotr<11>(e)), rotr<25>(e));
+    const __m256i ch = _mm256_xor_si256(_mm256_and_si256(e, f),
+                                        _mm256_andnot_si256(e, g));
+    const __m256i t1 = add3(_mm256_add_epi32(h, sig1),
+                            _mm256_add_epi32(ch, _mm256_set1_epi32(
+                                static_cast<int>(kRound[t]))),
+                            wt);
+    const __m256i sig0 = _mm256_xor_si256(
+        _mm256_xor_si256(rotr<2>(a), rotr<13>(a)), rotr<22>(a));
+    const __m256i maj = _mm256_xor_si256(
+        _mm256_xor_si256(_mm256_and_si256(a, b), _mm256_and_si256(a, c)),
+        _mm256_and_si256(b, c));
+    const __m256i t2 = _mm256_add_epi32(sig0, maj);
+    h = g;
+    g = f;
+    f = e;
+    e = _mm256_add_epi32(d, t1);
+    d = c;
+    c = b;
+    b = a;
+    a = _mm256_add_epi32(t1, t2);
+  }
+
+  const __m256i out[8] = {
+      _mm256_add_epi32(s[0], a), _mm256_add_epi32(s[1], b),
+      _mm256_add_epi32(s[2], c), _mm256_add_epi32(s[3], d),
+      _mm256_add_epi32(s[4], e), _mm256_add_epi32(s[5], f),
+      _mm256_add_epi32(s[6], g), _mm256_add_epi32(s[7], h)};
+  alignas(32) std::uint32_t tmp[8];
+  for (int i = 0; i < 8; ++i) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), out[i]);
+    for (int lane = 0; lane < 8; ++lane) states[lane][i] = tmp[lane];
+  }
+}
+
+}  // namespace
+
+void avx2_compress_multi(std::uint32_t (*states)[8],
+                         const std::uint8_t (*blocks)[64], std::size_t n) {
+  while (n >= 8) {
+    compress8(states, blocks);
+    states += 8;
+    blocks += 8;
+    n -= 8;
+  }
+  if (n == 0) return;
+  // Tail: pad to a full 8-lane batch (unused lanes replay lane 0).
+  alignas(32) std::uint8_t pblocks[8][64];
+  std::uint32_t pstates[8][8];
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::size_t src = i < n ? i : 0;
+    std::memcpy(pblocks[i], blocks[src], 64);
+    std::memcpy(pstates[i], states[src], sizeof(pstates[i]));
+  }
+  compress8(pstates, pblocks);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::memcpy(states[i], pstates[i], sizeof(pstates[i]));
+  }
+}
+
+}  // namespace pera::crypto::engine::detail
+
+#else  // !PERA_SHA256_AVX2
+
+namespace pera::crypto::engine::detail {
+
+bool avx2_compiled() { return false; }
+
+void avx2_compress_multi(std::uint32_t (*)[8], const std::uint8_t (*)[64],
+                         std::size_t) {}
+
+}  // namespace pera::crypto::engine::detail
+
+#endif  // PERA_SHA256_AVX2

@@ -1,0 +1,110 @@
+#include "crypto/sha256_backend.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "crypto/sha256_backend_impl.h"
+#include "obs/obs.h"
+
+namespace pera::crypto::engine {
+
+namespace {
+
+using detail::avx2_compiled;
+using detail::avx2_compress_multi;
+using detail::scalar_compress;
+using detail::scalar_compress_multi;
+using detail::shani_compiled;
+using detail::shani_compress;
+using detail::shani_compress_multi;
+
+constexpr Backend kScalar{"scalar", 1, scalar_compress, scalar_compress_multi};
+constexpr Backend kShani{"shani", 1, shani_compress, shani_compress_multi};
+// Single-block calls on the avx2 backend go through the scalar
+// compressor: one lane cannot amortize the SoA transpose.
+constexpr Backend kAvx2{"avx2", 8, scalar_compress, avx2_compress_multi};
+
+std::atomic<const Backend*> g_active{nullptr};
+
+bool shani_usable() { return shani_compiled() && cpu_has_shani(); }
+bool avx2_usable() { return avx2_compiled() && cpu_has_avx2(); }
+
+// Best compiled-in backend this CPU runs: shani beats avx2 because every
+// streaming hash (HMAC, evidence digests) is single-block bound and
+// SHA-NI wins even against 8-wide multi-buffer on chained workloads.
+const Backend* auto_backend() {
+  if (shani_usable()) return &kShani;
+  if (avx2_usable()) return &kAvx2;
+  return &kScalar;
+}
+
+const Backend* backend_by_name(std::string_view name) {
+  if (name == "auto") return auto_backend();
+  if (name == "scalar") return &kScalar;
+  if (name == "shani" && shani_usable()) return &kShani;
+  if (name == "avx2" && avx2_usable()) return &kAvx2;
+  return nullptr;
+}
+
+const Backend* resolve_default() {
+  if (const char* env = std::getenv("PERA_SHA256_BACKEND")) {
+    if (const Backend* b = backend_by_name(env)) return b;
+    std::fprintf(stderr,
+                 "pera: PERA_SHA256_BACKEND=%s unknown or unsupported on "
+                 "this CPU; falling back to auto dispatch\n",
+                 env);
+  }
+  return auto_backend();
+}
+
+}  // namespace
+
+bool cpu_has_shani() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("sha") != 0;
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+const Backend& active() {
+  const Backend* b = g_active.load(std::memory_order_acquire);
+  if (b == nullptr) {
+    // Benign race: concurrent first calls resolve to the same backend.
+    b = resolve_default();
+    g_active.store(b, std::memory_order_release);
+  }
+  return *b;
+}
+
+bool select(std::string_view name) {
+  const Backend* b = backend_by_name(name);
+  if (b == nullptr) return false;
+  g_active.store(b, std::memory_order_release);
+  return true;
+}
+
+std::vector<std::string> available() {
+  std::vector<std::string> out{"scalar"};
+  if (shani_usable()) out.emplace_back("shani");
+  if (avx2_usable()) out.emplace_back("avx2");
+  return out;
+}
+
+void publish_metrics() {
+  if (!obs::enabled()) return;
+  const Backend& b = active();
+  obs::gauge_set(std::string("crypto.sha256.backend.") + b.name, 1);
+  obs::gauge_set("crypto.sha256.lanes", static_cast<std::int64_t>(b.lanes));
+}
+
+}  // namespace pera::crypto::engine

@@ -1,0 +1,85 @@
+// Pluggable SHA-256 compression backends with one-time runtime dispatch.
+//
+// Every hash in the tree bottoms out in the 64-byte block compression
+// function, so that is the unit the engine abstracts: a Backend is a pair
+// of entry points — compress one block, or compress up to kMaxLanes
+// *independent* blocks in one call (multi-buffer, SPHINCS+/OpenSSL
+// style). Three backends exist:
+//
+//   * scalar — the portable FIPS 180-4 compressor (always available);
+//   * shani  — x86 SHA-NI single-block instructions (fastest per block,
+//              multi-buffer falls back to a loop);
+//   * avx2   — 8-lane SoA multi-buffer compressor (single-block calls
+//              use the scalar path; wins only on wide batches).
+//
+// Selection happens once, on first use: CPUID picks the best compiled-in
+// backend (shani > avx2 > scalar), the PERA_SHA256_BACKEND environment
+// variable overrides it ("scalar", "shani", "avx2", "auto"), and tests
+// re-pin it via select(). The active backend is surfaced to observability
+// as the gauge crypto.sha256.backend.<name> (see publish_metrics).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pera::crypto::engine {
+
+/// Widest multi-buffer batch any backend accepts in one call.
+inline constexpr std::size_t kMaxLanes = 8;
+
+/// FIPS 180-4 initial hash value H(0).
+inline constexpr std::uint32_t kInit[8] = {
+    0x6a09e667u, 0xbb67ae85u, 0x3c6ef372u, 0xa54ff53au,
+    0x510e527fu, 0x9b05688cu, 0x1f83d9abu, 0x5be0cd19u,
+};
+
+/// One compression backend. `compress` folds a single 64-byte block into
+/// `state`; `compress_multi` folds n <= kMaxLanes independent
+/// (state, block) pairs — lane i never sees lane j's data, so callers
+/// batch unrelated hashes (WOTS chains, Merkle siblings, HKDF counters).
+struct Backend {
+  const char* name;
+  /// Preferred batch width for lane-parallel callers (1 = no benefit
+  /// from batching beyond amortized bookkeeping).
+  std::size_t lanes;
+  void (*compress)(std::uint32_t state[8], const std::uint8_t block[64]);
+  void (*compress_multi)(std::uint32_t (*states)[8],
+                         const std::uint8_t (*blocks)[64], std::size_t n);
+};
+
+/// The selected backend. First call resolves it (env override, then
+/// CPUID); subsequent calls are one relaxed atomic load.
+[[nodiscard]] const Backend& active();
+
+/// Re-pin the backend by name ("auto" re-runs CPUID selection). Returns
+/// false — leaving the selection unchanged — when the name is unknown or
+/// the backend is not usable on this machine.
+bool select(std::string_view name);
+
+/// Names of every backend compiled in *and* supported by this CPU
+/// (always contains "scalar").
+[[nodiscard]] std::vector<std::string> available();
+
+/// CPUID probes (false on non-x86 builds).
+[[nodiscard]] bool cpu_has_shani();
+[[nodiscard]] bool cpu_has_avx2();
+
+/// Export the selection to the obs metrics registry:
+/// crypto.sha256.backend.<name> = 1 and crypto.sha256.lanes. No-op while
+/// observability is disabled; call sites sit on setup paths (pipeline
+/// start, engine construction), never per packet.
+void publish_metrics();
+
+/// Convenience wrappers over active().
+inline void compress(std::uint32_t state[8], const std::uint8_t block[64]) {
+  active().compress(state, block);
+}
+inline void compress_multi(std::uint32_t (*states)[8],
+                           const std::uint8_t (*blocks)[64], std::size_t n) {
+  active().compress_multi(states, blocks, n);
+}
+
+}  // namespace pera::crypto::engine

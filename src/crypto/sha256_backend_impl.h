@@ -1,0 +1,33 @@
+// Internal backend entry points — implementation detail of the engine.
+//
+// Each SIMD translation unit is compiled with its target flags only when
+// the toolchain supports them on this architecture (see
+// src/crypto/CMakeLists.txt); otherwise it compiles to a stub whose
+// *_compiled() probe returns false, and the dispatcher never exposes the
+// backend. This keeps non-x86 builds green without a single #ifdef
+// outside the crypto engine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pera::crypto::engine::detail {
+
+/// FIPS 180-4 round constants K0..K63 (shared by every backend; the
+/// SHA-NI schedule loads them four at a time).
+extern const std::uint32_t kRound[64];
+
+void scalar_compress(std::uint32_t state[8], const std::uint8_t block[64]);
+void scalar_compress_multi(std::uint32_t (*states)[8],
+                           const std::uint8_t (*blocks)[64], std::size_t n);
+
+[[nodiscard]] bool shani_compiled();
+void shani_compress(std::uint32_t state[8], const std::uint8_t block[64]);
+void shani_compress_multi(std::uint32_t (*states)[8],
+                          const std::uint8_t (*blocks)[64], std::size_t n);
+
+[[nodiscard]] bool avx2_compiled();
+void avx2_compress_multi(std::uint32_t (*states)[8],
+                         const std::uint8_t (*blocks)[64], std::size_t n);
+
+}  // namespace pera::crypto::engine::detail

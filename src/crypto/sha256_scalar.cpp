@@ -1,0 +1,129 @@
+// Portable scalar SHA-256 block compression (FIPS 180-4) — the always-
+// available backend and the reference every SIMD backend is differential-
+// tested against. Unrolled rounds with a rolling 16-word schedule and
+// word-at-a-time big-endian loads.
+#include <bit>
+#include <cstring>
+
+#include "crypto/sha256_backend_impl.h"
+
+namespace pera::crypto::engine::detail {
+
+const std::uint32_t kRound[64] = {
+    0x428a2f98u, 0x71374491u, 0xb5c0fbcfu, 0xe9b5dba5u, 0x3956c25bu,
+    0x59f111f1u, 0x923f82a4u, 0xab1c5ed5u, 0xd807aa98u, 0x12835b01u,
+    0x243185beu, 0x550c7dc3u, 0x72be5d74u, 0x80deb1feu, 0x9bdc06a7u,
+    0xc19bf174u, 0xe49b69c1u, 0xefbe4786u, 0x0fc19dc6u, 0x240ca1ccu,
+    0x2de92c6fu, 0x4a7484aau, 0x5cb0a9dcu, 0x76f988dau, 0x983e5152u,
+    0xa831c66du, 0xb00327c8u, 0xbf597fc7u, 0xc6e00bf3u, 0xd5a79147u,
+    0x06ca6351u, 0x14292967u, 0x27b70a85u, 0x2e1b2138u, 0x4d2c6dfcu,
+    0x53380d13u, 0x650a7354u, 0x766a0abbu, 0x81c2c92eu, 0x92722c85u,
+    0xa2bfe8a1u, 0xa81a664bu, 0xc24b8b70u, 0xc76c51a3u, 0xd192e819u,
+    0xd6990624u, 0xf40e3585u, 0x106aa070u, 0x19a4c116u, 0x1e376c08u,
+    0x2748774cu, 0x34b0bcb5u, 0x391c0cb3u, 0x4ed8aa4au, 0x5b9cca4fu,
+    0x682e6ff3u, 0x748f82eeu, 0x78a5636fu, 0x84c87814u, 0x8cc70208u,
+    0x90befffau, 0xa4506cebu, 0xbef9a3f7u, 0xc67178f2u,
+};
+
+namespace {
+
+inline std::uint32_t rotr(std::uint32_t x, int n) { return std::rotr(x, n); }
+
+inline std::uint32_t bswap32(std::uint32_t x) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_bswap32(x);
+#else
+  return (x >> 24) | ((x >> 8) & 0xff00u) | ((x << 8) & 0xff0000u) |
+         (x << 24);
+#endif
+}
+
+inline std::uint32_t big_s0(std::uint32_t x) {
+  return rotr(x, 2) ^ rotr(x, 13) ^ rotr(x, 22);
+}
+inline std::uint32_t big_s1(std::uint32_t x) {
+  return rotr(x, 6) ^ rotr(x, 11) ^ rotr(x, 25);
+}
+inline std::uint32_t sml_s0(std::uint32_t x) {
+  return rotr(x, 7) ^ rotr(x, 18) ^ (x >> 3);
+}
+inline std::uint32_t sml_s1(std::uint32_t x) {
+  return rotr(x, 17) ^ rotr(x, 19) ^ (x >> 10);
+}
+// Three-op forms of the boolean functions (vs four with the textbook
+// (e&f)^(~e&g) / (a&b)^(a&c)^(b&c)).
+inline std::uint32_t ch(std::uint32_t e, std::uint32_t f, std::uint32_t g) {
+  return g ^ (e & (f ^ g));
+}
+inline std::uint32_t maj(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+  return (a & b) | (c & (a | b));
+}
+
+// One round with the working variables passed in rotated roles, so the
+// unrolled body never shuffles eight registers.
+#define PERA_SHA_RND(a, b, c, d, e, f, g, h, k, wv)        \
+  do {                                                     \
+    const std::uint32_t t1 = (h) + big_s1(e) + ch((e), (f), (g)) + (k) + (wv); \
+    (d) += t1;                                             \
+    (h) = t1 + big_s0(a) + maj((a), (b), (c));             \
+  } while (0)
+
+// Rolling 16-entry schedule: W[i] lives in w[i & 15].
+#define PERA_SHA_W(i) w[(i) & 15]
+#define PERA_SHA_EXPAND(i)                                          \
+  (PERA_SHA_W(i) += sml_s1(PERA_SHA_W((i) - 2)) + PERA_SHA_W((i) - 7) + \
+                    sml_s0(PERA_SHA_W((i) - 15)))
+
+}  // namespace
+
+void scalar_compress(std::uint32_t state[8], const std::uint8_t block[64]) {
+  std::uint32_t w[16];
+  std::memcpy(w, block, 64);
+  if constexpr (std::endian::native == std::endian::little) {
+    for (int i = 0; i < 16; ++i) w[i] = bswap32(w[i]);
+  }
+
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+
+  for (int i = 0; i < 16; i += 8) {
+    PERA_SHA_RND(a, b, c, d, e, f, g, h, kRound[i + 0], w[i + 0]);
+    PERA_SHA_RND(h, a, b, c, d, e, f, g, kRound[i + 1], w[i + 1]);
+    PERA_SHA_RND(g, h, a, b, c, d, e, f, kRound[i + 2], w[i + 2]);
+    PERA_SHA_RND(f, g, h, a, b, c, d, e, kRound[i + 3], w[i + 3]);
+    PERA_SHA_RND(e, f, g, h, a, b, c, d, kRound[i + 4], w[i + 4]);
+    PERA_SHA_RND(d, e, f, g, h, a, b, c, kRound[i + 5], w[i + 5]);
+    PERA_SHA_RND(c, d, e, f, g, h, a, b, kRound[i + 6], w[i + 6]);
+    PERA_SHA_RND(b, c, d, e, f, g, h, a, kRound[i + 7], w[i + 7]);
+  }
+  for (int i = 16; i < 64; i += 8) {
+    PERA_SHA_RND(a, b, c, d, e, f, g, h, kRound[i + 0], PERA_SHA_EXPAND(i + 0));
+    PERA_SHA_RND(h, a, b, c, d, e, f, g, kRound[i + 1], PERA_SHA_EXPAND(i + 1));
+    PERA_SHA_RND(g, h, a, b, c, d, e, f, kRound[i + 2], PERA_SHA_EXPAND(i + 2));
+    PERA_SHA_RND(f, g, h, a, b, c, d, e, kRound[i + 3], PERA_SHA_EXPAND(i + 3));
+    PERA_SHA_RND(e, f, g, h, a, b, c, d, kRound[i + 4], PERA_SHA_EXPAND(i + 4));
+    PERA_SHA_RND(d, e, f, g, h, a, b, c, kRound[i + 5], PERA_SHA_EXPAND(i + 5));
+    PERA_SHA_RND(c, d, e, f, g, h, a, b, kRound[i + 6], PERA_SHA_EXPAND(i + 6));
+    PERA_SHA_RND(b, c, d, e, f, g, h, a, kRound[i + 7], PERA_SHA_EXPAND(i + 7));
+  }
+
+#undef PERA_SHA_RND
+#undef PERA_SHA_W
+#undef PERA_SHA_EXPAND
+
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
+}
+
+void scalar_compress_multi(std::uint32_t (*states)[8],
+                           const std::uint8_t (*blocks)[64], std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) scalar_compress(states[i], blocks[i]);
+}
+
+}  // namespace pera::crypto::engine::detail

@@ -1,0 +1,103 @@
+// x86 SHA-NI single-block backend.
+//
+// The sha256rnds2/sha256msg1/sha256msg2 instructions retire four rounds
+// per issue, so one block costs ~16 round instructions plus the message
+// schedule — about an order of magnitude under the scalar compressor.
+// The 64 rounds are driven as 16 groups of four; the message-schedule
+// window slides with the group index instead of being unrolled by hand,
+// loading K four-at-a-time from the shared kRound table so no constant
+// is transcribed. Multi-buffer calls loop the single-block kernel:
+// per-block cost is already low enough that lane transposition would
+// cost more than it saves.
+//
+// Compiled with -msha -msse4.1 -mssse3 only when the toolchain supports
+// them (PERA_SHA256_SHANI set by CMake); otherwise this TU is a stub and
+// the dispatcher hides the backend.
+#include "crypto/sha256_backend_impl.h"
+
+#if defined(PERA_SHA256_SHANI)
+
+#include <immintrin.h>
+
+namespace pera::crypto::engine::detail {
+
+bool shani_compiled() { return true; }
+
+void shani_compress(std::uint32_t state[8], const std::uint8_t block[64]) {
+  // Big-endian 32-bit lane loads.
+  const __m128i kMask =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+
+  // Repack {a,b,c,d},{e,f,g,h} into the ABEF/CDGH layout rnds2 expects.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);  // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);  // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);       // CDGH
+
+  const __m128i abef_save = state0;
+  const __m128i cdgh_save = state1;
+
+  // m[i] holds W[4g..4g+3] for the group currently congruent to i mod 4.
+  __m128i m[4];
+  for (int i = 0; i < 4; ++i) {
+    m[i] = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 16 * i)),
+        kMask);
+  }
+
+  for (int g = 0; g < 16; ++g) {
+    __m128i msg = _mm_add_epi32(
+        m[g & 3],
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kRound[4 * g])));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    if (g >= 3 && g <= 14) {
+      // Finish W for group g+1: add W[t-7] (straddles two registers,
+      // hence the alignr) and run the msg2 half of the schedule.
+      const __m128i t = _mm_alignr_epi8(m[g & 3], m[(g + 3) & 3], 4);
+      m[(g + 1) & 3] =
+          _mm_sha256msg2_epu32(_mm_add_epi32(m[(g + 1) & 3], t), m[g & 3]);
+    }
+    if (g >= 1 && g <= 12) {
+      // Start W for group g+3: the msg1 half over the block just retired.
+      m[(g + 3) & 3] = _mm_sha256msg1_epu32(m[(g + 3) & 3], m[g & 3]);
+    }
+  }
+
+  state0 = _mm_add_epi32(state0, abef_save);
+  state1 = _mm_add_epi32(state1, cdgh_save);
+
+  // Repack ABEF/CDGH back to {a..d},{e..h}.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);       // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);    // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0); // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);    // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+void shani_compress_multi(std::uint32_t (*states)[8],
+                          const std::uint8_t (*blocks)[64], std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) shani_compress(states[i], blocks[i]);
+}
+
+}  // namespace pera::crypto::engine::detail
+
+#else  // !PERA_SHA256_SHANI
+
+namespace pera::crypto::engine::detail {
+
+bool shani_compiled() { return false; }
+
+void shani_compress(std::uint32_t[8], const std::uint8_t[64]) {}
+
+void shani_compress_multi(std::uint32_t (*)[8], const std::uint8_t (*)[64],
+                          std::size_t) {}
+
+}  // namespace pera::crypto::engine::detail
+
+#endif  // PERA_SHA256_SHANI

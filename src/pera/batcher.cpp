@@ -12,6 +12,9 @@ EvidenceBatcher::EvidenceBatcher(crypto::Signer& signer,
   if (batch_size == 0) {
     throw std::invalid_argument("EvidenceBatcher: batch_size must be >= 1");
   }
+  // Every batch flush runs Merkle + WOTS on the hash engine; record which
+  // backend this process resolved so throughput numbers are attributable.
+  crypto::engine::publish_metrics();
 }
 
 std::optional<std::vector<BatchedSignature>> EvidenceBatcher::add(

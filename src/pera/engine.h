@@ -33,7 +33,9 @@ class EvidenceEngine {
         signer_(&signer),
         mu_(&mu),
         cache_(&cache),
-        costs_(costs) {}
+        costs_(costs) {
+    crypto::engine::publish_metrics();
+  }
 
   /// Create evidence for one hop instruction (Fig. 3 E "Create").
   /// `packet_bytes` backs kPacket-level measurement; `guard` evaluates the

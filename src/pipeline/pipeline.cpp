@@ -39,6 +39,7 @@ PeraPipeline::~PeraPipeline() { stop(); }
 
 void PeraPipeline::start() {
   if (started_) return;
+  crypto::engine::publish_metrics();
   started_ = true;
   stop_.store(false, std::memory_order_release);
   threads_.reserve(workers_.size());
@@ -70,8 +71,10 @@ bool PeraPipeline::submit(const dataplane::RawPacket& raw,
       PERA_OBS_COUNT("pipeline.drops");
       return false;
     }
-    // Lossless backpressure: spin until the worker frees a slot.
-    while (!q.try_push(std::move(job))) std::this_thread::yield();
+    // Lossless backpressure: wait (with escalating backoff, so an
+    // oversubscribed worker actually gets cycles) until a slot frees.
+    Backoff full;
+    while (!q.try_push(std::move(job))) full.wait();
   }
   if (obs::enabled()) {
     obs::gauge_set("pipeline.queue.depth.shard" + std::to_string(shard),

@@ -9,12 +9,55 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstddef>
+#include <thread>
 #include <utility>
 #include <vector>
 
 namespace pera::pipeline {
+
+/// Escalating wait strategy for ring idle/full loops. A bare
+/// yield-forever loop makes every idle shard re-runnable on each
+/// scheduler pass, so on hosts with fewer cores than shards the busy
+/// worker keeps getting preempted by spinners — the 8-shard wall-clock
+/// regression. Escalate instead: a short pause-spin catches
+/// sub-microsecond handoffs without leaving the CPU, a few yields cover
+/// same-core producers, then short sleeps take oversubscribed spinners
+/// off the run queue entirely.
+class Backoff {
+ public:
+  void wait() {
+    if (round_ < kPauseRounds) {
+      ++round_;
+      cpu_pause();
+      return;
+    }
+    if (round_ < kPauseRounds + kYieldRounds) {
+      ++round_;
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+
+  /// Call after useful work: the next wait() starts back at pause-spin.
+  void reset() { round_ = 0; }
+
+ private:
+  static void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#endif
+  }
+
+  static constexpr unsigned kPauseRounds = 64;
+  static constexpr unsigned kYieldRounds = 16;
+  unsigned round_ = 0;
+};
 
 template <typename T>
 class SpscQueue {

@@ -21,14 +21,17 @@ ShardWorker::ShardWorker(std::uint32_t id, std::string place,
       base_packet_cost_(base_packet_cost) {}
 
 void ShardWorker::run(const std::atomic<bool>& stop) {
+  crypto::engine::publish_metrics();
   PacketJob job;
+  Backoff idle;
   for (;;) {
     if (queue_.try_pop(job)) {
+      idle.reset();
       process(std::move(job));
       continue;
     }
     if (stop.load(std::memory_order_acquire) && queue_.empty()) break;
-    std::this_thread::yield();
+    idle.wait();
   }
 }
 
