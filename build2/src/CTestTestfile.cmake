@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build2/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("obs")
+subdirs("crypto")
+subdirs("copland")
+subdirs("netkat")
+subdirs("dataplane")
+subdirs("netsim")
+subdirs("ra")
+subdirs("nac")
+subdirs("pera")
+subdirs("pipeline")
+subdirs("core")
+subdirs("verify")
+subdirs("adversary")
