@@ -7,6 +7,8 @@
 
 using namespace pera;
 using ::pera::pera::AssuranceRequirements;
+using ::pera::pera::ReattestCadence;
+using ::pera::pera::recommend_cadence;
 using ::pera::pera::recommend_config;
 using ::pera::pera::TuningRecommendation;
 using ::pera::pera::WorkloadProfile;
@@ -16,7 +18,19 @@ namespace {
 void show(const char* scenario, const WorkloadProfile& w,
           const AssuranceRequirements& req) {
   const TuningRecommendation rec = recommend_config(w, req);
-  std::printf("%-44s\n  %s\n\n", scenario, rec.rationale.c_str());
+  std::printf("%-44s\n  %s\n", scenario, rec.rationale.c_str());
+
+  // The same inertia axis read as time: how often the continuous control
+  // plane (src/ctrl) should re-attest each level for this workload.
+  const ReattestCadence c = recommend_cadence(w);
+  std::printf(
+      "  re-attestation cadence: hardware %.1fs, program %.1fs, "
+      "tables %.3fs, prog-state %.3fs, packet %.3fs\n\n",
+      static_cast<double>(c.hardware) / 1e9,
+      static_cast<double>(c.program) / 1e9,
+      static_cast<double>(c.tables) / 1e9,
+      static_cast<double>(c.prog_state) / 1e9,
+      static_cast<double>(c.packet) / 1e9);
 }
 
 }  // namespace

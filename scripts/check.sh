@@ -23,11 +23,12 @@ echo "== policy verifier fixtures =="
 scripts/run_verify_fixtures.sh build
 
 for b in build/bench/bench_*; do
-  # bench_throughput and bench_crypto write their committed JSON records
-  # to the cwd; each gets a dedicated smoke below so the baselines aren't
-  # clobbered.
+  # bench_throughput, bench_crypto and bench_ctrl write their committed
+  # JSON records to the cwd; each gets a dedicated smoke below so the
+  # baselines aren't clobbered.
   [ "$(basename "$b")" = "bench_throughput" ] && continue
   [ "$(basename "$b")" = "bench_crypto" ] && continue
+  [ "$(basename "$b")" = "bench_ctrl" ] && continue
   echo "== $b (smoke) =="
   "$b" --benchmark_min_time=0.01 > /dev/null
 done
@@ -50,6 +51,18 @@ build/bench/bench_throughput --shards=2 --packets=512 \
   --benchmark_min_time=0.01 > /dev/null
 grep -q '"pipeline.shard.packets.0"' build/throughput.metrics.json
 grep -q '"sim_packets_per_sec"' build/BENCH_throughput.smoke.json
+
+echo "== control plane bench (smoke) =="
+build/bench/bench_ctrl --smoke --json=build/BENCH_ctrl.smoke.json \
+  --metrics-json=build/ctrl.metrics.json > /dev/null
+grep -q '"detect_ms_mean"' build/BENCH_ctrl.smoke.json
+grep -q '"ctrl.quarantine.active"' build/ctrl.metrics.json
+grep -q '"ctrl.switches.monitored"' build/ctrl.metrics.json
+grep -q '"ctrl.trust.to.Quarantined"' build/ctrl.metrics.json
+
+echo "== pera_ctl closed-loop scenario (smoke) =="
+build/tools/pera_ctl --seed=42 --loss=0.05 --interval-ms=50 \
+  --swap-at-ms=200 --restore-at-ms=1200 --duration-ms=2500 > /dev/null
 
 # The Fig. 4 design-space bench must export a usable metrics dump
 # (see docs/OBSERVABILITY.md).
@@ -87,15 +100,15 @@ cmake -B build-asan -G Ninja -DPERA_WERROR=ON \
 cmake --build build-asan --target pera_tests
 ctest --test-dir build-asan --output-on-failure
 
-# ThreadSanitizer pass over the concurrent pipeline: the SPSC rings, the
+# ThreadSanitizer pass over the concurrent pipeline — the SPSC rings, the
 # seqlock epoch block and the dispatcher/worker threads are the only
-# cross-thread code in the tree, so only those tests (plus a threaded
-# bench smoke) need the instrumented build.
-echo "== ThreadSanitizer (pipeline) =="
+# cross-thread code in the tree — plus the control-plane suites, whose
+# obs publishing rides the same atomic registry.
+echo "== ThreadSanitizer (pipeline + control plane) =="
 cmake -B build-tsan -G Ninja -DPERA_WERROR=ON -DPERA_SANITIZE=thread
 cmake --build build-tsan --target pera_tests bench_throughput
 ./build-tsan/tests/pera_tests \
-  --gtest_filter='SpscQueue*:FlowHash*:EpochBlock*:Pipeline*'
+  --gtest_filter='SpscQueue*:FlowHash*:EpochBlock*:Pipeline*:Ctrl*:Trust*'
 ./build-tsan/bench/bench_throughput --shards=2 --packets=256 \
   --json=build-tsan/BENCH_throughput.smoke.json \
   --metrics-json=build-tsan/throughput.metrics.json \

@@ -59,6 +59,9 @@ class Deployment {
   [[nodiscard]] netsim::Network& network() { return net_; }
   [[nodiscard]] crypto::KeyStore& keys() { return keys_; }
   [[nodiscard]] AppraiserNode& appraiser() { return *appraiser_; }
+  [[nodiscard]] const std::string& appraiser_name() const {
+    return appraiser_name_;
+  }
   [[nodiscard]] SwitchNode& switch_node(const std::string& name);
   [[nodiscard]] HostNode& host(const std::string& name);
 

@@ -1,0 +1,133 @@
+#include "ctrl/controller.h"
+
+#include <stdexcept>
+
+#include "obs/obs.h"
+
+namespace pera::ctrl {
+
+AttestationController::AttestationController(core::Deployment& dep,
+                                             const std::string& host,
+                                             ControllerConfig config,
+                                             std::uint64_t seed)
+    : dep_(&dep),
+      host_name_(host),
+      self_(dep.network().topology().require(host)),
+      config_(config),
+      inner_(dep.network().behavior_of(self_)),
+      transport_(dep.network(), self_, dep.appraiser_name(), dep.keys(),
+                 config.transport, seed),
+      scheduler_(dep.network().events(), config.scheduler, seed + 1),
+      enforcer_(dep.network()) {
+  for (const auto& place : dep.attesting_elements()) {
+    auto machine = std::make_unique<TrustStateMachine>(place, config_.trust);
+    machine->on_transition([this](const TrustStateMachine& m,
+                                  const TrustTransition& t) {
+      timeline_.push_back({m.place(), t});
+      if (config_.quarantine_reroutes) enforcer_.apply(m.place(), t);
+      if (hook_) hook_(m.place(), t);
+    });
+    machines_.emplace(place, std::move(machine));
+    scheduler_.add_switch(place);
+  }
+  PERA_OBS_GAUGE("ctrl.switches.monitored",
+                 static_cast<double>(machines_.size()));
+}
+
+AttestationController::~AttestationController() {
+  // Give the node slot back so the deployment keeps working after the
+  // controller is torn down.
+  if (attached_) dep_->network().attach(self_, inner_);
+}
+
+void AttestationController::start() {
+  if (!attached_) {
+    dep_->network().attach(self_, this);
+    attached_ = true;
+  }
+  scheduler_.start([this](const std::string& place, nac::EvidenceDetail level) {
+    issue_round(place, level);
+  });
+}
+
+void AttestationController::stop() { scheduler_.stop(); }
+
+void AttestationController::issue_round(const std::string& place,
+                                        nac::EvidenceDetail level) {
+  // A level-L round attests every configured level of equal or higher
+  // inertia (the detail bits are ordered by inertia, hardware lowest).
+  // Low-inertia heartbeats thereby re-check program identity too, so a
+  // program swap trips consecutive failures at the *fastest* configured
+  // cadence instead of being diluted by still-passing tables rounds.
+  const auto cumulative = static_cast<nac::DetailMask>(
+      config_.scheduler.levels &
+      static_cast<nac::DetailMask>((nac::mask_of(level) << 1) - 1));
+  // Asymmetric trust feed: a *failure* at any detail level is evidence of
+  // compromise and always reaches the trust machine, but a *pass* from a
+  // partial round (e.g. the hardware-only heartbeat) proves nothing about
+  // the levels it did not attest — only full-detail passes may reset the
+  // failure streak or reinstate a quarantined switch.
+  const bool full = cumulative == config_.scheduler.levels;
+  transport_.begin_round(
+      place, cumulative,
+      [this, full](const std::string& p, const RoundOutcome& out) {
+        Outcome o;
+        if (!out.completed) {
+          o = Outcome::kTimeout;
+          ++timed_out_;
+          PERA_OBS_COUNT("ctrl.round.timeout");
+        } else if (out.verdict) {
+          o = Outcome::kPass;
+          ++passed_;
+          PERA_OBS_COUNT("ctrl.round.pass");
+          if (!full) {
+            PERA_OBS_COUNT("ctrl.round.partial_pass");
+            return;
+          }
+        } else {
+          o = Outcome::kFail;
+          ++failed_;
+          PERA_OBS_COUNT("ctrl.round.fail");
+        }
+        machines_.at(p)->record(o, dep_->network().now());
+      });
+}
+
+netsim::TransitResult AttestationController::on_transit(netsim::Network& net,
+                                                        netsim::NodeId self,
+                                                        netsim::Message& msg) {
+  if (inner_ != nullptr) return inner_->on_transit(net, self, msg);
+  return {};
+}
+
+void AttestationController::on_deliver(netsim::Network& net,
+                                       netsim::NodeId self,
+                                       netsim::Message msg) {
+  if (msg.type == "result") {
+    const ra::Certificate cert = ra::Certificate::deserialize(
+        crypto::BytesView{msg.payload.data(), msg.payload.size()});
+    if (transport_.on_result(cert, net.now())) return;
+    // Not our nonce — a certificate for whatever the host itself asked for.
+  }
+  if (inner_ != nullptr) inner_->on_deliver(net, self, std::move(msg));
+}
+
+const TrustStateMachine& AttestationController::trust(
+    const std::string& place) const {
+  const auto it = machines_.find(place);
+  if (it == machines_.end()) {
+    throw std::invalid_argument("AttestationController: unknown place " +
+                                place);
+  }
+  return *it->second;
+}
+
+std::optional<netsim::SimTime> AttestationController::first_transition(
+    const std::string& place, TrustState state) const {
+  for (const auto& e : timeline_) {
+    if (e.place == place && e.transition.to == state) return e.transition.at;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pera::ctrl

@@ -1,0 +1,110 @@
+// The attestation control plane, assembled: a controller co-located with a
+// host node that continuously re-attests every attesting element
+// (ReattestScheduler), moves each one through the trust lifecycle
+// (TrustStateMachine) on round outcomes carried by the retrying
+// EvidenceTransport, and — on quarantine — steers data traffic around the
+// switch (QuarantineEnforcer) until it proves itself again.
+//
+// The controller is a NodeBehavior *decorator*: it takes over its host
+// node's slot in the network, consumes the attestation results whose
+// nonces it owns, and delegates everything else (flow packets, other
+// results) to the original HostNode behaviour.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/deployment.h"
+#include "ctrl/reroute.h"
+#include "ctrl/scheduler.h"
+#include "ctrl/transport.h"
+#include "ctrl/trust.h"
+
+namespace pera::ctrl {
+
+struct ControllerConfig {
+  TrustPolicy trust;
+  TransportConfig transport;
+  SchedulerConfig scheduler;
+  /// Feed Quarantined/Reinstated transitions into data-plane rerouting.
+  bool quarantine_reroutes = true;
+};
+
+/// One entry of the trust-transition timeline, across all switches.
+struct TimelineEntry {
+  std::string place;
+  TrustTransition transition;
+};
+
+class AttestationController final : public netsim::NodeBehavior {
+ public:
+  /// Runs on `host` (an existing deployment host, e.g. "client"). The
+  /// controller monitors every attesting element of the deployment.
+  AttestationController(core::Deployment& dep, const std::string& host,
+                        ControllerConfig config, std::uint64_t seed);
+  ~AttestationController() override;
+
+  AttestationController(const AttestationController&) = delete;
+  AttestationController& operator=(const AttestationController&) = delete;
+
+  /// Attach to the host node and begin continuous re-attestation.
+  void start();
+
+  /// Stop issuing rounds (in-flight rounds still complete or time out).
+  void stop();
+
+  netsim::TransitResult on_transit(netsim::Network& net, netsim::NodeId self,
+                                   netsim::Message& msg) override;
+  void on_deliver(netsim::Network& net, netsim::NodeId self,
+                  netsim::Message msg) override;
+
+  [[nodiscard]] const TrustStateMachine& trust(const std::string& place) const;
+  [[nodiscard]] const std::vector<TimelineEntry>& timeline() const {
+    return timeline_;
+  }
+  [[nodiscard]] const EvidenceTransport& transport() const {
+    return transport_;
+  }
+  [[nodiscard]] ReattestScheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] const QuarantineEnforcer& quarantine() const {
+    return enforcer_;
+  }
+  [[nodiscard]] std::uint64_t rounds_passed() const { return passed_; }
+  [[nodiscard]] std::uint64_t rounds_failed() const { return failed_; }
+  [[nodiscard]] std::uint64_t rounds_timed_out() const { return timed_out_; }
+
+  /// When `place` first entered `state` (detection-latency measurements).
+  [[nodiscard]] std::optional<netsim::SimTime> first_transition(
+      const std::string& place, TrustState state) const;
+
+  /// Observe every transition (after timeline/reroute bookkeeping).
+  using TransitionHook =
+      std::function<void(const std::string& place, const TrustTransition&)>;
+  void on_transition(TransitionHook hook) { hook_ = std::move(hook); }
+
+ private:
+  void issue_round(const std::string& place, nac::EvidenceDetail level);
+
+  core::Deployment* dep_;
+  std::string host_name_;
+  netsim::NodeId self_;
+  ControllerConfig config_;
+  netsim::NodeBehavior* inner_;  // the displaced HostNode behaviour
+  bool attached_ = false;
+  EvidenceTransport transport_;
+  ReattestScheduler scheduler_;
+  QuarantineEnforcer enforcer_;
+  std::map<std::string, std::unique_ptr<TrustStateMachine>> machines_;
+  std::vector<TimelineEntry> timeline_;
+  TransitionHook hook_;
+  std::uint64_t passed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t timed_out_ = 0;
+};
+
+}  // namespace pera::ctrl

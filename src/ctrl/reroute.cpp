@@ -1,0 +1,29 @@
+#include "ctrl/reroute.h"
+
+#include "obs/obs.h"
+
+namespace pera::ctrl {
+
+void QuarantineEnforcer::apply(const std::string& place,
+                               const TrustTransition& t) {
+  const bool entering = t.to == TrustState::kQuarantined;
+  const bool leaving =
+      t.from == TrustState::kQuarantined && t.to != TrustState::kQuarantined;
+  if (entering && !quarantined_.contains(place)) {
+    quarantined_.insert(place);
+    net_->set_node_quarantined(place, true);
+    ++stats_.quarantines;
+    PERA_OBS_COUNT("ctrl.quarantine.enter");
+  } else if (leaving && quarantined_.contains(place)) {
+    quarantined_.erase(place);
+    net_->set_node_quarantined(place, false);
+    ++stats_.reinstatements;
+    PERA_OBS_COUNT("ctrl.quarantine.exit");
+  } else {
+    return;
+  }
+  PERA_OBS_GAUGE("ctrl.quarantine.active",
+                 static_cast<double>(quarantined_.size()));
+}
+
+}  // namespace pera::ctrl

@@ -1,0 +1,47 @@
+// Quarantine enforcement: trust verdicts -> data-plane routing.
+//
+// The enforcer is the bridge between the per-switch TrustStateMachine and
+// netsim's quarantine-aware forwarding: entering Quarantined pulls the
+// switch out of data-plane paths (control traffic still reaches it, so it
+// can be re-attested); leaving Quarantined puts it back.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ctrl/trust.h"
+#include "netsim/network.h"
+
+namespace pera::ctrl {
+
+struct RerouteStats {
+  std::uint64_t quarantines = 0;
+  std::uint64_t reinstatements = 0;
+};
+
+class QuarantineEnforcer {
+ public:
+  explicit QuarantineEnforcer(netsim::Network& net) : net_(&net) {}
+
+  /// Apply one trust transition for `place`. Only the Quarantined boundary
+  /// matters: entering it steers data traffic away, leaving it (to
+  /// Reinstated or anywhere else) restores the switch.
+  void apply(const std::string& place, const TrustTransition& t);
+
+  [[nodiscard]] bool is_quarantined(const std::string& place) const {
+    return quarantined_.contains(place);
+  }
+  [[nodiscard]] std::vector<std::string> quarantined() const {
+    return {quarantined_.begin(), quarantined_.end()};
+  }
+  [[nodiscard]] const RerouteStats& stats() const { return stats_; }
+
+ private:
+  netsim::Network* net_;
+  std::set<std::string> quarantined_;
+  RerouteStats stats_;
+};
+
+}  // namespace pera::ctrl

@@ -1,0 +1,141 @@
+#include "ctrl/transport.h"
+
+#include <algorithm>
+
+#include "core/wire.h"
+#include "obs/obs.h"
+
+namespace pera::ctrl {
+
+EvidenceTransport::EvidenceTransport(netsim::Network& net, netsim::NodeId self,
+                                     std::string appraiser,
+                                     crypto::KeyStore& keys,
+                                     TransportConfig config, std::uint64_t seed)
+    : net_(&net),
+      self_(self),
+      appraiser_(std::move(appraiser)),
+      keys_(&keys),
+      config_(config),
+      nonces_(seed),
+      jitter_rng_(seed ^ 0x9E3779B97F4A7C15ULL) {
+  if (config_.max_attempts < 1) config_.max_attempts = 1;
+}
+
+netsim::SimTime EvidenceTransport::backoff_delay(std::size_t attempt) {
+  // attempt is 1-based: the delay inserted before attempt+1.
+  netsim::SimTime d = config_.backoff_base;
+  for (std::size_t i = 1; i < attempt && d < config_.backoff_cap; ++i) d *= 2;
+  d = std::min(d, config_.backoff_cap);
+  const double jitter = std::clamp(config_.jitter, 0.0, 1.0);
+  const double scale = 1.0 - jitter + 2.0 * jitter * jitter_rng_.uniform01();
+  const auto jittered = static_cast<netsim::SimTime>(
+      static_cast<double>(d) * scale);
+  return std::max<netsim::SimTime>(jittered, 1);
+}
+
+void EvidenceTransport::begin_round(const std::string& place,
+                                    nac::DetailMask detail, Completion done) {
+  const std::uint64_t id = next_round_++;
+  Round round;
+  round.place = place;
+  round.detail = detail;
+  round.done = std::move(done);
+  round.started_at = net_->now();
+  rounds_.emplace(id, std::move(round));
+  ++live_;
+  ++stats_.rounds;
+  PERA_OBS_COUNT("ctrl.transport.rounds");
+  attempt(id);
+}
+
+void EvidenceTransport::attempt(std::uint64_t round_id) {
+  const auto it = rounds_.find(round_id);
+  if (it == rounds_.end() || it->second.finished) return;
+  Round& round = it->second;
+
+  ++round.attempts;
+  ++stats_.challenges_sent;
+  if (round.attempts > 1) {
+    ++stats_.retries;
+    PERA_OBS_COUNT("ctrl.transport.retries");
+  }
+  PERA_OBS_COUNT("ctrl.transport.challenges");
+
+  // Fresh nonce per attempt: the appraiser's replay protection must never
+  // block a legitimate retry whose predecessor's *result* was lost.
+  const crypto::Nonce nonce = nonces_.issue();
+  nonce_to_round_[nonce.value] = round_id;
+
+  core::Challenge ch;
+  ch.nonce = nonce;
+  ch.detail = round.detail;
+  ch.appraiser = appraiser_;
+
+  netsim::Message msg;
+  msg.src = self_;
+  msg.dst = net_->topology().require(round.place);
+  msg.reply_to = self_;
+  msg.type = "challenge";
+  msg.payload = ch.serialize();
+  net_->send(std::move(msg));
+
+  const std::size_t this_attempt = round.attempts;
+  net_->events().schedule_in(config_.timeout, [this, round_id, this_attempt] {
+    const auto rit = rounds_.find(round_id);
+    if (rit == rounds_.end() || rit->second.finished) return;
+    Round& r = rit->second;
+    if (r.attempts != this_attempt) return;  // a newer attempt owns the timer
+    if (r.attempts >= config_.max_attempts) {
+      ++stats_.rounds_timed_out;
+      PERA_OBS_COUNT("ctrl.transport.round_timeout");
+      RoundOutcome out;
+      out.attempts = r.attempts;
+      out.rtt = net_->now() - r.started_at;
+      finish(r, out);
+      return;
+    }
+    net_->events().schedule_in(backoff_delay(r.attempts),
+                               [this, round_id] { attempt(round_id); });
+  });
+}
+
+void EvidenceTransport::finish(Round& round, const RoundOutcome& outcome) {
+  round.finished = true;
+  --live_;
+  if (round.done) round.done(round.place, outcome);
+}
+
+bool EvidenceTransport::on_result(const ra::Certificate& cert,
+                                  netsim::SimTime now) {
+  const auto nit = nonce_to_round_.find(cert.nonce.value);
+  if (nit == nonce_to_round_.end()) return false;  // not our nonce
+
+  const auto rit = rounds_.find(nit->second);
+  if (rit == rounds_.end() || rit->second.finished) {
+    // A late original after a retry completed the round, or a replay of a
+    // certificate we already consumed: suppressed exactly once each.
+    ++stats_.duplicates_suppressed;
+    PERA_OBS_COUNT("ctrl.transport.duplicates");
+    return true;
+  }
+  Round& round = rit->second;
+
+  const crypto::Verifier* v = keys_->verifier_for(appraiser_);
+  if (v == nullptr || !cert.verify(*v)) {
+    // A forged result must not complete the round — keep waiting; the
+    // attempt's timeout still governs.
+    ++stats_.bad_signatures;
+    PERA_OBS_COUNT("ctrl.transport.bad_signature");
+    return true;
+  }
+
+  RoundOutcome out;
+  out.completed = true;
+  out.verdict = cert.verdict;
+  out.attempts = round.attempts;
+  out.rtt = now - round.started_at;
+  finish(round, out);
+  return true;
+}
+
+}  // namespace pera::ctrl

@@ -1,0 +1,112 @@
+// Reliable-enough delivery of out-of-band attestation rounds over a lossy
+// netsim::Network.
+//
+// One "round" is the expression (3) exchange driven from the controller:
+// challenge -> switch, evidence -> appraiser, result -> controller. Any of
+// the three legs can be lost. The transport retries with a fresh nonce per
+// attempt (a lost result must never strand the exchange on the appraiser's
+// replay protection), waits `timeout` per attempt, backs off exponentially
+// (bounded, with seeded jitter) between attempts, and suppresses duplicate
+// results — a late original arriving after a retry already completed the
+// round, or a replayed certificate, is counted and dropped, never fed to
+// the trust machine twice.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "crypto/keystore.h"
+#include "crypto/nonce.h"
+#include "nac/detail.h"
+#include "netsim/network.h"
+#include "ra/certificate.h"
+
+namespace pera::ctrl {
+
+struct TransportConfig {
+  /// Wait per attempt before declaring it lost.
+  netsim::SimTime timeout = 20 * netsim::kMillisecond;
+  /// Challenges sent per round before giving up (1 = no retries).
+  std::size_t max_attempts = 4;
+  /// Extra delay before retry k (1-based) is min(base * 2^(k-1), cap),
+  /// scaled by a seeded jitter in [1 - jitter, 1 + jitter].
+  netsim::SimTime backoff_base = 5 * netsim::kMillisecond;
+  netsim::SimTime backoff_cap = 100 * netsim::kMillisecond;
+  double jitter = 0.2;
+};
+
+/// How one round ended.
+struct RoundOutcome {
+  bool completed = false;  // a signature-valid result arrived in time
+  bool verdict = false;    // the appraiser's verdict (when completed)
+  std::size_t attempts = 0;
+  netsim::SimTime rtt = 0;  // first challenge -> accepted result
+};
+
+struct TransportStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t challenges_sent = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t rounds_timed_out = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t bad_signatures = 0;
+};
+
+class EvidenceTransport {
+ public:
+  using Completion =
+      std::function<void(const std::string& place, const RoundOutcome&)>;
+
+  /// `self` is the controller's node; results must be routed back to it
+  /// (the transport stamps challenges with reply_to = self). `keys` must
+  /// hold the appraiser's verifier.
+  EvidenceTransport(netsim::Network& net, netsim::NodeId self,
+                    std::string appraiser, crypto::KeyStore& keys,
+                    TransportConfig config, std::uint64_t seed);
+
+  /// Start one attestation round against `place` for `detail`. `done`
+  /// fires exactly once, after a valid result or after retries exhaust.
+  void begin_round(const std::string& place, nac::DetailMask detail,
+                   Completion done);
+
+  /// Feed a delivered "result" certificate. Returns true when the
+  /// certificate's nonce belongs to this transport (completing a live
+  /// round, or suppressed as a duplicate/bad signature); false when the
+  /// nonce was never ours and the message should go to whoever else
+  /// shares the node.
+  bool on_result(const ra::Certificate& cert, netsim::SimTime now);
+
+  [[nodiscard]] const TransportStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t live_rounds() const { return live_; }
+
+ private:
+  struct Round {
+    std::string place;
+    nac::DetailMask detail = 0;
+    Completion done;
+    std::size_t attempts = 0;
+    netsim::SimTime started_at = 0;
+    bool finished = false;
+  };
+
+  void attempt(std::uint64_t round_id);
+  void finish(Round& round, const RoundOutcome& outcome);
+  [[nodiscard]] netsim::SimTime backoff_delay(std::size_t attempt);
+
+  netsim::Network* net_;
+  netsim::NodeId self_;
+  std::string appraiser_;
+  crypto::KeyStore* keys_;
+  TransportConfig config_;
+  crypto::NonceRegistry nonces_;
+  crypto::Drbg jitter_rng_;
+  std::map<crypto::Digest, std::uint64_t> nonce_to_round_;
+  std::map<std::uint64_t, Round> rounds_;
+  std::uint64_t next_round_ = 1;
+  std::size_t live_ = 0;
+  TransportStats stats_;
+};
+
+}  // namespace pera::ctrl

@@ -1,0 +1,98 @@
+#include "ctrl/trust.h"
+
+#include <stdexcept>
+
+#include "obs/obs.h"
+
+namespace pera::ctrl {
+
+const char* to_string(TrustState s) {
+  switch (s) {
+    case TrustState::kTrusted: return "Trusted";
+    case TrustState::kSuspect: return "Suspect";
+    case TrustState::kQuarantined: return "Quarantined";
+    case TrustState::kReinstated: return "Reinstated";
+  }
+  return "?";
+}
+
+const char* to_string(Outcome o) {
+  switch (o) {
+    case Outcome::kPass: return "pass";
+    case Outcome::kFail: return "appraisal failed";
+    case Outcome::kTimeout: return "transport timeout";
+  }
+  return "?";
+}
+
+TrustStateMachine::TrustStateMachine(std::string place, TrustPolicy policy)
+    : place_(std::move(place)), policy_(policy) {
+  if (policy_.quarantine_after < 1 || policy_.reinstate_after < 1) {
+    throw std::invalid_argument(
+        "TrustPolicy: hysteresis thresholds must be >= 1");
+  }
+}
+
+void TrustStateMachine::move_to(TrustState to, netsim::SimTime now,
+                                std::string reason) {
+  const TrustTransition t{now, state_, to, std::move(reason)};
+  state_ = to;
+  transitions_.push_back(t);
+  PERA_OBS_COUNT("ctrl.trust.transitions");
+  PERA_OBS_COUNT(std::string("ctrl.trust.to.") + to_string(to));
+  PERA_OBS_EVENT(obs::SpanKind::kTrustTransition, place_, 0,
+                 static_cast<std::uint64_t>(to));
+  if (hook_) hook_(*this, t);
+}
+
+TrustState TrustStateMachine::record(Outcome outcome, netsim::SimTime now) {
+  ++outcomes_;
+  const bool pass = outcome == Outcome::kPass;
+  if (pass) {
+    fails_ = 0;
+    ++passes_;
+  } else {
+    passes_ = 0;
+    ++fails_;
+  }
+  const auto failure_reason = [&] {
+    return std::string(to_string(outcome)) + " (" + std::to_string(fails_) +
+           " consecutive)";
+  };
+  switch (state_) {
+    case TrustState::kTrusted:
+      if (!pass) {
+        // quarantine_after == 1 skips the Suspect dwell entirely.
+        move_to(fails_ >= policy_.quarantine_after ? TrustState::kQuarantined
+                                                   : TrustState::kSuspect,
+                now, failure_reason());
+      }
+      break;
+    case TrustState::kSuspect:
+      if (pass) {
+        move_to(TrustState::kTrusted, now, "appraisal passed");
+      } else if (fails_ >= policy_.quarantine_after) {
+        move_to(TrustState::kQuarantined, now, failure_reason());
+      }
+      break;
+    case TrustState::kQuarantined:
+      if (pass && passes_ >= policy_.reinstate_after) {
+        move_to(TrustState::kReinstated, now,
+                "appraisal passed (" + std::to_string(passes_) +
+                    " consecutive while quarantined)");
+      }
+      break;
+    case TrustState::kReinstated:
+      if (pass) {
+        move_to(TrustState::kTrusted, now, "probation round passed");
+      } else {
+        move_to(fails_ >= policy_.quarantine_after ? TrustState::kQuarantined
+                                                   : TrustState::kSuspect,
+                now, failure_reason() + " during probation");
+      }
+      break;
+  }
+  return state_;
+}
+
+}  // namespace pera::ctrl

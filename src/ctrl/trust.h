@@ -1,0 +1,98 @@
+// Per-switch trust lifecycle for the attestation control plane.
+//
+// Every attesting element carries a TrustStateMachine fed by appraisal
+// outcomes from the continuous re-attestation loop:
+//
+//           pass                    fail
+//   Trusted ----> Trusted   Trusted ----> Suspect
+//   Suspect --pass--> Trusted
+//   Suspect --fail x N (consecutive, incl. the first)--> Quarantined
+//   Quarantined --pass x M (consecutive)--> Reinstated
+//   Reinstated --pass--> Trusted      Reinstated --fail--> Suspect
+//
+// The N/M hysteresis is the point: over a lossy network a single dropped
+// evidence message (a kTimeout outcome) must not flap a switch out of the
+// data plane, and a quarantined switch must prove itself M times before
+// traffic returns to it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netsim/time.h"
+
+namespace pera::ctrl {
+
+enum class TrustState : std::uint8_t {
+  kTrusted = 0,
+  kSuspect = 1,
+  kQuarantined = 2,
+  kReinstated = 3,
+};
+
+[[nodiscard]] const char* to_string(TrustState s);
+
+/// One re-attestation round's result, as the trust machine sees it.
+/// kTimeout (transport gave up) is failure *evidence* — it counts toward
+/// quarantine, which is why the hysteresis threshold exists.
+enum class Outcome : std::uint8_t { kPass, kFail, kTimeout };
+
+[[nodiscard]] const char* to_string(Outcome o);
+
+struct TrustPolicy {
+  /// Consecutive failures (bad appraisal or transport timeout) before a
+  /// switch is quarantined. 1 = quarantine on the first failure.
+  int quarantine_after = 3;
+  /// Consecutive passes while quarantined before reinstatement.
+  int reinstate_after = 2;
+};
+
+struct TrustTransition {
+  netsim::SimTime at = 0;
+  TrustState from = TrustState::kTrusted;
+  TrustState to = TrustState::kTrusted;
+  std::string reason;
+};
+
+class TrustStateMachine {
+ public:
+  explicit TrustStateMachine(std::string place, TrustPolicy policy = {});
+
+  /// Feed one appraisal outcome at simulated time `now`; returns the
+  /// (possibly new) state. Publishes ctrl.trust.* counters and a
+  /// kTrustTransition span on every state change.
+  TrustState record(Outcome outcome, netsim::SimTime now);
+
+  [[nodiscard]] const std::string& place() const { return place_; }
+  [[nodiscard]] TrustState state() const { return state_; }
+  [[nodiscard]] const TrustPolicy& policy() const { return policy_; }
+  [[nodiscard]] int consecutive_failures() const { return fails_; }
+  [[nodiscard]] int consecutive_passes() const { return passes_; }
+  [[nodiscard]] std::uint64_t outcomes_recorded() const { return outcomes_; }
+
+  /// Every transition ever made, oldest first.
+  [[nodiscard]] const std::vector<TrustTransition>& transitions() const {
+    return transitions_;
+  }
+
+  /// Called on each transition, after it is recorded.
+  using TransitionHook =
+      std::function<void(const TrustStateMachine&, const TrustTransition&)>;
+  void on_transition(TransitionHook hook) { hook_ = std::move(hook); }
+
+ private:
+  void move_to(TrustState to, netsim::SimTime now, std::string reason);
+
+  std::string place_;
+  TrustPolicy policy_;
+  TrustState state_ = TrustState::kTrusted;
+  int fails_ = 0;    // consecutive
+  int passes_ = 0;   // consecutive
+  std::uint64_t outcomes_ = 0;
+  std::vector<TrustTransition> transitions_;
+  TransitionHook hook_;
+};
+
+}  // namespace pera::ctrl

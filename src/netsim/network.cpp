@@ -18,6 +18,28 @@ void Network::attach(const std::string& name, NodeBehavior* behavior) {
   attach(topo_.require(name), behavior);
 }
 
+NodeBehavior* Network::behavior_of(NodeId id) const {
+  const auto it = behaviors_.find(id);
+  return it == behaviors_.end() ? nullptr : it->second;
+}
+
+void Network::set_node_quarantined(NodeId id, bool quarantined) {
+  if (id >= topo_.node_count()) {
+    throw std::invalid_argument("set_node_quarantined: unknown node id");
+  }
+  if (quarantined) {
+    quarantined_.insert(id);
+  } else {
+    quarantined_.erase(id);
+  }
+  PERA_OBS_GAUGE("net.quarantine.active",
+                 static_cast<std::int64_t>(quarantined_.size()));
+}
+
+void Network::set_node_quarantined(const std::string& name, bool quarantined) {
+  set_node_quarantined(topo_.require(name), quarantined);
+}
+
 void Network::set_loss(double per_hop_probability, std::uint64_t seed) {
   loss_ = per_hop_probability;
   loss_rng_.emplace(seed);
@@ -55,12 +77,7 @@ void Network::forward_from(NodeId at, Message msg) {
     }
     return;
   }
-  const auto path = topo_.shortest_path(at, msg.dst);
-  if (path.size() < 2) {
-    throw std::invalid_argument("send: no path from " + topo_.node(at).name +
-                                " to " + topo_.node(msg.dst).name);
-  }
-  const NodeId next = path[1];
+  const NodeId next = next_hop_for(at, msg);
   const LinkInfo* link = topo_.link_between(at, next);
   const SimTime delay = link->latency + link->transmit_time(msg.wire_size());
   ++stats_.hops_traversed;
@@ -100,6 +117,31 @@ void Network::forward_from(NodeId at, Message msg) {
       forward_from(next, std::move(msg));
     }
   });
+}
+
+NodeId Network::next_hop_for(NodeId at, const Message& msg) {
+  const auto normal = topo_.shortest_path(at, msg.dst);
+  if (normal.size() < 2) {
+    throw std::invalid_argument("send: no path from " + topo_.node(at).name +
+                                " to " + topo_.node(msg.dst).name);
+  }
+  // Quarantine steering applies to the data plane only; control traffic
+  // must keep reaching a quarantined switch or it could never be
+  // re-attested and reinstated.
+  if (msg.type != "data" || quarantined_.empty()) return normal[1];
+
+  const auto steered =
+      topo_.shortest_path_avoiding(at, msg.dst, quarantined_);
+  if (steered.size() < 2) {
+    ++stats_.reroute_fallbacks;
+    PERA_OBS_COUNT("net.reroute.fallback");
+    return normal[1];
+  }
+  if (steered[1] != normal[1]) {
+    ++stats_.data_rerouted;
+    PERA_OBS_COUNT("net.reroute.data");
+  }
+  return steered[1];
 }
 
 std::string format_trace(const Topology& topo,

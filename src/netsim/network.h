@@ -10,6 +10,7 @@
 #include <vector>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 
 #include "crypto/bytes.h"
@@ -80,6 +81,11 @@ struct NetStats {
   std::uint64_t messages_lost = 0;     // lost to link-level loss
   std::uint64_t hops_traversed = 0;
   std::uint64_t bytes_sent = 0;  // sum over hops of wire size
+  std::uint64_t data_rerouted = 0;     // data hops steered off the
+                                       // unrestricted shortest path by a
+                                       // quarantine
+  std::uint64_t reroute_fallbacks = 0;  // no quarantine-free path existed;
+                                        // the message took the normal one
 };
 
 /// One line of a protocol trace (a textual Fig. 2 sequence diagram).
@@ -115,6 +121,21 @@ class Network {
   void attach(NodeId id, NodeBehavior* behavior);
   void attach(const std::string& name, NodeBehavior* behavior);
 
+  /// The behaviour currently attached to a node (nullptr when none).
+  [[nodiscard]] NodeBehavior* behavior_of(NodeId id) const;
+
+  // --- quarantine-driven rerouting (the ctrl control plane) ----------------
+  /// Steer *data* traffic around a node: while quarantined, "data"
+  /// messages are routed hop-by-hop over quarantine-free paths (falling
+  /// back to the normal path — counted in stats — when none exists).
+  /// Control-plane traffic (challenges, evidence, results) is unaffected,
+  /// so a quarantined switch can still be re-attested and reinstated.
+  void set_node_quarantined(NodeId id, bool quarantined);
+  void set_node_quarantined(const std::string& name, bool quarantined);
+  [[nodiscard]] const std::set<NodeId>& quarantined_nodes() const {
+    return quarantined_;
+  }
+
   /// Send `msg` from msg.src toward msg.dst along the shortest path.
   /// Throws std::invalid_argument when no path exists.
   void send(Message msg);
@@ -124,10 +145,12 @@ class Network {
 
  private:
   void forward_from(NodeId at, Message msg);
+  [[nodiscard]] NodeId next_hop_for(NodeId at, const Message& msg);
 
   Topology topo_;
   EventQueue events_;
   std::map<NodeId, NodeBehavior*> behaviors_;
+  std::set<NodeId> quarantined_;
   NetStats stats_;
   double loss_ = 0.0;
   std::optional<crypto::Drbg> loss_rng_;

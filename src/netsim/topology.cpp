@@ -88,6 +88,12 @@ std::vector<NodeId> Topology::neighbors(NodeId id) const {
 }
 
 std::vector<NodeId> Topology::shortest_path(NodeId from, NodeId to) const {
+  static const std::set<NodeId> kNoAvoid;
+  return shortest_path_avoiding(from, to, kNoAvoid);
+}
+
+std::vector<NodeId> Topology::shortest_path_avoiding(
+    NodeId from, NodeId to, const std::set<NodeId>& avoid) const {
   if (from >= nodes_.size() || to >= nodes_.size()) return {};
   constexpr SimTime kInf = std::numeric_limits<SimTime>::max();
   std::vector<SimTime> dist(nodes_.size(), kInf);
@@ -105,6 +111,8 @@ std::vector<NodeId> Topology::shortest_path(NodeId from, NodeId to) const {
     if (it == adj_.end()) continue;
     for (const auto& [v, idx] : it->second) {
       if (!links_[idx].up) continue;
+      // Avoided nodes may terminate a path but never transit one.
+      if (v != to && avoid.contains(v)) continue;
       const SimTime nd = d + links_[idx].latency;
       if (nd < dist[v]) {
         dist[v] = nd;

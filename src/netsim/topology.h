@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,13 @@ class Topology {
   [[nodiscard]] std::vector<NodeId> shortest_path(NodeId from, NodeId to) const;
   [[nodiscard]] std::vector<NodeId> shortest_path(const std::string& from,
                                                   const std::string& to) const;
+
+  /// Shortest path that never transits a node in `avoid`. The endpoints
+  /// are exempt (a quarantined switch can still be addressed directly —
+  /// the control plane needs to re-attest it). Empty when no such path
+  /// exists.
+  [[nodiscard]] std::vector<NodeId> shortest_path_avoiding(
+      NodeId from, NodeId to, const std::set<NodeId>& avoid) const;
 
   /// Names along a path.
   [[nodiscard]] std::vector<std::string> names(

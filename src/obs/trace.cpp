@@ -18,6 +18,8 @@ const char* to_string(SpanKind k) {
     case SpanKind::kAppraise: return "appraise";
     case SpanKind::kWireEncode: return "wire_encode";
     case SpanKind::kWireDecode: return "wire_decode";
+    case SpanKind::kEpochBump: return "epoch_bump";
+    case SpanKind::kTrustTransition: return "trust_transition";
   }
   return "?";
 }

@@ -33,6 +33,9 @@ enum class SpanKind : std::uint8_t {
   kAppraise,         // appraiser verdict over evidence
   kWireEncode,       // protocol message serialized
   kWireDecode,       // protocol message parsed
+  kEpochBump,        // a switch's program/tables epoch advanced (value =
+                     // new epoch) — correlate with later appraisal failures
+  kTrustTransition,  // ctrl trust state machine moved (value = new state)
 };
 
 [[nodiscard]] const char* to_string(SpanKind k);

@@ -47,6 +47,11 @@ void PeraSwitch::load_program(
     std::shared_ptr<dataplane::DataplaneProgram> program) {
   switch_.load_program(std::move(program));
   mu_.on_program_loaded();
+  // The control plane correlates this event with the appraisal failure
+  // that follows when the new program's digest is not the golden one.
+  PERA_OBS_COUNT("pera.epoch.program");
+  PERA_OBS_EVENT(obs::SpanKind::kEpochBump, name_, 0,
+                 mu_.epoch(nac::EvidenceDetail::kProgram));
 }
 
 void PeraSwitch::update_table(const std::string& table,
@@ -58,6 +63,9 @@ void PeraSwitch::update_table(const std::string& table,
   }
   t->add_entry(std::move(entry));
   mu_.on_tables_updated();
+  PERA_OBS_COUNT("pera.epoch.tables");
+  PERA_OBS_EVENT(obs::SpanKind::kEpochBump, name_, 0,
+                 mu_.epoch(nac::EvidenceDetail::kTables));
 }
 
 void PeraSwitch::set_guard(const std::string& name, PacketGuard guard) {

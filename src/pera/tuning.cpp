@@ -73,6 +73,51 @@ double predict_overhead_ns(const PeraConfig& config,
   return sample_fraction * per_attested_packet;
 }
 
+netsim::SimTime ReattestCadence::interval_for(nac::EvidenceDetail level) const {
+  switch (level) {
+    case nac::EvidenceDetail::kHardware: return hardware;
+    case nac::EvidenceDetail::kProgram: return program;
+    case nac::EvidenceDetail::kTables: return tables;
+    case nac::EvidenceDetail::kProgState: return prog_state;
+    case nac::EvidenceDetail::kPacket: return packet;
+  }
+  return program;
+}
+
+ReattestCadence ReattestCadence::scaled(double factor) const {
+  const auto scale = [factor](netsim::SimTime t) {
+    const double s = static_cast<double>(t) * factor;
+    return s < 1.0 ? netsim::SimTime{1} : static_cast<netsim::SimTime>(s);
+  };
+  ReattestCadence out;
+  out.hardware = scale(hardware);
+  out.program = scale(program);
+  out.tables = scale(tables);
+  out.prog_state = scale(prog_state);
+  out.packet = scale(packet);
+  return out;
+}
+
+ReattestCadence recommend_cadence(const WorkloadProfile& workload,
+                                  netsim::SimTime min_interval,
+                                  netsim::SimTime max_interval) {
+  const auto interval = [&](nac::EvidenceDetail level) {
+    const double rate = churn_rate(level, workload);  // epoch changes / s
+    if (rate <= 0.0) return max_interval;
+    const double ns = 1e9 / rate;  // one expected change, in sim ns
+    if (ns >= static_cast<double>(max_interval)) return max_interval;
+    if (ns <= static_cast<double>(min_interval)) return min_interval;
+    return static_cast<netsim::SimTime>(ns);
+  };
+  ReattestCadence c;
+  c.hardware = interval(nac::EvidenceDetail::kHardware);
+  c.program = interval(nac::EvidenceDetail::kProgram);
+  c.tables = interval(nac::EvidenceDetail::kTables);
+  c.prog_state = interval(nac::EvidenceDetail::kProgState);
+  c.packet = interval(nac::EvidenceDetail::kPacket);
+  return c;
+}
+
 TuningRecommendation recommend_config(const WorkloadProfile& workload,
                                       const AssuranceRequirements& req,
                                       const CostModel& costs) {

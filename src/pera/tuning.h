@@ -55,4 +55,31 @@ struct TuningRecommendation {
     const WorkloadProfile& workload, const AssuranceRequirements& req,
     const CostModel& costs = {});
 
+/// Re-attestation cadence per inertia level — the temporal reading of
+/// Fig. 4's inertia axis for a *continuous* control plane (src/ctrl):
+/// each level is re-attested roughly once per expected epoch change, so
+/// hardware identity gets a slow heartbeat while tables under churn are
+/// checked near the floor.
+struct ReattestCadence {
+  netsim::SimTime hardware = 60 * netsim::kSecond;
+  netsim::SimTime program = 60 * netsim::kSecond;
+  netsim::SimTime tables = netsim::kSecond;
+  netsim::SimTime prog_state = 100 * netsim::kMillisecond;
+  netsim::SimTime packet = 100 * netsim::kMillisecond;
+
+  [[nodiscard]] netsim::SimTime interval_for(nac::EvidenceDetail level) const;
+
+  /// Uniformly scale every interval (e.g. speed a simulation up).
+  [[nodiscard]] ReattestCadence scaled(double factor) const;
+};
+
+/// Derive a cadence from the workload's churn rates: interval ~= one
+/// expected epoch change, clamped to [min_interval, max_interval]. Levels
+/// that never churn (hardware) sit at the ceiling — a liveness heartbeat —
+/// and per-packet levels at the floor (they are sampled in-band anyway).
+[[nodiscard]] ReattestCadence recommend_cadence(
+    const WorkloadProfile& workload,
+    netsim::SimTime min_interval = 100 * netsim::kMillisecond,
+    netsim::SimTime max_interval = 60 * netsim::kSecond);
+
 }  // namespace pera::pera

@@ -86,6 +86,8 @@ AttestationResult Appraiser::appraise(
   // Nonce replay detection: the same nonce may only be appraised once.
   if (enforce_freshness && expected_nonce && result.detail.ok) {
     if (!nonces_.observe(*expected_nonce)) {
+      ++replays_rejected_;
+      PERA_OBS_COUNT("ra.appraise.replay");
       result.detail.add({copland::AppraisalFinding::Kind::kStaleNonce, name_,
                          "nonce " + expected_nonce->value.short_hex() +
                              " already appraised"});

@@ -138,6 +138,12 @@ class Appraiser {
     return appraisal_count_;
   }
 
+  /// Replayed nonces rejected by freshness enforcement — duplicate
+  /// out-of-band evidence is rejected exactly once per replay.
+  [[nodiscard]] std::uint64_t replays_rejected() const {
+    return replays_rejected_;
+  }
+
  private:
   std::string name_;
   crypto::KeyStore* keys_;
@@ -146,6 +152,7 @@ class Appraiser {
   std::map<crypto::Digest, Certificate> cert_store_;
   std::optional<AppraisalPolicy> policy_;
   std::uint64_t appraisal_count_ = 0;
+  std::uint64_t replays_rejected_ = 0;
 };
 
 /// Requests attestations and consumes results (Fig. 1 "Relying Party").

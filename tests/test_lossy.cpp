@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/deployment.h"
+#include "ctrl/transport.h"
 
 namespace pera::core {
 namespace {
@@ -79,6 +80,69 @@ TEST(Lossy, FlowsDegradeGracefully) {
   EXPECT_LT(rep.packets_delivered, rep.packets_sent);
   EXPECT_GT(rep.packets_delivered, 0u);
   EXPECT_EQ(rep.appraisal_failures, 0u);
+}
+
+TEST(Lossy, ReplayedEvidenceRejectedExactlyOnce) {
+  // An adversary who captured a (nonce, evidence) exchange replays it at
+  // the appraiser. The first presentation consumes the nonce; the replay
+  // is rejected and counted — once, not once per configured level.
+  Deployment dep(netsim::topo::chain(2));
+  dep.provision_goldens();
+  auto& appraiser = dep.appraiser().appraiser();
+  const crypto::Nonce nonce{crypto::sha256("lossy-replay-test")};
+  const auto evidence = dep.switch_node("s1").pera().attest_challenge(
+      nac::mask_of(nac::EvidenceDetail::kProgram), nonce,
+      /*hash_before_sign=*/false);
+
+  const auto first = appraiser.appraise(evidence, nonce);
+  EXPECT_TRUE(first.ok);
+  EXPECT_EQ(appraiser.replays_rejected(), 0u);
+
+  const auto replay = appraiser.appraise(evidence, nonce);
+  EXPECT_FALSE(replay.ok) << "same nonce presented twice must be rejected";
+  EXPECT_EQ(appraiser.replays_rejected(), 1u);
+}
+
+TEST(Lossy, ControlTransportSurvivesHeavyLoss) {
+  // The control plane's retrying transport completes a round under loss
+  // heavy enough to eat most single attempts.
+  struct Tap final : netsim::NodeBehavior {
+    ctrl::EvidenceTransport* transport = nullptr;
+    void on_deliver(netsim::Network& net, netsim::NodeId,
+                    netsim::Message msg) override {
+      if (msg.type != "result") return;
+      (void)transport->on_result(
+          ra::Certificate::deserialize(
+              crypto::BytesView{msg.payload.data(), msg.payload.size()}),
+          net.now());
+    }
+  };
+  DeploymentOptions opts;
+  opts.seed = 61;
+  Deployment dep(netsim::topo::chain(2), opts);
+  dep.provision_goldens();
+  dep.network().set_loss(0.4, 8080);
+  ctrl::TransportConfig cfg;
+  cfg.timeout = 5 * netsim::kMillisecond;
+  cfg.max_attempts = 25;
+  ctrl::EvidenceTransport transport(
+      dep.network(), dep.network().topology().require("client"),
+      dep.appraiser_name(), dep.keys(), cfg, 61);
+  Tap tap;
+  tap.transport = &transport;
+  dep.network().attach("client", &tap);
+  std::optional<ctrl::RoundOutcome> outcome;
+  transport.begin_round(
+      "s1", nac::mask_of(nac::EvidenceDetail::kProgram),
+      [&](const std::string&, const ctrl::RoundOutcome& out) {
+        outcome = out;
+      });
+  dep.network().run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->completed)
+      << "40% per-hop loss should complete within 25 attempts";
+  EXPECT_TRUE(outcome->verdict);
+  EXPECT_GT(dep.network().stats().messages_lost, 0u);
 }
 
 }  // namespace
