@@ -1,24 +1,51 @@
-// Sharded-pipeline throughput benchmark.
+// Sharded-pipeline throughput benchmark — with in-pipeline parallel
+// appraisal and per-stage wall-clock attribution.
 //
-// Sweeps the shard count (1/2/4/8), evidence cache (on/off) and
-// out-of-band signing batch (1/32) over a fixed multi-flow packet
-// stream, emitting BENCH_throughput.json. Two measurements per cell:
+// Sweeps the shard count (default 1/2/4/8; each cell also runs one
+// appraiser worker per shard), evidence cache (on/off) and out-of-band
+// signing batch (1/32) over a fixed multi-flow packet stream, emitting
+// BENCH_throughput.json. Two measurements per cell:
 //
 //   * simulated packets/sec — the methodology-level number. The
 //     dispatcher clock (serial fraction) and per-shard pipe clocks use
 //     the same deterministic CostModel as the rest of the reproduction,
 //     so this scales with shards regardless of host core count.
-//   * wall-clock packets/sec — the host-dependent number, reported for
-//     context (a 1-core container serializes the worker threads).
+//   * wall-clock packets/sec — the host-dependent number. Unlike the
+//     pre-appraiser bench, the wall window now covers the *whole* job:
+//     dispatch + shard processing + concurrent appraisal + verdict
+//     merge, so it is an end-to-end number, not a produce-only number.
+//
+// Asserted gates (exit nonzero on violation; docs/PERFORMANCE.md has the
+// full rationale):
+//   * sim scaling   — max-shard sim pps >= 3x the 1-shard sim pps, per
+//                     (cache, batch) combo; checked when the sweep covers
+//                     shards 1 and >= 8. Host-independent.
+//   * wall scaling  — host-aware: on a C-core host the same ratio must
+//                     reach min(3.0, C/2.0); on 1-2 cores that degrades
+//                     to a no-collapse floor of 0.5 (threading overhead
+//                     must not halve throughput when there is nothing to
+//                     run in parallel on).
+//   * bit-identity  — every cell's appraisal summary digest must be
+//                     identical across shard counts for a fixed
+//                     (cache, batch); checked whenever the sweep covers
+//                     >= 2 shard counts.
+//   * attribution   — with --profile-json, every cell's profiler
+//                     accounted_share must be >= 0.95.
 //
 // Extra flags (stripped before Google Benchmark sees the rest):
-//   --shards=N     restrict the sweep to one shard count
+//   --shards=LIST  comma-separated shard counts (e.g. 1,4; default 1,2,4,8)
 //   --packets=N    stream length per cell (default 4096)
 //   --flows=N      distinct 5-tuples in the stream (default 64)
 //   --warmup=N     unrecorded passes per cell before measuring (default 0)
 //   --repeat=N     measured passes per cell; the median run (by wall-clock
 //                  packets/sec) is the one reported (default 1)
+//   --scheme=S     evidence signature scheme: hmac (default) or xmss
+//                  (WOTS chains through the multi-lane SHA-256 engine;
+//                  mind the 2^height per-shard signature budget)
+//   --pin          pin shard/appraiser threads round-robin over the cores
 //   --json=PATH    output path (default BENCH_throughput.json)
+//   --profile-json=PATH  enable the stage profiler and write the
+//                  per-cell per-thread stage attribution JSON
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -27,7 +54,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/profiler.h"
 #include "obs_bench_main.h"
+#include "pipeline/affinity.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/reassembler.h"
 
@@ -37,14 +66,18 @@ using namespace pera;
 using pipeline::PeraPipeline;
 using pipeline::PipelineOptions;
 using pipeline::PipelineReport;
+namespace prof = obs::profiler;
 
 struct SweepConfig {
   std::size_t packets = 4096;
   std::size_t flows = 64;
-  std::size_t only_shards = 0;  // 0 = sweep 1/2/4/8
-  std::size_t warmup = 0;       // discarded passes per cell
-  std::size_t repeat = 1;       // measured passes; median reported
+  std::vector<std::size_t> shard_counts = {1, 2, 4, 8};
+  std::size_t warmup = 0;  // discarded passes per cell
+  std::size_t repeat = 1;  // measured passes; median reported
+  crypto::SignatureScheme scheme = crypto::SignatureScheme::kHmacDeviceKey;
+  bool pin = false;
   std::string json_path = "BENCH_throughput.json";
+  std::string profile_path;  // non-empty = profiler on
 };
 
 std::vector<dataplane::RawPacket> make_stream(std::size_t packets,
@@ -78,24 +111,44 @@ struct CellResult {
   std::size_t batch = 0;
   PipelineReport report;
   double wall_pps = 0.0;
+  // End-to-end appraisal results (inside the wall window).
+  std::size_t appraised_flows = 0;
+  std::uint64_t appraised_records = 0;
+  std::string summary_hex;  // appraisal summary digest (shard-invariant)
+  // Stage attribution for this pass (profiler enabled only).
+  double accounted_share = 1.0;
+  std::string profile_json;
 };
 
 CellResult run_cell(std::size_t shards, bool cache, std::size_t batch,
                     const std::vector<dataplane::RawPacket>& stream,
-                    const nac::PolicyHeader& hdr) {
+                    const nac::PolicyHeader& hdr, const SweepConfig& cfg) {
   PipelineOptions opt;
   opt.shards = shards;
   opt.queue_capacity = 4096;
   opt.drop_on_full = false;
   opt.pera.cache_enabled = cache;
   opt.pera.oob_batch_size = batch;
+  opt.appraisers = shards;  // one appraiser worker per shard
+  opt.scheme = cfg.scheme;
+  opt.pin_cores = cfg.pin;
   PeraPipeline pipe("sw1", [] { return dataplane::make_router(); },
                     crypto::sha256("bench-root"), opt);
 
+  const bool profiling = prof::enabled();
+  if (profiling) prof::reset();
+
   const auto t0 = std::chrono::steady_clock::now();
-  pipe.start();
-  for (const dataplane::RawPacket& raw : stream) (void)pipe.submit(raw, &hdr);
-  pipe.stop();
+  {
+    // The submitting thread is the dispatch stage; its submit() calls
+    // attribute to dispatch / ring_transit once registered.
+    const prof::ScopedThread dispatcher("dispatch", prof::Stage::kIdle);
+    pipe.start();
+    for (const dataplane::RawPacket& raw : stream) {
+      (void)pipe.submit(raw, &hdr);
+    }
+    pipe.stop();  // defined drain order: shards flush, appraiser merges
+  }
   const auto t1 = std::chrono::steady_clock::now();
 
   CellResult cell;
@@ -103,30 +156,41 @@ CellResult run_cell(std::size_t shards, bool cache, std::size_t batch,
   cell.cache = cache;
   cell.batch = batch;
   cell.report = pipe.report();
+  cell.appraised_flows = pipe.appraiser()->flows();
+  cell.appraised_records = pipe.appraiser()->records();
+  cell.summary_hex = pipe.appraiser()->summary().hex();
   const double wall_s =
       std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
           .count();
   if (wall_s > 0) {
     cell.wall_pps = static_cast<double>(cell.report.processed()) / wall_s;
   }
+  if (profiling) {
+    cell.accounted_share = prof::totals().accounted_share();
+    cell.profile_json = prof::to_json();
+    // Fold this cell's totals into the metrics registry before the next
+    // cell's reset() clears them; the --metrics-json export then carries
+    // pipeline.stage.* accumulated across the whole sweep.
+    prof::publish_metrics();
+  }
   return cell;
 }
 
 // Warmup passes are discarded; of the measured passes the median by
 // wall-clock pps is reported, which is what actually varies between runs
-// (the simulated numbers are deterministic).
+// (the simulated numbers and summary digests are deterministic).
 CellResult run_cell_repeated(std::size_t shards, bool cache, std::size_t batch,
                              const std::vector<dataplane::RawPacket>& stream,
                              const nac::PolicyHeader& hdr,
                              const SweepConfig& cfg) {
   for (std::size_t i = 0; i < cfg.warmup; ++i) {
-    (void)run_cell(shards, cache, batch, stream, hdr);
+    (void)run_cell(shards, cache, batch, stream, hdr, cfg);
   }
   const std::size_t reps = cfg.repeat == 0 ? 1 : cfg.repeat;
   std::vector<CellResult> runs;
   runs.reserve(reps);
   for (std::size_t i = 0; i < reps; ++i) {
-    runs.push_back(run_cell(shards, cache, batch, stream, hdr));
+    runs.push_back(run_cell(shards, cache, batch, stream, hdr, cfg));
   }
   std::sort(runs.begin(), runs.end(),
             [](const CellResult& a, const CellResult& b) {
@@ -145,9 +209,12 @@ void write_json(const std::vector<CellResult>& cells, const SweepConfig& cfg) {
   std::fprintf(f,
                "{\n  \"packets\": %zu,\n  \"flows\": %zu,\n"
                "  \"warmup\": %zu,\n  \"repeat\": %zu,\n"
-               "  \"sha256_backend\": \"%s\",\n  \"cells\": [\n",
+               "  \"host_cores\": %u,\n"
+               "  \"sha256_backend\": \"%s\",\n"
+               "  \"scheme\": \"%s\",\n  \"cells\": [\n",
                cfg.packets, cfg.flows, cfg.warmup, cfg.repeat,
-               crypto::engine::active().name);
+               pipeline::core_count(), crypto::engine::active().name,
+               cfg.scheme == crypto::SignatureScheme::kXmss ? "xmss" : "hmac");
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const CellResult& c = cells[i];
     std::fprintf(
@@ -156,7 +223,10 @@ void write_json(const std::vector<CellResult>& cells, const SweepConfig& cfg) {
         "\"sim_packets_per_sec\": %.1f, "
         "\"sim_latency_p50_ns\": %lld, \"sim_latency_p99_ns\": %lld, "
         "\"sim_makespan_ns\": %lld, \"wall_packets_per_sec\": %.1f, "
-        "\"processed\": %llu, \"dropped\": %llu}%s\n",
+        "\"processed\": %llu, \"dropped\": %llu, "
+        "\"appraised_flows\": %zu, \"appraised_records\": %llu, "
+        "\"pool_reused\": %llu, \"pool_fresh\": %llu, "
+        "\"summary\": \"%s\"}%s\n",
         c.shards, c.cache ? "true" : "false", c.batch,
         c.report.sim_packets_per_sec,
         static_cast<long long>(c.report.latency_percentile(0.50)),
@@ -164,20 +234,132 @@ void write_json(const std::vector<CellResult>& cells, const SweepConfig& cfg) {
         static_cast<long long>(c.report.makespan), c.wall_pps,
         static_cast<unsigned long long>(c.report.processed()),
         static_cast<unsigned long long>(c.report.dropped),
-        i + 1 < cells.size() ? "," : "");
+        c.appraised_flows,
+        static_cast<unsigned long long>(c.appraised_records),
+        static_cast<unsigned long long>(c.report.pool_reused),
+        static_cast<unsigned long long>(c.report.pool_fresh),
+        c.summary_hex.c_str(), i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
+}
+
+void write_profile_json(const std::vector<CellResult>& cells,
+                        const SweepConfig& cfg) {
+  std::FILE* f = std::fopen(cfg.profile_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_throughput: cannot write %s\n",
+                 cfg.profile_path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"cells\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    std::fprintf(f,
+                 "    {\"shards\": %zu, \"cache\": %s, \"batch\": %zu, "
+                 "\"profile\": %s}%s\n",
+                 c.shards, c.cache ? "true" : "false", c.batch,
+                 c.profile_json.c_str(), i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+/// The asserted gates. Returns the number of violations (0 = pass).
+int check_gates(const std::vector<CellResult>& cells, const SweepConfig& cfg) {
+  int violations = 0;
+  std::size_t min_shards = SIZE_MAX, max_shards = 0;
+  for (const CellResult& c : cells) {
+    min_shards = std::min(min_shards, c.shards);
+    max_shards = std::max(max_shards, c.shards);
+  }
+  if (cells.empty()) return 0;
+
+  const auto find_cell = [&cells](std::size_t shards, bool cache,
+                                  std::size_t batch) -> const CellResult* {
+    for (const CellResult& c : cells) {
+      if (c.shards == shards && c.cache == cache && c.batch == batch) {
+        return &c;
+      }
+    }
+    return nullptr;
+  };
+
+  // Bit-identity: the appraisal summary digest must not depend on the
+  // shard count (and hence not on the appraiser count, which tracks it).
+  if (min_shards < max_shards) {
+    for (const CellResult& c : cells) {
+      const CellResult* base = find_cell(min_shards, c.cache, c.batch);
+      if (base == nullptr || base->summary_hex == c.summary_hex) continue;
+      std::fprintf(stderr,
+                   "GATE FAIL [bit-identity]: cache=%d batch=%zu summary "
+                   "differs between %zu and %zu shards\n",
+                   c.cache ? 1 : 0, c.batch, min_shards, c.shards);
+      ++violations;
+    }
+  }
+
+  // Scaling gates need the full span (1 shard and >= 8 shards).
+  if (min_shards == 1 && max_shards >= 8) {
+    const unsigned cores = pipeline::core_count();
+    // Host-aware wall target: C/2 up to the asserted 3x; a 1-2 core host
+    // cannot run threads in parallel, so only guard against collapse.
+    const double wall_required =
+        cores <= 2 ? 0.5 : std::min(3.0, static_cast<double>(cores) / 2.0);
+    for (const bool cache : {true, false}) {
+      for (const std::size_t batch : {std::size_t{1}, std::size_t{32}}) {
+        const CellResult* lo = find_cell(1, cache, batch);
+        const CellResult* hi = find_cell(max_shards, cache, batch);
+        if (lo == nullptr || hi == nullptr) continue;
+        const double sim_x =
+            lo->report.sim_packets_per_sec > 0
+                ? hi->report.sim_packets_per_sec /
+                      lo->report.sim_packets_per_sec
+                : 0.0;
+        if (sim_x < 3.0) {
+          std::fprintf(stderr,
+                       "GATE FAIL [sim-scaling]: cache=%d batch=%zu "
+                       "sim %zux/%zux = %.2fx < 3.0x\n",
+                       cache ? 1 : 0, batch, max_shards, std::size_t{1},
+                       sim_x);
+          ++violations;
+        }
+        const double wall_x =
+            lo->wall_pps > 0 ? hi->wall_pps / lo->wall_pps : 0.0;
+        if (wall_x < wall_required) {
+          std::fprintf(stderr,
+                       "GATE FAIL [wall-scaling]: cache=%d batch=%zu "
+                       "wall %.2fx < %.2fx (host has %u cores)\n",
+                       cache ? 1 : 0, batch, wall_x, wall_required, cores);
+          ++violations;
+        }
+      }
+    }
+  }
+
+  // Attribution: the named stages must cover >= 95% of every thread
+  // window (otherwise the profiler is lying about where time goes).
+  if (!cfg.profile_path.empty()) {
+    for (const CellResult& c : cells) {
+      if (c.accounted_share >= 0.95) continue;
+      std::fprintf(stderr,
+                   "GATE FAIL [attribution]: shards=%zu cache=%d batch=%zu "
+                   "accounted_share %.3f < 0.95\n",
+                   c.shards, c.cache ? 1 : 0, c.batch, c.accounted_share);
+      ++violations;
+    }
+  }
+  return violations;
 }
 
 int run_sweep(const SweepConfig& cfg) {
   const std::vector<dataplane::RawPacket> stream =
       make_stream(cfg.packets, cfg.flows);
   const nac::PolicyHeader hdr = make_policy_header();
+  if (!cfg.profile_path.empty()) prof::set_enabled(true);
 
   std::vector<CellResult> cells;
-  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
-    if (cfg.only_shards != 0 && shards != cfg.only_shards) continue;
+  for (const std::size_t shards : cfg.shard_counts) {
     for (const bool cache : {true, false}) {
       for (const std::size_t batch : {1u, 32u}) {
         cells.push_back(
@@ -185,17 +367,27 @@ int run_sweep(const SweepConfig& cfg) {
         const CellResult& c = cells.back();
         std::printf(
             "shards=%zu cache=%-3s batch=%-2zu  sim=%10.0f pps  "
-            "p50=%6lld ns  p99=%6lld ns  wall=%9.0f pps\n",
+            "p50=%6lld ns  p99=%6lld ns  wall=%9.0f pps  flows=%zu\n",
             c.shards, c.cache ? "on" : "off", c.batch,
             c.report.sim_packets_per_sec,
             static_cast<long long>(c.report.latency_percentile(0.50)),
             static_cast<long long>(c.report.latency_percentile(0.99)),
-            c.wall_pps);
+            c.wall_pps, c.appraised_flows);
       }
     }
   }
   write_json(cells, cfg);
   std::printf("wrote %s\n", cfg.json_path.c_str());
+  if (!cfg.profile_path.empty()) {
+    write_profile_json(cells, cfg);
+    std::printf("wrote %s\n", cfg.profile_path.c_str());
+  }
+  const int violations = check_gates(cells, cfg);
+  if (violations != 0) {
+    std::fprintf(stderr, "bench_throughput: %d gate violation(s)\n",
+                 violations);
+    return 1;
+  }
   return 0;
 }
 
@@ -205,9 +397,10 @@ void BM_PipelineStream(benchmark::State& state) {
   const auto shards = static_cast<std::size_t>(state.range(0));
   const std::vector<dataplane::RawPacket> stream = make_stream(512, 32);
   const nac::PolicyHeader hdr = make_policy_header();
+  const SweepConfig cfg;
   double sim_pps = 0.0;
   for (auto _ : state) {
-    const CellResult c = run_cell(shards, true, 1, stream, hdr);
+    const CellResult c = run_cell(shards, true, 1, stream, hdr, cfg);
     sim_pps = c.report.sim_packets_per_sec;
     benchmark::DoNotOptimize(c.report.makespan);
   }
@@ -215,6 +408,23 @@ void BM_PipelineStream(benchmark::State& state) {
   state.counters["sim_pps"] = sim_pps;
 }
 BENCHMARK(BM_PipelineStream)->Arg(1)->Arg(2)->Arg(4);
+
+std::vector<std::size_t> parse_shard_list(const char* v) {
+  std::vector<std::size_t> out;
+  const std::string s = v;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string tok =
+        s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (const long long n = std::atoll(tok.c_str()); n > 0) {
+      out.push_back(static_cast<std::size_t>(n));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -228,7 +438,9 @@ int main(int argc, char** argv) {
       return arg.rfind(prefix, 0) == 0 ? arg.c_str() + prefix.size() : nullptr;
     };
     if (const char* v = value_of("--shards")) {
-      cfg.only_shards = static_cast<std::size_t>(std::atoll(v));
+      if (std::vector<std::size_t> list = parse_shard_list(v); !list.empty()) {
+        cfg.shard_counts = std::move(list);
+      }
     } else if (const char* v = value_of("--packets")) {
       cfg.packets = static_cast<std::size_t>(std::atoll(v));
     } else if (const char* v = value_of("--flows")) {
@@ -237,8 +449,16 @@ int main(int argc, char** argv) {
       cfg.warmup = static_cast<std::size_t>(std::atoll(v));
     } else if (const char* v = value_of("--repeat")) {
       cfg.repeat = static_cast<std::size_t>(std::atoll(v));
+    } else if (const char* v = value_of("--scheme")) {
+      cfg.scheme = std::string(v) == "xmss"
+                       ? crypto::SignatureScheme::kXmss
+                       : crypto::SignatureScheme::kHmacDeviceKey;
+    } else if (arg == "--pin") {
+      cfg.pin = true;
     } else if (const char* v = value_of("--json")) {
       cfg.json_path = v;
+    } else if (const char* v = value_of("--profile-json")) {
+      cfg.profile_path = v;
     } else {
       argv[out_argc++] = argv[i];
     }

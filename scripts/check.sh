@@ -44,13 +44,23 @@ PERA_SHA256_BACKEND=scalar build/bench/bench_crypto --smoke \
   --json=build/BENCH_crypto.smoke-scalar.json > /dev/null
 grep -q '"auto_backend": "scalar"' build/BENCH_crypto.smoke-scalar.json
 
+# Reduced-config sweep (1 and 4 shards) with the stage profiler on: the
+# bit-identity gate runs inside the bench (nonzero exit on violation),
+# and the profile JSON must attribute time to every pipeline stage.
 echo "== sharded pipeline bench (smoke) =="
-build/bench/bench_throughput --shards=2 --packets=512 \
+build/bench/bench_throughput --shards=1,4 --packets=512 \
   --json=build/BENCH_throughput.smoke.json \
+  --profile-json=build/throughput.profile.json \
   --metrics-json=build/throughput.metrics.json \
   --benchmark_min_time=0.01 > /dev/null
 grep -q '"pipeline.shard.packets.0"' build/throughput.metrics.json
 grep -q '"sim_packets_per_sec"' build/BENCH_throughput.smoke.json
+grep -q '"appraised_flows"' build/BENCH_throughput.smoke.json
+for stage in dispatch ring_transit shard_work reassembly wots_verify \
+             merge idle; do
+  grep -q "\"$stage\"" build/throughput.profile.json
+done
+grep -q '"accounted_share"' build/throughput.profile.json
 
 echo "== control plane bench (smoke) =="
 build/bench/bench_ctrl --smoke --json=build/BENCH_ctrl.smoke.json \
@@ -109,8 +119,11 @@ cmake -B build-tsan -G Ninja -DPERA_WERROR=ON -DPERA_SANITIZE=thread
 cmake --build build-tsan --target pera_tests bench_throughput
 ./build-tsan/tests/pera_tests \
   --gtest_filter='SpscQueue*:FlowHash*:EpochBlock*:Pipeline*:Ctrl*:Trust*'
-./build-tsan/bench/bench_throughput --shards=2 --packets=256 \
+# The TSan bench pass covers the full threaded topology: dispatcher +
+# shard workers + parallel appraiser workers + profiler slots.
+./build-tsan/bench/bench_throughput --shards=1,4 --packets=256 \
   --json=build-tsan/BENCH_throughput.smoke.json \
+  --profile-json=build-tsan/throughput.profile.json \
   --metrics-json=build-tsan/throughput.metrics.json \
   --benchmark_min_time=0.01 > /dev/null
 

@@ -1,0 +1,226 @@
+#include "obs/profiler.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/obs.h"
+
+namespace pera::obs::profiler {
+
+namespace {
+
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+constexpr std::size_t kMaxThreads = 64;
+constexpr std::size_t kRoleBytes = 24;
+
+// One cache-line-padded slot per registered thread. `ns`/`calls` are
+// written only by the owning thread (relaxed) and read by the exporter
+// after the run (or mid-run, for monitoring — totals are then
+// approximate, which is fine for a gauge).
+struct alignas(64) Slot {
+  std::atomic<bool> used{false};
+  std::atomic<std::uint64_t> ns[kStageCount];
+  std::atomic<std::uint64_t> calls[kStageCount];
+  std::atomic<std::uint64_t> window_ns{0};
+  char role[kRoleBytes] = {};
+};
+
+struct State {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint32_t> generation{1};
+  Slot slots[kMaxThreads];
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+// Thread-local cursor into the claimed slot. `generation` detects a
+// reset() between registration and use: a stale cursor silently
+// deactivates instead of writing into a recycled slot.
+struct Cursor {
+  Slot* slot = nullptr;
+  std::uint32_t generation = 0;
+  Stage stage = Stage::kIdle;
+  std::uint64_t stamp = 0;      // entry time of the current stage
+  std::uint64_t began = 0;      // thread_begin time
+};
+
+thread_local Cursor t_cursor;
+
+inline Slot* live_slot() {
+  Cursor& c = t_cursor;
+  if (c.slot == nullptr) return nullptr;
+  if (c.generation != state().generation.load(std::memory_order_relaxed)) {
+    c.slot = nullptr;
+    return nullptr;
+  }
+  return c.slot;
+}
+
+constexpr std::string_view kStageNames[kStageCount] = {
+    "dispatch",    "ring_transit", "shard_work", "reassembly",
+    "wots_verify", "merge",        "idle"};
+
+}  // namespace
+
+std::string_view to_string(Stage s) {
+  return kStageNames[static_cast<std::size_t>(s)];
+}
+
+bool enabled() { return state().enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  state().enabled.store(on, std::memory_order_relaxed);
+}
+
+void reset() {
+  State& s = state();
+  // Invalidate every thread-local cursor first so a concurrently live
+  // thread stops writing before the slots are zeroed.
+  s.generation.fetch_add(1, std::memory_order_relaxed);
+  for (Slot& slot : s.slots) {
+    for (std::size_t i = 0; i < kStageCount; ++i) {
+      slot.ns[i].store(0, std::memory_order_relaxed);
+      slot.calls[i].store(0, std::memory_order_relaxed);
+    }
+    slot.window_ns.store(0, std::memory_order_relaxed);
+    slot.role[0] = '\0';
+    slot.used.store(false, std::memory_order_release);
+  }
+}
+
+void thread_begin(std::string_view role, Stage initial) {
+  if (!enabled()) return;
+  if (live_slot() != nullptr) thread_end();
+  State& s = state();
+  for (Slot& slot : s.slots) {
+    bool expected = false;
+    if (!slot.used.compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+      continue;
+    }
+    const std::size_t n = role.size() < kRoleBytes - 1 ? role.size()
+                                                       : kRoleBytes - 1;
+    for (std::size_t i = 0; i < n; ++i) slot.role[i] = role[i];
+    slot.role[n] = '\0';
+    Cursor& c = t_cursor;
+    c.slot = &slot;
+    c.generation = s.generation.load(std::memory_order_relaxed);
+    c.stage = initial;
+    c.began = c.stamp = now_ns();
+    return;
+  }
+  // All slots taken: the thread runs unprofiled.
+}
+
+void thread_end() {
+  Slot* slot = live_slot();
+  if (slot == nullptr) return;
+  Cursor& c = t_cursor;
+  const std::uint64_t t = now_ns();
+  const std::size_t i = static_cast<std::size_t>(c.stage);
+  slot->ns[i].fetch_add(t - c.stamp, std::memory_order_relaxed);
+  slot->calls[i].fetch_add(1, std::memory_order_relaxed);
+  slot->window_ns.fetch_add(t - c.began, std::memory_order_relaxed);
+  c.slot = nullptr;
+}
+
+void enter(Stage s) {
+  Slot* slot = live_slot();
+  if (slot == nullptr) return;
+  Cursor& c = t_cursor;
+  if (s == c.stage) return;  // common fast path: stay in stage
+  const std::uint64_t t = now_ns();
+  const std::size_t i = static_cast<std::size_t>(c.stage);
+  slot->ns[i].fetch_add(t - c.stamp, std::memory_order_relaxed);
+  slot->calls[i].fetch_add(1, std::memory_order_relaxed);
+  c.stage = s;
+  c.stamp = t;
+}
+
+ScopedStage::ScopedStage(Stage s) : prev_(Stage::kIdle), live_(false) {
+  if (live_slot() == nullptr) return;
+  prev_ = t_cursor.stage;
+  live_ = true;
+  enter(s);
+}
+
+ScopedStage::~ScopedStage() {
+  if (live_) enter(prev_);
+}
+
+StageTotals totals() {
+  StageTotals out;
+  for (const Slot& slot : state().slots) {
+    if (!slot.used.load(std::memory_order_acquire)) continue;
+    for (std::size_t i = 0; i < kStageCount; ++i) {
+      out.wall_ns[i] += slot.ns[i].load(std::memory_order_relaxed);
+      out.calls[i] += slot.calls[i].load(std::memory_order_relaxed);
+    }
+    out.window_ns += slot.window_ns.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void publish_metrics() {
+  if (!obs::enabled()) return;
+  const StageTotals t = totals();
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const std::string base =
+        "pipeline.stage." + std::string(kStageNames[i]);
+    obs::metrics().counter(base + ".wall_ns").add(t.wall_ns[i]);
+    obs::metrics().counter(base + ".calls").add(t.calls[i]);
+  }
+}
+
+std::string to_json() {
+  const StageTotals t = totals();
+  char buf[160];
+  std::string out = "{\"stages\":{";
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%.*s\":{\"wall_ns\":%llu,\"calls\":%llu}",
+                  i == 0 ? "" : ",",
+                  static_cast<int>(kStageNames[i].size()),
+                  kStageNames[i].data(),
+                  static_cast<unsigned long long>(t.wall_ns[i]),
+                  static_cast<unsigned long long>(t.calls[i]));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "},\"window_ns\":%llu,\"accounted_share\":%.4f,\"threads\":[",
+                static_cast<unsigned long long>(t.window_ns),
+                t.accounted_share());
+  out += buf;
+  bool first = true;
+  for (const Slot& slot : state().slots) {
+    if (!slot.used.load(std::memory_order_acquire)) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "{\"role\":\"";
+    out += slot.role;
+    out += "\"";
+    for (std::size_t i = 0; i < kStageCount; ++i) {
+      const std::uint64_t ns = slot.ns[i].load(std::memory_order_relaxed);
+      if (ns == 0) continue;
+      std::snprintf(buf, sizeof(buf), ",\"%.*s\":%llu",
+                    static_cast<int>(kStageNames[i].size()),
+                    kStageNames[i].data(),
+                    static_cast<unsigned long long>(ns));
+      out += buf;
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace pera::obs::profiler

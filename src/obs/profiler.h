@@ -1,0 +1,135 @@
+// Per-stage scalability profiler — wall-clock attribution for the
+// parallel pipeline, in the style of NFOS's scalability profiler: every
+// participating thread registers a slot, tags the stage it is currently
+// in, and the profiler accumulates wall nanoseconds (and transition
+// counts) per (thread, stage). Aggregating across threads answers the
+// question the throughput bench alone cannot: *which stage* eats the
+// wall clock when shard count rises but packets/sec does not.
+//
+// Design constraints, in order:
+//  * Measured, not guessed — a thread is *always* inside exactly one
+//    named stage between profile_thread_begin/end, so the per-stage sums
+//    cover the thread's whole lifetime and the "unaccounted" residue
+//    stays below the 5% gate bench_throughput asserts.
+//  * Cheap — stage transitions are two TLS loads, one steady_clock read
+//    and two relaxed atomic adds; while the profiler is disabled the
+//    macros cost one relaxed load, like the rest of src/obs.
+//  * Lock-free — slots are claimed with a CAS at thread registration;
+//    the hot path never takes a lock and never allocates.
+//
+// Stages model the pipeline's stage graph (docs/ARCHITECTURE.md §3):
+//
+//   dispatch     flow-hash + ring push on the submitting thread
+//   ring_transit blocked on a ring (producer full-wait, consumer scan)
+//   shard_work   PeraSwitch::process on a shard worker
+//   reassembly   appraiser-side bucketing + per-flow ordering/folding
+//   wots_verify  signature verification (HMAC / Merkle-batched / XMSS
+//                — the WOTS chain walk rides the multi-lane engine)
+//   merge        deterministic cross-appraiser verdict merge + summary
+//   idle         registered but nothing to do (stop-wait, drain-wait)
+//
+// Exported two ways: `publish_metrics()` folds totals into the process
+// metrics registry (`pipeline.stage.<stage>.wall_ns` / `.calls`), and
+// `to_json()` emits the full per-thread breakdown (what
+// `bench_throughput --profile-json=PATH` writes).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pera::obs::profiler {
+
+enum class Stage : std::uint8_t {
+  kDispatch = 0,
+  kRingTransit,
+  kShardWork,
+  kReassembly,
+  kWotsVerify,
+  kMerge,
+  kIdle,
+};
+inline constexpr std::size_t kStageCount = 7;
+
+[[nodiscard]] std::string_view to_string(Stage s);
+
+/// Runtime toggle, independent of obs::set_enabled (benches profile with
+/// metrics off and vice versa). Off by default.
+[[nodiscard]] bool enabled();
+void set_enabled(bool on);
+
+/// Zero every slot and release all thread registrations. Call between
+/// runs; live registered threads must re-register afterwards.
+void reset();
+
+/// Register the calling thread under `role` (e.g. "dispatcher",
+/// "shard3", "appraiser0") and enter `initial`. No-op when disabled or
+/// when all slots are taken (the thread then profiles into nothing).
+void thread_begin(std::string_view role, Stage initial);
+
+/// Close the calling thread's attribution window (flushes the open
+/// stage). Idempotent.
+void thread_end();
+
+/// Switch the calling thread's current stage, attributing the elapsed
+/// wall time to the stage it was in. Cheap no-op when unregistered.
+void enter(Stage s);
+
+/// RAII stage switch: enters `s`, restores the previous stage on scope
+/// exit. For leaf sections inside a longer-lived stage.
+class ScopedStage {
+ public:
+  explicit ScopedStage(Stage s);
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+  ~ScopedStage();
+
+ private:
+  Stage prev_;
+  bool live_;
+};
+
+/// Aggregated view over every slot used since the last reset().
+struct StageTotals {
+  std::uint64_t wall_ns[kStageCount] = {};
+  std::uint64_t calls[kStageCount] = {};
+  std::uint64_t window_ns = 0;  // sum of thread begin->end windows
+
+  [[nodiscard]] std::uint64_t accounted_ns() const {
+    std::uint64_t n = 0;
+    for (const std::uint64_t v : wall_ns) n += v;
+    return n;
+  }
+  /// Fraction of the registered windows the named stages cover, in
+  /// [0, 1]. 1.0 when no window was recorded.
+  [[nodiscard]] double accounted_share() const {
+    return window_ns == 0
+               ? 1.0
+               : static_cast<double>(accounted_ns()) /
+                     static_cast<double>(window_ns);
+  }
+};
+
+[[nodiscard]] StageTotals totals();
+
+/// Fold totals into obs::metrics() as counters
+/// `pipeline.stage.<stage>.wall_ns` / `pipeline.stage.<stage>.calls`
+/// (requires obs to be enabled, like every other metrics writer).
+void publish_metrics();
+
+/// Full JSON: {"stages": {...}, "accounted_share": x, "threads": [...]}.
+[[nodiscard]] std::string to_json();
+
+/// RAII thread registration for worker bodies.
+class ScopedThread {
+ public:
+  ScopedThread(std::string_view role, Stage initial) {
+    thread_begin(role, initial);
+  }
+  ScopedThread(const ScopedThread&) = delete;
+  ScopedThread& operator=(const ScopedThread&) = delete;
+  ~ScopedThread() { thread_end(); }
+};
+
+}  // namespace pera::obs::profiler

@@ -1,0 +1,35 @@
+#include "pipeline/affinity.h"
+
+#include <thread>
+
+#include "obs/obs.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace pera::pipeline {
+
+unsigned core_count() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+bool pin_current_thread(unsigned cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % core_count(), &set);
+  const bool ok =
+      pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+  PERA_OBS_COUNT(ok ? "pipeline.pin.applied" : "pipeline.pin.failed");
+  return ok;
+#else
+  (void)cpu;
+  PERA_OBS_COUNT("pipeline.pin.failed");
+  return false;
+#endif
+}
+
+}  // namespace pera::pipeline

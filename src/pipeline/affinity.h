@@ -1,0 +1,19 @@
+// Optional core pinning for pipeline threads (dispatcher, shard
+// workers, appraiser workers). Best-effort: on hosts with fewer cores
+// than threads, or on platforms without an affinity API, pinning
+// silently degrades to a no-op — the pipeline is correct either way,
+// pinning only removes scheduler migration noise from the wall-clock
+// numbers (see docs/PERFORMANCE.md).
+#pragma once
+
+namespace pera::pipeline {
+
+/// Pin the calling thread to `cpu` (modulo the online core count).
+/// Returns true when the affinity call succeeded. Counts
+/// pipeline.pin.applied / pipeline.pin.failed when obs is enabled.
+bool pin_current_thread(unsigned cpu);
+
+/// Online core count (hardware_concurrency, min 1).
+unsigned core_count();
+
+}  // namespace pera::pipeline

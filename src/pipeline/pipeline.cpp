@@ -4,8 +4,12 @@
 
 #include "crypto/hmac.h"
 #include "obs/obs.h"
+#include "obs/profiler.h"
+#include "pipeline/affinity.h"
 
 namespace pera::pipeline {
+
+namespace prof = obs::profiler;
 
 netsim::SimTime PipelineReport::latency_percentile(double p) const {
   if (latencies.empty()) return 0;
@@ -31,7 +35,25 @@ PeraPipeline::PeraPipeline(std::string name, ProgramFactory factory,
   for (std::size_t i = 0; i < options_.shards; ++i) {
     workers_.push_back(std::make_unique<ShardWorker>(
         static_cast<std::uint32_t>(i), name_, factory, keys[i], epochs_,
-        options_.pera, options_.queue_capacity, options_.base_packet_cost));
+        options_.pera, options_.queue_capacity, options_.base_packet_cost,
+        options_.scheme, options_.xmss_height));
+    if (options_.pin_cores) {
+      workers_.back()->set_pin_cpu(static_cast<int>(i));
+    }
+  }
+  if (options_.appraisers > 0) {
+    AppraiserOptions ao;
+    ao.workers = options_.appraisers;
+    ao.queue_capacity = options_.appraiser_queue_capacity;
+    ao.mode = options_.appraise_mode;
+    ao.scheme = options_.scheme;
+    ao.xmss_height = options_.xmss_height;
+    ao.verify_burst = options_.verify_burst;
+    ao.pin_base =
+        options_.pin_cores ? static_cast<int>(options_.shards) : -1;
+    appraiser_ = std::make_unique<ParallelAppraiser>(
+        root_key, options_.shard_key_label, options_.shards, ao);
+    for (auto& w : workers_) w->set_sink(appraiser_.get());
   }
 }
 
@@ -42,6 +64,7 @@ void PeraPipeline::start() {
   crypto::engine::publish_metrics();
   started_ = true;
   stop_.store(false, std::memory_order_release);
+  if (appraiser_) appraiser_->start(workers_.size());
   threads_.reserve(workers_.size());
   for (auto& w : workers_) {
     threads_.emplace_back([worker = w.get(), this] { worker->run(stop_); });
@@ -50,13 +73,25 @@ void PeraPipeline::start() {
 
 bool PeraPipeline::submit(const dataplane::RawPacket& raw,
                           const nac::PolicyHeader* header) {
+  const prof::ScopedStage dispatching(prof::Stage::kDispatch);
   const std::uint64_t flow = flow_hash(extract_flow_key(raw));
   const std::size_t shard = static_cast<std::size_t>(
       (static_cast<unsigned __int128>(flow) * workers_.size()) >> 64);
 
   dispatch_clock_ += options_.dispatch_cost;
   PacketJob job;
-  job.raw = raw;
+  // Allocation-free fast path: reuse the capacity of a buffer the target
+  // shard already spent, instead of allocating a fresh copy.
+  crypto::Bytes pooled;
+  if (workers_[shard]->recycle().try_pop(pooled)) {
+    pooled.assign(raw.data.begin(), raw.data.end());
+    job.raw.port = raw.port;
+    job.raw.data = std::move(pooled);
+    ++pool_reused_;
+  } else {
+    job.raw = raw;
+    ++pool_fresh_;
+  }
   job.header = header;
   job.flow = flow;
   job.seq = next_seq_++;
@@ -73,6 +108,7 @@ bool PeraPipeline::submit(const dataplane::RawPacket& raw,
     }
     // Lossless backpressure: wait (with escalating backoff, so an
     // oversubscribed worker actually gets cycles) until a slot frees.
+    const prof::ScopedStage blocked(prof::Stage::kRingTransit);
     Backoff full;
     while (!q.try_push(std::move(job))) full.wait();
   }
@@ -87,11 +123,17 @@ void PeraPipeline::stop() {
   if (!started_ || stopped_) return;
   stopped_ = true;
   stop_.store(true, std::memory_order_release);
+  // Defined drain order: (1) each worker empties its ring and flushes its
+  // batcher on its own thread before run() returns (so streamed evidence
+  // reaches the appraiser rings); (2) the appraiser drains, folds and
+  // merges. drain_deferred() here is the idempotent fallback for the
+  // inline path (it is empty after a threaded run).
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
   }
   threads_.clear();
   for (auto& w : workers_) w->drain_deferred();
+  if (appraiser_) appraiser_->finish();
 }
 
 void PeraPipeline::load_program(ProgramFactory factory) {
@@ -117,12 +159,12 @@ std::vector<EvidenceItem> PeraPipeline::collect_evidence() const {
   for (const auto& w : workers_) {
     out.insert(out.end(), w->evidence().begin(), w->evidence().end());
   }
-  std::sort(out.begin(), out.end(),
-            [](const EvidenceItem& a, const EvidenceItem& b) {
-              if (a.flow != b.flow) return a.flow < b.flow;
-              if (a.seq != b.seq) return a.seq < b.seq;
-              return a.shard < b.shard;
-            });
+  std::stable_sort(out.begin(), out.end(),
+                   [](const EvidenceItem& a, const EvidenceItem& b) {
+                     if (a.flow != b.flow) return a.flow < b.flow;
+                     if (a.seq != b.seq) return a.seq < b.seq;
+                     return a.shard < b.shard;
+                   });
   return out;
 }
 
@@ -130,6 +172,8 @@ PipelineReport PeraPipeline::report() const {
   PipelineReport rep;
   rep.submitted = next_seq_;
   rep.dropped = dropped_;
+  rep.pool_reused = pool_reused_;
+  rep.pool_fresh = pool_fresh_;
   rep.makespan = dispatch_clock_;
   for (const auto& w : workers_) {
     rep.shards.push_back(w->report());

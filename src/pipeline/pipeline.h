@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "pipeline/appraiser.h"
 #include "pipeline/flow_hash.h"
 #include "pipeline/worker.h"
 
@@ -43,11 +44,35 @@ struct PipelineOptions {
   netsim::SimTime base_packet_cost = 120;
   /// Label for per-shard device-key derivation from the root key.
   std::string shard_key_label = "pera.pipeline.shard";
+  /// > 0: run a ParallelAppraiser with this many workers concurrently
+  /// with the pipeline — shards stream evidence straight into it and
+  /// stop() finishes it (the defined drain order). 0 (default): evidence
+  /// buffers per shard for post-run collect_evidence(), as before.
+  std::size_t appraisers = 0;
+  /// Fold mode the in-pipeline appraiser uses per flow.
+  nac::CompositionMode appraise_mode = nac::CompositionMode::kChained;
+  /// Evidence signature scheme for every shard signer (and the matching
+  /// appraiser verifiers). kXmss routes each verification's WOTS chain
+  /// walk through the multi-lane SHA-256 engine.
+  crypto::SignatureScheme scheme = crypto::SignatureScheme::kHmacDeviceKey;
+  unsigned xmss_height = 8;
+  /// Capacity of each (shard, appraiser) evidence ring.
+  std::size_t appraiser_queue_capacity = 4096;
+  /// Items an appraiser pops per ring visit (verification batch grain).
+  std::size_t verify_burst = 16;
+  /// Pin threads round-robin: shard i -> core i, appraiser j -> core
+  /// shards + j (modulo the host's core count). Best effort.
+  bool pin_cores = false;
 };
 
 struct PipelineReport {
   std::uint64_t submitted = 0;
   std::uint64_t dropped = 0;
+  /// Packet buffers whose capacity came from the recycle pool vs. fresh
+  /// allocations (dispatch-side; pool_reused / (reused + fresh) is the
+  /// hot-path allocation-avoidance rate).
+  std::uint64_t pool_reused = 0;
+  std::uint64_t pool_fresh = 0;
   std::vector<ShardReport> shards;
   /// Simulated makespan: dispatcher end vs. the slowest shard.
   netsim::SimTime makespan = 0;
@@ -110,9 +135,17 @@ class PeraPipeline {
 
   [[nodiscard]] const EpochBlock& epochs() const { return epochs_; }
 
+  /// The in-pipeline parallel appraiser (null unless options.appraisers
+  /// > 0). Verdicts/summary are valid after stop().
+  [[nodiscard]] ParallelAppraiser* appraiser() { return appraiser_.get(); }
+  [[nodiscard]] const ParallelAppraiser* appraiser() const {
+    return appraiser_.get();
+  }
+
   // --- post-run results (call after stop()) -------------------------------
   /// All shards' evidence, merged and sorted by (flow, seq, shard) — a
   /// canonical order independent of shard count and thread timing.
+  /// Empty when evidence streamed into an appraiser instead.
   [[nodiscard]] std::vector<EvidenceItem> collect_evidence() const;
 
   [[nodiscard]] PipelineReport report() const;
@@ -131,6 +164,7 @@ class PeraPipeline {
   PipelineOptions options_;
   EpochBlock epochs_;
   std::vector<std::unique_ptr<ShardWorker>> workers_;
+  std::unique_ptr<ParallelAppraiser> appraiser_;
   std::vector<std::thread> threads_;
   std::atomic<bool> stop_{false};
   bool started_ = false;
@@ -138,6 +172,8 @@ class PeraPipeline {
 
   std::uint64_t next_seq_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t pool_reused_ = 0;
+  std::uint64_t pool_fresh_ = 0;
   netsim::SimTime dispatch_clock_ = 0;
 };
 

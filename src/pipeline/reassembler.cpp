@@ -9,19 +9,128 @@
 
 namespace pera::pipeline {
 
-ShardedAppraiser::ShardedAppraiser(const crypto::Digest& root_key,
-                                   std::string_view label,
-                                   std::size_t max_shards,
-                                   nac::CompositionMode mode)
-    : mode_(mode) {
+VerifierSet::VerifierSet(const crypto::Digest& root_key,
+                         std::string_view label, std::size_t max_shards,
+                         crypto::SignatureScheme scheme,
+                         unsigned xmss_height) {
   const std::vector<crypto::Digest> keys =
       PeraPipeline::shard_keys(root_key, label, max_shards);
   verifiers_.reserve(keys.size());
   for (const crypto::Digest& k : keys) {
-    verifiers_.emplace_back(k);
-    by_key_id_[verifiers_.back().key_id()] = verifiers_.size() - 1;
+    if (scheme == crypto::SignatureScheme::kXmss) {
+      // The appraiser re-derives the shard's XMSS keypair from the
+      // shared derived seed to learn the public root (symmetric
+      // provisioning, like the HMAC device keys), then keeps only the
+      // public-root verifier.
+      const crypto::XmssSigner provision(k, xmss_height);
+      verifiers_.push_back(
+          std::make_unique<crypto::XmssVerifier>(provision.public_root()));
+    } else {
+      verifiers_.push_back(std::make_unique<crypto::HmacVerifier>(k));
+    }
+    by_key_id_[verifiers_.back()->key_id()] = verifiers_.size() - 1;
   }
 }
+
+const crypto::Verifier* VerifierSet::by_key_id(
+    const crypto::Digest& id) const {
+  const auto it = by_key_id_.find(id);
+  return it == by_key_id_.end() ? nullptr : verifiers_[it->second].get();
+}
+
+AppraisedRecord appraise_record(const EvidenceItem& item,
+                                const VerifierSet& verifiers) {
+  AppraisedRecord rec;
+  rec.seq = item.seq;
+  rec.shard = item.shard;
+  try {
+    const copland::EvidencePtr ev = copland::decode(
+        crypto::BytesView{item.evidence.data(), item.evidence.size()});
+    rec.decoded = true;
+    if (ev->kind == copland::EvidenceKind::kSignature && ev->child != nullptr) {
+      if (const crypto::Verifier* v = verifiers.by_key_id(ev->sig.key_id)) {
+        rec.sig_ok =
+            crypto::verify_any(*v, copland::digest(ev->child), ev->sig);
+      }
+      rec.content = ev->child;
+    } else {
+      rec.content = ev;  // unsigned evidence: content-only appraisal
+      rec.sig_ok = true;
+    }
+  } catch (const std::exception&) {
+    return rec;  // decoded=false: counted as a failure by the fold
+  }
+  PERA_OBS_COUNT(rec.sig_ok ? "pipeline.appraise.sig_ok"
+                            : "pipeline.appraise.sig_fail");
+  return rec;
+}
+
+FlowVerdict fold_flow(std::uint64_t flow,
+                      std::vector<AppraisedRecord>& records,
+                      nac::CompositionMode mode) {
+  // Restore per-flow order: the dispatcher's sequence numbers are
+  // global, so they order a flow's records no matter which shard (or
+  // how many shards) produced them. Stable, so the several records one
+  // packet can emit keep their emission order.
+  std::stable_sort(records.begin(), records.end(),
+                   [](const AppraisedRecord& a, const AppraisedRecord& b) {
+                     if (a.seq != b.seq) return a.seq < b.seq;
+                     return a.shard < b.shard;
+                   });
+
+  FlowVerdict verdict;
+  verdict.flow = flow;
+  verdict.records = records.size();
+  verdict.ok = true;
+
+  copland::EvidencePtr chain = copland::Evidence::empty();
+  crypto::Sha256 pointwise;
+  pointwise.update("pera.pipeline.pointwise");
+
+  for (const AppraisedRecord& rec : records) {
+    if (!rec.decoded) {
+      verdict.ok = false;
+      ++verdict.signature_failures;
+      continue;
+    }
+    if (!rec.sig_ok) {
+      verdict.ok = false;
+      ++verdict.signature_failures;
+    }
+    // Fold the signed content (shard-key independent) into the flow
+    // transcript under the policy's composition mode.
+    if (mode == nac::CompositionMode::kChained) {
+      chain = copland::Evidence::extend(chain, rec.content);
+    } else {
+      pointwise.update(copland::digest(rec.content));
+      pointwise.update(crypto::BytesView{
+          reinterpret_cast<const std::uint8_t*>(&rec.sig_ok), 1});
+    }
+  }
+
+  if (mode == nac::CompositionMode::kChained) {
+    crypto::Sha256 h;
+    h.update("pera.pipeline.chained");
+    h.update(copland::digest(chain));
+    const std::uint8_t ok_byte = verdict.ok ? 1 : 0;
+    h.update(crypto::BytesView{&ok_byte, 1});
+    verdict.transcript = h.finish();
+  } else {
+    verdict.transcript = pointwise.finish();
+  }
+  PERA_OBS_EVENT(obs::SpanKind::kAppraise, "pipeline", 0,
+                 verdict.ok ? 1 : 0);
+  return verdict;
+}
+
+ShardedAppraiser::ShardedAppraiser(const crypto::Digest& root_key,
+                                   std::string_view label,
+                                   std::size_t max_shards,
+                                   nac::CompositionMode mode,
+                                   crypto::SignatureScheme scheme,
+                                   unsigned xmss_height)
+    : mode_(mode), verifiers_(root_key, label, max_shards, scheme,
+                              xmss_height) {}
 
 void ShardedAppraiser::ingest(const EvidenceItem& item) {
   flows_[item.flow].push_back(item);
@@ -30,80 +139,12 @@ void ShardedAppraiser::ingest(const EvidenceItem& item) {
 std::map<std::uint64_t, FlowVerdict> ShardedAppraiser::appraise() const {
   std::map<std::uint64_t, FlowVerdict> out;
   for (const auto& [flow, records] : flows_) {
-    // Restore per-flow order: the dispatcher's sequence numbers are
-    // global, so they order a flow's records no matter which shard (or
-    // how many shards) produced them.
-    std::vector<const EvidenceItem*> ordered;
-    ordered.reserve(records.size());
-    for (const EvidenceItem& r : records) ordered.push_back(&r);
-    std::sort(ordered.begin(), ordered.end(),
-              [](const EvidenceItem* a, const EvidenceItem* b) {
-                if (a->seq != b->seq) return a->seq < b->seq;
-                return a->shard < b->shard;
-              });
-
-    FlowVerdict verdict;
-    verdict.flow = flow;
-    verdict.records = ordered.size();
-    verdict.ok = true;
-
-    copland::EvidencePtr chain = copland::Evidence::empty();
-    crypto::Sha256 pointwise;
-    pointwise.update("pera.pipeline.pointwise");
-
-    for (const EvidenceItem* item : ordered) {
-      bool sig_ok = false;
-      copland::EvidencePtr content;
-      try {
-        const copland::EvidencePtr ev = copland::decode(
-            crypto::BytesView{item->evidence.data(), item->evidence.size()});
-        if (ev->kind == copland::EvidenceKind::kSignature &&
-            ev->child != nullptr) {
-          const auto it = by_key_id_.find(ev->sig.key_id);
-          if (it != by_key_id_.end()) {
-            sig_ok = crypto::verify_any(verifiers_[it->second],
-                                        copland::digest(ev->child), ev->sig);
-          }
-          content = ev->child;
-        } else {
-          content = ev;  // unsigned evidence: content-only appraisal
-          sig_ok = true;
-        }
-      } catch (const std::exception&) {
-        verdict.ok = false;
-        ++verdict.signature_failures;
-        continue;
-      }
-      PERA_OBS_COUNT(sig_ok ? "pipeline.appraise.sig_ok"
-                            : "pipeline.appraise.sig_fail");
-      if (!sig_ok) {
-        verdict.ok = false;
-        ++verdict.signature_failures;
-      }
-      // Fold the signed content (shard-key independent) into the flow
-      // transcript under the policy's composition mode.
-      if (mode_ == nac::CompositionMode::kChained) {
-        chain = copland::Evidence::extend(chain, content);
-      } else {
-        pointwise.update(copland::digest(content));
-        pointwise.update(crypto::BytesView{
-            reinterpret_cast<const std::uint8_t*>(&sig_ok), 1});
-      }
+    std::vector<AppraisedRecord> appraised;
+    appraised.reserve(records.size());
+    for (const EvidenceItem& r : records) {
+      appraised.push_back(appraise_record(r, verifiers_));
     }
-
-    if (mode_ == nac::CompositionMode::kChained) {
-      crypto::Sha256 h;
-      h.update("pera.pipeline.chained");
-      h.update(copland::digest(chain));
-      const std::uint8_t ok_byte = verdict.ok ? 1 : 0;
-      h.update(crypto::BytesView{&ok_byte, 1});
-      verdict.transcript = h.finish();
-    } else {
-      verdict.transcript = pointwise.finish();
-    }
-    PERA_OBS_EVENT(obs::SpanKind::kAppraise, "pipeline", 0,
-                   verdict.ok ? 1 : 0);
-    out[flow] = verdict;
+    out[flow] = fold_flow(flow, appraised, mode_);
   }
   return out;
 }

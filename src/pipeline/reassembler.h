@@ -1,11 +1,21 @@
 // Appraiser-side reassembly of shard-interleaved evidence streams.
 //
 // Shards emit evidence records in their own local order, so what reaches
-// the appraiser is an interleaving across flows. The reassembler buckets
+// the appraiser is an interleaving across flows. Appraisal buckets
 // records per flow, restores per-flow order by dispatcher sequence
 // number, verifies each signature against the per-shard device keys
 // (derived from the same root the pipeline used), and folds the per-flow
 // composition — chained (Seq) or pointwise (§5.2, Fig. 4).
+//
+// Two drivers share one appraisal core (appraise_record + fold_flow, so
+// their verdicts are bit-identical by construction):
+//
+//  * ShardedAppraiser — the serial reference: ingest everything, then
+//    appraise. Deterministic, single-threaded, used by the equivalence
+//    tests as the fixed point.
+//  * ParallelAppraiser (appraiser.h) — per-shard appraiser workers that
+//    verify concurrently while the pipeline is still running, with a
+//    deterministic merge.
 //
 // The per-flow transcript digest deliberately covers only the *signed
 // content* (the evidence under the signature node) plus the verification
@@ -18,6 +28,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "crypto/signer.h"
@@ -34,6 +45,52 @@ struct FlowVerdict {
   crypto::Digest transcript{};   // composition-mode-sensitive fold
 };
 
+/// The per-shard verifiers an appraiser provisions from the shared root
+/// key: one per derived device key, resolved by key id. Supports the
+/// symmetric HmacSigner scheme and the hash-based XmssSigner scheme
+/// (whose WOTS chain walk rides the multi-lane SHA-256 engine).
+class VerifierSet {
+ public:
+  VerifierSet(const crypto::Digest& root_key, std::string_view label,
+              std::size_t max_shards,
+              crypto::SignatureScheme scheme =
+                  crypto::SignatureScheme::kHmacDeviceKey,
+              unsigned xmss_height = 8);
+
+  /// nullptr when no provisioned key matches.
+  [[nodiscard]] const crypto::Verifier* by_key_id(
+      const crypto::Digest& id) const;
+
+  [[nodiscard]] std::size_t size() const { return verifiers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<crypto::Verifier>> verifiers_;
+  std::map<crypto::Digest, std::size_t> by_key_id_;
+};
+
+/// One evidence record after signature verification, ready for the
+/// per-flow fold. `content` is the evidence under the signature node
+/// (or the whole term for unsigned records); null when decoding failed.
+struct AppraisedRecord {
+  std::uint64_t seq = 0;
+  std::uint32_t shard = 0;
+  bool decoded = false;
+  bool sig_ok = false;
+  copland::EvidencePtr content;
+};
+
+/// Decode + verify one evidence item (the parallelizable per-record
+/// work). Counts pipeline.appraise.sig_ok/.sig_fail.
+[[nodiscard]] AppraisedRecord appraise_record(const EvidenceItem& item,
+                                              const VerifierSet& verifiers);
+
+/// Order `records` by (seq, shard) — stable, so same-packet records keep
+/// their emission order — and fold them into the flow verdict under
+/// `mode`. Consumes the record order in place.
+[[nodiscard]] FlowVerdict fold_flow(std::uint64_t flow,
+                                    std::vector<AppraisedRecord>& records,
+                                    nac::CompositionMode mode);
+
 class ShardedAppraiser {
  public:
   /// Provision verifiers for up to `max_shards` derived device keys (the
@@ -41,7 +98,10 @@ class ShardedAppraiser {
   /// resolved by key id).
   ShardedAppraiser(const crypto::Digest& root_key, std::string_view label,
                    std::size_t max_shards,
-                   nac::CompositionMode mode = nac::CompositionMode::kChained);
+                   nac::CompositionMode mode = nac::CompositionMode::kChained,
+                   crypto::SignatureScheme scheme =
+                       crypto::SignatureScheme::kHmacDeviceKey,
+                   unsigned xmss_height = 8);
 
   /// Feed one record; any order, any interleaving.
   void ingest(const EvidenceItem& item);
@@ -62,8 +122,7 @@ class ShardedAppraiser {
 
  private:
   nac::CompositionMode mode_;
-  std::vector<crypto::HmacVerifier> verifiers_;
-  std::map<crypto::Digest, std::size_t> by_key_id_;
+  VerifierSet verifiers_;
   std::map<std::uint64_t, std::vector<EvidenceItem>> flows_;
 };
 

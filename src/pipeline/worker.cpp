@@ -4,35 +4,63 @@
 #include <thread>
 
 #include "obs/obs.h"
+#include "obs/profiler.h"
+#include "pipeline/affinity.h"
 
 namespace pera::pipeline {
+
+namespace {
+
+std::unique_ptr<crypto::Signer> make_signer(const crypto::Digest& device_key,
+                                            crypto::SignatureScheme scheme,
+                                            unsigned xmss_height) {
+  if (scheme == crypto::SignatureScheme::kXmss) {
+    return std::make_unique<crypto::XmssSigner>(device_key, xmss_height);
+  }
+  return std::make_unique<crypto::HmacSigner>(device_key);
+}
+
+}  // namespace
 
 ShardWorker::ShardWorker(std::uint32_t id, std::string place,
                          const ProgramFactory& factory,
                          const crypto::Digest& device_key,
                          const EpochBlock& epochs, pera::PeraConfig config,
                          std::size_t queue_capacity,
-                         netsim::SimTime base_packet_cost)
+                         netsim::SimTime base_packet_cost,
+                         crypto::SignatureScheme scheme, unsigned xmss_height)
     : id_(id),
-      signer_(device_key),
-      switch_(std::move(place), factory(), signer_, config),
+      signer_(make_signer(device_key, scheme, xmss_height)),
+      switch_(std::move(place), factory(), *signer_, config),
       epochs_(&epochs),
       queue_(queue_capacity),
+      recycle_(queue_capacity),
       base_packet_cost_(base_packet_cost) {}
 
 void ShardWorker::run(const std::atomic<bool>& stop) {
   crypto::engine::publish_metrics();
+  if (pin_cpu_ >= 0) pin_current_thread(static_cast<unsigned>(pin_cpu_));
+  namespace prof = obs::profiler;
+  const prof::ScopedThread profile("shard" + std::to_string(id_),
+                                   prof::Stage::kIdle);
   PacketJob job;
   Backoff idle;
   for (;;) {
     if (queue_.try_pop(job)) {
       idle.reset();
+      prof::enter(prof::Stage::kShardWork);
       process(std::move(job));
       continue;
     }
     if (stop.load(std::memory_order_acquire) && queue_.empty()) break;
+    prof::enter(prof::Stage::kIdle);
     idle.wait();
   }
+  // Defined drain order, step 2 (after the ring is dry): flush the
+  // batcher's deferred evidence on this thread, so when streaming into a
+  // sink the final batch reaches the appraiser before finish().
+  prof::enter(prof::Stage::kShardWork);
+  drain_deferred();
 }
 
 void ShardWorker::sync_epoch() {
@@ -51,6 +79,15 @@ void ShardWorker::sync_epoch() {
   PERA_OBS_COUNT("pipeline.epoch.syncs");
 }
 
+void ShardWorker::emit(EvidenceItem&& item) {
+  if (sink_ != nullptr) {
+    obs::profiler::ScopedStage transit(obs::profiler::Stage::kRingTransit);
+    (void)sink_->accept(id_, std::move(item));
+    return;
+  }
+  evidence_.push_back(std::move(item));
+}
+
 void ShardWorker::process(PacketJob job) {
   // Seqlock fast path: one acquire load; an odd (mid-publish) or moved
   // version sends us to the mutex-protected resync.
@@ -58,7 +95,7 @@ void ShardWorker::process(PacketJob job) {
 
   const std::uint64_t attested_before = switch_.ra_stats().attestations;
   nac::EvidenceCarrier carrier;
-  const ::pera::pera::PeraResult res =
+  ::pera::pera::PeraResult res =
       switch_.process(job.raw, job.header, &carrier);
 
   // Simulated-time accounting: the shard is a serial pipe; a packet
@@ -75,10 +112,17 @@ void ShardWorker::process(PacketJob job) {
   if (res.attested) ++report_.attested;
   PERA_OBS_COUNT("pipeline.shard.packets." + std::to_string(id_));
 
-  // In-band evidence surfaces on the carrier immediately.
-  for (const nac::EvidenceRecord& rec : carrier.records) {
-    evidence_.push_back(
-        EvidenceItem{job.flow, job.seq, id_, rec.evidence, job.header->nonce});
+  // The packet's payload buffer is spent: hand its capacity back to the
+  // dispatcher through the recycle ring (full ring = let it free).
+  if (job.raw.data.capacity() > 0) {
+    (void)recycle_.try_push(std::move(job.raw.data));
+  }
+
+  // In-band evidence surfaces on the carrier immediately. The carrier is
+  // packet-local, so its record buffers move out instead of copying.
+  for (nac::EvidenceRecord& rec : carrier.records) {
+    emit(EvidenceItem{job.flow, job.seq, id_, std::move(rec.evidence),
+                      job.header->nonce});
   }
   // Every remaining attestation went out of band and will surface as
   // exactly one record — now, or later when the batcher flushes. Tag them
@@ -91,18 +135,19 @@ void ShardWorker::process(PacketJob job) {
   for (std::uint64_t k = 0; k < oob; ++k) {
     deferred_.emplace_back(job.flow, job.seq);
   }
-  for (const ::pera::pera::OutOfBandEvidence& oob : res.out_of_band) {
+  for (::pera::pera::OutOfBandEvidence& oob_ev : res.out_of_band) {
     const auto [flow, seq] = deferred_.front();
     deferred_.pop_front();
-    evidence_.push_back(EvidenceItem{flow, seq, id_, oob.evidence, oob.nonce});
+    emit(EvidenceItem{flow, seq, id_, std::move(oob_ev.evidence),
+                      oob_ev.nonce});
   }
 }
 
 void ShardWorker::drain_deferred() {
-  for (const ::pera::pera::OutOfBandEvidence& oob : switch_.flush_pending()) {
+  for (::pera::pera::OutOfBandEvidence& oob : switch_.flush_pending()) {
     const auto [flow, seq] = deferred_.front();
     deferred_.pop_front();
-    evidence_.push_back(EvidenceItem{flow, seq, id_, oob.evidence, oob.nonce});
+    emit(EvidenceItem{flow, seq, id_, std::move(oob.evidence), oob.nonce});
   }
 }
 

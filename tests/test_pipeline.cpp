@@ -4,10 +4,12 @@
 // (the threaded tests are the TSan targets wired into scripts/check.sh).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <numeric>
 #include <set>
 #include <thread>
 
+#include "obs/profiler.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/reassembler.h"
 
@@ -426,6 +428,234 @@ TEST(PipelineEpoch, ConcurrentControlOpsConvergeAcrossShards) {
   for (const auto& [flow, v] : appraiser.appraise()) {
     EXPECT_TRUE(v.ok) << "flow " << flow;
   }
+}
+
+// --- parallel appraisal ---------------------------------------------------------
+
+/// Run the pipeline with the in-pipeline ParallelAppraiser streaming
+/// evidence concurrently (the threaded TSan target for appraisal).
+RunResult run_parallel(std::size_t shards, std::size_t appraisers,
+                       const std::vector<dataplane::RawPacket>& stream,
+                       const nac::PolicyHeader& hdr,
+                       ::pera::pera::PeraConfig pera_cfg = {},
+                       nac::CompositionMode mode =
+                           nac::CompositionMode::kChained,
+                       crypto::SignatureScheme scheme =
+                           crypto::SignatureScheme::kHmacDeviceKey) {
+  PipelineOptions opt;
+  opt.shards = shards;
+  opt.pera = pera_cfg;
+  opt.drop_on_full = false;
+  opt.appraisers = appraisers;
+  opt.appraise_mode = mode;
+  opt.scheme = scheme;
+  PeraPipeline pipe("sw1", router_factory(), root_key(), opt);
+  pipe.start();
+  for (const dataplane::RawPacket& raw : stream) {
+    (void)pipe.submit(raw, &hdr);
+  }
+  pipe.stop();
+
+  RunResult r;
+  r.verdicts = pipe.appraiser()->verdicts();
+  r.summary = pipe.appraiser()->summary();
+  r.report = pipe.report();
+  EXPECT_EQ(pipe.appraiser()->dropped(), 0u);
+  return r;
+}
+
+TEST(PipelineParallelAppraise, VerdictsBitIdenticalToSerialAcrossShardCounts) {
+  // The equivalence property: the same trace pushed through 1/2/4/8
+  // shards with concurrent per-shard appraiser workers must produce
+  // verdicts bit-identical to the serial ShardedAppraiser reference —
+  // same flows, same transcripts, same summary digest.
+  const std::vector<dataplane::RawPacket> stream = make_stream(96, 12);
+  const nac::PolicyHeader hdr = make_policy_header(/*out_of_band=*/true);
+  const RunResult serial = run_pipeline(1, stream, hdr);
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    const RunResult par = run_parallel(shards, shards, stream, hdr);
+    EXPECT_EQ(par.summary, serial.summary) << shards << " shards";
+    ASSERT_EQ(par.verdicts.size(), serial.verdicts.size());
+    for (const auto& [flow, v] : serial.verdicts) {
+      const auto it = par.verdicts.find(flow);
+      ASSERT_NE(it, par.verdicts.end()) << "flow " << flow << " missing";
+      EXPECT_EQ(it->second.transcript, v.transcript) << "flow " << flow;
+      EXPECT_EQ(it->second.records, v.records);
+      EXPECT_EQ(it->second.ok, v.ok);
+    }
+  }
+}
+
+TEST(PipelineParallelAppraise, AppraiserCountDoesNotChangeVerdicts) {
+  // Worker count only partitions the flow space; the merged verdict map
+  // must not depend on it.
+  const std::vector<dataplane::RawPacket> stream = make_stream(64, 16);
+  const nac::PolicyHeader hdr = make_policy_header(/*out_of_band=*/true);
+  const RunResult one = run_parallel(4, 1, stream, hdr);
+  const RunResult three = run_parallel(4, 3, stream, hdr);
+  const RunResult eight = run_parallel(4, 8, stream, hdr);
+  EXPECT_EQ(one.summary, three.summary);
+  EXPECT_EQ(one.summary, eight.summary);
+  EXPECT_EQ(one.verdicts.size(), 16u);
+}
+
+TEST(PipelineParallelAppraise, PointwiseModeMatchesSerialToo) {
+  const std::vector<dataplane::RawPacket> stream = make_stream(48, 6);
+  const nac::PolicyHeader hdr = make_policy_header(/*out_of_band=*/true);
+  const RunResult serial =
+      run_pipeline(2, stream, hdr, {}, nac::CompositionMode::kPointwise);
+  const RunResult par = run_parallel(4, 2, stream, hdr, {},
+                                     nac::CompositionMode::kPointwise);
+  EXPECT_EQ(par.summary, serial.summary);
+}
+
+TEST(PipelineParallelAppraise, XmssSchemeVerifiesThroughMultiLaneEngine) {
+  // kXmss signs shard evidence with WOTS chains (verification walks the
+  // chains through the multi-lane SHA-256 engine). Verdicts must still
+  // verify and stay shard-count invariant.
+  const std::vector<dataplane::RawPacket> stream = make_stream(24, 4);
+  const nac::PolicyHeader hdr = make_policy_header(/*out_of_band=*/true);
+  const RunResult two =
+      run_parallel(2, 2, stream, hdr, {}, nac::CompositionMode::kChained,
+                   crypto::SignatureScheme::kXmss);
+  const RunResult four =
+      run_parallel(4, 4, stream, hdr, {}, nac::CompositionMode::kChained,
+                   crypto::SignatureScheme::kXmss);
+  EXPECT_EQ(two.verdicts.size(), 4u);
+  for (const auto& [flow, v] : two.verdicts) {
+    EXPECT_TRUE(v.ok) << "flow " << flow;
+    EXPECT_EQ(v.signature_failures, 0u);
+  }
+  EXPECT_EQ(two.summary, four.summary);
+
+  // The HMAC run folds the same signed content, so transcripts (which
+  // cover content + outcome, not signature bytes) must match it as well.
+  const RunResult hmac = run_parallel(2, 2, stream, hdr);
+  EXPECT_EQ(two.summary, hmac.summary);
+}
+
+// --- end-of-stream drain order --------------------------------------------------
+
+TEST(PipelineDrainOrder, FinalBatchVerdictsSurviveTinyStreams) {
+  // Regression: with an evidence batcher configured, the last (partial)
+  // batch only surfaces at flush_pending(). The defined drain order —
+  // ring dry, then batcher flush, both on the worker thread, then
+  // appraiser finish — must deliver those final-batch verdicts at any
+  // batch size and packet count, including streams smaller than one
+  // batch.
+  const nac::PolicyHeader hdr = make_policy_header(/*out_of_band=*/true);
+  for (const std::size_t batch : {1u, 7u}) {
+    ::pera::pera::PeraConfig cfg;
+    cfg.oob_batch_size = batch;
+    for (const std::size_t packets : {1u, 2u, 7u, 13u}) {
+      const std::vector<dataplane::RawPacket> stream =
+          make_stream(packets, std::min<std::size_t>(packets, 4));
+      const RunResult serial = run_pipeline(8, stream, hdr, cfg);
+      const RunResult par = run_parallel(8, 8, stream, hdr, cfg);
+      std::size_t serial_records = 0;
+      for (const auto& [flow, v] : serial.verdicts) {
+        serial_records += v.records;
+      }
+      std::size_t par_records = 0;
+      for (const auto& [flow, v] : par.verdicts) par_records += v.records;
+      EXPECT_GT(serial_records, 0u)
+          << "batch " << batch << " packets " << packets;
+      EXPECT_EQ(par_records, serial_records)
+          << "batch " << batch << " packets " << packets
+          << ": final-batch evidence dropped";
+      EXPECT_EQ(par.summary, serial.summary)
+          << "batch " << batch << " packets " << packets;
+    }
+  }
+}
+
+// --- buffer pool ----------------------------------------------------------------
+
+TEST(PipelinePool, RecycleRingReusesBuffersUnderBackpressure) {
+  // With a tiny ring the dispatcher outpaces the worker, waits, and by
+  // then spent buffers are available for capacity reuse.
+  PipelineOptions opt;
+  opt.shards = 1;
+  opt.queue_capacity = 8;
+  opt.drop_on_full = false;
+  opt.appraisers = 1;
+  PeraPipeline pipe("sw1", router_factory(), root_key(), opt);
+  pipe.start();
+  const nac::PolicyHeader hdr = make_policy_header(/*out_of_band=*/true);
+  for (const dataplane::RawPacket& raw : make_stream(300, 8)) {
+    EXPECT_TRUE(pipe.submit(raw, &hdr));
+  }
+  pipe.stop();
+  const PipelineReport rep = pipe.report();
+  EXPECT_EQ(rep.processed(), 300u);
+  EXPECT_GT(rep.pool_reused, 0u);
+  EXPECT_EQ(rep.pool_reused + rep.pool_fresh, 300u);
+  EXPECT_EQ(pipe.appraiser()->flows(), 8u);
+}
+
+// --- stage profiler -------------------------------------------------------------
+
+TEST(PipelineProfiler, AttributesThreadTimeToStages) {
+  namespace prof = obs::profiler;
+  prof::set_enabled(true);
+  prof::reset();
+  {
+    const prof::ScopedThread reg("test", prof::Stage::kIdle);
+    prof::enter(prof::Stage::kShardWork);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    {
+      const prof::ScopedStage verify(prof::Stage::kWotsVerify);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }  // restores kShardWork
+    prof::enter(prof::Stage::kMerge);
+  }
+  const prof::StageTotals t = prof::totals();
+  const auto ns_of = [&t](prof::Stage s) {
+    return t.wall_ns[static_cast<std::size_t>(s)];
+  };
+  EXPECT_GE(ns_of(prof::Stage::kShardWork), 2'000'000u);
+  EXPECT_GE(ns_of(prof::Stage::kWotsVerify), 1'000'000u);
+  EXPECT_GT(t.window_ns, 0u);
+  // The invariant the bench gate relies on: a registered thread is always
+  // inside exactly one stage, so the stage sums cover its whole window.
+  EXPECT_GE(t.accounted_share(), 0.95);
+  EXPECT_LE(t.accounted_ns(), t.window_ns + 1'000'000u);  // clock slop
+
+  const std::string json = prof::to_json();
+  for (const char* key :
+       {"dispatch", "ring_transit", "shard_work", "reassembly",
+        "wots_verify", "merge", "idle", "accounted_share"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_NE(json.find("\"role\":\"test\""), std::string::npos);
+
+  prof::reset();
+  EXPECT_EQ(prof::totals().window_ns, 0u);
+  prof::set_enabled(false);
+}
+
+TEST(PipelineProfiler, DisabledProfilerRecordsNothing) {
+  namespace prof = obs::profiler;
+  prof::set_enabled(false);
+  prof::reset();
+  {
+    const prof::ScopedThread reg("ghost", prof::Stage::kIdle);
+    prof::enter(prof::Stage::kShardWork);  // all no-ops while disabled
+  }
+  EXPECT_EQ(prof::totals().window_ns, 0u);
+  EXPECT_EQ(prof::totals().accounted_share(), 1.0);
+}
+
+TEST(PipelineProfiler, ResetInvalidatesLiveThreadCursors) {
+  namespace prof = obs::profiler;
+  prof::set_enabled(true);
+  prof::reset();
+  prof::thread_begin("stale", prof::Stage::kIdle);
+  prof::reset();  // bumps the generation: the cursor must go quiet
+  prof::enter(prof::Stage::kShardWork);
+  prof::thread_end();
+  EXPECT_EQ(prof::totals().window_ns, 0u);
+  prof::set_enabled(false);
 }
 
 // --- report ---------------------------------------------------------------------
