@@ -23,12 +23,13 @@ echo "== policy verifier fixtures =="
 scripts/run_verify_fixtures.sh build
 
 for b in build/bench/bench_*; do
-  # bench_throughput, bench_crypto and bench_ctrl write their committed
-  # JSON records to the cwd; each gets a dedicated smoke below so the
-  # baselines aren't clobbered.
+  # bench_throughput, bench_crypto, bench_ctrl and bench_state write their
+  # committed JSON records to the cwd; each gets a dedicated smoke below so
+  # the baselines aren't clobbered.
   [ "$(basename "$b")" = "bench_throughput" ] && continue
   [ "$(basename "$b")" = "bench_crypto" ] && continue
   [ "$(basename "$b")" = "bench_ctrl" ] && continue
+  [ "$(basename "$b")" = "bench_state" ] && continue
   echo "== $b (smoke) =="
   "$b" --benchmark_min_time=0.01 > /dev/null
 done
@@ -69,6 +70,18 @@ grep -q '"detect_ms_mean"' build/BENCH_ctrl.smoke.json
 grep -q '"ctrl.quarantine.active"' build/ctrl.metrics.json
 grep -q '"ctrl.switches.monitored"' build/ctrl.metrics.json
 grep -q '"ctrl.trust.to.Quarantined"' build/ctrl.metrics.json
+
+# Incremental-vs-full digest gates run inside the bench (roots must be
+# bit-identical, nonzero exit on mismatch); the greps prove the dirty-leaf
+# and dirty-chunk counters actually moved.
+echo "== state attestation bench (smoke) =="
+build/bench/bench_state --smoke --json=build/BENCH_state.smoke.json \
+  --metrics-json=build/state.metrics.json > /dev/null
+grep -q '"speedup"' build/BENCH_state.smoke.json
+grep -q '"root_match": true' build/BENCH_state.smoke.json
+grep -q '"lookup_match": true' build/BENCH_state.smoke.json
+grep -q '"dataplane.digest.table.dirty_leaves"' build/state.metrics.json
+grep -q '"dataplane.digest.reg.dirty_chunks"' build/state.metrics.json
 
 echo "== pera_ctl closed-loop scenario (smoke) =="
 build/tools/pera_ctl --seed=42 --loss=0.05 --interval-ms=50 \
@@ -118,7 +131,7 @@ echo "== ThreadSanitizer (pipeline + control plane) =="
 cmake -B build-tsan -G Ninja -DPERA_WERROR=ON -DPERA_SANITIZE=thread
 cmake --build build-tsan --target pera_tests bench_throughput
 ./build-tsan/tests/pera_tests \
-  --gtest_filter='SpscQueue*:FlowHash*:EpochBlock*:Pipeline*:Ctrl*:Trust*'
+  --gtest_filter='SpscQueue*:FlowHash*:EpochBlock*:Pipeline*:Ctrl*:Trust*:StateAttest*:IncMerkle*'
 # The TSan bench pass covers the full threaded topology: dispatcher +
 # shard workers + parallel appraiser workers + profiler slots.
 ./build-tsan/bench/bench_throughput --shards=1,4 --packets=256 \

@@ -1,0 +1,163 @@
+#include "crypto/incremental_merkle.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/merkle.h"
+
+namespace pera::crypto {
+
+void IncrementalMerkleTree::assign(std::vector<Digest> leaves) {
+  levels_.clear();
+  if (!leaves.empty()) levels_.push_back(std::move(leaves));
+  dirty_.clear();
+  all_dirty_ = true;
+  clean_ = false;
+  ++stats_.full_rebuilds;
+}
+
+void IncrementalMerkleTree::set_leaf(std::size_t index, const Digest& d) {
+  if (levels_.empty() || index >= levels_[0].size()) {
+    throw std::out_of_range("IncrementalMerkleTree::set_leaf: index");
+  }
+  if (levels_[0][index] == d) return;  // no-op write: subtree stays valid
+  levels_[0][index] = d;
+  dirty_.push_back(index);
+  clean_ = false;
+  ++stats_.leaf_writes;
+}
+
+std::size_t IncrementalMerkleTree::append_leaf(const Digest& d) {
+  if (levels_.empty()) levels_.emplace_back();
+  auto& leaves = levels_[0];
+  const std::size_t index = leaves.size();
+  leaves.push_back(d);
+  dirty_.push_back(index);
+  // The formerly-last leaf's ancestors are the last node of every level;
+  // growing the tree can flip their promotion status.
+  if (index > 0) dirty_.push_back(index - 1);
+  clean_ = false;
+  ++stats_.leaf_writes;
+  return index;
+}
+
+void IncrementalMerkleTree::truncate(std::size_t new_count) {
+  if (new_count >= leaf_count()) return;
+  ++stats_.truncates;
+  if (new_count == 0) {
+    levels_.clear();
+    dirty_.clear();
+    all_dirty_ = false;
+    root_ = Digest{};
+    clean_ = true;
+    return;
+  }
+  levels_[0].resize(new_count);
+  // The new last leaf's path covers every level's right edge, where
+  // promotion status may have changed.
+  dirty_.push_back(new_count - 1);
+  clean_ = false;
+}
+
+const Digest& IncrementalMerkleTree::leaf(std::size_t index) const {
+  if (levels_.empty() || index >= levels_[0].size()) {
+    throw std::out_of_range("IncrementalMerkleTree::leaf: index");
+  }
+  return levels_[0][index];
+}
+
+const Digest& IncrementalMerkleTree::root() {
+  if (!clean_) flush();
+  return root_;
+}
+
+void IncrementalMerkleTree::flush() {
+  ++stats_.flushes;
+  if (levels_.empty() || levels_[0].empty()) {
+    levels_.clear();
+    dirty_.clear();
+    all_dirty_ = false;
+    root_ = Digest{};
+    clean_ = true;
+    return;
+  }
+
+  // Dirty node indices at the current level (sorted, unique, in range).
+  std::vector<std::size_t> cur;
+  if (!all_dirty_) {
+    cur = dirty_;
+    std::sort(cur.begin(), cur.end());
+    cur.erase(std::unique(cur.begin(), cur.end()), cur.end());
+    while (!cur.empty() && cur.back() >= levels_[0].size()) cur.pop_back();
+  }
+
+  constexpr std::size_t kChunk = 64;  // parent nodes staged per hash batch
+  alignas(32) std::uint8_t blocks[kChunk][64];
+  Digest outs[kChunk];
+  std::size_t staged[kChunk];
+
+  std::size_t lvl = 0;
+  while (levels_[lvl].size() > 1) {
+    // Grow the outer vector *before* taking inner references: emplace_back
+    // may reallocate it and would dangle them.
+    if (lvl + 1 == levels_.size()) levels_.emplace_back();
+    const auto& prev = levels_[lvl];
+    const std::size_t next_size = (prev.size() + 1) / 2;
+    auto& next = levels_[lvl + 1];
+    const std::size_t old_size = next.size();
+    next.resize(next_size);
+
+    std::vector<std::size_t> parents;
+    if (all_dirty_) {
+      parents.resize(next_size);
+      for (std::size_t j = 0; j < next_size; ++j) parents[j] = j;
+    } else {
+      parents.reserve(cur.size() + 1);
+      for (const std::size_t i : cur) parents.push_back(i / 2);
+      // Tail nodes that appeared when the level grew (their children are
+      // appended leaves' ancestors, so this is usually redundant, but it
+      // keeps the invariant local to this loop).
+      for (std::size_t j = old_size; j < next_size; ++j) parents.push_back(j);
+      std::sort(parents.begin(), parents.end());
+      parents.erase(std::unique(parents.begin(), parents.end()),
+                    parents.end());
+    }
+
+    std::size_t m = 0;
+    const auto flush_batch = [&] {
+      if (m == 0) return;
+      sha256_block_multi(blocks, outs, m);
+      for (std::size_t k = 0; k < m; ++k) next[staged[k]] = outs[k];
+      stats_.nodes_rehashed += m;
+      m = 0;
+    };
+    for (const std::size_t p : parents) {
+      const std::size_t li = 2 * p;
+      if (li + 1 < prev.size()) {
+        std::memcpy(blocks[m], prev[li].v.data(), 32);
+        std::memcpy(blocks[m] + 32, prev[li + 1].v.data(), 32);
+        staged[m] = p;
+        if (++m == kChunk) flush_batch();
+      } else {
+        next[p] = prev[li];  // promote unpaired trailing node unchanged
+      }
+    }
+    flush_batch();
+    cur = std::move(parents);
+    ++lvl;
+  }
+
+  levels_.resize(lvl + 1);  // drop levels left over from truncation
+  root_ = levels_[lvl][0];
+  dirty_.clear();
+  all_dirty_ = false;
+  clean_ = true;
+}
+
+Digest IncrementalMerkleTree::full_root() const {
+  if (levels_.empty()) return Digest{};
+  return MerkleTree(levels_[0]).root();
+}
+
+}  // namespace pera::crypto

@@ -1,0 +1,86 @@
+// Incremental Merkle tree: a MerkleTree with a persistent node store and
+// O(log n) dirty-path recompute, so re-digesting mutable state costs
+// O(changes since the last root) instead of O(state).
+//
+// The build rule is byte-identical to MerkleTree (sibling pairs hashed
+// with sha256_pair semantics, unpaired trailing nodes promoted unchanged),
+// so for any leaf sequence root() == MerkleTree(leaves).root(). Dirty
+// leaves are flushed level by level through the backend engine's
+// multi-buffer SHA-256 lanes (sha256_block_multi), exactly like the batch
+// builder in merkle.cpp.
+//
+// Not thread-safe: root() mutates the node store. The dataplane owns one
+// tree per table / register file and digests from a single thread.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/bytes.h"
+#include "crypto/sha256.h"
+
+namespace pera::crypto {
+
+class IncrementalMerkleTree {
+ public:
+  /// Cumulative work counters, for the dataplane.digest.* metrics and the
+  /// O(Δ) assertions in tests/bench.
+  struct Stats {
+    std::uint64_t leaf_writes = 0;     // set_leaf / append_leaf calls
+    std::uint64_t truncates = 0;
+    std::uint64_t flushes = 0;         // root() calls that had work to do
+    std::uint64_t nodes_rehashed = 0;  // inner nodes recomputed by hashing
+    std::uint64_t full_rebuilds = 0;   // assign() calls
+  };
+
+  IncrementalMerkleTree() = default;
+  explicit IncrementalMerkleTree(std::vector<Digest> leaves) {
+    assign(std::move(leaves));
+  }
+
+  /// Replace the whole leaf set (full O(n) rebuild on next root()).
+  void assign(std::vector<Digest> leaves);
+
+  /// Overwrite leaf `index`; only its root path is recomputed on the next
+  /// root(). Throws std::out_of_range.
+  void set_leaf(std::size_t index, const Digest& d);
+
+  /// Append a leaf; returns its index. The previous last leaf's path is
+  /// also marked dirty (its promotion status may have changed).
+  std::size_t append_leaf(const Digest& d);
+
+  /// Drop trailing leaves until `new_count` remain. No-op when new_count
+  /// >= leaf_count(). truncate(0) empties the tree (all-zero root).
+  void truncate(std::size_t new_count);
+
+  void clear() { truncate(0); }
+
+  [[nodiscard]] std::size_t leaf_count() const {
+    return levels_.empty() ? 0 : levels_[0].size();
+  }
+  [[nodiscard]] const Digest& leaf(std::size_t index) const;
+
+  /// Recompute dirty paths (if any) and return the cached root.
+  [[nodiscard]] const Digest& root();
+
+  /// True when root() would have to rehash something.
+  [[nodiscard]] bool dirty() const { return !clean_; }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Reference root: rebuild from the current leaves via the batch
+  /// builder, ignoring the incremental store (for differential tests).
+  [[nodiscard]] Digest full_root() const;
+
+ private:
+  void flush();
+
+  std::vector<std::vector<Digest>> levels_;  // levels_[0] = leaves
+  std::vector<std::size_t> dirty_;           // dirty leaf indices (dups ok)
+  bool all_dirty_ = false;                   // assign() pending
+  bool clean_ = true;                        // root_ matches the leaves
+  Digest root_{};
+  Stats stats_;
+};
+
+}  // namespace pera::crypto

@@ -1,0 +1,190 @@
+#include "dataplane/nf.h"
+
+#include <stdexcept>
+
+namespace pera::dataplane {
+
+namespace {
+std::shared_ptr<DataplaneProgram> make_nat_program(
+    const StatefulNat::Config& cfg) {
+  auto prog = std::make_shared<DataplaneProgram>("stateful_nat", "v1",
+                                                 standard_parser());
+  prog->add_action(stdaction::drop());
+
+  // snat(xlated_sport, out_port): rewrite the source to the external
+  // address and the slot's translated port, then forward WAN-side.
+  ActionDef snat;
+  snat.name = "snat";
+  snat.param_count = 2;
+  {
+    Op set_src;
+    set_src.kind = OpKind::kSetField;
+    set_src.dst = FieldRef{"ipv4", "src"};
+    set_src.a = Operand::imm(cfg.external_ip);
+    snat.ops.push_back(set_src);
+    Op set_sport;
+    set_sport.kind = OpKind::kSetField;
+    set_sport.dst = FieldRef{"tcp", "sport"};
+    set_sport.a = Operand::param(0);
+    snat.ops.push_back(set_sport);
+    Op fwd;
+    fwd.kind = OpKind::kSetEgressPort;
+    fwd.a = Operand::param(1);
+    snat.ops.push_back(fwd);
+  }
+  prog->add_action(std::move(snat));
+
+  Table& nat = prog->add_table(
+      "nat", {KeySpec{{"ipv4", "src"}, MatchKind::kExact, 32},
+              KeySpec{{"tcp", "sport"}, MatchKind::kExact, 16}});
+  nat.set_default("drop");  // unbound flows don't cross the NAT
+
+  prog->declare_register("nat_last_seen", cfg.capacity);
+  prog->declare_register("nat_flow_packets", cfg.capacity);
+  return prog;
+}
+}  // namespace
+
+StatefulNat::StatefulNat(Config cfg) : cfg_(cfg) {
+  if (cfg_.capacity == 0) {
+    throw std::invalid_argument("StatefulNat: capacity must be > 0");
+  }
+  sw_ = std::make_unique<PisaSwitch>(make_nat_program(cfg_));
+  nat_ = sw_->program().table("nat");
+  nodes_.resize(cfg_.capacity);
+  slot_entry_.assign(cfg_.capacity, kNone);
+  free_slots_.reserve(cfg_.capacity);
+  // Pop order: lowest slot first (purely cosmetic, keeps ports dense).
+  for (std::size_t s = cfg_.capacity; s-- > 0;) free_slots_.push_back(s);
+}
+
+std::size_t StatefulNat::add_flow(const FlowKey& key, std::uint64_t now) {
+  if (const auto it = flows_.find(pack(key)); it != flows_.end()) {
+    touch_flow(key, now);
+    return it->second;
+  }
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = lru_tail_;  // full: evict the coldest flow and reuse its slot
+    remove_slot(slot);
+    free_slots_.pop_back();
+  }
+
+  Node& n = nodes_[slot];
+  n.key = key;
+  n.last_seen = now;
+  n.live = true;
+  lru_push_front(slot);
+  flows_.emplace(pack(key), slot);
+
+  auto& regs = sw_->registers();
+  regs.write("nat_last_seen", slot, now);
+  regs.write("nat_flow_packets", slot, 0);
+
+  TableEntry e;
+  e.keys = {KeyMatch::exact(key.src_ip), KeyMatch::exact(key.sport)};
+  e.action = "snat";
+  e.action_params = {static_cast<std::uint64_t>(cfg_.port_base) + slot,
+                     cfg_.wan_port};
+  const std::size_t idx = nat_->add_entry(std::move(e));
+  slot_entry_[slot] = idx;
+  if (entry_slot_.size() <= idx) entry_slot_.resize(idx + 1, kNone);
+  entry_slot_[idx] = slot;
+  return slot;
+}
+
+bool StatefulNat::touch_flow(const FlowKey& key, std::uint64_t now) {
+  const auto it = flows_.find(pack(key));
+  if (it == flows_.end()) return false;
+  const std::size_t slot = it->second;
+  Node& n = nodes_[slot];
+  n.last_seen = now;
+  auto& regs = sw_->registers();
+  regs.write("nat_last_seen", slot, now);  // no-op when now is unchanged
+  regs.write("nat_flow_packets", slot,
+             regs.read("nat_flow_packets", slot) + 1);
+  if (lru_head_ != slot) {
+    lru_unlink(slot);
+    lru_push_front(slot);
+  }
+  return true;
+}
+
+std::size_t StatefulNat::expire_flows(std::uint64_t now) {
+  std::size_t removed = 0;
+  while (lru_tail_ != kNone &&
+         nodes_[lru_tail_].last_seen + cfg_.idle_timeout <= now) {
+    remove_slot(lru_tail_);
+    ++removed;
+  }
+  return removed;
+}
+
+std::size_t StatefulNat::expire_oldest(std::size_t n) {
+  std::size_t removed = 0;
+  while (removed < n && lru_tail_ != kNone) {
+    remove_slot(lru_tail_);
+    ++removed;
+  }
+  return removed;
+}
+
+std::optional<std::size_t> StatefulNat::slot_of(const FlowKey& key) const {
+  const auto it = flows_.find(pack(key));
+  if (it == flows_.end()) return std::nullopt;
+  return it->second;
+}
+
+RawPacket StatefulNat::make_packet(const FlowKey& key) const {
+  PacketSpec spec;
+  spec.ingress_port = static_cast<std::uint32_t>(cfg_.lan_port);
+  spec.ip_src = key.src_ip;
+  spec.sport = key.sport;
+  return make_tcp_packet(spec);
+}
+
+void StatefulNat::lru_unlink(std::size_t slot) {
+  Node& n = nodes_[slot];
+  if (n.prev != kNone) nodes_[n.prev].next = n.next;
+  if (n.next != kNone) nodes_[n.next].prev = n.prev;
+  if (lru_head_ == slot) lru_head_ = n.next;
+  if (lru_tail_ == slot) lru_tail_ = n.prev;
+  n.prev = n.next = kNone;
+}
+
+void StatefulNat::lru_push_front(std::size_t slot) {
+  Node& n = nodes_[slot];
+  n.prev = kNone;
+  n.next = lru_head_;
+  if (lru_head_ != kNone) nodes_[lru_head_].prev = slot;
+  lru_head_ = slot;
+  if (lru_tail_ == kNone) lru_tail_ = slot;
+}
+
+void StatefulNat::remove_slot(std::size_t slot) {
+  Node& n = nodes_[slot];
+  lru_unlink(slot);
+  flows_.erase(pack(n.key));
+  n.live = false;
+
+  auto& regs = sw_->registers();
+  regs.write("nat_last_seen", slot, 0);
+  regs.write("nat_flow_packets", slot, 0);
+
+  const std::size_t idx = slot_entry_[slot];
+  const std::size_t moved_from = nat_->remove_entry(idx);
+  if (moved_from != idx) {
+    // The formerly-last entry now lives at idx; remap its slot.
+    const std::size_t moved_slot = entry_slot_[moved_from];
+    entry_slot_[idx] = moved_slot;
+    slot_entry_[moved_slot] = idx;
+  }
+  entry_slot_.resize(moved_from);
+  slot_entry_[slot] = kNone;
+  free_slots_.push_back(slot);
+}
+
+}  // namespace pera::dataplane

@@ -1,0 +1,116 @@
+// A realistic stateful network function driving the attestation hot path:
+// a source NAT with per-flow expiring state, in the style of the stateful
+// NFs (NAT, load balancer, connection tracker) that §2 argues must be
+// attested as *state*, not just code, because their behaviour is defined
+// by million-entry tables and register arrays that churn continuously.
+//
+// Every live flow owns one slot in [0, capacity):
+//   * a "nat" table entry (exact match on ipv4.src + tcp.sport) rewriting
+//     the source to external_ip:(port_base + slot) and forwarding to the
+//     WAN port — this exercises Table's exact-match hash index and
+//     per-entry incremental Merkle leaves;
+//   * nat_last_seen[slot] / nat_flow_packets[slot] registers — this
+//     exercises RegisterFile's dirty-chunk incremental digests.
+// Flows expire LRU-style after idle_timeout ticks, so a steady workload
+// produces exactly the add/remove/touch churn the incremental attestation
+// engine is built for (bench_state sweeps churn rate against table size).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/builder.h"
+#include "dataplane/program.h"
+
+namespace pera::dataplane {
+
+/// Identity of a LAN flow (the NAT's match key).
+struct FlowKey {
+  std::uint32_t src_ip = 0;
+  std::uint16_t sport = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+};
+
+class StatefulNat {
+ public:
+  struct Config {
+    std::size_t capacity = 1024;        // max concurrent flows (slots)
+    std::uint64_t idle_timeout = 60;    // ticks without traffic -> expire
+    std::uint32_t external_ip = 0xC6336401;  // 198.51.100.1
+    std::uint64_t lan_port = 1;         // ingress side
+    std::uint64_t wan_port = 2;         // translated egress side
+    std::uint16_t port_base = 20000;    // translated sport = base + slot
+  };
+
+  explicit StatefulNat(Config cfg);
+
+  /// Ensure `key` has a NAT binding: creates one (evicting the
+  /// least-recently-used flow when at capacity) or refreshes the existing
+  /// one. Returns the flow's slot.
+  std::size_t add_flow(const FlowKey& key, std::uint64_t now);
+
+  /// Record traffic on an existing flow: bumps its packet counter and
+  /// last-seen tick, and moves it to the LRU front. Returns false when the
+  /// flow has no binding.
+  bool touch_flow(const FlowKey& key, std::uint64_t now);
+
+  /// Expire every flow idle since `now - idle_timeout` or longer.
+  /// Returns the number of flows removed.
+  std::size_t expire_flows(std::uint64_t now);
+
+  /// Expire exactly the `n` least-recently-used flows (bench churn knob).
+  std::size_t expire_oldest(std::size_t n);
+
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+  [[nodiscard]] bool has_flow(const FlowKey& key) const {
+    return flows_.contains(pack(key));
+  }
+  /// Slot of a bound flow, or nullopt.
+  [[nodiscard]] std::optional<std::size_t> slot_of(const FlowKey& key) const;
+
+  [[nodiscard]] PisaSwitch& sw() { return *sw_; }
+  [[nodiscard]] const PisaSwitch& sw() const { return *sw_; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+  /// Build a LAN-side TCP packet for `key` (convenience for tests/bench).
+  [[nodiscard]] RawPacket make_packet(const FlowKey& key) const;
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] static std::uint64_t pack(const FlowKey& k) {
+    return (static_cast<std::uint64_t>(k.src_ip) << 16) | k.sport;
+  }
+
+  void lru_unlink(std::size_t slot);
+  void lru_push_front(std::size_t slot);
+  void remove_slot(std::size_t slot);
+
+  Config cfg_;
+  std::unique_ptr<PisaSwitch> sw_;
+  Table* nat_ = nullptr;  // owned by the switch's program
+
+  // Per-slot flow state doubling as an intrusive LRU list (head = most
+  // recently used). Free slots are recycled through free_slots_.
+  struct Node {
+    FlowKey key{};
+    std::uint64_t last_seen = 0;
+    std::size_t prev = kNone;
+    std::size_t next = kNone;
+    bool live = false;
+  };
+  std::vector<Node> nodes_;
+  std::size_t lru_head_ = kNone;
+  std::size_t lru_tail_ = kNone;
+  std::vector<std::size_t> free_slots_;
+
+  std::unordered_map<std::uint64_t, std::size_t> flows_;  // packed key -> slot
+  std::vector<std::size_t> slot_entry_;   // slot -> table entry index
+  std::vector<std::size_t> entry_slot_;   // table entry index -> slot
+};
+
+}  // namespace pera::dataplane

@@ -58,7 +58,17 @@ class DataplaneProgram {
   [[nodiscard]] crypto::Digest program_digest() const;
 
   /// State-level digest of table contents — the "Tables" inertia level.
+  /// Each table's root is maintained incrementally (O(changes) per
+  /// measurement); the top tree over the per-table roots is tiny.
   [[nodiscard]] crypto::Digest tables_digest() const;
+
+  /// Reference full recompute (every entry of every table rehashed).
+  /// Bit-identical to tables_digest().
+  [[nodiscard]] crypto::Digest tables_digest_full() const;
+
+  /// Sum of every table's content revision — advances exactly when some
+  /// table's content (and hence tables_digest()) can have changed.
+  [[nodiscard]] std::uint64_t tables_revision() const;
 
  private:
   std::string name_;

@@ -1,6 +1,14 @@
 // Stateful register arrays — the "Prog. State" row of Fig. 4's inertia
 // axis. Register contents can be digested so PERA can attest program
 // state, not just program code.
+//
+// state_digest() is a Merkle root over fixed-size value chunks (64
+// registers per leaf) plus one schema leaf per array, maintained
+// incrementally: write() sets a bit in a per-array dirty-chunk bitmap and
+// only dirty chunks are rehashed at the next digest, so re-attestation
+// costs O(writes since last epoch) instead of O(registers).
+// state_digest_full() is the O(n) reference recompute; the two are
+// bit-identical (asserted in tests and bench_state).
 #pragma once
 
 #include <cstdint>
@@ -9,12 +17,16 @@
 #include <vector>
 
 #include "crypto/bytes.h"
+#include "crypto/incremental_merkle.h"
 #include "crypto/sha256.h"
 
 namespace pera::dataplane {
 
 class RegisterFile {
  public:
+  /// Values per Merkle leaf (64 x u64 = one 512-byte chunk).
+  static constexpr std::size_t kChunkValues = 64;
+
   /// Declare a register array. Re-declaring resizes and zeroes it.
   void declare(const std::string& name, std::size_t size);
 
@@ -27,20 +39,49 @@ class RegisterFile {
                                    std::size_t index) const;
 
   /// Write; throws std::out_of_range on unknown register or bad index.
+  /// Writing the value already stored is a no-op: it bumps no counter and
+  /// dirties no chunk, so cached evidence stays valid.
   void write(const std::string& name, std::size_t index, std::uint64_t value);
 
   [[nodiscard]] std::size_t size(const std::string& name) const;
 
-  /// Digest of all register contents (name-ordered) — the program-state
-  /// measurement PERA attests at the kProgramState inertia level.
+  /// Merkle root of all register contents (name-ordered) — the
+  /// program-state measurement PERA attests at the kProgramState inertia
+  /// level. Incremental: only chunks written since the last call rehash.
   [[nodiscard]] crypto::Digest state_digest() const;
 
-  /// Number of writes since construction (for stats/caching decisions).
+  /// Reference full recompute, bit-identical to state_digest().
+  [[nodiscard]] crypto::Digest state_digest_full() const;
+
+  /// Number of value-changing writes since construction.
   [[nodiscard]] std::uint64_t write_count() const { return writes_; }
 
+  /// Monotone state revision: advances on every mutation that can change
+  /// state_digest() (value-changing writes and array (re)declarations).
+  /// Measurement epochs derive from this.
+  [[nodiscard]] std::uint64_t revision() const { return writes_ + decls_; }
+
  private:
-  std::map<std::string, std::vector<std::uint64_t>> regs_;
+  struct Reg {
+    std::vector<std::uint64_t> values;
+    // Digest-cache bookkeeping, mutated by the const digest path.
+    mutable std::size_t leaf_base = 0;                // first leaf in tree
+    mutable std::vector<std::uint64_t> dirty_chunks;  // 1 bit per chunk
+  };
+
+  [[nodiscard]] static crypto::Digest schema_leaf(const std::string& name,
+                                                  std::size_t size);
+  [[nodiscard]] static crypto::Digest chunk_leaf(
+      const std::vector<std::uint64_t>& values, std::size_t chunk);
+  void rebuild_tree() const;
+
+  std::map<std::string, Reg> regs_;
   std::uint64_t writes_ = 0;
+  std::uint64_t decls_ = 0;
+
+  mutable crypto::IncrementalMerkleTree tree_;
+  mutable bool tree_init_ = false;
+  mutable bool layout_stale_ = false;  // declare() since the last (re)build
 };
 
 }  // namespace pera::dataplane

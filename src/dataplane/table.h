@@ -6,13 +6,25 @@
 // Entries bind an action name and its parameters; the winning entry is the
 // highest-priority match (ties broken by longest LPM prefix, then insertion
 // order). Table contents are Merkle-hashable for table attestation.
+//
+// Two production-scale mechanisms live here:
+//   * content_digest() is incremental: each entry owns a Merkle leaf slot
+//     that is invalidated on add/remove/modify/default-action change, so
+//     re-measuring the table costs O(changes since last digest), not
+//     O(entries). content_digest_full() keeps the O(n) reference path and
+//     the two are bit-identical by construction (asserted in tests/bench).
+//   * lookup() uses an exact-match hash index when every key spec is
+//     kExact (LPM/ternary/mixed tables keep the linear scan), so per-packet
+//     cost is O(1) at million-entry scale. lookup_scan() is the reference.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "crypto/incremental_merkle.h"
 #include "crypto/merkle.h"
 #include "dataplane/packet.h"
 
@@ -43,7 +55,7 @@ struct TableEntry {
   std::uint32_t priority = 0;             // higher wins
   std::string action;
   std::vector<std::uint64_t> action_params;
-  std::uint64_t hit_count = 0;            // updated on lookup
+  std::uint64_t hit_count = 0;            // updated on lookup (not attested)
 };
 
 /// Read a key field from packet or metadata. Returns nullopt when the
@@ -55,8 +67,7 @@ struct TableEntry {
 
 class Table {
  public:
-  Table(std::string name, std::vector<KeySpec> keys)
-      : name_(std::move(name)), keys_(std::move(keys)) {}
+  Table(std::string name, std::vector<KeySpec> keys);
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const std::vector<KeySpec>& keys() const { return keys_; }
@@ -65,12 +76,25 @@ class Table {
   /// key count doesn't match the table's key specs.
   std::size_t add_entry(TableEntry entry);
 
-  void clear() { entries_.clear(); }
+  /// Remove entry `index` by swapping the last entry into its slot (the
+  /// digest is order-sensitive over whatever order the vector holds, so
+  /// both the incremental and the full path see the same sequence).
+  /// Returns the index the formerly-last entry moved *from* — i.e. the new
+  /// entry_count() — so callers tracking entry indices can remap; when
+  /// `index` was already last, nothing moved and the return equals `index`.
+  /// Throws std::out_of_range.
+  std::size_t remove_entry(std::size_t index);
+
+  /// Mutable access to entry `index` for in-place modification. Marks the
+  /// entry's digest leaf dirty and invalidates the exact-match index (the
+  /// caller may change keys). Throws std::out_of_range.
+  [[nodiscard]] TableEntry& entry_mut(std::size_t index);
+
+  void clear();
   [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
   [[nodiscard]] const std::vector<TableEntry>& entries() const {
     return entries_;
   }
-  [[nodiscard]] std::vector<TableEntry>& entries() { return entries_; }
 
   /// Default action when no entry matches ("" = no-op miss).
   void set_default(std::string action, std::vector<std::uint64_t> params = {});
@@ -81,27 +105,74 @@ class Table {
     return default_params_;
   }
 
+  /// Monotone content revision: bumped on every mutation that can change
+  /// content_digest() (add/remove/modify/default/clear — NOT lookups,
+  /// which only touch hit counters). Measurement epochs derive from this.
+  [[nodiscard]] std::uint64_t revision() const { return revision_; }
+
+  /// True when lookups go through the exact-match hash index (every key
+  /// spec is kExact).
+  [[nodiscard]] bool exact_indexed() const { return all_exact_; }
+
   /// Look up the best-matching entry. Updates its hit counter.
   /// Returns nullptr on miss.
   [[nodiscard]] TableEntry* lookup(const ParsedPacket& pkt);
 
+  /// Reference O(entries) lookup (always scans). Identical result to
+  /// lookup(); kept for differential tests and mixed-match tables.
+  [[nodiscard]] TableEntry* lookup_scan(const ParsedPacket& pkt);
+
   /// Merkle root over entries (order-sensitive) — the "Tables" inertia
-  /// level of Fig. 4. Includes the default action.
+  /// level of Fig. 4. Includes the default action. Incremental: only
+  /// leaves dirtied since the previous call are rehashed.
   [[nodiscard]] crypto::Digest content_digest() const;
+
+  /// Reference full recompute (hashes every entry, rebuilds the tree).
+  /// Bit-identical to content_digest().
+  [[nodiscard]] crypto::Digest content_digest_full() const;
 
   /// Canonical encoding of the table *schema* (name/keys), for program
   /// attestation (entries are state, schema is program).
   [[nodiscard]] crypto::Bytes encode_schema() const;
 
  private:
+  struct ExactKeyHash {
+    std::size_t operator()(const std::vector<std::uint64_t>& k) const;
+  };
+
   [[nodiscard]] bool entry_matches(const TableEntry& e,
                                    const ParsedPacket& pkt) const;
+  [[nodiscard]] static crypto::Digest entry_leaf(const TableEntry& e);
+  [[nodiscard]] crypto::Digest default_leaf() const;
+  void flush_dirty_leaves() const;
+  void rebuild_index();
+  void index_add(std::size_t index);
 
   std::string name_;
   std::vector<KeySpec> keys_;
   std::vector<TableEntry> entries_;
   std::string default_action_;
   std::vector<std::uint64_t> default_params_;
+  std::uint64_t revision_ = 0;
+
+  // Incremental digest state. Leaf layout: entry i -> leaf i, default
+  // action -> leaf entry_count(). Structural tree ops (append/truncate/
+  // slot shifts) happen eagerly with placeholder digests; the actual leaf
+  // hashes are computed lazily in content_digest().
+  mutable crypto::IncrementalMerkleTree tree_;
+  mutable bool tree_init_ = false;
+  mutable std::vector<std::size_t> dirty_entries_;
+  mutable bool default_dirty_ = false;
+
+  // Exact-match hash index: key values -> entry indices holding exactly
+  // those values (usually one; duplicates resolved by priority then
+  // insertion order, matching the scan).
+  bool all_exact_ = false;
+  bool index_stale_ = false;
+  std::unordered_map<std::vector<std::uint64_t>, std::vector<std::uint32_t>,
+                     ExactKeyHash>
+      exact_index_;
+  std::vector<std::uint64_t> key_scratch_;
 };
 
 }  // namespace pera::dataplane

@@ -56,9 +56,10 @@ std::uint64_t MeasurementUnit::epoch(nac::EvidenceDetail level) const {
     case nac::EvidenceDetail::kProgram:
       return program_epoch_;
     case nac::EvidenceDetail::kTables:
-      return tables_epoch_;
+      return ((program_epoch_ + tables_epoch_) << 32) +
+             switch_->program().tables_revision();
     case nac::EvidenceDetail::kProgState:
-      return switch_->registers().write_count();
+      return (program_epoch_ << 32) + switch_->registers().revision();
     case nac::EvidenceDetail::kPacket:
       return ~std::uint64_t{0};  // every packet differs: never cacheable
   }

@@ -42,8 +42,13 @@ class MeasurementUnit {
 
   /// Epoch of a level: a counter that advances whenever the measured value
   /// can have changed. Hardware never advances; program advances on
-  /// program swaps; tables/state epochs derive from live switch state so
-  /// control-plane updates and register writes invalidate caches.
+  /// program swaps; tables/state epochs derive from live switch state —
+  /// table content revisions and the register-file revision — so *any*
+  /// mutation path (control-plane updates, direct table edits, register
+  /// writes, re-declarations) invalidates caches, while no-op writes and
+  /// hit-counter bumps do not. The program epoch is mixed into the
+  /// mutable-state epochs' high bits because a program swap resets the
+  /// live revision counters.
   [[nodiscard]] std::uint64_t epoch(nac::EvidenceDetail level) const;
 
   /// Record a program swap (bumps the program epoch).

@@ -131,7 +131,7 @@ TEST(NetkatParser, TextualSpecRefinesTextualProgram) {
 
   // A broken router violating the spec is caught.
   auto bad = dataplane::compile_p4mini(dataplane::p4src::router_v1());
-  bad->table("route")->entries()[0].action_params = {5};  // 10.0.1/24 -> 5!
+  bad->table("route")->entry_mut(0).action_params = {5};  // 10.0.1/24 -> 5!
   EXPECT_FALSE(core::refines(bad, spec, universe));
 }
 
