@@ -9,7 +9,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja -DPERA_WERROR=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+cmake -B build -G Ninja -DPERA_WERROR=ON -DPERA_FUZZ=ON \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build build
 ctest --test-dir build --output-on-failure
 
@@ -21,6 +22,15 @@ PERA_SHA256_BACKEND=scalar ctest --test-dir build --output-on-failure
 
 echo "== policy verifier fixtures =="
 scripts/run_verify_fixtures.sh build
+
+# Fuzz smoke over the attacker-facing input surfaces: under clang these
+# are libFuzzer+ASan binaries, under gcc the standalone replay/mutation
+# driver — either way the same invocation, bounded to ~30s total.
+echo "== fuzz smoke (policy parser + wire decoders) =="
+build/fuzz/fuzz_copland_parser -max_total_time=15 -runs=200000 \
+  tests/fixtures/verify
+build/fuzz/fuzz_evidence_decoder -max_total_time=15 -runs=200000 \
+  tests/fixtures/fuzz
 
 for b in build/bench/bench_*; do
   # bench_throughput, bench_crypto, bench_ctrl and bench_state write their
@@ -107,10 +117,11 @@ done
 # this stage unconditionally (.github/workflows/ci.yml).
 if command -v run-clang-tidy > /dev/null 2>&1; then
   echo "== clang-tidy =="
-  run-clang-tidy -p build -quiet "$(pwd)/src/.*" "$(pwd)/tools/.*"
+  run-clang-tidy -p build -quiet \
+    "$(pwd)/src/.*" "$(pwd)/tools/.*" "$(pwd)/fuzz/.*"
 elif command -v clang-tidy > /dev/null 2>&1; then
   echo "== clang-tidy =="
-  find src tools -name '*.cpp' -print0 |
+  find src tools fuzz -name '*.cpp' -print0 |
     xargs -0 clang-tidy -p build --quiet
 else
   echo "== clang-tidy: not installed, skipping (CI runs it) =="

@@ -66,6 +66,35 @@ reject broken_v3 V3 --ra ''
 reject broken_v4 V4
 reject broken_v5 V5 --no-key edge1
 
+# Attestation-coverage analyses (V6-V9) against a dataplane program.
+accept coverage_ok --program nat --cadence "$FIXTURES/cadence_ok.conf"
+accept ap1 --bind client=client --program nat \
+  --cadence "$FIXTURES/cadence_ok.conf" --measures X=Program+Tables+State
+accept ap2 --program nat --cadence "$FIXTURES/cadence_ok.conf" \
+  --measures P=Program+Tables+State
+accept ap3 --bind p=edge1 --bind q=core1 --bind r=core2 \
+  --bind peer1=client --bind peer2=pm_phone --program nat \
+  --cadence "$FIXTURES/cadence_ok.conf" \
+  --measures F1=Program+Tables --measures F2=State
+
+reject broken_v6 V6 --program nat
+reject broken_v7 V7 --program nat --cadence "$FIXTURES/cadence_slow.conf" \
+  --staleness-budget 500ms
+reject broken_v8 V8
+reject broken_v9 V9 --program "$FIXTURES/broken_v9.p4"
+
+# Diagnostics must render in a canonical order: the JSON for a
+# multi-defect run is byte-identical across invocations and matches the
+# checked-in golden file.
+golden_out="$("$VERIFY" --json --force --program "$FIXTURES/broken_v9.p4" \
+  "$FIXTURES/broken_v6.copland")"
+if diff -u "$FIXTURES/golden_coverage.json" <(printf '%s\n' "$golden_out"); then
+  echo "  golden coverage json: ok"
+else
+  echo "  golden coverage json: FAILED (output drifted from golden file)"
+  fail=1
+fi
+
 # --force demotes a failing policy to exit 0 (diagnostics still printed).
 if "$VERIFY" --force --no-key edge1 "$FIXTURES/broken_v5.copland" \
     > /dev/null; then

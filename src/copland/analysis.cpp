@@ -545,4 +545,117 @@ std::map<std::string, std::set<std::string>> evidence_visibility(
   return vis;
 }
 
+namespace {
+
+void collect_atoms(const TermPtr& t, std::vector<std::string>& out) {
+  if (!t) return;
+  if (t->kind == TermKind::kAtom) out.push_back(t->target);
+  for (const auto& a : t->args) collect_atoms(a, out);
+  collect_atoms(t->child, out);
+  collect_atoms(t->left, out);
+  collect_atoms(t->right, out);
+}
+
+struct AttestWalk {
+  std::vector<AttestSite> sites;
+  std::vector<std::string> params;
+
+  [[nodiscard]] bool is_param(const std::string& name) const {
+    for (const auto& p : params) {
+      if (p == name) return true;
+    }
+    return false;
+  }
+
+  // Walk a term; `nonce_in` says whether the request's initial evidence
+  // (carrying the round nonce) flows into this node; the return value says
+  // whether the node's outgoing evidence still carries it. `pending` holds
+  // indices of attest sites in the current place context not yet covered
+  // by a signature; a `!` covers everything accrued so far in its pipeline.
+  bool walk(const TermPtr& t, const std::string& place, bool nonce_in,
+            std::vector<std::size_t>& pending) {
+    if (!t) return nonce_in;
+    switch (t->kind) {
+      case TermKind::kNil:
+      case TermKind::kAtom:
+      case TermKind::kMeasure:
+      case TermKind::kHash:
+        // Measurements accrue onto the incoming evidence; '#' digests the
+        // accrued bundle (nonce included), preserving the binding.
+        return nonce_in;
+      case TermKind::kSign:
+        for (const std::size_t i : pending) {
+          sites[i].covered_by_sign = true;
+        }
+        pending.clear();
+        return nonce_in;
+      case TermKind::kFunc: {
+        if (t->func == "attest") {
+          AttestSite site;
+          site.node = t.get();
+          site.place = place;
+          site.initial_evidence_reaches = nonce_in;
+          std::vector<std::string> atoms;
+          for (const auto& a : t->args) collect_atoms(a, atoms);
+          for (auto& name : atoms) {
+            if (is_param(name)) {
+              site.bound_params.push_back(std::move(name));
+            } else {
+              site.targets.push_back(std::move(name));
+            }
+          }
+          pending.push_back(sites.size());
+          sites.push_back(std::move(site));
+        }
+        return nonce_in;
+      }
+      case TermKind::kPipe: {
+        const bool mid = walk(t->left, place, nonce_in, pending);
+        return walk(t->right, place, mid, pending);
+      }
+      case TermKind::kAtPlace: {
+        // The attester's own signature must cover the measurement; a later
+        // '!' outside @P executes at a different place, so sites left
+        // unsigned inside P stay unsigned.
+        std::vector<std::size_t> inner;
+        const bool out = walk(t->child, t->place, nonce_in, inner);
+        return out;
+      }
+      case TermKind::kBranch: {
+        std::vector<std::size_t> lp;
+        std::vector<std::size_t> rp;
+        const bool lo = walk(t->left, place, nonce_in && t->pass_left, lp);
+        const bool ro = walk(t->right, place, nonce_in && t->pass_right, rp);
+        // A '!' after the branch (same place) signs the joined evidence.
+        pending.insert(pending.end(), lp.begin(), lp.end());
+        pending.insert(pending.end(), rp.begin(), rp.end());
+        return lo || ro;
+      }
+      case TermKind::kGuard:
+        return walk(t->child, place, nonce_in, pending);
+      case TermKind::kPathStar: {
+        // The per-hop phrase chains evidence hop to hop; the first
+        // iteration receives the incoming evidence.
+        const bool mid = walk(t->left, place, nonce_in, pending);
+        return walk(t->right, place, mid, pending);
+      }
+      case TermKind::kForall:
+        return walk(t->child, place, nonce_in, pending);
+    }
+    return nonce_in;
+  }
+};
+
+}  // namespace
+
+std::vector<AttestSite> find_attest_sites(
+    const TermPtr& t, const std::string& root_place,
+    const std::vector<std::string>& params) {
+  AttestWalk w;
+  w.params = params;
+  std::vector<std::size_t> pending;
+  w.walk(t, root_place, /*nonce_in=*/true, pending);
+  return w.sites;
+}
+
 }  // namespace pera::copland

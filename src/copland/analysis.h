@@ -150,6 +150,30 @@ struct CrossPlaceLeak {
     const TermPtr& t, const std::string& root_place,
     const std::vector<std::string>& params = {});
 
+/// One attest(...) call site with its replay-binding context — the inputs
+/// to the V8 verifier check. `targets` are the concrete atoms among the
+/// call's arguments; `bound_params` are the request parameters among them
+/// (the round nonce / property names mixed into the measurement itself).
+/// `covered_by_sign` is true when a later `!` in the same place context
+/// signs the evidence this call accrues; `initial_evidence_reaches` is
+/// true when the request's initial evidence (which carries the round
+/// nonce) flows into this call's pipeline through an unbroken '+'
+/// pass chain from the request start.
+struct AttestSite {
+  const Term* node = nullptr;  // the kFunc node (owned by the input term)
+  std::string place;           // enclosing place context
+  std::vector<std::string> targets;
+  std::vector<std::string> bound_params;
+  bool covered_by_sign = false;
+  bool initial_evidence_reaches = false;
+};
+
+/// Extract every attest(...) call with the binding context above.
+/// `params` names the request's parameters.
+[[nodiscard]] std::vector<AttestSite> find_attest_sites(
+    const TermPtr& t, const std::string& root_place,
+    const std::vector<std::string>& params = {});
+
 /// Evidence-flow visibility: which measurement targets' evidence each
 /// place gets to see while the protocol runs. Copland's `#` deliberately
 /// collapses evidence to a digest, so places downstream of a hash see only

@@ -1,0 +1,191 @@
+#include "ctrl/cadence.h"
+
+#include <cctype>
+#include <stdexcept>
+#include <vector>
+
+namespace pera::ctrl {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+double parse_number(std::string_view text, std::string_view what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(std::string(text), &used);
+    if (used != text.size()) throw std::invalid_argument("trailing chars");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("cadence: bad " + std::string(what) +
+                                " value '" + std::string(text) + "'");
+  }
+}
+
+nac::DetailMask parse_levels(std::string_view text) {
+  nac::DetailMask mask = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find_first_of("+,", start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view name = trim(text.substr(start, end - start));
+    if (!name.empty()) {
+      // detail_from_target maps unknown names to kProgram; a typoed level
+      // name silently widening the program track would be a config
+      // footgun, so recognize explicitly.
+      static const struct {
+        const char* name;
+        nac::EvidenceDetail level;
+      } kNames[] = {
+          {"Hardware", nac::EvidenceDetail::kHardware},
+          {"Program", nac::EvidenceDetail::kProgram},
+          {"Tables", nac::EvidenceDetail::kTables},
+          {"State", nac::EvidenceDetail::kProgState},
+          {"ProgState", nac::EvidenceDetail::kProgState},
+          {"Packet", nac::EvidenceDetail::kPacket},
+      };
+      bool found = false;
+      for (const auto& entry : kNames) {
+        if (name == entry.name) {
+          mask = mask | entry.level;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        throw std::invalid_argument("cadence: unknown detail level '" +
+                                    std::string(name) + "'");
+      }
+    }
+    start = end + 1;
+  }
+  return mask;
+}
+
+}  // namespace
+
+netsim::SimTime parse_duration(std::string_view text) {
+  text = trim(text);
+  std::size_t digits = 0;
+  while (digits < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[digits])) != 0 ||
+          text[digits] == '.')) {
+    ++digits;
+  }
+  const std::string_view number = text.substr(0, digits);
+  const std::string_view unit = trim(text.substr(digits));
+  if (number.empty()) {
+    throw std::invalid_argument("bad duration '" + std::string(text) + "'");
+  }
+  const double value = parse_number(number, "duration");
+  double scale = 0;
+  if (unit == "ns") {
+    scale = 1;
+  } else if (unit == "us") {
+    scale = netsim::kMicrosecond;
+  } else if (unit == "ms") {
+    scale = netsim::kMillisecond;
+  } else if (unit == "s") {
+    scale = netsim::kSecond;
+  } else {
+    throw std::invalid_argument("bad duration unit in '" + std::string(text) +
+                                "' (expected ns/us/ms/s)");
+  }
+  return static_cast<netsim::SimTime>(value * scale);
+}
+
+CadenceSpec parse_cadence(std::string_view text) {
+  CadenceSpec spec;
+  pera::WorkloadProfile workload;
+  bool workload_seen = false;
+
+  struct Override {
+    netsim::SimTime pera::ReattestCadence::* field;
+    netsim::SimTime value;
+  };
+  std::vector<Override> overrides;
+
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_no;
+    if (const std::size_t hash = line.find('#');
+        hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("cadence line " + std::to_string(line_no) +
+                                  ": expected key = value, got '" +
+                                  std::string(line) + "'");
+    }
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view value = trim(line.substr(eq + 1));
+
+    if (key == "hardware") {
+      overrides.push_back(
+          {&pera::ReattestCadence::hardware, parse_duration(value)});
+    } else if (key == "program") {
+      overrides.push_back(
+          {&pera::ReattestCadence::program, parse_duration(value)});
+    } else if (key == "tables") {
+      overrides.push_back(
+          {&pera::ReattestCadence::tables, parse_duration(value)});
+    } else if (key == "state") {
+      overrides.push_back(
+          {&pera::ReattestCadence::prog_state, parse_duration(value)});
+    } else if (key == "packet") {
+      overrides.push_back(
+          {&pera::ReattestCadence::packet, parse_duration(value)});
+    } else if (key == "levels") {
+      spec.levels = parse_levels(value);
+    } else if (key == "budget") {
+      spec.staleness_budget = parse_duration(value);
+    } else if (key == "pps") {
+      workload.packets_per_second = parse_number(value, "pps");
+      workload_seen = true;
+    } else if (key == "table_updates_per_second") {
+      workload.table_updates_per_second =
+          parse_number(value, "table_updates_per_second");
+      workload_seen = true;
+    } else if (key == "register_writes_per_packet") {
+      workload.register_writes_per_packet =
+          parse_number(value, "register_writes_per_packet");
+      workload_seen = true;
+    } else if (key == "hops") {
+      workload.path_hops =
+          static_cast<std::size_t>(parse_number(value, "hops"));
+      workload_seen = true;
+    } else {
+      throw std::invalid_argument("cadence line " + std::to_string(line_no) +
+                                  ": unknown key '" + std::string(key) + "'");
+    }
+  }
+
+  if (workload_seen) spec.cadence = pera::recommend_cadence(workload);
+  for (const auto& o : overrides) spec.cadence.*o.field = o.value;
+  return spec;
+}
+
+SchedulerConfig scheduler_config_from(const CadenceSpec& spec) {
+  SchedulerConfig config;
+  config.cadence = spec.cadence;
+  config.levels = spec.levels;
+  return config;
+}
+
+}  // namespace pera::ctrl

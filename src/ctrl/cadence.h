@@ -1,0 +1,54 @@
+// Operator-facing re-attestation cadence configuration: one small
+// key = value format read by both sides of the system — the detect->react
+// control plane (ReattestScheduler) and the V7 staleness-window check in
+// the static verifier — so what the operator deploys and what the verifier
+// reasons about cannot drift apart.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "ctrl/scheduler.h"
+#include "nac/detail.h"
+#include "netsim/time.h"
+#include "pera/tuning.h"
+
+namespace pera::ctrl {
+
+/// A parsed cadence specification: per-level re-attestation intervals,
+/// which levels are scheduled at all, and the staleness budget the V7
+/// check holds worst-case observation windows against.
+struct CadenceSpec {
+  pera::ReattestCadence cadence;
+  nac::DetailMask levels = nac::EvidenceDetail::kHardware |
+                           nac::EvidenceDetail::kProgram |
+                           nac::EvidenceDetail::kTables;
+  std::optional<netsim::SimTime> staleness_budget;
+};
+
+/// Parse a duration with an ns/us/ms/s suffix ("250ms", "2s", "1500us").
+/// Throws std::invalid_argument on malformed input.
+[[nodiscard]] netsim::SimTime parse_duration(std::string_view text);
+
+/// Parse a cadence config. Lines are `key = value`; '#' starts a comment.
+/// Keys:
+///   hardware / program / tables / state / packet = DURATION
+///       explicit per-level re-attestation interval
+///   levels = Hardware+Program+Tables
+///       which levels get a periodic track (omitted levels are never
+///       re-attested — the V7 check treats their windows as unbounded)
+///   budget = DURATION
+///       staleness budget for the V7 check
+///   pps / table_updates_per_second / register_writes_per_packet / hops
+///       workload figures; when any is present the base cadence is
+///       derived via pera::recommend_cadence, then explicit per-level
+///       keys override.
+/// Throws std::invalid_argument naming the offending line on error.
+[[nodiscard]] CadenceSpec parse_cadence(std::string_view text);
+
+/// Build the re-attestation scheduler configuration from a parsed spec,
+/// so a config file drives the live control plane exactly as verified.
+[[nodiscard]] SchedulerConfig scheduler_config_from(const CadenceSpec& spec);
+
+}  // namespace pera::ctrl

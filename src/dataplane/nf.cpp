@@ -38,9 +38,17 @@ std::shared_ptr<DataplaneProgram> make_nat_program(
       "nat", {KeySpec{{"ipv4", "src"}, MatchKind::kExact, 32},
               KeySpec{{"tcp", "sport"}, MatchKind::kExact, 16}});
   nat.set_default("drop");  // unbound flows don't cross the NAT
+  // Entries are installed per arriving flow (packet-writable) but bounded:
+  // at capacity the coldest flow's slot is recycled (LRU), so a SYN flood
+  // churns the table instead of exhausting it — the guarded exemplar the
+  // V9 check measures other programs against.
+  nat.set_mutation_profile(/*packet_writable=*/true, cfg.capacity,
+                           EvictionPolicy::kLru);
 
-  prog->declare_register("nat_last_seen", cfg.capacity);
-  prog->declare_register("nat_flow_packets", cfg.capacity);
+  prog->declare_register("nat_last_seen", cfg.capacity,
+                         /*packet_writable=*/true, StateGuard::kSlotRecycle);
+  prog->declare_register("nat_flow_packets", cfg.capacity,
+                         /*packet_writable=*/true, StateGuard::kSlotRecycle);
   return prog;
 }
 }  // namespace

@@ -175,13 +175,14 @@ class Compiler {
     auto program =
         std::make_shared<DataplaneProgram>(name, version, std::move(parser));
     for (auto& [aname, action] : actions_) program->add_action(action);
-    for (auto& [rname, size] : registers_) {
-      program->declare_register(rname, size);
+    for (auto& r : registers_) {
+      program->declare_register(r.name, r.size, r.packet_writable, r.guard);
     }
     for (auto& t : tables_) {
       Table& table = program->add_table(t.name, t.keys);
       for (auto& e : t.entries) table.add_entry(e);
       table.set_default(t.default_action, t.default_params);
+      table.set_mutation_profile(t.packet_writable, t.capacity, t.eviction);
     }
     return program;
   }
@@ -193,6 +194,16 @@ class Compiler {
     std::vector<TableEntry> entries;
     std::string default_action;
     std::vector<std::uint64_t> default_params;
+    bool packet_writable = false;
+    std::size_t capacity = 0;
+    EvictionPolicy eviction = EvictionPolicy::kNone;
+  };
+
+  struct PendingRegister {
+    std::string name;
+    std::size_t size = 0;
+    bool packet_writable = false;
+    StateGuard guard = StateGuard::kNone;
   };
 
   void parse_header() {
@@ -266,13 +277,36 @@ class Compiler {
     expect(Tok::kRBrace);
   }
 
+  // register NAME[SIZE] [packet] [guard slots|saturate];
+  // "packet" marks the array as mutated on the per-packet path; "guard"
+  // names the mechanism bounding adversarial growth (V9 metadata).
   void parse_register() {
-    const std::string name = expect(Tok::kIdent).text;
+    PendingRegister reg;
+    reg.name = expect(Tok::kIdent).text;
     expect(Tok::kLBracket);
-    const std::uint64_t size = expect(Tok::kNumber).number;
+    reg.size = static_cast<std::size_t>(expect(Tok::kNumber).number);
     expect(Tok::kRBracket);
+    while (!at(Tok::kSemi)) {
+      const Token attr = expect(Tok::kIdent);
+      if (attr.text == "packet") {
+        reg.packet_writable = true;
+      } else if (attr.text == "guard") {
+        const Token kind = expect(Tok::kIdent);
+        if (kind.text == "slots") {
+          reg.guard = StateGuard::kSlotRecycle;
+        } else if (kind.text == "saturate") {
+          reg.guard = StateGuard::kSaturate;
+        } else {
+          throw P4MiniError("unknown register guard '" + kind.text + "'",
+                            kind.line);
+        }
+      } else {
+        throw P4MiniError("unknown register attribute '" + attr.text + "'",
+                          attr.line);
+      }
+    }
     expect(Tok::kSemi);
-    registers_.emplace_back(name, static_cast<std::size_t>(size));
+    registers_.push_back(std::move(reg));
   }
 
   void parse_action() {
@@ -434,9 +468,33 @@ class Compiler {
         }
         expect(Tok::kRParen);
         expect(Tok::kSemi);
+      } else if (head.text == "state") {
+        // state packet; — entries are installed per arriving flow.
+        expect_kw("packet");
+        expect(Tok::kSemi);
+        table.packet_writable = true;
+      } else if (head.text == "capacity") {
+        table.capacity =
+            static_cast<std::size_t>(expect(Tok::kNumber).number);
+        expect(Tok::kSemi);
+      } else if (head.text == "evict") {
+        const Token kind = expect(Tok::kIdent);
+        if (kind.text == "lru") {
+          table.eviction = EvictionPolicy::kLru;
+        } else if (kind.text == "ttl") {
+          table.eviction = EvictionPolicy::kTtl;
+        } else if (kind.text == "none") {
+          table.eviction = EvictionPolicy::kNone;
+        } else {
+          throw P4MiniError("unknown eviction policy '" + kind.text + "'",
+                            kind.line);
+        }
+        expect(Tok::kSemi);
       } else {
-        throw P4MiniError("expected 'entry' or 'default' in table body",
-                          head.line);
+        throw P4MiniError(
+            "expected 'entry', 'default', 'state', 'capacity' or 'evict' "
+            "in table body",
+            head.line);
       }
     }
     expect(Tok::kRBrace);
@@ -495,7 +553,7 @@ class Compiler {
   std::vector<ParserState> parser_states_;
   bool parser_seen_ = false;
   std::map<std::string, ActionDef> actions_;
-  std::vector<std::pair<std::string, std::size_t>> registers_;
+  std::vector<PendingRegister> registers_;
   std::vector<PendingTable> tables_;
 };
 

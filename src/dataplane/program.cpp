@@ -27,8 +27,33 @@ Table* DataplaneProgram::table(const std::string& name) {
 }
 
 void DataplaneProgram::declare_register(const std::string& name,
-                                        std::size_t size) {
-  register_decls_.emplace_back(name, size);
+                                        std::size_t size, bool packet_writable,
+                                        StateGuard guard) {
+  register_decls_.push_back(RegisterDecl{name, size, packet_writable, guard});
+}
+
+std::vector<StateObject> DataplaneProgram::state_objects() const {
+  std::vector<StateObject> out;
+  out.reserve(tables_.size() + register_decls_.size());
+  for (const auto& t : tables_) {
+    StateObject obj;
+    obj.kind = StateObject::Kind::kTable;
+    obj.name = t->name();
+    obj.capacity = t->capacity();
+    obj.packet_writable = t->packet_writable();
+    obj.guarded = t->capacity() > 0 && t->eviction() != EvictionPolicy::kNone;
+    out.push_back(std::move(obj));
+  }
+  for (const auto& d : register_decls_) {
+    StateObject obj;
+    obj.kind = StateObject::Kind::kRegister;
+    obj.name = d.name;
+    obj.capacity = d.size;
+    obj.packet_writable = d.packet_writable;
+    obj.guarded = d.guard != StateGuard::kNone;
+    out.push_back(std::move(obj));
+  }
+  return out;
 }
 
 crypto::Digest DataplaneProgram::program_digest() const {
@@ -46,10 +71,12 @@ crypto::Digest DataplaneProgram::program_digest() const {
     const crypto::Bytes enc = t->encode_schema();
     h.update(crypto::BytesView{enc.data(), enc.size()});
   }
-  for (const auto& [name, size] : register_decls_) {
-    h.update(name);
+  for (const auto& d : register_decls_) {
+    h.update(d.name);
     crypto::Bytes buf;
-    crypto::append_u64(buf, size);
+    crypto::append_u64(buf, d.size);
+    buf.push_back(d.packet_writable ? 1 : 0);
+    buf.push_back(static_cast<std::uint8_t>(d.guard));
     h.update(crypto::BytesView{buf.data(), buf.size()});
   }
   return h.finish();
@@ -83,8 +110,8 @@ void PisaSwitch::load_program(std::shared_ptr<DataplaneProgram> program) {
   if (!program) throw std::invalid_argument("load_program: null program");
   program_ = std::move(program);
   regs_ = RegisterFile{};
-  for (const auto& [name, size] : program_->register_decls()) {
-    regs_.declare(name, size);
+  for (const auto& d : program_->register_decls()) {
+    regs_.declare(d.name, d.size);
   }
 }
 

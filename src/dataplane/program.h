@@ -22,6 +22,36 @@
 
 namespace pera::dataplane {
 
+/// What keeps a packet-path register array from unbounded adversarial
+/// growth or wedging (V9 exhaustion metadata):
+///   kSlotRecycle — slots are reclaimed/overwritten when the owning flow
+///                  is evicted (StatefulNat's LRU slot reuse);
+///   kSaturate    — writes clamp at a bound instead of growing state.
+enum class StateGuard : std::uint8_t { kNone = 0, kSlotRecycle = 1,
+                                       kSaturate = 2 };
+
+/// A register array declaration plus its mutation metadata.
+struct RegisterDecl {
+  std::string name;
+  std::size_t size = 0;
+  bool packet_writable = false;  // mutated on the per-packet path
+  StateGuard guard = StateGuard::kNone;
+};
+
+/// One attestable unit of mutable dataplane state, enumerated for the
+/// V6-V9 coverage analyzer. `capacity` is the entry budget for tables
+/// (0 = unbounded) and the array size for registers; `guarded` means an
+/// eviction policy (tables) or StateGuard (registers) bounds adversarial
+/// growth.
+struct StateObject {
+  enum class Kind : std::uint8_t { kTable = 0, kRegister = 1 };
+  Kind kind = Kind::kTable;
+  std::string name;
+  std::size_t capacity = 0;
+  bool packet_writable = false;
+  bool guarded = false;
+};
+
 class DataplaneProgram {
  public:
   DataplaneProgram(std::string name, std::string version,
@@ -47,11 +77,17 @@ class DataplaneProgram {
     return tables_;
   }
 
-  void declare_register(const std::string& name, std::size_t size);
-  [[nodiscard]] const std::vector<std::pair<std::string, std::size_t>>&
-  register_decls() const {
+  void declare_register(const std::string& name, std::size_t size,
+                        bool packet_writable = false,
+                        StateGuard guard = StateGuard::kNone);
+  [[nodiscard]] const std::vector<RegisterDecl>& register_decls() const {
     return register_decls_;
   }
+
+  /// Enumerate every mutable state object (tables + register arrays) with
+  /// its declared mutation metadata — the program-side input to the V6-V9
+  /// attestation-coverage analyzer.
+  [[nodiscard]] std::vector<StateObject> state_objects() const;
 
   /// Code-level digest — the "Program" inertia level (parser, actions,
   /// table schemas, register declarations; NOT table entries).
@@ -76,7 +112,7 @@ class DataplaneProgram {
   ParserProgram parser_;
   std::map<std::string, ActionDef> actions_;
   std::vector<std::unique_ptr<Table>> tables_;
-  std::vector<std::pair<std::string, std::size_t>> register_decls_;
+  std::vector<RegisterDecl> register_decls_;
 };
 
 /// Per-switch processing statistics.

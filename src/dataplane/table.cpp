@@ -140,6 +140,13 @@ void Table::clear() {
   index_stale_ = false;
 }
 
+void Table::set_mutation_profile(bool packet_writable, std::size_t capacity,
+                                 EvictionPolicy eviction) {
+  packet_writable_ = packet_writable;
+  capacity_ = capacity;
+  eviction_ = eviction;
+}
+
 void Table::set_default(std::string action, std::vector<std::uint64_t> params) {
   default_action_ = std::move(action);
   default_params_ = std::move(params);
@@ -310,6 +317,9 @@ crypto::Bytes Table::encode_schema() const {
     out.push_back(static_cast<std::uint8_t>(k.kind));
     crypto::append_u32(out, k.width);
   }
+  out.push_back(packet_writable_ ? 1 : 0);
+  crypto::append_u64(out, capacity_);
+  out.push_back(static_cast<std::uint8_t>(eviction_));
   return out;
 }
 

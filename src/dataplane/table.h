@@ -32,6 +32,11 @@ namespace pera::dataplane {
 
 enum class MatchKind : std::uint8_t { kExact = 0, kLpm = 1, kTernary = 2 };
 
+/// How a capacity-bounded table sheds entries when full. Part of the
+/// mutation metadata consumed by the V9 exhaustion-reachability check:
+/// a packet-writable table with kNone is exhaustible from the wire.
+enum class EvictionPolicy : std::uint8_t { kNone = 0, kLru = 1, kTtl = 2 };
+
 struct KeySpec {
   FieldRef field;
   MatchKind kind = MatchKind::kExact;
@@ -105,6 +110,20 @@ class Table {
     return default_params_;
   }
 
+  /// Mutation metadata for the static coverage analyzer (V6/V9). A table
+  /// is "packet-writable" when entries are installed in response to packet
+  /// arrivals (flow learning, NAT bindings) rather than purely by operator
+  /// intent; such tables must declare a capacity bound plus an eviction
+  /// policy or an adversary can exhaust them from the wire. The metadata is
+  /// part of the program schema (it changes what the program *is*, not what
+  /// its state holds), so it feeds encode_schema()/program_digest().
+  void set_mutation_profile(bool packet_writable, std::size_t capacity,
+                            EvictionPolicy eviction);
+  [[nodiscard]] bool packet_writable() const { return packet_writable_; }
+  /// Entry budget; 0 = unbounded.
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] EvictionPolicy eviction() const { return eviction_; }
+
   /// Monotone content revision: bumped on every mutation that can change
   /// content_digest() (add/remove/modify/default/clear — NOT lookups,
   /// which only touch hit counters). Measurement epochs derive from this.
@@ -154,6 +173,9 @@ class Table {
   std::string default_action_;
   std::vector<std::uint64_t> default_params_;
   std::uint64_t revision_ = 0;
+  bool packet_writable_ = false;
+  std::size_t capacity_ = 0;
+  EvictionPolicy eviction_ = EvictionPolicy::kNone;
 
   // Incremental digest state. Leaf layout: entry i -> leaf i, default
   // action -> leaf entry_count(). Structural tree ops (append/truncate/

@@ -49,6 +49,23 @@ std::string MeasurementUnit::claim_text(nac::EvidenceDetail level) const {
   return "?";
 }
 
+nac::EvidenceDetail covering_level(const dataplane::StateObject& obj) {
+  return obj.kind == dataplane::StateObject::Kind::kTable
+             ? nac::EvidenceDetail::kTables
+             : nac::EvidenceDetail::kProgState;
+}
+
+std::vector<dataplane::StateObject> objects_measured_by(
+    const dataplane::DataplaneProgram& program, nac::DetailMask mask) {
+  std::vector<dataplane::StateObject> out;
+  for (auto& obj : program.state_objects()) {
+    if (nac::has_detail(mask, covering_level(obj))) {
+      out.push_back(std::move(obj));
+    }
+  }
+  return out;
+}
+
 std::uint64_t MeasurementUnit::epoch(nac::EvidenceDetail level) const {
   switch (level) {
     case nac::EvidenceDetail::kHardware:

@@ -6,6 +6,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "crypto/sha256.h"
 #include "dataplane/program.h"
@@ -64,5 +65,18 @@ class MeasurementUnit {
   std::uint64_t program_epoch_ = 0;
   std::uint64_t tables_epoch_ = 0;
 };
+
+/// Detail level whose digest observes a state object's *content*: table
+/// entries are covered by the kTables Merkle root, register arrays by the
+/// kProgState digest. (Schema changes ride kProgram, but the V6 coverage
+/// check is about content mutations between rounds.)
+[[nodiscard]] nac::EvidenceDetail covering_level(
+    const dataplane::StateObject& obj);
+
+/// All mutable state objects of `program` that a measurement at the detail
+/// levels in `mask` observes — the detail-level → measured-object mapping
+/// the V6 coverage check inverts to find TOCTOU-blind state.
+[[nodiscard]] std::vector<dataplane::StateObject> objects_measured_by(
+    const dataplane::DataplaneProgram& program, nac::DetailMask mask);
 
 }  // namespace pera::pera

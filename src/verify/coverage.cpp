@@ -1,0 +1,394 @@
+#include "verify/coverage.h"
+
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "copland/analysis.h"
+#include "pera/measurement.h"
+
+namespace pera::verify {
+
+namespace {
+
+Span span_of(const copland::Term* t) {
+  if (t == nullptr || t->src_end <= t->src_begin) return {};
+  return Span{t->src_begin, t->src_end};
+}
+
+Span body_span(const copland::Request& req) { return span_of(req.body.get()); }
+
+/// Strict inertia-level recognition. detail_from_target() deliberately
+/// maps unknown names to kProgram (configuration properties ride along
+/// with the program measurement); the analyzer recognizes the canonical
+/// names explicitly so it can *note* the ride-along instead of silently
+/// widening coverage.
+bool is_level_name(const std::string& s) {
+  return s == "Hardware" || s == "Program" || s == "Tables" || s == "State" ||
+         s == "ProgState" || s == "Packet";
+}
+
+/// Pseudo-target: "measure the live revision counters alongside the
+/// digests" — binds mutable-state measurements to their epoch (V8).
+bool is_epoch_target(const std::string& s) { return s == "Epoch"; }
+
+bool is_mutable_level(nac::EvidenceDetail d) {
+  return d == nac::EvidenceDetail::kTables ||
+         d == nac::EvidenceDetail::kProgState;
+}
+
+std::string object_kind(const dataplane::StateObject& obj) {
+  return obj.kind == dataplane::StateObject::Kind::kTable ? "table"
+                                                          : "register array";
+}
+
+std::string fmt_duration(netsim::SimTime t) {
+  if (t >= netsim::kSecond && t % netsim::kSecond == 0) {
+    return std::to_string(t / netsim::kSecond) + "s";
+  }
+  if (t >= netsim::kMillisecond && t % netsim::kMillisecond == 0) {
+    return std::to_string(t / netsim::kMillisecond) + "ms";
+  }
+  if (t >= netsim::kMicrosecond && t % netsim::kMicrosecond == 0) {
+    return std::to_string(t / netsim::kMicrosecond) + "us";
+  }
+  return std::to_string(t) + "ns";
+}
+
+std::vector<copland::AttestSite> sites_of(const copland::Request& req) {
+  return copland::find_attest_sites(req.body, req.relying_party, req.params);
+}
+
+}  // namespace
+
+nac::DetailMask attested_detail_mask(const copland::Request& req,
+                                     const CoverageModel& model) {
+  nac::DetailMask mask = 0;
+  for (const auto& site : sites_of(req)) {
+    for (const auto& target : site.targets) {
+      if (is_epoch_target(target)) continue;
+      mask = mask | nac::detail_from_target(target);
+    }
+    for (const auto& param : site.bound_params) {
+      const auto it = model.param_details.find(param);
+      if (it != model.param_details.end()) mask |= it->second;
+    }
+  }
+  return mask;
+}
+
+void check_measurement_coverage(const copland::Request& req,
+                                const CoverageModel& model,
+                                DiagnosticEngine& de) {
+  if (model.program == nullptr) return;
+  const auto& program = *model.program;
+  const auto sites = sites_of(req);
+  const auto objects = program.state_objects();
+
+  if (sites.empty()) {
+    de.error(kCodeCoverage,
+             "policy '" + req.relying_party +
+                 "' never calls attest(): none of the " +
+                 std::to_string(objects.size()) +
+                 " mutable state object(s) of program '" + program.name() +
+                 "' is measured",
+             body_span(req));
+    return;
+  }
+
+  std::set<std::string> noted;
+  for (const auto& site : sites) {
+    for (const auto& param : site.bound_params) {
+      if (model.param_details.contains(param)) continue;
+      if (!noted.insert("p:" + param).second) continue;
+      de.note(kCodeCoverage,
+              "request parameter '" + param +
+                  "' is measured by attest() but has no declared detail "
+                  "mapping (--measures " +
+                  param + "=...): it contributes nothing to state coverage",
+              span_of(site.node), site.place);
+    }
+    for (const auto& target : site.targets) {
+      if (is_level_name(target) || is_epoch_target(target)) continue;
+      if (!noted.insert("t:" + target).second) continue;
+      de.note(kCodeCoverage,
+              "attest target '" + target +
+                  "' is not an inertia level; counted as a program-level "
+                  "configuration property",
+              span_of(site.node), site.place);
+    }
+  }
+
+  const nac::DetailMask mask = attested_detail_mask(req, model);
+  if (!nac::has_detail(mask, nac::EvidenceDetail::kProgram)) {
+    de.warning(kCodeCoverage,
+               "the dataplane program itself is never attested (coverage: " +
+                   nac::describe_mask(mask) +
+                   "): an Athens-style program swap between rounds is "
+                   "invisible; attest Program",
+               body_span(req));
+  }
+  for (const auto& obj : objects) {
+    const nac::EvidenceDetail level = pera::covering_level(obj);
+    if (nac::has_detail(mask, level)) continue;
+    de.error(kCodeCoverage,
+             "mutable " + object_kind(obj) + " '" + obj.name +
+                 "' of program '" + program.name() +
+                 "' is not covered by any attested detail level (policy "
+                 "attests " +
+                 nac::describe_mask(mask) +
+                 "): tampering between rounds is invisible to every round "
+                 "(TOCTOU); attest " +
+                 nac::to_string(level),
+             body_span(req));
+  }
+}
+
+void check_staleness_windows(const copland::Request& req,
+                             const CoverageModel& model,
+                             DiagnosticEngine& de) {
+  if (model.program == nullptr) return;
+  if (!model.cadence) {
+    de.note(kCodeStaleness,
+            "no re-attestation cadence given (--cadence): staleness "
+            "windows (V7) not checked");
+    return;
+  }
+  const ctrl::CadenceSpec& spec = *model.cadence;
+  const netsim::SimTime budget =
+      model.staleness_budget.value_or(spec.staleness_budget.value_or(
+          kDefaultStalenessBudget));
+  const nac::DetailMask mask = attested_detail_mask(req, model);
+
+  for (const auto& obj : model.program->state_objects()) {
+    const nac::EvidenceDetail level = pera::covering_level(obj);
+    if (!nac::has_detail(mask, level)) continue;  // V6 already reported it
+    if (!nac::has_detail(spec.levels, level)) {
+      de.error(kCodeStaleness,
+               object_kind(obj) + " '" + obj.name + "' is attested at level " +
+                   nac::to_string(level) +
+                   " but that level is not in the scheduled set (" +
+                   nac::describe_mask(spec.levels) +
+                   "): its staleness window is unbounded — a mutation is "
+                   "never re-observed");
+      continue;
+    }
+    const netsim::SimTime window = spec.cadence.interval_for(level);
+    if (window > budget) {
+      de.error(kCodeStaleness,
+               "worst-case staleness window " + fmt_duration(window) +
+                   " for " + object_kind(obj) + " '" + obj.name +
+                   "' (level " + nac::to_string(level) +
+                   " re-attested every " + fmt_duration(window) +
+                   ") exceeds the budget " + fmt_duration(budget) +
+                   ": a mutate-and-restore between rounds goes unobserved "
+                   "for longer than the deployment tolerates");
+    }
+  }
+}
+
+void check_replay_binding(const copland::Request& req,
+                          const CoverageModel& /*model*/,
+                          DiagnosticEngine& de) {
+  for (const auto& site : sites_of(req)) {
+    // Unsigned measurement evidence is V4's finding (evidence flow); a
+    // replay analysis of an unsigned blob adds nothing.
+    if (!site.covered_by_sign) continue;
+
+    if (site.bound_params.empty() && !site.initial_evidence_reaches) {
+      de.error(kCodeReplay,
+               "signed attest() at place '" + site.place +
+                   "' does not bind the round nonce: the request's initial "
+                   "evidence never reaches this pipeline (branch drops it "
+                   "with a '-' pass flag) and no request parameter is "
+                   "measured — the signature verifies identically in every "
+                   "round, so recorded evidence can be replayed",
+               span_of(site.node), site.place);
+      continue;
+    }
+
+    std::vector<std::string> mutable_targets;
+    bool has_epoch = false;
+    for (const auto& target : site.targets) {
+      if (is_epoch_target(target)) {
+        has_epoch = true;
+      } else if (is_level_name(target) &&
+                 is_mutable_level(nac::detail_from_target(target))) {
+        mutable_targets.push_back(target);
+      }
+    }
+    if (mutable_targets.empty() || has_epoch || !site.bound_params.empty()) {
+      continue;
+    }
+    std::string joined;
+    for (const auto& t : mutable_targets) {
+      if (!joined.empty()) joined += ", ";
+      joined += t;
+    }
+    de.error(kCodeReplay,
+             "attest(" + joined + ") at place '" + site.place +
+                 "' signs mutable-state digests bound to the nonce only at "
+                 "signing time, not at measurement time: a rogue dataplane "
+                 "can substitute a digest recorded in an earlier state "
+                 "epoch; measure the request nonce (or the Epoch "
+                 "pseudo-target) inside attest()",
+             span_of(site.node), site.place);
+  }
+}
+
+void check_exhaustion_reachability(const CoverageModel& model,
+                                   DiagnosticEngine& de) {
+  if (model.program == nullptr) return;
+  const auto& program = *model.program;
+
+  // Parser reachability: which parse states can execute, hence which
+  // headers a wire packet can present to the pipeline.
+  const auto& states = program.parser().states();
+  std::set<std::string> reachable;
+  std::set<std::string> parseable_headers;
+  std::deque<std::string> frontier{"start"};
+  while (!frontier.empty()) {
+    const std::string name = frontier.front();
+    frontier.pop_front();
+    if (name == "accept" || !reachable.insert(name).second) continue;
+    const auto it = states.find(name);
+    if (it == states.end()) continue;  // dangling edge; parse() throws there
+    const auto& st = it->second;
+    if (!st.header.empty()) parseable_headers.insert(st.header);
+    if (st.select) {
+      for (const auto& [value, next] : st.select->cases) {
+        frontier.push_back(next);
+      }
+      frontier.push_back(st.select->default_next);
+    } else {
+      frontier.push_back(st.next);
+    }
+  }
+  for (const auto& [name, st] : states) {
+    if (reachable.contains(name)) continue;
+    de.note(kCodeExhaustion,
+            "parser state '" + name +
+                "' is unreachable from start: header '" + st.header +
+                "' can never be extracted, so matches keyed on it are dead");
+  }
+
+  // Packet-triggerable actions: every pipeline table runs per packet, so
+  // its default action always can fire; entry actions additionally need
+  // their key headers parseable (an absent header never matches).
+  struct Writer {
+    std::string table;
+    std::string action;
+    bool flow_indexed = false;  // writing table learns entries from packets
+  };
+  std::map<std::string, std::vector<Writer>> writers;  // register -> writers
+  for (const auto& table : program.tables()) {
+    bool keys_parseable = true;
+    for (const auto& key : table->keys()) {
+      if (key.field.header != "meta" &&
+          !parseable_headers.contains(key.field.header)) {
+        keys_parseable = false;
+      }
+    }
+    std::set<std::string> triggerable;
+    if (!table->default_action().empty()) {
+      triggerable.insert(table->default_action());
+    }
+    if (keys_parseable) {
+      for (const auto& entry : table->entries()) {
+        triggerable.insert(entry.action);
+      }
+    }
+    for (const auto& action_name : triggerable) {
+      const dataplane::ActionDef* action = program.action(action_name);
+      if (action == nullptr) continue;  // load/run reports this
+      for (const auto& op : action->ops) {
+        if (op.kind != dataplane::OpKind::kRegWrite) continue;
+        writers[op.reg].push_back(
+            Writer{table->name(), action_name, table->packet_writable()});
+      }
+    }
+  }
+
+  // Table guards: packet-installed entries need a bounded, recycled store.
+  for (const auto& table : program.tables()) {
+    if (!table->packet_writable()) continue;
+    if (table->capacity() == 0) {
+      de.error(kCodeExhaustion,
+               "flow-learning table '" + table->name() + "' of program '" +
+                   program.name() +
+                   "' installs entries from packet arrivals with no "
+                   "capacity bound: an address sweep grows it until the "
+                   "switch exhausts memory; bound it and recycle slots "
+                   "(StatefulNat's LRU is the guarded pattern)");
+    } else if (table->eviction() == dataplane::EvictionPolicy::kNone) {
+      de.error(kCodeExhaustion,
+               "flow-learning table '" + table->name() + "' of program '" +
+                   program.name() + "' is capacity-bounded (" +
+                   std::to_string(table->capacity()) +
+                   " entries) but has no eviction policy: once an "
+                   "adversary fills it, legitimate new flows are denied "
+                   "until operator intervention; evict LRU/TTL like "
+                   "StatefulNat");
+    }
+  }
+
+  // Register guards.
+  std::set<std::string> seen_regs;
+  for (const auto& decl : program.register_decls()) {
+    seen_regs.insert(decl.name);
+    const auto wit = writers.find(decl.name);
+    const bool action_written = wit != writers.end();
+    if (!decl.packet_writable && !action_written) continue;
+    if (decl.guard != dataplane::StateGuard::kNone) continue;
+    bool flow_indexed = decl.packet_writable;
+    std::string via;
+    if (action_written) {
+      for (const auto& w : wit->second) {
+        flow_indexed = flow_indexed || w.flow_indexed;
+        if (via.empty()) via = "action '" + w.action + "' (table '" +
+                               w.table + "')";
+      }
+    }
+    if (flow_indexed) {
+      de.error(kCodeExhaustion,
+               "register array '" + decl.name + "' of program '" +
+                   program.name() +
+                   "' holds per-flow state written from packet-controlled "
+                   "paths with no overwrite guard: an adversary burns "
+                   "through all " + std::to_string(decl.size) +
+                   " slots and wedges the state; declare 'guard slots' "
+                   "(recycle with the owning flow) or 'guard saturate'");
+    } else {
+      de.warning(kCodeExhaustion,
+                 "register '" + decl.name + "' is written by packet-"
+                     "triggered " + via +
+                     " with no guard: fixed slots cannot be exhausted, but "
+                     "an adversary can saturate or poison the stored "
+                     "values; declare a guard to make the bound explicit");
+    }
+  }
+  for (const auto& [reg, by] : writers) {
+    if (seen_regs.contains(reg)) continue;
+    de.error(kCodeExhaustion,
+             "action '" + by.front().action + "' (table '" +
+                 by.front().table + "') writes undeclared register '" + reg +
+                 "': the write faults at runtime");
+  }
+}
+
+bool check_coverage(const copland::Request& req, const CoverageModel& model,
+                    DiagnosticEngine& de) {
+  if (model.program != nullptr) {
+    check_measurement_coverage(req, model, de);
+    check_staleness_windows(req, model, de);
+    check_exhaustion_reachability(model, de);
+  } else if (model.cadence || !model.param_details.empty()) {
+    de.note(kCodeCoverage,
+            "no dataplane program given (--program): measurement coverage "
+            "(V6), staleness (V7) and exhaustion (V9) checks skipped");
+  }
+  check_replay_binding(req, model, de);
+  return de.ok();
+}
+
+}  // namespace pera::verify

@@ -1,0 +1,91 @@
+// Attestation-coverage static analysis (V6-V9): check a Copland policy
+// against the dataplane program it is supposed to measure, not just
+// against the topology (V1-V5 in verifier.h). Each check statically
+// pre-empts one adversary from the dataplane-security taxonomy mined in
+// ROADMAP item 5:
+//
+//   V6  measurement coverage  — every mutable Table / register array in
+//                               the program is observed by some detail
+//                               level the policy actually attests.
+//                               Uncovered state can be tampered with and
+//                               restored between rounds (TOCTOU) without
+//                               any evidence changing: error.
+//   V7  staleness windows     — with a re-attestation cadence (the same
+//                               ctrl::CadenceSpec the scheduler runs),
+//                               bound the worst case between a mutation
+//                               and the next round observing it; windows
+//                               over the budget — or levels never
+//                               scheduled at all — are flagged.
+//   V8  replay binding        — every signed attest() must bind the round
+//                               nonce, and measurements of mutable state
+//                               must take the challenge (or the Epoch
+//                               pseudo-target) into the measurement
+//                               itself; otherwise a rogue dataplane can
+//                               replay a stale digest across rounds or
+//                               state epochs: error.
+//   V9  exhaustion paths      — walk the parser -> match-action graph for
+//                               tables / registers writable from
+//                               packet-controlled paths with no capacity
+//                               or eviction guard (StatefulNat's LRU slot
+//                               recycling is the guarded exemplar).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "copland/ast.h"
+#include "ctrl/cadence.h"
+#include "dataplane/program.h"
+#include "nac/detail.h"
+#include "netsim/time.h"
+#include "verify/diagnostics.h"
+
+namespace pera::verify {
+
+/// Staleness budget used when neither the model nor the cadence config
+/// provides one: a mutation must be observable within a second.
+inline constexpr netsim::SimTime kDefaultStalenessBudget = netsim::kSecond;
+
+/// The program-side deployment the policy is verified against. A null
+/// program skips V6/V7/V9 (V8 is policy-only and always runs); a missing
+/// cadence skips V7.
+struct CoverageModel {
+  const dataplane::DataplaneProgram* program = nullptr;
+
+  /// Re-attestation cadence the deployment will run (--cadence). The V7
+  /// check reads the same spec ctrl::scheduler_config_from() feeds the
+  /// live scheduler.
+  std::optional<ctrl::CadenceSpec> cadence;
+
+  /// V7 budget override; wins over cadence->staleness_budget.
+  std::optional<netsim::SimTime> staleness_budget;
+
+  /// Detail levels attested through request parameters (--measures):
+  /// AP1's `attest(n, X)` measures whatever property X names at runtime,
+  /// so the operator declares what X covers, e.g. {"X", Program|Tables}.
+  std::map<std::string, nac::DetailMask> param_details;
+};
+
+/// Run V6-V9 over a parsed request; diagnostics accumulate into `de`.
+/// Returns de.ok() (over everything accumulated so far).
+bool check_coverage(const copland::Request& req, const CoverageModel& model,
+                    DiagnosticEngine& de);
+
+// --- individual passes (exposed for tests and tooling) ----------------------
+void check_measurement_coverage(const copland::Request& req,
+                                const CoverageModel& model,
+                                DiagnosticEngine& de);
+void check_staleness_windows(const copland::Request& req,
+                             const CoverageModel& model, DiagnosticEngine& de);
+void check_replay_binding(const copland::Request& req,
+                          const CoverageModel& model, DiagnosticEngine& de);
+void check_exhaustion_reachability(const CoverageModel& model,
+                                   DiagnosticEngine& de);
+
+/// The detail levels `req` attests, resolved against the model's
+/// param mappings (the V6 input, exposed for tests and the CLI summary).
+[[nodiscard]] nac::DetailMask attested_detail_mask(const copland::Request& req,
+                                                   const CoverageModel& model);
+
+}  // namespace pera::verify

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 #include <string_view>
+#include <tuple>
 #include <utility>
 
 namespace pera::verify {
@@ -35,6 +36,16 @@ void DiagnosticEngine::note(std::string code, std::string message, Span span,
                             std::string place) {
   report(Diagnostic{std::move(code), Severity::kNote, std::move(message),
                     span, std::move(place)});
+}
+
+void DiagnosticEngine::sort_stable() {
+  std::stable_sort(diags_.begin(), diags_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return std::tie(a.span.begin, a.span.end, a.code,
+                                     a.severity, a.message, a.place) <
+                            std::tie(b.span.begin, b.span.end, b.code,
+                                     b.severity, b.message, b.place);
+                   });
 }
 
 std::size_t DiagnosticEngine::count(Severity s) const {

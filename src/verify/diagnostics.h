@@ -36,6 +36,10 @@ inline constexpr const char* kCodeDeadGuard = "V2";      // unsatisfiable '|>'
 inline constexpr const char* kCodeQuantifier = "V3";     // forall domains
 inline constexpr const char* kCodeEvidenceFlow = "V4";   // unsigned crossings
 inline constexpr const char* kCodeKey = "V5";            // key availability
+inline constexpr const char* kCodeCoverage = "V6";       // measurement coverage
+inline constexpr const char* kCodeStaleness = "V7";      // staleness windows
+inline constexpr const char* kCodeReplay = "V8";         // replay binding
+inline constexpr const char* kCodeExhaustion = "V9";     // exhaustion paths
 
 struct Diagnostic {
   std::string code;
@@ -74,6 +78,13 @@ class DiagnosticEngine {
   [[nodiscard]] bool ok() const { return error_count() == 0; }
 
   [[nodiscard]] const std::string& source() const { return source_; }
+
+  /// Sort diagnostics into the canonical output order — (span.begin,
+  /// span.end, code, severity, message, place) — so renderings are
+  /// byte-identical regardless of which order the analyses ran or
+  /// iterated their inputs. Library callers keep insertion order unless
+  /// they opt in; the pera_verify CLI always sorts before rendering.
+  void sort_stable();
 
   /// Compiler-style rendering: one "severity[code]: message" line per
   /// diagnostic, with a caret-underlined source excerpt when a span and

@@ -1,0 +1,31 @@
+# V9 fixture: a flow cache that learns entries straight from packet
+# arrivals with no capacity bound or eviction policy, and counts hits
+# into an unguarded register array written on the packet path; both
+# are exhaustible by an address sweep. (StatefulNat is the guarded
+# counterpart: bounded capacity, LRU slot recycling, guarded registers.)
+program flowcache v1;
+
+header eth  { dst:48; src:48; ethertype:16; }
+header ipv4 { ver_ihl:8; dscp:8; len:16; ttl:8; proto:8; checksum:16;
+              src:32; dst:32; }
+header tcp  { sport:16; dport:16; seq:32; ack:32; flags:16; window:16; }
+
+parser {
+  start:      extract eth  select eth.ethertype { 0x0800: parse_ipv4;
+                                                  default: accept; }
+  parse_ipv4: extract ipv4 select ipv4.proto    { 6: parse_tcp;
+                                                  default: accept; }
+  parse_tcp:  extract tcp;
+}
+
+register flow_hits[256];
+
+action fwd(port)   { set_egress(port); }
+action seen(slot)  { reg_write(flow_hits, slot, 1); set_egress(2); }
+
+table flows {
+  key { ipv4.src: exact; }
+  state packet;
+  entry 0x0a000001 -> seen(0);
+  default fwd(1);
+}

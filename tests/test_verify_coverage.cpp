@@ -1,0 +1,612 @@
+// Tests for the attestation-coverage static analyzer (V6-V9): state-object
+// metadata on dataplane programs, attest-site extraction from Copland
+// policies, cadence-config parsing, each coverage pass, and the canonical
+// (sorted) diagnostic rendering the pera_verify CLI relies on — including
+// golden-string tests for the JSON renderer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "copland/analysis.h"
+#include "copland/parser.h"
+#include "ctrl/cadence.h"
+#include "dataplane/builder.h"
+#include "dataplane/nf.h"
+#include "dataplane/p4mini.h"
+#include "nac/detail.h"
+#include "netsim/time.h"
+#include "pera/measurement.h"
+#include "verify/coverage.h"
+#include "verify/diagnostics.h"
+
+namespace pera {
+namespace {
+
+using dataplane::DataplaneProgram;
+using dataplane::EvictionPolicy;
+using dataplane::StateGuard;
+using dataplane::StateObject;
+using verify::CoverageModel;
+using verify::DiagnosticEngine;
+using verify::Severity;
+using verify::Span;
+
+std::size_t count_code(const DiagnosticEngine& de, const char* code,
+                       Severity sev) {
+  return static_cast<std::size_t>(std::count_if(
+      de.diagnostics().begin(), de.diagnostics().end(),
+      [&](const verify::Diagnostic& d) {
+        return d.code == code && d.severity == sev;
+      }));
+}
+
+std::size_t errors_of(const DiagnosticEngine& de, const char* code) {
+  return count_code(de, code, Severity::kError);
+}
+
+copland::Request parse(const char* policy) {
+  return copland::parse_request(policy);
+}
+
+// --- state-object metadata ---------------------------------------------------
+
+TEST(StateObjects, StatefulNatIsFullyGuarded) {
+  dataplane::StatefulNat nat(dataplane::StatefulNat::Config{.capacity = 64});
+  const auto objs = nat.sw().program().state_objects();
+  ASSERT_EQ(objs.size(), 3u);  // nat table + two per-flow registers
+  for (const auto& obj : objs) {
+    EXPECT_TRUE(obj.packet_writable) << obj.name;
+    EXPECT_TRUE(obj.guarded) << obj.name;
+    EXPECT_EQ(obj.capacity, 64u) << obj.name;
+  }
+  const auto table = std::find_if(objs.begin(), objs.end(), [](const auto& o) {
+    return o.kind == StateObject::Kind::kTable;
+  });
+  ASSERT_NE(table, objs.end());
+  EXPECT_EQ(table->name, "nat");
+}
+
+TEST(StateObjects, P4MiniMutationAttributes) {
+  const auto prog = dataplane::compile_p4mini(R"(
+program attrs v1;
+header eth { dst:48; src:48; ethertype:16; }
+parser { start: extract eth; }
+register guarded_reg[8] packet guard saturate;
+register plain_reg[8];
+action noop() { }
+table learn {
+  key { eth.src: exact; }
+  state packet;
+  capacity 128;
+  evict lru;
+  default noop();
+}
+)");
+  const auto* learn = prog->table("learn");
+  ASSERT_NE(learn, nullptr);
+  EXPECT_TRUE(learn->packet_writable());
+  EXPECT_EQ(learn->capacity(), 128u);
+  EXPECT_EQ(learn->eviction(), EvictionPolicy::kLru);
+
+  const auto& regs = prog->register_decls();
+  ASSERT_EQ(regs.size(), 2u);
+  EXPECT_TRUE(regs[0].packet_writable);
+  EXPECT_EQ(regs[0].guard, StateGuard::kSaturate);
+  EXPECT_FALSE(regs[1].packet_writable);
+  EXPECT_EQ(regs[1].guard, StateGuard::kNone);
+}
+
+TEST(StateObjects, CoveringLevels) {
+  StateObject table{StateObject::Kind::kTable, "t", 0, false, false};
+  StateObject reg{StateObject::Kind::kRegister, "r", 0, false, false};
+  EXPECT_EQ(pera::covering_level(table), nac::EvidenceDetail::kTables);
+  EXPECT_EQ(pera::covering_level(reg), nac::EvidenceDetail::kProgState);
+}
+
+// --- attest-site extraction --------------------------------------------------
+
+TEST(AttestSites, SignedSiteWithNonceFlow) {
+  const auto req = parse(
+      "*rp<n> : @edge1 [attest(n, Tables) -> !] +<+ @Appraiser [appraise]");
+  const auto sites =
+      copland::find_attest_sites(req.body, req.relying_party, req.params);
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites[0].place, "edge1");
+  EXPECT_TRUE(sites[0].covered_by_sign);
+  EXPECT_TRUE(sites[0].initial_evidence_reaches);
+  ASSERT_EQ(sites[0].bound_params.size(), 1u);
+  EXPECT_EQ(sites[0].bound_params[0], "n");
+  ASSERT_EQ(sites[0].targets.size(), 1u);
+  EXPECT_EQ(sites[0].targets[0], "Tables");
+}
+
+TEST(AttestSites, MinusPassDropsInitialEvidence) {
+  const auto req = parse(
+      "*rp<n> : @edge1 [attest(Tables) -> !] -<+ @Appraiser [appraise]");
+  const auto sites =
+      copland::find_attest_sites(req.body, req.relying_party, req.params);
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_TRUE(sites[0].covered_by_sign);
+  EXPECT_FALSE(sites[0].initial_evidence_reaches);
+  EXPECT_TRUE(sites[0].bound_params.empty());
+}
+
+TEST(AttestSites, UnsignedSiteIsNotCovered) {
+  const auto req = parse(
+      "*rp<n> : @edge1 [attest(Program)] +<+ @Appraiser [appraise]");
+  const auto sites =
+      copland::find_attest_sites(req.body, req.relying_party, req.params);
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_FALSE(sites[0].covered_by_sign);
+}
+
+TEST(AttestSites, SignAtOuterPlaceDoesNotCoverInnerSite) {
+  // The '!' runs at rp, not inside edge1's pipeline: edge1's evidence
+  // crosses unsigned (V4's finding) and the site stays uncovered.
+  const auto req =
+      parse("*rp : @edge1 [attest(Program)] -> !");
+  const auto sites = copland::find_attest_sites(req.body, req.relying_party);
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_FALSE(sites[0].covered_by_sign);
+}
+
+// --- cadence configuration ---------------------------------------------------
+
+TEST(Cadence, ParseDuration) {
+  EXPECT_EQ(ctrl::parse_duration("250ms"), 250 * netsim::kMillisecond);
+  EXPECT_EQ(ctrl::parse_duration("2s"), 2 * netsim::kSecond);
+  EXPECT_EQ(ctrl::parse_duration("1500us"), 1500 * netsim::kMicrosecond);
+  EXPECT_EQ(ctrl::parse_duration("7ns"), 7);
+  EXPECT_THROW((void)ctrl::parse_duration("10"), std::invalid_argument);
+  EXPECT_THROW((void)ctrl::parse_duration("ms"), std::invalid_argument);
+  EXPECT_THROW((void)ctrl::parse_duration("-5s"), std::invalid_argument);
+}
+
+TEST(Cadence, ParseConfigExplicitKeys) {
+  const auto spec = ctrl::parse_cadence(
+      "# comment\n"
+      "tables = 500ms\n"
+      "state  = 100ms\n"
+      "levels = Hardware+Program+Tables+State\n"
+      "budget = 1s\n");
+  EXPECT_EQ(spec.cadence.tables, 500 * netsim::kMillisecond);
+  EXPECT_EQ(spec.cadence.prog_state, 100 * netsim::kMillisecond);
+  EXPECT_TRUE(nac::has_detail(spec.levels, nac::EvidenceDetail::kProgState));
+  ASSERT_TRUE(spec.staleness_budget.has_value());
+  EXPECT_EQ(*spec.staleness_budget, netsim::kSecond);
+}
+
+TEST(Cadence, WorkloadDerivesBaseAndExplicitKeysOverride) {
+  const auto spec = ctrl::parse_cadence(
+      "pps = 100000\n"
+      "table_updates_per_second = 50\n"
+      "tables = 42ms\n");
+  // The explicit key wins over the workload-derived interval...
+  EXPECT_EQ(spec.cadence.tables, 42 * netsim::kMillisecond);
+  // ...while underived levels still come from recommend_cadence.
+  pera::WorkloadProfile wl;
+  wl.packets_per_second = 100000;
+  wl.table_updates_per_second = 50;
+  EXPECT_EQ(spec.cadence.hardware, pera::recommend_cadence(wl).hardware);
+}
+
+TEST(Cadence, RejectsUnknownKeysAndLevels) {
+  EXPECT_THROW((void)ctrl::parse_cadence("bogus = 1s\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ctrl::parse_cadence("levels = Hardware+Bogus\n"),
+               std::invalid_argument);
+}
+
+TEST(Cadence, SchedulerConfigMirrorsSpec) {
+  const auto spec = ctrl::parse_cadence("tables = 250ms\nlevels = Tables\n");
+  const auto cfg = ctrl::scheduler_config_from(spec);
+  EXPECT_EQ(cfg.cadence.tables, 250 * netsim::kMillisecond);
+  EXPECT_EQ(cfg.levels, spec.levels);
+}
+
+// --- V6: measurement coverage ------------------------------------------------
+
+TEST(CoverageV6, UncoveredMutableStateIsAnError) {
+  dataplane::StatefulNat nat({});
+  CoverageModel model;
+  model.program = &nat.sw().program();
+  const auto req = parse(
+      "*rp<n> : @edge1 [attest(n, Program) -> !] +<+ @Appraiser [appraise]");
+  DiagnosticEngine de;
+  verify::check_measurement_coverage(req, model, de);
+  // nat table (Tables) + two registers (ProgState) all uncovered.
+  EXPECT_EQ(errors_of(de, verify::kCodeCoverage), 3u);
+}
+
+TEST(CoverageV6, FullCoveragePasses) {
+  dataplane::StatefulNat nat({});
+  CoverageModel model;
+  model.program = &nat.sw().program();
+  const auto req = parse(
+      "*rp<n> : @edge1 [attest(n, Program, Tables, State) -> !] +<+ "
+      "@Appraiser [appraise]");
+  DiagnosticEngine de;
+  verify::check_measurement_coverage(req, model, de);
+  EXPECT_EQ(de.error_count(), 0u);
+}
+
+TEST(CoverageV6, ParamMappingSuppliesCoverage) {
+  dataplane::StatefulNat nat({});
+  CoverageModel model;
+  model.program = &nat.sw().program();
+  model.param_details["X"] = nac::EvidenceDetail::kProgram |
+                             nac::EvidenceDetail::kTables |
+                             nac::EvidenceDetail::kProgState;
+  const auto req = parse(
+      "*rp<n, X> : @edge1 [attest(n, X) -> !] +<+ @Appraiser [appraise]");
+  EXPECT_EQ(verify::attested_detail_mask(req, model), model.param_details["X"]);
+  DiagnosticEngine de;
+  verify::check_measurement_coverage(req, model, de);
+  EXPECT_EQ(de.error_count(), 0u);
+}
+
+TEST(CoverageV6, NeverAttestingIsAnError) {
+  dataplane::StatefulNat nat({});
+  CoverageModel model;
+  model.program = &nat.sw().program();
+  const auto req = parse("*rp : @edge1 [noop -> !] +<+ @Appraiser [appraise]");
+  DiagnosticEngine de;
+  verify::check_measurement_coverage(req, model, de);
+  EXPECT_EQ(errors_of(de, verify::kCodeCoverage), 1u);
+}
+
+TEST(CoverageV6, MissingProgramLevelIsAWarning) {
+  dataplane::StatefulNat nat({});
+  CoverageModel model;
+  model.program = &nat.sw().program();
+  const auto req = parse(
+      "*rp<n> : @edge1 [attest(n, Tables, State) -> !] +<+ "
+      "@Appraiser [appraise]");
+  DiagnosticEngine de;
+  verify::check_measurement_coverage(req, model, de);
+  EXPECT_EQ(de.error_count(), 0u);  // every state object is covered
+  EXPECT_EQ(count_code(de, verify::kCodeCoverage, Severity::kWarning), 1u);
+}
+
+// --- V7: staleness windows ---------------------------------------------------
+
+TEST(CoverageV7, WindowOverBudgetIsAnError) {
+  dataplane::StatefulNat nat({});
+  CoverageModel model;
+  model.program = &nat.sw().program();
+  model.cadence = ctrl::parse_cadence(
+      "tables = 30s\nstate = 10s\nlevels = Hardware+Program+Tables+State\n");
+  model.staleness_budget = 500 * netsim::kMillisecond;
+  const auto req = parse(
+      "*rp<n> : @edge1 [attest(n, Program, Tables, State) -> !] +<+ "
+      "@Appraiser [appraise]");
+  DiagnosticEngine de;
+  verify::check_staleness_windows(req, model, de);
+  EXPECT_EQ(errors_of(de, verify::kCodeStaleness), 3u);
+}
+
+TEST(CoverageV7, UnscheduledLevelIsUnbounded) {
+  dataplane::StatefulNat nat({});
+  CoverageModel model;
+  model.program = &nat.sw().program();
+  // State is attested but never gets a periodic track.
+  model.cadence =
+      ctrl::parse_cadence("tables = 100ms\nlevels = Hardware+Program+Tables\n");
+  model.staleness_budget = netsim::kSecond;
+  const auto req = parse(
+      "*rp<n> : @edge1 [attest(n, Program, Tables, State) -> !] +<+ "
+      "@Appraiser [appraise]");
+  DiagnosticEngine de;
+  verify::check_staleness_windows(req, model, de);
+  EXPECT_EQ(errors_of(de, verify::kCodeStaleness), 2u);  // both registers
+}
+
+TEST(CoverageV7, WithinBudgetPasses) {
+  dataplane::StatefulNat nat({});
+  CoverageModel model;
+  model.program = &nat.sw().program();
+  model.cadence = ctrl::parse_cadence(
+      "tables = 500ms\nstate = 100ms\n"
+      "levels = Hardware+Program+Tables+State\nbudget = 1s\n");
+  const auto req = parse(
+      "*rp<n> : @edge1 [attest(n, Program, Tables, State) -> !] +<+ "
+      "@Appraiser [appraise]");
+  DiagnosticEngine de;
+  verify::check_staleness_windows(req, model, de);
+  EXPECT_EQ(de.error_count(), 0u);
+}
+
+TEST(CoverageV7, NoCadenceIsANoteOnly) {
+  dataplane::StatefulNat nat({});
+  CoverageModel model;
+  model.program = &nat.sw().program();
+  const auto req = parse(
+      "*rp<n> : @edge1 [attest(n, Tables) -> !] +<+ @Appraiser [appraise]");
+  DiagnosticEngine de;
+  verify::check_staleness_windows(req, model, de);
+  EXPECT_EQ(de.error_count(), 0u);
+  EXPECT_EQ(count_code(de, verify::kCodeStaleness, Severity::kNote), 1u);
+}
+
+// --- V8: replay binding ------------------------------------------------------
+
+TEST(CoverageV8, DroppedNonceIsAnError) {
+  const auto req = parse(
+      "*rp<n> : @edge1 [attest(Tables, State) -> !] -<+ "
+      "@Appraiser [appraise]");
+  DiagnosticEngine de;
+  verify::check_replay_binding(req, CoverageModel{}, de);
+  EXPECT_EQ(errors_of(de, verify::kCodeReplay), 1u);
+}
+
+TEST(CoverageV8, MutableDigestsNeedEpochOrParamBinding) {
+  // Nonce reaches the pipeline, but the table digest itself is not bound
+  // to the round: a stale digest from an earlier epoch substitutes.
+  const auto unbound = parse(
+      "*rp<n> : @edge1 [attest(Tables) -> !] +<+ @Appraiser [appraise]");
+  DiagnosticEngine de1;
+  verify::check_replay_binding(unbound, CoverageModel{}, de1);
+  EXPECT_EQ(errors_of(de1, verify::kCodeReplay), 1u);
+
+  const auto epoch = parse(
+      "*rp<n> : @edge1 [attest(Tables, Epoch) -> !] +<+ "
+      "@Appraiser [appraise]");
+  DiagnosticEngine de2;
+  verify::check_replay_binding(epoch, CoverageModel{}, de2);
+  EXPECT_EQ(de2.error_count(), 0u);
+
+  const auto param = parse(
+      "*rp<n> : @edge1 [attest(n, Tables) -> !] +<+ @Appraiser [appraise]");
+  DiagnosticEngine de3;
+  verify::check_replay_binding(param, CoverageModel{}, de3);
+  EXPECT_EQ(de3.error_count(), 0u);
+}
+
+TEST(CoverageV8, UnsignedSitesAreV4sDomain) {
+  const auto req = parse(
+      "*rp<n> : @edge1 [attest(Tables)] -<+ @Appraiser [appraise]");
+  DiagnosticEngine de;
+  verify::check_replay_binding(req, CoverageModel{}, de);
+  EXPECT_EQ(de.error_count(), 0u);
+}
+
+TEST(CoverageV8, ImmutableTargetsNeedOnlyNonceFlow) {
+  const auto req = parse(
+      "*rp : @edge1 [attest(Hardware, Program) -> !] +<+ "
+      "@Appraiser [appraise]");
+  DiagnosticEngine de;
+  verify::check_replay_binding(req, CoverageModel{}, de);
+  EXPECT_EQ(de.error_count(), 0u);
+}
+
+// --- V9: exhaustion reachability ---------------------------------------------
+
+constexpr const char* kUnguardedFlowCache = R"(
+program flowcache v1;
+header eth  { dst:48; src:48; ethertype:16; }
+header ipv4 { ver_ihl:8; dscp:8; len:16; ttl:8; proto:8; checksum:16;
+              src:32; dst:32; }
+parser {
+  start:      extract eth select eth.ethertype { 0x0800: parse_ipv4;
+                                                 default: accept; }
+  parse_ipv4: extract ipv4;
+}
+register flow_hits[256];
+action fwd(port)  { set_egress(port); }
+action seen(slot) { reg_write(flow_hits, slot, 1); set_egress(2); }
+table flows {
+  key { ipv4.src: exact; }
+  state packet;
+  entry 0x0a000001 -> seen(0);
+  default fwd(1);
+}
+)";
+
+TEST(CoverageV9, UnguardedFlowCacheIsFlagged) {
+  const auto prog = dataplane::compile_p4mini(kUnguardedFlowCache);
+  CoverageModel model;
+  model.program = prog.get();
+  DiagnosticEngine de;
+  verify::check_exhaustion_reachability(model, de);
+  EXPECT_EQ(errors_of(de, verify::kCodeExhaustion), 2u);  // table + register
+}
+
+TEST(CoverageV9, GuardedFlowCachePasses) {
+  const auto prog = dataplane::compile_p4mini(R"(
+program flowcache v2;
+header eth  { dst:48; src:48; ethertype:16; }
+header ipv4 { ver_ihl:8; dscp:8; len:16; ttl:8; proto:8; checksum:16;
+              src:32; dst:32; }
+parser {
+  start:      extract eth select eth.ethertype { 0x0800: parse_ipv4;
+                                                 default: accept; }
+  parse_ipv4: extract ipv4;
+}
+register flow_hits[256] packet guard slots;
+action fwd(port)  { set_egress(port); }
+action seen(slot) { reg_write(flow_hits, slot, 1); set_egress(2); }
+table flows {
+  key { ipv4.src: exact; }
+  state packet;
+  capacity 256;
+  evict lru;
+  entry 0x0a000001 -> seen(0);
+  default fwd(1);
+}
+)");
+  CoverageModel model;
+  model.program = prog.get();
+  DiagnosticEngine de;
+  verify::check_exhaustion_reachability(model, de);
+  EXPECT_EQ(de.error_count(), 0u);
+}
+
+TEST(CoverageV9, StatefulNatIsTheGuardedExemplar) {
+  dataplane::StatefulNat nat({});
+  CoverageModel model;
+  model.program = &nat.sw().program();
+  DiagnosticEngine de;
+  verify::check_exhaustion_reachability(model, de);
+  EXPECT_EQ(de.error_count(), 0u);
+}
+
+TEST(CoverageV9, CannedProgramsHaveNoExhaustionErrors) {
+  for (const auto& prog :
+       {dataplane::make_router(), dataplane::make_firewall(),
+        dataplane::make_acl(), dataplane::make_monitor()}) {
+    CoverageModel model;
+    model.program = prog.get();
+    DiagnosticEngine de;
+    verify::check_exhaustion_reachability(model, de);
+    EXPECT_EQ(de.error_count(), 0u) << prog->name();
+  }
+}
+
+TEST(CoverageV9, MonitorFixedSlotRegisterWarns) {
+  const auto prog = dataplane::make_monitor();
+  CoverageModel model;
+  model.program = prog.get();
+  DiagnosticEngine de;
+  verify::check_exhaustion_reachability(model, de);
+  EXPECT_EQ(count_code(de, verify::kCodeExhaustion, Severity::kWarning), 1u);
+}
+
+TEST(CoverageV9, UnparseableKeyHeaderDisarmsEntryActions) {
+  // tcp is never parsed, so the entry's reg_write cannot be triggered by
+  // a wire packet; only the harmless default runs.
+  const auto prog = dataplane::compile_p4mini(R"(
+program deadkey v1;
+header eth { dst:48; src:48; ethertype:16; }
+header tcp { sport:16; dport:16; }
+parser {
+  start:     extract eth;
+  parse_tcp: extract tcp;
+}
+register hits[16];
+action fwd(port)   { set_egress(port); }
+action count(slot) { reg_write(hits, slot, 1); }
+table t {
+  key { tcp.dport: exact; }
+  entry 80 -> count(0);
+  default fwd(1);
+}
+)");
+  CoverageModel model;
+  model.program = prog.get();
+  DiagnosticEngine de;
+  verify::check_exhaustion_reachability(model, de);
+  EXPECT_EQ(errors_of(de, verify::kCodeExhaustion), 0u);
+  // ...and the tcp parse state is reported unreachable.
+  EXPECT_GE(count_code(de, verify::kCodeExhaustion, Severity::kNote), 1u);
+}
+
+TEST(CoverageV9, UndeclaredRegisterWriteIsAnError) {
+  const auto prog = dataplane::compile_p4mini(R"(
+program ghostreg v1;
+header eth { dst:48; src:48; ethertype:16; }
+parser { start: extract eth; }
+action ghost() { reg_write(nowhere, 0, 1); }
+table t {
+  key { eth.dst: exact; }
+  default ghost();
+}
+)");
+  CoverageModel model;
+  model.program = prog.get();
+  DiagnosticEngine de;
+  verify::check_exhaustion_reachability(model, de);
+  EXPECT_EQ(errors_of(de, verify::kCodeExhaustion), 1u);
+}
+
+// --- check_coverage orchestration --------------------------------------------
+
+TEST(CheckCoverage, NoProgramSkipsProgramChecksWithANote) {
+  CoverageModel model;
+  model.cadence = ctrl::parse_cadence("tables = 1s\n");
+  const auto req = parse(
+      "*rp<n> : @edge1 [attest(n, Tables) -> !] +<+ @Appraiser [appraise]");
+  DiagnosticEngine de;
+  EXPECT_TRUE(verify::check_coverage(req, model, de));
+  EXPECT_EQ(count_code(de, verify::kCodeCoverage, Severity::kNote), 1u);
+}
+
+TEST(CheckCoverage, RunsAllFourPasses) {
+  const auto prog = dataplane::compile_p4mini(kUnguardedFlowCache);
+  CoverageModel model;
+  model.program = prog.get();
+  model.cadence = ctrl::parse_cadence(
+      "tables = 30s\nstate = 10s\nlevels = Hardware+Program+Tables+State\n"
+      "budget = 500ms\n");
+  const auto req = parse(
+      "*rp<n> : @edge1 [attest(Tables, State) -> !] -<+ "
+      "@Appraiser [appraise]");
+  DiagnosticEngine de;
+  EXPECT_FALSE(verify::check_coverage(req, model, de));
+  EXPECT_GE(errors_of(de, verify::kCodeStaleness), 1u);  // V7
+  EXPECT_EQ(errors_of(de, verify::kCodeReplay), 1u);     // V8
+  EXPECT_EQ(errors_of(de, verify::kCodeExhaustion), 2u); // V9
+}
+
+// --- canonical ordering and golden JSON rendering ----------------------------
+
+TEST(Diagnostics, SortStableIsInsertionOrderIndependent) {
+  const auto fill = [](DiagnosticEngine& de, bool reversed) {
+    std::vector<verify::Diagnostic> diags = {
+        {verify::kCodeExhaustion, Severity::kError, "b", {5, 9}, "p2"},
+        {verify::kCodeCoverage, Severity::kWarning, "a", {5, 9}, "p1"},
+        {verify::kCodeReplay, Severity::kNote, "c", {2, 4}, ""},
+        {verify::kCodeCoverage, Severity::kError, "a", {5, 9}, "p1"},
+    };
+    if (reversed) std::reverse(diags.begin(), diags.end());
+    for (auto& d : diags) de.report(std::move(d));
+  };
+  DiagnosticEngine forward;
+  fill(forward, false);
+  forward.sort_stable();
+  DiagnosticEngine backward;
+  fill(backward, true);
+  backward.sort_stable();
+  EXPECT_EQ(forward.render_json(), backward.render_json());
+  EXPECT_EQ(forward.render_human(), backward.render_human());
+  EXPECT_EQ(forward.diagnostics().front().code, verify::kCodeReplay);
+}
+
+TEST(Diagnostics, GoldenJsonAllSeveritiesAndSpans) {
+  DiagnosticEngine de;
+  de.error(verify::kCodeCoverage, "table \"nat\" uncovered", Span{10, 20},
+           "edge1");
+  de.warning(verify::kCodeExhaustion, "line1\nline2");
+  de.note(verify::kCodeStaleness, "back\\slash");
+  const char* expected =
+      "{\n"
+      "  \"diagnostics\": [\n"
+      "    {\"code\": \"V6\", \"severity\": \"error\", \"message\": "
+      "\"table \\\"nat\\\" uncovered\", \"span\": {\"begin\": 10, \"end\": "
+      "20}, \"place\": \"edge1\"},\n"
+      "    {\"code\": \"V9\", \"severity\": \"warning\", \"message\": "
+      "\"line1\\nline2\", \"span\": {\"begin\": 0, \"end\": 0}},\n"
+      "    {\"code\": \"V7\", \"severity\": \"note\", \"message\": "
+      "\"back\\\\slash\", \"span\": {\"begin\": 0, \"end\": 0}}\n"
+      "  ],\n"
+      "  \"errors\": 1,\n"
+      "  \"warnings\": 1,\n"
+      "  \"ok\": false\n"
+      "}\n";
+  EXPECT_EQ(de.render_json(), expected);
+}
+
+TEST(Diagnostics, GoldenJsonEmptyEngine) {
+  const DiagnosticEngine de;
+  const char* expected =
+      "{\n"
+      "  \"diagnostics\": [],\n"
+      "  \"errors\": 0,\n"
+      "  \"warnings\": 0,\n"
+      "  \"ok\": true\n"
+      "}\n";
+  EXPECT_EQ(de.render_json(), expected);
+}
+
+}  // namespace
+}  // namespace pera

@@ -1,13 +1,14 @@
 // pera_verify — static policy verification CLI.
 //
 // Verifies a network-aware Copland policy against a topology and deployment
-// model *before* compilation (checks V1-V5, see docs/VERIFY.md):
+// model *before* compilation (checks V1-V9, see docs/VERIFY.md):
 //
 //   pera_verify policy.copland                        # against topo::isp()
 //   pera_verify -e '*rp<n> : @edge1 [attest(Program) -> !] +<+ @Appraiser [appraise]'
 //   pera_verify --topology chain:3 --bind client=client policy.copland
 //   pera_verify --node Switch --node Appraiser:appraiser --link Switch-Appraiser ...
 //   pera_verify --guard Ktest=false --json policy.copland
+//   pera_verify --program nat --cadence prod.conf policy.copland   # V6-V9
 //
 // Exit status: 0 = policy verifies, 1 = verification errors (suppressed by
 // --force), 2 = usage error.
@@ -16,6 +17,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <sstream>
@@ -25,9 +27,16 @@
 #include "copland/ast.h"
 #include "copland/parser.h"
 #include "crypto/keystore.h"
+#include "ctrl/cadence.h"
+#include "dataplane/builder.h"
+#include "dataplane/nf.h"
+#include "dataplane/p4mini.h"
+#include "dataplane/program.h"
 #include "nac/compiler.h"
+#include "nac/detail.h"
 #include "netkat/policy.h"
 #include "netsim/topology.h"
+#include "verify/coverage.h"
 #include "verify/verifier.h"
 
 namespace {
@@ -62,6 +71,19 @@ int usage(const char* argv0) {
       << "  --packet F=V[,F=V]    add a packet to the dead-guard universe\n"
       << "  --no-key PLACE        drop PLACE from the default keystore\n"
       << "  --no-keys             provision no keys at all\n"
+      << "\n"
+      << "attestation coverage (enables checks V6/V7/V9; V8 always runs):\n"
+      << "  --program SPEC        dataplane program the policy must cover:\n"
+      << "                        nat[:CAPACITY] | router | firewall | acl |\n"
+      << "                        monitor | rogue | PATH.p4 (P4-mini source)\n"
+      << "  --cadence FILE        re-attestation cadence config (key=value:\n"
+      << "                        hardware/program/tables/state/packet=DUR,\n"
+      << "                        levels=..., budget=DUR, or a workload:\n"
+      << "                        pps/table_updates_per_second/...)\n"
+      << "  --staleness-budget D  max tolerated mutation-to-observation\n"
+      << "                        window (e.g. 500ms); overrides the config\n"
+      << "  --measures P=LEVELS   detail levels a request parameter attests,\n"
+      << "                        e.g. X=Program+Tables (repeatable)\n"
       << "\n"
       << "output and behaviour:\n"
       << "  --json                machine-readable diagnostics\n"
@@ -123,10 +145,102 @@ struct Options {
   std::set<std::string> dropped_keys;
   bool no_keys = false;
 
+  std::string program_spec;
+  std::string cadence_file;
+  std::optional<pera::netsim::SimTime> staleness_budget;
+  std::map<std::string, pera::nac::DetailMask> measures;
+
   bool json = false;
   bool force = false;
   bool compile = false;
 };
+
+// Strict level-name parser for --measures (nac::detail_from_target maps
+// unknown names to kProgram, which would silently hide a typo here).
+bool parse_levels(const std::string& spec, pera::nac::DetailMask* out) {
+  using pera::nac::EvidenceDetail;
+  *out = 0;
+  std::string cur;
+  const auto flush = [&]() -> bool {
+    if (cur.empty()) return true;
+    if (cur == "Hardware") {
+      *out |= static_cast<pera::nac::DetailMask>(EvidenceDetail::kHardware);
+    } else if (cur == "Program") {
+      *out |= static_cast<pera::nac::DetailMask>(EvidenceDetail::kProgram);
+    } else if (cur == "Tables") {
+      *out |= static_cast<pera::nac::DetailMask>(EvidenceDetail::kTables);
+    } else if (cur == "State" || cur == "ProgState") {
+      *out |= static_cast<pera::nac::DetailMask>(EvidenceDetail::kProgState);
+    } else if (cur == "Packet") {
+      *out |= static_cast<pera::nac::DetailMask>(EvidenceDetail::kPacket);
+    } else {
+      return false;
+    }
+    cur.clear();
+    return true;
+  };
+  for (const char c : spec) {
+    if (c == '+' || c == ',') {
+      if (!flush()) return false;
+    } else {
+      cur.push_back(c);
+    }
+  }
+  return flush() && *out != 0;
+}
+
+// Resolve --program SPEC into a live program. The returned holder keeps
+// whatever owns the program (a StatefulNat for nat, a shared_ptr
+// otherwise) alive for the duration of the analyses.
+struct ProgramHolder {
+  std::shared_ptr<pera::dataplane::DataplaneProgram> program;
+  std::unique_ptr<pera::dataplane::StatefulNat> nat;
+
+  [[nodiscard]] const pera::dataplane::DataplaneProgram* get() const {
+    if (nat) return &nat->sw().program();
+    return program.get();
+  }
+};
+
+int build_program(const std::string& spec, ProgramHolder& holder) {
+  using namespace pera::dataplane;
+  try {
+    if (spec == "nat" || spec.rfind("nat:", 0) == 0) {
+      StatefulNat::Config cfg;
+      if (spec.size() > 4) {
+        std::uint64_t cap = 0;
+        if (!parse_u64(spec.substr(4), &cap) || cap == 0) {
+          return fail("--program nat:CAPACITY needs a positive capacity");
+        }
+        cfg.capacity = static_cast<std::size_t>(cap);
+      }
+      holder.nat = std::make_unique<StatefulNat>(cfg);
+    } else if (spec == "router") {
+      holder.program = make_router();
+    } else if (spec == "firewall") {
+      holder.program = make_firewall();
+    } else if (spec == "acl") {
+      holder.program = make_acl();
+    } else if (spec == "monitor") {
+      holder.program = make_monitor();
+    } else if (spec == "rogue") {
+      holder.program = make_rogue_router();
+    } else if (spec.size() > 3 && spec.compare(spec.size() - 3, 3, ".p4") == 0) {
+      std::ifstream in(spec);
+      if (!in) return fail("--program: cannot open '" + spec + "'");
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      holder.program = compile_p4mini(ss.str());
+    } else {
+      return fail("--program: unknown program '" + spec +
+                  "' (nat[:CAP], router, firewall, acl, monitor, rogue, "
+                  "or a .p4 file)");
+    }
+  } catch (const P4MiniError& e) {
+    return fail(std::string("--program: ") + e.what());
+  }
+  return 0;
+}
 
 // Returns 0 on success, 2 on usage error (with message already printed).
 int parse_args(int argc, char** argv, Options& opt) {
@@ -229,6 +343,30 @@ int parse_args(int argc, char** argv, Options& opt) {
         pkt.set(fv.substr(0, eq), value);
       }
       opt.packets.push_back(std::move(pkt));
+    } else if (arg == "--program") {
+      if (!value_of(i, arg, &v)) return 2;
+      opt.program_spec = v;
+    } else if (arg == "--cadence") {
+      if (!value_of(i, arg, &v)) return 2;
+      opt.cadence_file = v;
+    } else if (arg == "--staleness-budget") {
+      if (!value_of(i, arg, &v)) return 2;
+      try {
+        opt.staleness_budget = pera::ctrl::parse_duration(v);
+      } catch (const std::invalid_argument& e) {
+        return fail(std::string("--staleness-budget: ") + e.what());
+      }
+    } else if (arg == "--measures") {
+      if (!value_of(i, arg, &v)) return 2;
+      const auto eq = v.find('=');
+      pera::nac::DetailMask mask = 0;
+      if (eq == std::string::npos || eq == 0 ||
+          !parse_levels(v.substr(eq + 1), &mask)) {
+        return fail("--measures: expected PARAM=LEVEL[+LEVEL...] with "
+                    "levels from Hardware, Program, Tables, State, Packet; "
+                    "got '" + v + "'");
+      }
+      opt.measures[v.substr(0, eq)] |= mask;
     } else if (arg == "--no-key") {
       if (!value_of(i, arg, &v)) return 2;
       opt.dropped_keys.insert(v);
@@ -346,8 +484,38 @@ int main(int argc, char** argv) {
   model.packet_universe = opt.packets;
   model.flows = opt.flows;
 
+  ProgramHolder holder;
+  if (!opt.program_spec.empty()) {
+    if (const int rc = build_program(opt.program_spec, holder); rc != 0) {
+      return rc;
+    }
+  }
+  pera::verify::CoverageModel coverage;
+  coverage.program = holder.get();
+  coverage.staleness_budget = opt.staleness_budget;
+  coverage.param_details = opt.measures;
+  if (!opt.cadence_file.empty()) {
+    std::ifstream in(opt.cadence_file);
+    if (!in) return fail("--cadence: cannot open '" + opt.cadence_file + "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    try {
+      coverage.cadence = pera::ctrl::parse_cadence(ss.str());
+    } catch (const std::invalid_argument& e) {
+      return fail("--cadence: " + opt.cadence_file + ": " + e.what());
+    }
+  }
+
   DiagnosticEngine de(opt.policy_text);
-  const bool ok = pera::verify::verify_source(opt.policy_text, model, de);
+  bool ok = pera::verify::verify_source(opt.policy_text, model, de);
+
+  // V6-V9 need the parsed request; a parse failure was already reported
+  // as P0 above, so only run them when the policy parses.
+  try {
+    const auto req = pera::copland::parse_request(opt.policy_text);
+    ok = pera::verify::check_coverage(req, coverage, de) && ok;
+  } catch (const pera::copland::ParseError&) {
+  }
 
   if (opt.compile && ok) {
     try {
@@ -363,6 +531,9 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Canonical output order: renderings are byte-identical regardless of
+  // analysis scheduling or container iteration order.
+  de.sort_stable();
   std::cout << (opt.json ? de.render_json() : de.render_human());
   if (!de.ok() && !opt.force) return 1;
   return 0;
