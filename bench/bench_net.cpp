@@ -1,0 +1,285 @@
+// Connection-scaling soak for the real-socket evidence transport: one
+// epoll appraiser server, a SwitchFleet load generator, loopback TCP.
+//
+// Two sweeps:
+//
+//   * connection scaling — establish N concurrent RA sessions (the
+//     handshake storm is timed too), then run closed-loop evidence
+//     rounds at pipeline depth 4 per connection and record rounds/s and
+//     per-round latency percentiles. N rises to 1024 in the full run.
+//   * reactor-shard scaling — fixed fleet, the server's reactor count
+//     sweeps 1 / 2 / 4; rounds/s per cell shows what epoll sharding
+//     buys (on a multi-core host) or costs (on one core).
+//
+// Acceptance gates (nonzero exit on violation):
+//   1. the top connection cell establishes every session — ≥1000
+//      concurrent RA sessions in the full run — and completes every
+//      round with a true verdict;
+//   2. reactor sharding must not collapse throughput: rounds/s at the
+//      deployable 2-shard point ≥ floor × rounds/s at 1 reactor, where
+//      the floor is host-aware (0.5 on a single hardware thread, where
+//      extra reactors only add contention; 0.8 otherwise). The 4-shard
+//      cell is recorded as data, not gated — on a small host it only
+//      measures oversubscription;
+//   3. a switch whose quote claims a tampered measurement is refused
+//      admission (the transport's whole point).
+//
+// Flags: --smoke (small fleet), --json=PATH, --metrics-json=PATH.
+// Results land in BENCH_net.json (committed).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/obs.h"
+#include "pipeline/pipeline.h"
+
+namespace {
+
+using namespace pera;
+
+crypto::Digest d(std::string_view label) {
+  crypto::Sha256 h;
+  h.update(label);
+  return h.finish();
+}
+
+struct Keys {
+  crypto::Digest quote_root = d("bench-net-quote-root");
+  crypto::Digest golden = d("bench-net-golden");
+  crypto::Digest evidence_root = d("bench-net-evidence-root");
+  crypto::Digest cert_key = d("bench-net-cert-key");
+  crypto::Digest appraiser_meas = d("bench-net-appraiser-meas");
+};
+
+struct Cell {
+  std::size_t connections = 0;
+  std::size_t reactors = 0;
+  std::size_t established = 0;
+  double establish_ms = 0.0;
+  std::uint64_t rounds = 0;
+  std::uint64_t verdict_failures = 0;
+  std::uint64_t session_failures = 0;
+  double rounds_per_s = 0.0;
+  double latency_p50_us = 0.0;
+  double latency_p99_us = 0.0;
+};
+
+double percentile(std::vector<float>& v, double p) {
+  if (v.empty()) return 0.0;
+  const std::size_t idx = std::min(
+      v.size() - 1, static_cast<std::size_t>(p * double(v.size() - 1)));
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(idx),
+                   v.end());
+  return double(v[idx]);
+}
+
+Cell run_cell(const Keys& keys, std::size_t connections, std::size_t reactors,
+              std::uint64_t total_rounds, std::size_t depth) {
+  net::ServerConfig sc;
+  sc.reactors = reactors;
+  sc.appraiser_workers = 1;
+  sc.quote_root_key = keys.quote_root;
+  sc.golden_measurement = keys.golden;
+  sc.evidence_root_key = keys.evidence_root;
+  sc.cert_key = keys.cert_key;
+  sc.appraiser_measurement = keys.appraiser_meas;
+  net::AppraiserServer server(sc);
+  server.start();
+
+  net::SwitchFleet::Config fc;
+  fc.port = server.port();
+  fc.connections = connections;
+  fc.depth = depth;
+  fc.device_keys =
+      pipeline::PeraPipeline::shard_keys(keys.evidence_root,
+                                         "pera.net.device", 16);
+  fc.quote_root_key = keys.quote_root;
+  fc.measurement = keys.golden;
+  net::SwitchFleet fleet(fc);
+
+  Cell cell;
+  cell.connections = connections;
+  cell.reactors = reactors;
+  const auto t0 = std::chrono::steady_clock::now();
+  cell.established = fleet.establish(60'000);
+  cell.establish_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  net::SwitchFleet::RunStats rs = fleet.run_rounds(total_rounds, 120'000);
+  cell.rounds = rs.rounds_completed;
+  cell.verdict_failures = rs.verdict_failures;
+  cell.session_failures = rs.session_failures;
+  cell.rounds_per_s =
+      rs.wall_ns > 0 ? double(rs.rounds_completed) * 1e9 / double(rs.wall_ns)
+                     : 0.0;
+  cell.latency_p50_us = percentile(rs.latency_us, 0.50);
+  cell.latency_p99_us = percentile(rs.latency_us, 0.99);
+  fleet.shutdown();
+  server.stop();
+  return cell;
+}
+
+void print_cell(const char* tag, const Cell& c) {
+  std::printf(
+      "%s conns=%4zu reactors=%zu est=%4zu (%.0f ms)  rounds=%llu  "
+      "%.0f rounds/s  p50=%.0fus p99=%.0fus  vfail=%llu sfail=%llu\n",
+      tag, c.connections, c.reactors, c.established, c.establish_ms,
+      static_cast<unsigned long long>(c.rounds), c.rounds_per_s,
+      c.latency_p50_us, c.latency_p99_us,
+      static_cast<unsigned long long>(c.verdict_failures),
+      static_cast<unsigned long long>(c.session_failures));
+}
+
+void write_cells(std::FILE* f, const std::vector<Cell>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"connections\": %zu, \"reactors\": %zu, \"established\": %zu, "
+        "\"establish_ms\": %.1f, \"rounds\": %llu, \"rounds_per_s\": %.1f, "
+        "\"latency_p50_us\": %.1f, \"latency_p99_us\": %.1f, "
+        "\"verdict_failures\": %llu, \"session_failures\": %llu}%s\n",
+        c.connections, c.reactors, c.established, c.establish_ms,
+        static_cast<unsigned long long>(c.rounds), c.rounds_per_s,
+        c.latency_p50_us, c.latency_p99_us,
+        static_cast<unsigned long long>(c.verdict_failures),
+        static_cast<unsigned long long>(c.session_failures),
+        i + 1 < cells.size() ? "," : "");
+  }
+}
+
+// Gate 3: tampered measurement in the quote → refused at the door.
+bool bad_quote_rejected(const Keys& keys) {
+  net::ServerConfig sc;
+  sc.quote_root_key = keys.quote_root;
+  sc.golden_measurement = keys.golden;
+  sc.evidence_root_key = keys.evidence_root;
+  sc.cert_key = keys.cert_key;
+  net::AppraiserServer server(sc);
+  server.start();
+  net::ClientIdentity id;
+  id.place = "intruder";
+  id.quote_root_key = keys.quote_root;
+  id.measurement = d("tampered-program");
+  id.device_key =
+      pipeline::PeraPipeline::shard_keys(keys.evidence_root,
+                                         "pera.net.device", 16)[0];
+  net::SwitchClient client(id);
+  const bool admitted = client.connect(server.port(), 2000);
+  const bool rejected_right =
+      !admitted && client.reject_reason() == net::RejectReason::kBadQuote;
+  server.stop();
+  return rejected_right;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_net.json";
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") smoke = true;
+    else if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
+    else if (arg.rfind("--metrics-json=", 0) == 0) metrics_path = arg.substr(15);
+    // Unknown flags are ignored (harness-wide sweeps pass shared flags).
+  }
+  if (!metrics_path.empty()) {
+    obs::reset();
+    obs::set_enabled(true);
+  }
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const Keys keys;
+
+  // Sweep 1: connection scaling at 2 reactors.
+  const std::vector<std::size_t> conn_levels =
+      smoke ? std::vector<std::size_t>{16, 64}
+            : std::vector<std::size_t>{64, 256, 1024};
+  std::vector<Cell> scaling;
+  for (const std::size_t conns : conn_levels) {
+    scaling.push_back(run_cell(keys, conns, 2, conns * 8, 4));
+    print_cell("scale  ", scaling.back());
+  }
+
+  // Sweep 2: reactor shards at a fixed fleet.
+  const std::size_t shard_conns = smoke ? 32 : 256;
+  std::vector<Cell> shards;
+  for (const std::size_t reactors : {std::size_t{1}, std::size_t{2},
+                                     std::size_t{4}}) {
+    shards.push_back(
+        run_cell(keys, shard_conns, reactors, shard_conns * 8, 4));
+    print_cell("shards ", shards.back());
+  }
+
+  const bool gate_reject = bad_quote_rejected(keys);
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_net: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"transport\": \"loopback TCP, epoll reactors, "
+               "RA-session handshake\",\n  \"host_threads\": %u,\n"
+               "  \"scaling_cells\": [\n",
+               hw);
+  write_cells(f, scaling);
+  std::fprintf(f, "  ],\n  \"reactor_cells\": [\n");
+  write_cells(f, shards);
+  std::fprintf(f, "  ],\n  \"bad_quote_rejected\": %s\n}\n",
+               gate_reject ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (!metrics_path.empty()) {
+    const std::string json = obs::dump_json();
+    if (metrics_path == "-") {
+      std::fwrite(json.data(), 1, json.size(), stdout);
+      std::fputc('\n', stdout);
+    } else {
+      std::FILE* mf = std::fopen(metrics_path.c_str(), "w");
+      if (mf != nullptr) {
+        std::fwrite(json.data(), 1, json.size(), mf);
+        std::fclose(mf);
+      }
+    }
+  }
+
+  // Gate 1: the top cell establishes and completes everything.
+  const Cell& top = scaling.back();
+  const bool gate_scale = top.established == top.connections &&
+                          top.rounds == top.connections * 8 &&
+                          top.verdict_failures == 0 &&
+                          top.session_failures == 0;
+  std::printf("gate: %zu/%zu sessions established, all rounds true: %s\n",
+              top.established, top.connections, gate_scale ? "yes" : "NO");
+
+  // Gate 2: host-aware no-collapse floor for reactor sharding, judged at
+  // the deployable 2-shard point (the 4-shard cell is recorded as data;
+  // on a 1-thread host it only measures oversubscription). On one
+  // hardware thread extra reactors cannot help, so the floor just
+  // forbids collapse; with real parallelism the bar is higher.
+  const double floor = hw >= 2 ? 0.8 : 0.5;
+  const double base = shards.front().rounds_per_s;
+  const double deployed = shards[1].rounds_per_s;
+  const bool gate_shards = base > 0 && deployed >= floor * base;
+  std::printf("gate: reactor sharding %.0f -> %.0f rounds/s at 2 shards "
+              "(floor %.1fx on %u threads): %s\n",
+              base, deployed, floor, hw, gate_shards ? "yes" : "NO");
+
+  std::printf("gate: tampered quote refused admission: %s\n",
+              gate_reject ? "yes" : "NO");
+
+  return (gate_scale && gate_shards && gate_reject) ? 0 : 1;
+}

@@ -31,6 +31,8 @@ build/fuzz/fuzz_copland_parser -max_total_time=15 -runs=200000 \
   tests/fixtures/verify
 build/fuzz/fuzz_evidence_decoder -max_total_time=15 -runs=200000 \
   tests/fixtures/fuzz
+build/fuzz/fuzz_frame_codec -max_total_time=15 -runs=200000 \
+  tests/fixtures/fuzz
 
 for b in build/bench/bench_*; do
   # bench_throughput, bench_crypto, bench_ctrl and bench_state write their
@@ -40,6 +42,7 @@ for b in build/bench/bench_*; do
   [ "$(basename "$b")" = "bench_crypto" ] && continue
   [ "$(basename "$b")" = "bench_ctrl" ] && continue
   [ "$(basename "$b")" = "bench_state" ] && continue
+  [ "$(basename "$b")" = "bench_net" ] && continue
   echo "== $b (smoke) =="
   "$b" --benchmark_min_time=0.01 > /dev/null
 done
@@ -93,6 +96,32 @@ grep -q '"lookup_match": true' build/BENCH_state.smoke.json
 grep -q '"dataplane.digest.table.dirty_leaves"' build/state.metrics.json
 grep -q '"dataplane.digest.reg.dirty_chunks"' build/state.metrics.json
 
+# Socket-transport gates run inside the bench (≥ all sessions established,
+# reactor-shard no-collapse, tampered quote refused); the grep proves the
+# committed record has the gate field.
+echo "== socket transport bench (smoke) =="
+build/bench/bench_net --smoke --json=build/BENCH_net.smoke.json \
+  --metrics-json=build/net.metrics.json > /dev/null
+grep -q '"bad_quote_rejected": true' build/BENCH_net.smoke.json
+grep -q '"net.session.accepted"' build/net.metrics.json
+
+# Real two-process loopback: the appraiser server and a switch attester
+# exchange the RA handshake and evidence rounds over TCP; the metrics
+# dump must show admitted sessions and appraised rounds.
+echo "== socket transport e2e (two processes) =="
+rm -f build/pera_net.port
+build/tools/pera_net --serve --port-file=build/pera_net.port \
+  --exit-after-rounds=3 --duration-ms=30000 \
+  --metrics-json=build/pera_net.metrics.json > /dev/null &
+NET_SERVE_PID=$!
+for _ in $(seq 50); do [ -s build/pera_net.port ] && break; sleep 0.1; done
+build/tools/pera_net --switch --port="$(cat build/pera_net.port)" \
+  --rounds=3 --mutual > /dev/null
+wait "$NET_SERVE_PID"
+grep -q '"net.session.accepted":1' build/pera_net.metrics.json
+grep -q '"net.server.rounds":3' build/pera_net.metrics.json
+build/tools/pera_net --selftest > /dev/null
+
 echo "== pera_ctl closed-loop scenario (smoke) =="
 build/tools/pera_ctl --seed=42 --loss=0.05 --interval-ms=50 \
   --swap-at-ms=200 --restore-at-ms=1200 --duration-ms=2500 > /dev/null
@@ -134,15 +163,16 @@ cmake -B build-asan -G Ninja -DPERA_WERROR=ON \
 cmake --build build-asan --target pera_tests
 ctest --test-dir build-asan --output-on-failure
 
-# ThreadSanitizer pass over the concurrent pipeline — the SPSC rings, the
-# seqlock epoch block and the dispatcher/worker threads are the only
-# cross-thread code in the tree — plus the control-plane suites, whose
-# obs publishing rides the same atomic registry.
+# ThreadSanitizer pass over the concurrent code: the SPSC rings, the
+# seqlock epoch block and the dispatcher/worker threads, the control-plane
+# suites (whose obs publishing rides the same atomic registry), and the
+# socket transport — epoll reactors, appraiser hand-off, fleet and
+# relying-party backend threads.
 echo "== ThreadSanitizer (pipeline + control plane) =="
 cmake -B build-tsan -G Ninja -DPERA_WERROR=ON -DPERA_SANITIZE=thread
 cmake --build build-tsan --target pera_tests bench_throughput
 ./build-tsan/tests/pera_tests \
-  --gtest_filter='SpscQueue*:FlowHash*:EpochBlock*:Pipeline*:Ctrl*:Trust*:StateAttest*:IncMerkle*'
+  --gtest_filter='SpscQueue*:FlowHash*:EpochBlock*:Pipeline*:Ctrl*:Trust*:StateAttest*:IncMerkle*:Net*'
 # The TSan bench pass covers the full threaded topology: dispatcher +
 # shard workers + parallel appraiser workers + profiler slots.
 ./build-tsan/bench/bench_throughput --shards=1,4 --packets=256 \

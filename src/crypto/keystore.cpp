@@ -23,6 +23,15 @@ Signer& KeyStore::provision_hmac(const std::string& principal) {
   return ref;
 }
 
+Signer& KeyStore::provision_hmac_key(const std::string& principal,
+                                     const Digest& key) {
+  auto signer = std::make_unique<HmacSigner>(key);
+  auto verifier = std::make_unique<HmacVerifier>(key);
+  Signer& ref = *signer;
+  index(principal, std::move(signer), std::move(verifier));
+  return ref;
+}
+
 Signer& KeyStore::provision_xmss(const std::string& principal,
                                  unsigned height) {
   const Digest seed = drbg_.fork("xmss-seed:" + principal).digest();

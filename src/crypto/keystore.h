@@ -28,6 +28,12 @@ class KeyStore {
   /// Idempotent per principal: re-provisioning replaces keys.
   Signer& provision_hmac(const std::string& principal);
 
+  /// Provision an HMAC signer/verifier under a caller-supplied key — the
+  /// out-of-band import path for a key that already exists elsewhere
+  /// (e.g. a socket appraiser's certificate key shared with a relying
+  /// party's registry).
+  Signer& provision_hmac_key(const std::string& principal, const Digest& key);
+
   /// Provision an XMSS signer with 2^height one-time keys.
   Signer& provision_xmss(const std::string& principal, unsigned height = 6);
 

@@ -7,12 +7,40 @@
 
 namespace pera::ctrl {
 
+void SimBackend::send_challenge(const std::string& place,
+                                const core::Challenge& ch) {
+  netsim::Message msg;
+  msg.src = self_;
+  msg.dst = net_->topology().require(place);
+  msg.reply_to = self_;
+  msg.type = "challenge";
+  msg.payload = ch.serialize();
+  net_->send(std::move(msg));
+}
+
+void SimBackend::schedule_in(netsim::SimTime delay, std::function<void()> fn) {
+  net_->events().schedule_in(delay, std::move(fn));
+}
+
 EvidenceTransport::EvidenceTransport(netsim::Network& net, netsim::NodeId self,
                                      std::string appraiser,
                                      crypto::KeyStore& keys,
                                      TransportConfig config, std::uint64_t seed)
-    : net_(&net),
-      self_(self),
+    : owned_backend_(std::make_unique<SimBackend>(net, self)),
+      backend_(owned_backend_.get()),
+      appraiser_(std::move(appraiser)),
+      keys_(&keys),
+      config_(config),
+      nonces_(seed),
+      jitter_rng_(seed ^ 0x9E3779B97F4A7C15ULL) {
+  if (config_.max_attempts < 1) config_.max_attempts = 1;
+}
+
+EvidenceTransport::EvidenceTransport(TransportBackend& backend,
+                                     std::string appraiser,
+                                     crypto::KeyStore& keys,
+                                     TransportConfig config, std::uint64_t seed)
+    : backend_(&backend),
       appraiser_(std::move(appraiser)),
       keys_(&keys),
       config_(config),
@@ -40,7 +68,7 @@ void EvidenceTransport::begin_round(const std::string& place,
   round.place = place;
   round.detail = detail;
   round.done = std::move(done);
-  round.started_at = net_->now();
+  round.started_at = backend_->now();
   rounds_.emplace(id, std::move(round));
   ++live_;
   ++stats_.rounds;
@@ -65,22 +93,16 @@ void EvidenceTransport::attempt(std::uint64_t round_id) {
   // block a legitimate retry whose predecessor's *result* was lost.
   const crypto::Nonce nonce = nonces_.issue();
   nonce_to_round_[nonce.value] = round_id;
+  round.nonces.push_back(nonce.value);
 
   core::Challenge ch;
   ch.nonce = nonce;
   ch.detail = round.detail;
   ch.appraiser = appraiser_;
-
-  netsim::Message msg;
-  msg.src = self_;
-  msg.dst = net_->topology().require(round.place);
-  msg.reply_to = self_;
-  msg.type = "challenge";
-  msg.payload = ch.serialize();
-  net_->send(std::move(msg));
+  backend_->send_challenge(round.place, ch);
 
   const std::size_t this_attempt = round.attempts;
-  net_->events().schedule_in(config_.timeout, [this, round_id, this_attempt] {
+  backend_->schedule_in(config_.timeout, [this, round_id, this_attempt] {
     const auto rit = rounds_.find(round_id);
     if (rit == rounds_.end() || rit->second.finished) return;
     Round& r = rit->second;
@@ -90,19 +112,36 @@ void EvidenceTransport::attempt(std::uint64_t round_id) {
       PERA_OBS_COUNT("ctrl.transport.round_timeout");
       RoundOutcome out;
       out.attempts = r.attempts;
-      out.rtt = net_->now() - r.started_at;
-      finish(r, out);
+      out.rtt = backend_->now() - r.started_at;
+      finish(round_id, r, out);
       return;
     }
-    net_->events().schedule_in(backoff_delay(r.attempts),
-                               [this, round_id] { attempt(round_id); });
+    backend_->schedule_in(backoff_delay(r.attempts),
+                          [this, round_id] { attempt(round_id); });
   });
 }
 
-void EvidenceTransport::finish(Round& round, const RoundOutcome& outcome) {
+void EvidenceTransport::finish(std::uint64_t round_id, Round& round,
+                               const RoundOutcome& outcome) {
   round.finished = true;
   --live_;
+  completed_.push_back(round_id);
+  evict_completed();
   if (round.done) round.done(round.place, outcome);
+}
+
+void EvidenceTransport::evict_completed() {
+  const std::size_t keep = std::max<std::size_t>(config_.completed_retention, 1);
+  while (completed_.size() > keep) {
+    const std::uint64_t victim = completed_.front();
+    completed_.pop_front();
+    const auto it = rounds_.find(victim);
+    if (it == rounds_.end()) continue;
+    for (const crypto::Digest& n : it->second.nonces) {
+      nonce_to_round_.erase(n);
+    }
+    rounds_.erase(it);
+  }
 }
 
 bool EvidenceTransport::on_result(const ra::Certificate& cert,
@@ -110,7 +149,8 @@ bool EvidenceTransport::on_result(const ra::Certificate& cert,
   const auto nit = nonce_to_round_.find(cert.nonce.value);
   if (nit == nonce_to_round_.end()) return false;  // not our nonce
 
-  const auto rit = rounds_.find(nit->second);
+  const std::uint64_t round_id = nit->second;
+  const auto rit = rounds_.find(round_id);
   if (rit == rounds_.end() || rit->second.finished) {
     // A late original after a retry completed the round, or a replay of a
     // certificate we already consumed: suppressed exactly once each.
@@ -134,7 +174,7 @@ bool EvidenceTransport::on_result(const ra::Certificate& cert,
   out.verdict = cert.verdict;
   out.attempts = round.attempts;
   out.rtt = now - round.started_at;
-  finish(round, out);
+  finish(round_id, round, out);
   return true;
 }
 

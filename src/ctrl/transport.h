@@ -13,10 +13,14 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "core/wire.h"
 #include "crypto/keystore.h"
 #include "crypto/nonce.h"
 #include "nac/detail.h"
@@ -35,6 +39,52 @@ struct TransportConfig {
   netsim::SimTime backoff_base = 5 * netsim::kMillisecond;
   netsim::SimTime backoff_cap = 100 * netsim::kMillisecond;
   double jitter = 0.2;
+  /// Finished rounds kept for duplicate suppression. A late or replayed
+  /// result for one of the last `completed_retention` completed rounds is
+  /// still recognized (and counted as a duplicate); older rounds are
+  /// evicted together with their nonce index entries, so the per-round
+  /// state the transport holds is bounded for any number of rounds.
+  std::size_t completed_retention = 64;
+};
+
+/// Where challenges go and how retry timers fire. The transport's round
+/// logic (fresh nonce per attempt, backoff, duplicate suppression) is
+/// backend-independent; only delivery and time differ:
+///  * SimBackend (below) — netsim messages and simulated time, used by
+///    the controller; behavior is bit-identical to the pre-split
+///    transport.
+///  * net::SocketBackend (net/backend.h) — a real relying-party socket
+///    session to the appraiser server, wall-clock timers.
+class TransportBackend {
+ public:
+  virtual ~TransportBackend() = default;
+
+  /// Deliver one challenge toward `place`.
+  virtual void send_challenge(const std::string& place,
+                              const core::Challenge& ch) = 0;
+
+  /// Run `fn` after `delay` (nanoseconds; simulated or wall time).
+  virtual void schedule_in(netsim::SimTime delay,
+                           std::function<void()> fn) = 0;
+
+  [[nodiscard]] virtual netsim::SimTime now() = 0;
+};
+
+/// The netsim delivery path: challenges become "challenge" messages with
+/// reply_to = self; timers ride the simulation's event queue.
+class SimBackend final : public TransportBackend {
+ public:
+  SimBackend(netsim::Network& net, netsim::NodeId self)
+      : net_(&net), self_(self) {}
+
+  void send_challenge(const std::string& place,
+                      const core::Challenge& ch) override;
+  void schedule_in(netsim::SimTime delay, std::function<void()> fn) override;
+  [[nodiscard]] netsim::SimTime now() override { return net_->now(); }
+
+ private:
+  netsim::Network* net_;
+  netsim::NodeId self_;
 };
 
 /// How one round ended.
@@ -61,10 +111,17 @@ class EvidenceTransport {
 
   /// `self` is the controller's node; results must be routed back to it
   /// (the transport stamps challenges with reply_to = self). `keys` must
-  /// hold the appraiser's verifier.
+  /// hold the appraiser's verifier. Convenience: wraps an owned
+  /// SimBackend — the classic netsim transport.
   EvidenceTransport(netsim::Network& net, netsim::NodeId self,
                     std::string appraiser, crypto::KeyStore& keys,
                     TransportConfig config, std::uint64_t seed);
+
+  /// Backend-explicit form: run rounds over any delivery substrate (e.g.
+  /// net::SocketBackend). `backend` must outlive the transport.
+  EvidenceTransport(TransportBackend& backend, std::string appraiser,
+                    crypto::KeyStore& keys, TransportConfig config,
+                    std::uint64_t seed);
 
   /// Start one attestation round against `place` for `detail`. `done`
   /// fires exactly once, after a valid result or after retries exhaust.
@@ -81,6 +138,15 @@ class EvidenceTransport {
   [[nodiscard]] const TransportStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t live_rounds() const { return live_; }
 
+  /// Size of the nonce → round index (live + retained rounds' nonces).
+  /// Bounded by completed_retention; exposed for the bound regression
+  /// test.
+  [[nodiscard]] std::size_t nonce_index_size() const {
+    return nonce_to_round_.size();
+  }
+  /// Rounds currently tracked (live + retained).
+  [[nodiscard]] std::size_t tracked_rounds() const { return rounds_.size(); }
+
  private:
   struct Round {
     std::string place;
@@ -89,14 +155,19 @@ class EvidenceTransport {
     std::size_t attempts = 0;
     netsim::SimTime started_at = 0;
     bool finished = false;
+    /// Every nonce issued for this round — erased from the index when the
+    /// round is evicted from the retention window.
+    std::vector<crypto::Digest> nonces;
   };
 
   void attempt(std::uint64_t round_id);
-  void finish(Round& round, const RoundOutcome& outcome);
+  void finish(std::uint64_t round_id, Round& round,
+              const RoundOutcome& outcome);
+  void evict_completed();
   [[nodiscard]] netsim::SimTime backoff_delay(std::size_t attempt);
 
-  netsim::Network* net_;
-  netsim::NodeId self_;
+  std::unique_ptr<TransportBackend> owned_backend_;
+  TransportBackend* backend_;
   std::string appraiser_;
   crypto::KeyStore* keys_;
   TransportConfig config_;
@@ -104,6 +175,8 @@ class EvidenceTransport {
   crypto::Drbg jitter_rng_;
   std::map<crypto::Digest, std::uint64_t> nonce_to_round_;
   std::map<std::uint64_t, Round> rounds_;
+  /// Completed round ids, oldest first, capped at completed_retention.
+  std::deque<std::uint64_t> completed_;
   std::uint64_t next_round_ = 1;
   std::size_t live_ = 0;
   TransportStats stats_;

@@ -1,0 +1,583 @@
+#include "net/server.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "copland/evidence.h"
+#include "obs/obs.h"
+
+namespace pera::net {
+
+namespace {
+
+std::int64_t wall_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+/// Work posted across threads into a reactor: adopted connections (from
+/// the accepting reactor), signed-result requests (from appraiser
+/// workers), relayed challenges (from another reactor's RP session).
+struct AppraiserServer::Inbound {
+  enum class Kind : std::uint8_t { kNewConn, kResult, kChallenge, kStop };
+  Kind kind = Kind::kStop;
+  int fd = -1;                 // kNewConn
+  std::uint64_t token = 0;     // kResult / kChallenge destination
+  crypto::Nonce nonce{};       // kResult
+  crypto::Digest evidence_digest{};
+  bool verdict = false;
+  ChallengeFrame challenge;    // kChallenge
+};
+
+struct AppraiserServer::Conn {
+  explicit Conn(const ServerSessionConfig* config) : session(config) {}
+
+  Fd fd;
+  std::uint64_t token = 0;
+  ServerSession session;
+  std::deque<crypto::Bytes> outq;
+  std::size_t out_head = 0;   // consumed prefix of outq.front()
+  std::size_t out_bytes = 0;  // total buffered (minus out_head)
+  std::uint64_t next_seq = 0;
+  std::uint32_t interest = 0;
+  bool reads_paused = false;
+  bool closing = false;        // close once outq drains
+  bool place_registered = false;
+  bool reject_counted = false;
+  bool counted_open = false;
+};
+
+struct AppraiserServer::Reactor {
+  std::size_t idx = 0;
+  Fd epoll;
+  Fd wake;
+  std::thread thread;
+  std::map<std::uint64_t, std::unique_ptr<Conn>> conns;
+  std::uint64_t next_conn = 0;
+  std::uint64_t rr_next = 0;  // reactor 0 only: round-robin dealing
+  std::unique_ptr<crypto::Signer> cert_signer;
+  std::mutex inbox_mu;
+  std::vector<Inbound> inbox;
+  std::vector<std::uint8_t> read_buf;
+};
+
+AppraiserServer::AppraiserServer(ServerConfig config)
+    : config_(std::move(config)), hello_nonces_(config_.nonce_seed) {
+  if (config_.reactors == 0) config_.reactors = 1;
+  if (config_.reactors > 255) config_.reactors = 255;
+  if (config_.appraiser_workers == 0) config_.appraiser_workers = 1;
+  if (config_.write_buffer_resume > config_.write_buffer_limit) {
+    config_.write_buffer_resume = config_.write_buffer_limit / 2;
+  }
+}
+
+AppraiserServer::~AppraiserServer() { stop(); }
+
+RejectReason AppraiserServer::check_quote(const Quote& q) const {
+  if (!config_.known_places.empty()) {
+    bool known = false;
+    for (const std::string& p : config_.known_places) {
+      if (p == q.place) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) return RejectReason::kUnknownPlace;
+  }
+  const crypto::HmacVerifier v(derive_quote_key(config_.quote_root_key,
+                                                q.place));
+  if (!q.verify(v)) return RejectReason::kBadQuote;
+  if (q.measurement != config_.golden_measurement) {
+    return RejectReason::kBadQuote;
+  }
+  return RejectReason::kNone;
+}
+
+void AppraiserServer::start() {
+  if (started_) return;
+  started_ = true;
+
+  listen_fd_ = listen_loopback(config_.port);
+  port_ = local_port(listen_fd_.get());
+
+  counter_quote_signer_ =
+      std::make_unique<crypto::HmacSigner>(config_.cert_key);
+
+  session_config_.check_quote = [this](const Quote& q) {
+    return check_quote(q);
+  };
+  session_config_.admit_nonce = [this](const crypto::Nonce& n) {
+    const std::lock_guard<std::mutex> lock(hello_mu_);
+    return hello_nonces_.observe(n);
+  };
+  session_config_.make_server_nonce = [this] {
+    const std::lock_guard<std::mutex> lock(hello_mu_);
+    return hello_nonces_.issue();
+  };
+  session_config_.counter_quote = [this](const crypto::Nonce& client_nonce) {
+    const std::lock_guard<std::mutex> lock(hello_mu_);
+    return Quote::make(config_.appraiser_name, client_nonce,
+                       config_.appraiser_measurement, *counter_quote_signer_);
+  };
+
+  pipeline::AppraiserOptions opts;
+  opts.workers = config_.appraiser_workers;
+  opts.queue_capacity = config_.ring_capacity;
+  opts.scheme = config_.scheme;
+  opts.xmss_height = config_.xmss_height;
+  opts.verify_burst = config_.verify_burst;
+  opts.record_hook = [this](const pipeline::EvidenceItem& item,
+                            pipeline::AppraisedRecord&& rec) {
+    on_appraised(item, std::move(rec));
+  };
+  appraiser_ = std::make_unique<pipeline::ParallelAppraiser>(
+      config_.evidence_root_key, config_.evidence_key_label,
+      config_.evidence_max_shards, opts);
+  appraiser_->start(config_.reactors);
+
+  running_.store(true, std::memory_order_release);
+  reactors_.reserve(config_.reactors);
+  for (std::size_t i = 0; i < config_.reactors; ++i) {
+    auto r = std::make_unique<Reactor>();
+    r->idx = i;
+    r->epoll = Fd(::epoll_create1(0));
+    if (!r->epoll.valid()) throw std::runtime_error("epoll_create1 failed");
+    r->wake = Fd(::eventfd(0, EFD_NONBLOCK));
+    if (!r->wake.valid()) throw std::runtime_error("eventfd failed");
+    r->cert_signer = std::make_unique<crypto::HmacSigner>(config_.cert_key);
+    r->read_buf.resize(64 * 1024);
+
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeToken;
+    ::epoll_ctl(r->epoll.get(), EPOLL_CTL_ADD, r->wake.get(), &ev);
+    if (i == 0) {
+      epoll_event lev{};
+      lev.events = EPOLLIN;
+      lev.data.u64 = kListenToken;
+      ::epoll_ctl(r->epoll.get(), EPOLL_CTL_ADD, listen_fd_.get(), &lev);
+    }
+    reactors_.push_back(std::move(r));
+  }
+  for (std::size_t i = 0; i < config_.reactors; ++i) {
+    reactors_[i]->thread = std::thread([this, i] { run_reactor(i); });
+  }
+}
+
+void AppraiserServer::stop() {
+  if (!started_) return;
+  if (running_.exchange(false, std::memory_order_acq_rel)) {
+    for (std::size_t i = 0; i < reactors_.size(); ++i) {
+      Inbound item;
+      item.kind = Inbound::Kind::kStop;
+      post(i, std::move(item));
+    }
+  }
+  for (auto& r : reactors_) {
+    if (r->thread.joinable()) r->thread.join();
+  }
+  if (appraiser_) appraiser_->finish();
+  reactors_.clear();
+  listen_fd_.reset();
+  started_ = false;
+}
+
+void AppraiserServer::post(std::size_t reactor_idx, Inbound&& item) {
+  if (reactor_idx >= reactors_.size()) return;
+  Reactor& r = *reactors_[reactor_idx];
+  {
+    const std::lock_guard<std::mutex> lock(r.inbox_mu);
+    r.inbox.push_back(std::move(item));
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(r.wake.get(), &one, sizeof(one));
+}
+
+void AppraiserServer::on_appraised(const pipeline::EvidenceItem& item,
+                                   pipeline::AppraisedRecord&& rec) {
+  rounds_appraised_.fetch_add(1, std::memory_order_relaxed);
+  PERA_OBS_COUNT("net.server.rounds");
+
+  Inbound out;
+  out.kind = Inbound::Kind::kResult;
+  out.nonce = item.nonce;
+  out.verdict = rec.decoded && rec.sig_ok;
+  if (rec.content) out.evidence_digest = copland::digest(rec.content);
+
+  // A round born from a relayed challenge goes back to the relying
+  // party; everything else answers the originating switch session.
+  std::uint64_t dest = item.flow;
+  {
+    const std::lock_guard<std::mutex> lock(route_mu_);
+    const auto it = relay_routes_.find(item.nonce.value);
+    if (it != relay_routes_.end()) {
+      dest = it->second;
+      relay_routes_.erase(it);
+    }
+  }
+  out.token = dest;
+  post(dest >> kTokenReactorShift, std::move(out));
+}
+
+void AppraiserServer::run_reactor(std::size_t idx) {
+  Reactor& r = *reactors_[idx];
+  constexpr int kMaxEvents = 256;
+  epoll_event events[kMaxEvents];
+
+  while (running_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(r.epoll.get(), events, kMaxEvents, 200);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t token = events[i].data.u64;
+      if (token == kListenToken) {
+        accept_ready(r);
+        continue;
+      }
+      if (token == kWakeToken) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t rd =
+            ::read(r.wake.get(), &drained, sizeof(drained));
+        drain_inbox(r);
+        continue;
+      }
+      const auto it = r.conns.find(token);
+      if (it == r.conns.end()) continue;
+      Conn& c = *it->second;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        close_conn(r, token);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) conn_writable(r, c);
+      // conn_writable can close on write error — re-check liveness.
+      if (r.conns.find(token) == r.conns.end()) continue;
+      if ((events[i].events & EPOLLIN) != 0) conn_readable(r, c);
+    }
+  }
+  // Orderly teardown of everything this reactor owns, including any
+  // connection hand-offs still parked in the inbox.
+  {
+    const std::lock_guard<std::mutex> lock(r.inbox_mu);
+    for (const Inbound& item : r.inbox) {
+      if (item.kind == Inbound::Kind::kNewConn && item.fd >= 0) {
+        ::close(item.fd);
+      }
+    }
+    r.inbox.clear();
+  }
+  r.conns.clear();
+}
+
+void AppraiserServer::accept_ready(Reactor& r) {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_.get(), nullptr, nullptr,
+                             SOCK_NONBLOCK);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept failure; epoll will re-arm
+    }
+    if (open_sessions_.load(std::memory_order_relaxed) >=
+        config_.max_sessions) {
+      ::close(fd);
+      PERA_OBS_COUNT("net.server.accept_overflow");
+      continue;
+    }
+    const std::size_t target = r.rr_next++ % config_.reactors;
+    if (target == r.idx) {
+      adopt_conn(r, fd);
+    } else {
+      Inbound item;
+      item.kind = Inbound::Kind::kNewConn;
+      item.fd = fd;
+      post(target, std::move(item));
+    }
+  }
+}
+
+void AppraiserServer::adopt_conn(Reactor& r, int fd) {
+  set_nodelay(fd);
+  auto conn = std::make_unique<Conn>(&session_config_);
+  conn->fd = Fd(fd);
+  conn->token = (static_cast<std::uint64_t>(r.idx) << kTokenReactorShift) |
+                ++r.next_conn;
+  conn->interest = EPOLLIN;
+  conn->counted_open = true;
+  open_sessions_.fetch_add(1, std::memory_order_relaxed);
+  PERA_OBS_GAUGE("net.server.open",
+                 open_sessions_.load(std::memory_order_relaxed));
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = conn->token;
+  if (::epoll_ctl(r.epoll.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+    open_sessions_.fetch_sub(1, std::memory_order_relaxed);
+    return;  // conn (and fd) die here
+  }
+  r.conns.emplace(conn->token, std::move(conn));
+}
+
+void AppraiserServer::drain_inbox(Reactor& r) {
+  std::vector<Inbound> items;
+  {
+    const std::lock_guard<std::mutex> lock(r.inbox_mu);
+    items.swap(r.inbox);
+  }
+  for (Inbound& item : items) {
+    switch (item.kind) {
+      case Inbound::Kind::kStop:
+        break;  // running_ already cleared; the loop exits on next poll
+      case Inbound::Kind::kNewConn:
+        adopt_conn(r, item.fd);
+        break;
+      case Inbound::Kind::kResult: {
+        const auto it = r.conns.find(item.token);
+        if (it == r.conns.end()) break;  // session left before its verdict
+        ra::Certificate cert;
+        cert.appraiser = config_.appraiser_name;
+        cert.nonce = item.nonce;
+        cert.evidence_digest = item.evidence_digest;
+        cert.verdict = item.verdict;
+        cert.issued_at = wall_ns();
+        cert.sig = r.cert_signer->sign(cert.signing_payload());
+        it->second->session.queue_result(cert);
+        results_sent_.fetch_add(1, std::memory_order_relaxed);
+        PERA_OBS_COUNT("net.server.results");
+        after_progress(r, *it->second);
+        break;
+      }
+      case Inbound::Kind::kChallenge: {
+        const auto it = r.conns.find(item.token);
+        if (it == r.conns.end()) break;
+        it->second->session.queue_challenge(item.challenge);
+        after_progress(r, *it->second);
+        break;
+      }
+    }
+  }
+}
+
+void AppraiserServer::conn_readable(Reactor& r, Conn& c) {
+  if (c.reads_paused || c.closing) return;
+  const std::uint64_t token = c.token;
+  for (;;) {
+    const IoResult res =
+        read_some(c.fd.get(), r.read_buf.data(), r.read_buf.size());
+    if (res.status == IoStatus::kWouldBlock) break;
+    if (res.status == IoStatus::kClosed || res.status == IoStatus::kError) {
+      close_conn(r, token);
+      return;
+    }
+    bytes_in_.fetch_add(res.bytes, std::memory_order_relaxed);
+    const bool ok = c.session.on_bytes(
+        crypto::BytesView{r.read_buf.data(), res.bytes});
+    if (!ok) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      c.closing = true;  // flush whatever the session queued (reject ack)
+      break;
+    }
+    if (c.session.wants_close()) {
+      c.closing = true;
+      break;
+    }
+    if (res.bytes < r.read_buf.size()) break;  // drained the socket
+  }
+  after_progress(r, c);
+}
+
+void AppraiserServer::after_progress(Reactor& r, Conn& c) {
+  // 1. Session state side effects.
+  if (c.session.established() &&
+      c.session.role() == SessionRole::kSwitch && !c.place_registered) {
+    c.place_registered = true;
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(place_mu_);
+    place_index_[c.session.place()] = c.token;
+  } else if (c.session.established() &&
+             c.session.role() == SessionRole::kRelyingParty &&
+             !c.place_registered) {
+    c.place_registered = true;  // counted, not indexed
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (c.session.state() == ServerSession::State::kRejected &&
+      !c.reject_counted) {
+    c.reject_counted = true;
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    c.closing = true;
+  }
+  if (c.session.wants_close()) c.closing = true;
+
+  // 2. Evidence rounds -> appraiser rings.
+  for (EvidenceRound& round : c.session.take_evidence()) {
+    pipeline::EvidenceItem item;
+    item.flow = c.token;
+    item.seq = c.next_seq++;
+    item.shard = 0;
+    item.nonce = round.nonce;
+    item.evidence = std::move(round.evidence);
+    appraiser_->accept(static_cast<std::uint32_t>(r.idx), std::move(item));
+  }
+
+  // 3. Challenge relays from relying-party sessions.
+  for (RelayRequest& relay : c.session.take_relays()) {
+    std::uint64_t switch_token = 0;
+    {
+      const std::lock_guard<std::mutex> lock(place_mu_);
+      const auto it = place_index_.find(relay.place);
+      if (it != place_index_.end()) switch_token = it->second;
+    }
+    if (switch_token == 0) {
+      unrouted_.fetch_add(1, std::memory_order_relaxed);
+      PERA_OBS_COUNT("net.server.challenge_unrouted");
+      continue;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(route_mu_);
+      relay_routes_[relay.challenge.nonce.value] = c.token;
+    }
+    relayed_.fetch_add(1, std::memory_order_relaxed);
+    PERA_OBS_COUNT("net.server.challenge_relayed");
+    Inbound item;
+    item.kind = Inbound::Kind::kChallenge;
+    item.token = switch_token;
+    item.challenge.place = relay.place;
+    item.challenge.challenge = relay.challenge;
+    post(switch_token >> kTokenReactorShift, std::move(item));
+  }
+
+  // 4. Move queued frames to the write queue and flush what we can.
+  crypto::Bytes& outbox = c.session.outbox();
+  if (!outbox.empty()) {
+    c.out_bytes += outbox.size();
+    c.outq.push_back(std::move(outbox));
+    outbox.clear();
+  }
+  flush_writes(r, c);
+}
+
+void AppraiserServer::flush_writes(Reactor& r, Conn& c) {
+  const std::uint64_t token = c.token;
+  while (!c.outq.empty()) {
+    constexpr std::size_t kMaxSlices = 64;
+    IoSlice slices[kMaxSlices];
+    std::size_t n = 0;
+    for (const crypto::Bytes& chunk : c.outq) {
+      if (n == kMaxSlices) break;
+      const std::size_t off = (n == 0) ? c.out_head : 0;
+      slices[n].data = chunk.data() + off;
+      slices[n].len = chunk.size() - off;
+      ++n;
+    }
+    const IoResult res = write_vec(c.fd.get(), slices, n);
+    if (res.status == IoStatus::kWouldBlock) break;
+    if (res.status != IoStatus::kOk) {
+      close_conn(r, token);
+      return;
+    }
+    bytes_out_.fetch_add(res.bytes, std::memory_order_relaxed);
+    c.out_bytes -= res.bytes;
+    std::size_t consumed = res.bytes;
+    while (consumed > 0 && !c.outq.empty()) {
+      crypto::Bytes& front = c.outq.front();
+      const std::size_t left = front.size() - c.out_head;
+      if (consumed >= left) {
+        consumed -= left;
+        c.out_head = 0;
+        c.outq.pop_front();
+      } else {
+        c.out_head += consumed;
+        consumed = 0;
+      }
+    }
+  }
+  if (c.outq.empty() && c.closing) {
+    close_conn(r, token);
+    return;
+  }
+  // Backpressure: a peer that stops reading gets its own reads paused
+  // until it drains what we already owe it.
+  if (!c.reads_paused && c.out_bytes > config_.write_buffer_limit) {
+    c.reads_paused = true;
+    read_pauses_.fetch_add(1, std::memory_order_relaxed);
+    PERA_OBS_COUNT("net.server.read_pause");
+  } else if (c.reads_paused && c.out_bytes < config_.write_buffer_resume) {
+    c.reads_paused = false;
+  }
+  update_interest(r, c);
+}
+
+void AppraiserServer::conn_writable(Reactor& r, Conn& c) {
+  flush_writes(r, c);
+}
+
+void AppraiserServer::update_interest(Reactor& r, Conn& c) {
+  std::uint32_t want = 0;
+  if (!c.reads_paused && !c.closing) want |= EPOLLIN;
+  if (!c.outq.empty()) want |= EPOLLOUT;
+  if (want == c.interest) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.u64 = c.token;
+  if (::epoll_ctl(r.epoll.get(), EPOLL_CTL_MOD, c.fd.get(), &ev) == 0) {
+    c.interest = want;
+  }
+}
+
+void AppraiserServer::close_conn(Reactor& r, std::uint64_t token) {
+  const auto it = r.conns.find(token);
+  if (it == r.conns.end()) return;
+  Conn& c = *it->second;
+  if (c.place_registered && c.session.role() == SessionRole::kSwitch) {
+    const std::lock_guard<std::mutex> lock(place_mu_);
+    const auto pit = place_index_.find(c.session.place());
+    if (pit != place_index_.end() && pit->second == token) {
+      place_index_.erase(pit);
+    }
+  }
+  if (c.counted_open) {
+    open_sessions_.fetch_sub(1, std::memory_order_relaxed);
+    PERA_OBS_GAUGE("net.server.open",
+                   open_sessions_.load(std::memory_order_relaxed));
+  }
+  r.conns.erase(it);  // closes the fd; epoll deregisters automatically
+}
+
+ServerStats AppraiserServer::stats() const {
+  ServerStats s;
+  s.sessions_accepted = accepted_.load(std::memory_order_relaxed);
+  s.sessions_rejected = rejected_.load(std::memory_order_relaxed);
+  s.sessions_open = open_sessions_.load(std::memory_order_relaxed);
+  s.rounds_appraised = rounds_appraised_.load(std::memory_order_relaxed);
+  s.results_sent = results_sent_.load(std::memory_order_relaxed);
+  s.challenges_relayed = relayed_.load(std::memory_order_relaxed);
+  s.challenges_unrouted = unrouted_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  s.read_pauses = read_pauses_.load(std::memory_order_relaxed);
+  return s;
+}
+
+bool AppraiserServer::wait_for_rounds(std::uint64_t n, int timeout_ms) const {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (rounds_appraised_.load(std::memory_order_acquire) < n) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return true;
+}
+
+}  // namespace pera::net

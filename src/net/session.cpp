@@ -1,0 +1,310 @@
+#include "net/session.h"
+
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace pera::net {
+
+// --- ServerSession ----------------------------------------------------------
+
+bool ServerSession::fail(std::string why) {
+  error_ = std::move(why);
+  state_ = State::kClosed;
+  PERA_OBS_COUNT("net.session.protocol_error");
+  return false;
+}
+
+bool ServerSession::on_bytes(crypto::BytesView data) {
+  if (state_ == State::kClosed) return false;
+  if (!decoder_.feed(data)) {
+    return fail("frame decode: " + decoder_.error_text());
+  }
+  while (auto f = decoder_.next()) {
+    if (!handle(std::move(*f))) return false;
+    if (state_ == State::kRejected || state_ == State::kClosed) break;
+  }
+  return true;
+}
+
+bool ServerSession::handle_hello(const Frame& frame) {
+  HelloMsg hello;
+  try {
+    hello = HelloMsg::deserialize(
+        crypto::BytesView{frame.payload.data(), frame.payload.size()});
+  } catch (const std::exception& e) {
+    reject_ = RejectReason::kMalformed;
+    return fail(std::string("hello: ") + e.what());
+  }
+
+  HelloAckMsg ack;
+  ack.server_nonce = config_->make_server_nonce();
+  RejectReason reject = RejectReason::kNone;
+
+  if (hello.role == SessionRole::kRelyingParty &&
+      !config_->admit_relying_parties) {
+    reject = RejectReason::kRoleRefused;
+  } else if (!config_->admit_nonce(hello.session_nonce)) {
+    reject = RejectReason::kReplayedNonce;
+  } else if (hello.role == SessionRole::kSwitch) {
+    Quote quote;
+    try {
+      quote = Quote::deserialize(
+          crypto::BytesView{hello.quote.data(), hello.quote.size()});
+    } catch (const std::exception&) {
+      reject = RejectReason::kMalformed;
+    }
+    if (reject == RejectReason::kNone) {
+      // The quote must bind exactly this hello: same place, same nonce.
+      if (quote.place != hello.place ||
+          quote.nonce.value != hello.session_nonce.value) {
+        reject = RejectReason::kBadQuote;
+      } else {
+        reject = config_->check_quote(quote);
+      }
+    }
+  }
+
+  if (reject != RejectReason::kNone) {
+    ack.admitted = false;
+    ack.reject = reject;
+    reject_ = reject;
+    state_ = State::kRejected;
+    PERA_OBS_COUNT("net.session.rejected");
+    PERA_OBS_COUNT(std::string("net.session.reject.") + to_string(reject));
+  } else {
+    ack.admitted = true;
+    if (hello.want_mutual && config_->counter_quote) {
+      ack.quote =
+          config_->counter_quote(hello.session_nonce).serialize();
+    }
+    role_ = hello.role;
+    place_ = hello.place;
+    id_ = session_id(hello.place, hello.session_nonce, ack.server_nonce);
+    state_ = State::kEstablished;
+    PERA_OBS_COUNT("net.session.accepted");
+  }
+  const crypto::Bytes ack_bytes = ack.serialize();
+  append_frame(outbox_, FrameType::kHelloAck,
+               crypto::BytesView{ack_bytes.data(), ack_bytes.size()});
+  return true;
+}
+
+bool ServerSession::handle(Frame&& frame) {
+  if (state_ == State::kAwaitHello) {
+    if (frame.type != FrameType::kHello) {
+      return fail("expected hello, got " + std::string(to_string(frame.type)));
+    }
+    return handle_hello(frame);
+  }
+  // Established: evidence / challenge / bye.
+  switch (frame.type) {
+    case FrameType::kEvidence: {
+      if (role_ != SessionRole::kSwitch) {
+        return fail("evidence on a relying-party session");
+      }
+      core::EvidenceMsg msg;
+      try {
+        msg = core::EvidenceMsg::deserialize(
+            crypto::BytesView{frame.payload.data(), frame.payload.size()});
+      } catch (const std::exception& e) {
+        return fail(std::string("evidence: ") + e.what());
+      }
+      EvidenceRound round;
+      round.nonce = msg.nonce;
+      round.evidence = std::move(msg.evidence);
+      evidence_.push_back(std::move(round));
+      ++rounds_;
+      PERA_OBS_COUNT("net.evidence.rounds");
+      return true;
+    }
+    case FrameType::kChallenge: {
+      if (role_ != SessionRole::kRelyingParty) {
+        return fail("challenge from a switch session");
+      }
+      ChallengeFrame ch;
+      try {
+        ch = ChallengeFrame::deserialize(
+            crypto::BytesView{frame.payload.data(), frame.payload.size()});
+      } catch (const std::exception& e) {
+        return fail(std::string("challenge: ") + e.what());
+      }
+      relays_.push_back({std::move(ch.place), ch.challenge});
+      PERA_OBS_COUNT("net.challenge.requested");
+      return true;
+    }
+    case FrameType::kBye:
+      peer_bye_ = true;
+      state_ = State::kClosed;
+      return true;
+    default:
+      return fail("unexpected frame " + std::string(to_string(frame.type)));
+  }
+}
+
+void ServerSession::queue_result(const ra::Certificate& cert) {
+  const crypto::Bytes bytes = cert.serialize();
+  append_frame(outbox_, FrameType::kResult,
+               crypto::BytesView{bytes.data(), bytes.size()});
+}
+
+void ServerSession::queue_challenge(const ChallengeFrame& ch) {
+  const crypto::Bytes bytes = ch.serialize();
+  append_frame(outbox_, FrameType::kChallenge,
+               crypto::BytesView{bytes.data(), bytes.size()});
+}
+
+std::vector<EvidenceRound> ServerSession::take_evidence() {
+  return std::exchange(evidence_, {});
+}
+
+std::vector<RelayRequest> ServerSession::take_relays() {
+  return std::exchange(relays_, {});
+}
+
+// --- ClientSession ----------------------------------------------------------
+
+ClientSession::ClientSession(ClientSessionConfig config,
+                             crypto::Nonce session_nonce)
+    : config_(std::move(config)), nonce_(session_nonce) {}
+
+bool ClientSession::fail(std::string why) {
+  error_ = std::move(why);
+  state_ = State::kFailed;
+  PERA_OBS_COUNT("net.client.protocol_error");
+  return false;
+}
+
+void ClientSession::start() {
+  if (state_ != State::kIdle) return;
+  HelloMsg hello;
+  hello.role = config_.role;
+  hello.want_mutual = config_.want_mutual;
+  hello.place = config_.place;
+  hello.session_nonce = nonce_;
+  if (config_.role == SessionRole::kSwitch && config_.make_quote) {
+    hello.quote = config_.make_quote(nonce_).serialize();
+  }
+  const crypto::Bytes bytes = hello.serialize();
+  append_frame(outbox_, FrameType::kHello,
+               crypto::BytesView{bytes.data(), bytes.size()});
+  state_ = State::kAwaitAck;
+}
+
+bool ClientSession::on_bytes(crypto::BytesView data) {
+  if (state_ == State::kClosed || failed()) return false;
+  if (!decoder_.feed(data)) {
+    return fail("frame decode: " + decoder_.error_text());
+  }
+  while (auto f = decoder_.next()) {
+    if (!handle(std::move(*f))) return false;
+  }
+  return true;
+}
+
+bool ClientSession::handle(Frame&& frame) {
+  if (state_ == State::kAwaitAck) {
+    if (frame.type != FrameType::kHelloAck) {
+      return fail("expected hello_ack, got " +
+                  std::string(to_string(frame.type)));
+    }
+    HelloAckMsg ack;
+    try {
+      ack = HelloAckMsg::deserialize(
+          crypto::BytesView{frame.payload.data(), frame.payload.size()});
+    } catch (const std::exception& e) {
+      return fail(std::string("hello_ack: ") + e.what());
+    }
+    if (!ack.admitted) {
+      reject_ = ack.reject;
+      state_ = State::kRejected;
+      error_ = std::string("rejected: ") + to_string(ack.reject);
+      return false;
+    }
+    if (config_.want_mutual) {
+      if (!config_.verify_counter_quote) {
+        return fail("mutual mode without a counter-quote verifier");
+      }
+      Quote quote;
+      try {
+        quote = Quote::deserialize(
+            crypto::BytesView{ack.quote.data(), ack.quote.size()});
+      } catch (const std::exception& e) {
+        return fail(std::string("counter-quote: ") + e.what());
+      }
+      // Freshness: the appraiser's quote must bind *our* nonce.
+      if (quote.nonce.value != nonce_.value ||
+          !config_.verify_counter_quote(quote)) {
+        return fail("counter-quote verification failed");
+      }
+    }
+    id_ = session_id(config_.place, nonce_, ack.server_nonce);
+    state_ = State::kEstablished;
+    return true;
+  }
+  switch (frame.type) {
+    case FrameType::kResult: {
+      ra::Certificate cert;
+      try {
+        cert = ra::Certificate::deserialize(
+            crypto::BytesView{frame.payload.data(), frame.payload.size()});
+      } catch (const std::exception& e) {
+        return fail(std::string("result: ") + e.what());
+      }
+      results_.push_back(std::move(cert));
+      ++results_n_;
+      return true;
+    }
+    case FrameType::kChallenge: {
+      ChallengeFrame ch;
+      try {
+        ch = ChallengeFrame::deserialize(
+            crypto::BytesView{frame.payload.data(), frame.payload.size()});
+      } catch (const std::exception& e) {
+        return fail(std::string("challenge: ") + e.what());
+      }
+      if (config_.answer_challenge) {
+        const crypto::Bytes evidence = config_.answer_challenge(ch.challenge);
+        send_evidence(ch.challenge.nonce,
+                      crypto::BytesView{evidence.data(), evidence.size()});
+        ++challenges_answered_;
+      }
+      return true;
+    }
+    case FrameType::kBye:
+      state_ = State::kClosed;
+      return true;
+    default:
+      return fail("unexpected frame " + std::string(to_string(frame.type)));
+  }
+}
+
+void ClientSession::send_evidence(const crypto::Nonce& nonce,
+                                  crypto::BytesView evidence) {
+  core::EvidenceMsg msg;
+  msg.nonce = nonce;
+  msg.evidence.assign(evidence.begin(), evidence.end());
+  const crypto::Bytes bytes = msg.serialize();
+  append_frame(outbox_, FrameType::kEvidence,
+               crypto::BytesView{bytes.data(), bytes.size()});
+}
+
+void ClientSession::send_challenge(const std::string& place,
+                                   const core::Challenge& challenge) {
+  ChallengeFrame f;
+  f.place = place;
+  f.challenge = challenge;
+  const crypto::Bytes bytes = f.serialize();
+  append_frame(outbox_, FrameType::kChallenge,
+               crypto::BytesView{bytes.data(), bytes.size()});
+}
+
+void ClientSession::send_bye() {
+  append_frame(outbox_, FrameType::kBye, {});
+}
+
+std::vector<ra::Certificate> ClientSession::take_results() {
+  return std::exchange(results_, {});
+}
+
+}  // namespace pera::net

@@ -1,0 +1,98 @@
+// Thin POSIX socket layer under the reactor: RAII fd ownership,
+// nonblocking loopback listen/connect, and the read/writev wrappers the
+// event loop uses. No protocol knowledge lives here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "crypto/bytes.h"
+
+namespace pera::net {
+
+/// Owning file descriptor. Move-only; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int release() { return std::exchange(fd_, -1); }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Make a TCP listen socket on 127.0.0.1:`port` (0 = ephemeral),
+/// nonblocking, SO_REUSEADDR, backlog deep enough for connection storms.
+/// Throws std::runtime_error on failure.
+[[nodiscard]] Fd listen_loopback(std::uint16_t port, int backlog = 4096);
+
+/// Port a listen socket is bound to.
+[[nodiscard]] std::uint16_t local_port(int fd);
+
+/// Begin a nonblocking connect to 127.0.0.1:`port`. The socket is
+/// created nonblocking with TCP_NODELAY; the connect may still be in
+/// progress when this returns (poll for writability, then check
+/// SO_ERROR via connect_finished). Throws std::runtime_error on
+/// immediate failure.
+[[nodiscard]] Fd connect_loopback(std::uint16_t port);
+
+/// After a nonblocking connect became writable: true when the connect
+/// succeeded, false when it failed.
+[[nodiscard]] bool connect_finished(int fd);
+
+/// Blocking connect with a timeout (milliseconds). Returns an invalid Fd
+/// on failure or timeout.
+[[nodiscard]] Fd connect_loopback_blocking(std::uint16_t port, int timeout_ms);
+
+/// Set O_NONBLOCK (true on success).
+bool set_nonblocking(int fd);
+
+/// Disable Nagle (best effort).
+void set_nodelay(int fd);
+
+enum class IoStatus : std::uint8_t {
+  kOk,        // made progress
+  kWouldBlock,
+  kClosed,    // orderly EOF (reads only)
+  kError,
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::kOk;
+  std::size_t bytes = 0;
+};
+
+/// Read once into `buf` (up to buf_len). kOk means bytes > 0.
+[[nodiscard]] IoResult read_some(int fd, std::uint8_t* buf,
+                                 std::size_t buf_len);
+
+/// writev the byte ranges in `iov` (built by the caller from its write
+/// queue); partial writes return kOk with the short count.
+struct IoSlice {
+  const std::uint8_t* data = nullptr;
+  std::size_t len = 0;
+};
+[[nodiscard]] IoResult write_vec(int fd, const IoSlice* iov, std::size_t n);
+
+/// Best-effort bump of RLIMIT_NOFILE to at least `want` descriptors
+/// (capped at the hard limit). Returns the resulting soft limit.
+std::uint64_t ensure_fd_limit(std::uint64_t want);
+
+}  // namespace pera::net

@@ -1,0 +1,126 @@
+// Handshake messages for RA-bound session establishment (COCOON's RA-TLS
+// pattern, transliterated to this repo's crypto substrate).
+//
+// RA-TLS embeds the attestation quote in the certificate presented during
+// the TLS handshake, so proving *code identity* and establishing the
+// session are one act. Here the switch's very first frame is a Hello
+// carrying a fresh session nonce and a Quote — a signed claim binding
+//
+//   place ∥ session nonce ∥ measurement
+//
+// under the switch's device key. The appraiser verifies the signature,
+// checks the measurement against its golden value and the nonce against a
+// replay registry *before* the session exists; evidence frames are only
+// accepted on admitted sessions. In mutual mode the HelloAck carries the
+// appraiser's counter-quote over the *client's* nonce, so the switch gets
+// a fresh proof of the appraiser's identity in the same round trip.
+//
+// Per-round messages deliberately reuse the existing sim wire format:
+// kEvidence frames carry core::EvidenceMsg bytes and kResult frames carry
+// ra::Certificate bytes — the sim and socket transports speak the same
+// language above the framing layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/wire.h"
+#include "crypto/nonce.h"
+#include "crypto/signer.h"
+
+namespace pera::net {
+
+/// Why a Hello was refused (carried in the HelloAck so the client can
+/// tell an identity failure from a capacity problem).
+enum class RejectReason : std::uint8_t {
+  kNone = 0,
+  kBadQuote = 1,       // signature or measurement check failed
+  kUnknownPlace = 2,   // no verifier/golden provisioned for the place
+  kReplayedNonce = 3,  // session nonce seen before
+  kMalformed = 4,      // undecodable hello/quote
+  kServerFull = 5,     // session table at capacity
+  kRoleRefused = 6,    // e.g. relying-party sessions disabled
+};
+
+[[nodiscard]] const char* to_string(RejectReason r);
+
+/// What a session is for. Switches attest and stream evidence; relying
+/// parties drive challenges against switches through the appraiser.
+enum class SessionRole : std::uint8_t {
+  kSwitch = 1,
+  kRelyingParty = 2,
+};
+
+/// A signed attestation quote: the claim "I am `place`, my identity
+/// measurement is `measurement`, and I say so freshly for `nonce`".
+struct Quote {
+  std::string place;
+  crypto::Nonce nonce{};
+  crypto::Digest measurement{};
+  crypto::Signature sig;
+
+  /// The digest the quote's signature covers.
+  [[nodiscard]] crypto::Digest signing_payload() const;
+
+  /// Build and sign a quote in one step.
+  [[nodiscard]] static Quote make(std::string place, const crypto::Nonce& nonce,
+                                  const crypto::Digest& measurement,
+                                  crypto::Signer& signer);
+
+  /// Verify the signature only (measurement/golden policy is the
+  /// caller's).
+  [[nodiscard]] bool verify(const crypto::Verifier& v) const;
+
+  [[nodiscard]] crypto::Bytes serialize() const;
+  [[nodiscard]] static Quote deserialize(crypto::BytesView data);
+};
+
+/// First frame of every session (FrameType::kHello).
+struct HelloMsg {
+  std::uint8_t version = 1;
+  SessionRole role = SessionRole::kSwitch;
+  bool want_mutual = false;
+  std::string place;
+  crypto::Nonce session_nonce{};
+  crypto::Bytes quote;  // Quote::serialize(); may be empty for RP sessions
+
+  [[nodiscard]] crypto::Bytes serialize() const;
+  [[nodiscard]] static HelloMsg deserialize(crypto::BytesView data);
+};
+
+/// The appraiser's answer (FrameType::kHelloAck).
+struct HelloAckMsg {
+  std::uint8_t version = 1;
+  bool admitted = false;
+  RejectReason reject = RejectReason::kNone;
+  crypto::Nonce server_nonce{};
+  crypto::Bytes quote;  // appraiser counter-quote (mutual mode), else empty
+
+  [[nodiscard]] crypto::Bytes serialize() const;
+  [[nodiscard]] static HelloAckMsg deserialize(crypto::BytesView data);
+};
+
+/// A challenge addressed to a place, relayed by the appraiser server from
+/// a relying-party session to that place's switch session
+/// (FrameType::kChallenge, both directions).
+struct ChallengeFrame {
+  std::string place;
+  core::Challenge challenge;
+
+  [[nodiscard]] crypto::Bytes serialize() const;
+  [[nodiscard]] static ChallengeFrame deserialize(crypto::BytesView data);
+};
+
+/// Session identity both ends can derive after the handshake:
+/// SHA-256(place ∥ client nonce ∥ server nonce).
+[[nodiscard]] crypto::Digest session_id(const std::string& place,
+                                        const crypto::Nonce& client_nonce,
+                                        const crypto::Nonce& server_nonce);
+
+/// Per-place quote-signing key, derived from a shared provisioning root
+/// the same way on both ends (the net analogue of the pipeline's
+/// shard-key derivation).
+[[nodiscard]] crypto::Digest derive_quote_key(const crypto::Digest& root,
+                                              const std::string& place);
+
+}  // namespace pera::net

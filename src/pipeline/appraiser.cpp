@@ -83,7 +83,11 @@ void ParallelAppraiser::run_worker(std::size_t w) {
         prof::enter(prof::Stage::kWotsVerify);
         AppraisedRecord rec = appraise_record(item, verifiers_);
         prof::enter(prof::Stage::kReassembly);
-        state.flows[item.flow].push_back(std::move(rec));
+        if (options_.record_hook) {
+          options_.record_hook(item, std::move(rec));
+        } else {
+          state.flows[item.flow].push_back(std::move(rec));
+        }
         ++state.records;
       }
     }
@@ -101,7 +105,11 @@ void ParallelAppraiser::run_worker(std::size_t w) {
           prof::enter(prof::Stage::kWotsVerify);
           AppraisedRecord rec = appraise_record(item, verifiers_);
           prof::enter(prof::Stage::kReassembly);
-          state.flows[item.flow].push_back(std::move(rec));
+          if (options_.record_hook) {
+            options_.record_hook(item, std::move(rec));
+          } else {
+            state.flows[item.flow].push_back(std::move(rec));
+          }
           ++state.records;
         }
       }

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <thread>
@@ -50,6 +51,13 @@ struct AppraiserOptions {
   std::size_t verify_burst = 16;
   /// Pin worker i to core pin_base + i (affinity.h); < 0 = no pinning.
   int pin_base = -1;
+  /// Streaming mode: when set, each appraised record is handed to this
+  /// hook on the worker thread instead of being bucketed for the
+  /// per-flow fold. This is the long-running-server path — verdicts go
+  /// out per round, so per-flow state must not accumulate and finish()
+  /// yields an empty verdict map. The hook may be called concurrently
+  /// from different workers (never twice concurrently for one flow).
+  std::function<void(const EvidenceItem&, AppraisedRecord&&)> record_hook;
 };
 
 class ParallelAppraiser final : public EvidenceSink {

@@ -375,6 +375,37 @@ TEST(CtrlTransport, DuplicateResultSuppressedExactlyOnce) {
   EXPECT_EQ(rig.outcomes.size(), 1u);
 }
 
+// Regression for the unbounded nonce_to_round_ growth the transport had
+// before the retention window: per-round state must stay bounded however
+// many rounds run, while duplicate suppression still works inside the
+// window.
+TEST(CtrlTransport, PerRoundStateIsBoundedAcrossManyRounds) {
+  ctrl::TransportConfig cfg;
+  cfg.completed_retention = 16;
+  TransportRig rig(51, cfg);
+  const std::size_t kRounds = 200;
+  for (std::size_t i = 0; i < kRounds; ++i) {
+    rig.round();
+    rig.dep.network().run();
+  }
+  ASSERT_EQ(rig.outcomes.size(), kRounds);
+  EXPECT_EQ(rig.transport.live_rounds(), 0u);
+  // Live + retained rounds only — not one entry per historical round.
+  EXPECT_LE(rig.transport.tracked_rounds(), cfg.completed_retention);
+  EXPECT_LE(rig.transport.nonce_index_size(),
+            cfg.completed_retention * cfg.max_attempts);
+
+  // A replay inside the retention window is still recognized...
+  const std::size_t before = rig.outcomes.size();
+  EXPECT_TRUE(
+      rig.transport.on_result(rig.tap.certs.back(), rig.dep.network().now()));
+  EXPECT_EQ(rig.transport.stats().duplicates_suppressed, 1u);
+  EXPECT_EQ(rig.outcomes.size(), before) << "replay must not re-complete";
+  // ...while one evicted from the window is no longer ours to consume.
+  EXPECT_FALSE(
+      rig.transport.on_result(rig.tap.certs.front(), rig.dep.network().now()));
+}
+
 TEST(CtrlTransport, ForeignNonceIsNotConsumed) {
   TransportRig rig(41);
   rig.round();
