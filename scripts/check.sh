@@ -33,6 +33,8 @@ build/fuzz/fuzz_evidence_decoder -max_total_time=15 -runs=200000 \
   tests/fixtures/fuzz
 build/fuzz/fuzz_frame_codec -max_total_time=15 -runs=200000 \
   tests/fixtures/fuzz
+build/fuzz/fuzz_evidence_payload -max_total_time=15 -runs=200000 \
+  tests/fixtures/fuzz
 
 for b in build/bench/bench_*; do
   # bench_throughput, bench_crypto, bench_ctrl and bench_state write their
@@ -43,6 +45,7 @@ for b in build/bench/bench_*; do
   [ "$(basename "$b")" = "bench_ctrl" ] && continue
   [ "$(basename "$b")" = "bench_state" ] && continue
   [ "$(basename "$b")" = "bench_net" ] && continue
+  [ "$(basename "$b")" = "bench_fleet" ] && continue
   echo "== $b (smoke) =="
   "$b" --benchmark_min_time=0.01 > /dev/null
 done
@@ -122,9 +125,20 @@ grep -q '"net.session.accepted":1' build/pera_net.metrics.json
 grep -q '"net.server.rounds":3' build/pera_net.metrics.json
 build/tools/pera_net --selftest > /dev/null
 
+# Hierarchical appraisal gates run inside the bench (scale, load bound,
+# flat-appraisal parity; nonzero exit on violation).
+echo "== fleet appraisal bench (smoke) =="
+build/bench/bench_fleet --smoke --json=build/BENCH_fleet.smoke.json > /dev/null
+grep -q '"gates": "pass"' build/BENCH_fleet.smoke.json
+grep -q '"load_ok": true' build/BENCH_fleet.smoke.json
+
 echo "== pera_ctl closed-loop scenario (smoke) =="
 build/tools/pera_ctl --seed=42 --loss=0.05 --interval-ms=50 \
   --swap-at-ms=200 --restore-at-ms=1200 --duration-ms=2500 > /dev/null
+
+echo "== pera_fleet hierarchical scenario (smoke) =="
+build/tools/pera_fleet --seed=42 --loss=0.01 --switches=24 --fanout=8 \
+  --duration-ms=1200 > /dev/null
 
 # The Fig. 4 design-space bench must export a usable metrics dump
 # (see docs/OBSERVABILITY.md).
@@ -172,7 +186,7 @@ echo "== ThreadSanitizer (pipeline + control plane) =="
 cmake -B build-tsan -G Ninja -DPERA_WERROR=ON -DPERA_SANITIZE=thread
 cmake --build build-tsan --target pera_tests bench_throughput
 ./build-tsan/tests/pera_tests \
-  --gtest_filter='SpscQueue*:FlowHash*:EpochBlock*:Pipeline*:Ctrl*:Trust*:StateAttest*:IncMerkle*:Net*'
+  --gtest_filter='SpscQueue*:FlowHash*:EpochBlock*:Pipeline*:Ctrl*:Trust*:StateAttest*:IncMerkle*:Net*:Fleet*'
 # The TSan bench pass covers the full threaded topology: dispatcher +
 # shard workers + parallel appraiser workers + profiler slots.
 ./build-tsan/bench/bench_throughput --shards=1,4 --packets=256 \

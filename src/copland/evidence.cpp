@@ -1,5 +1,6 @@
 #include "copland/evidence.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace pera::copland {
@@ -337,6 +338,36 @@ std::vector<const Evidence*> signatures_of(const EvidencePtr& e) {
     return n.kind == EvidenceKind::kSignature;
   });
   return out;
+}
+
+std::vector<const Evidence*> nonces_of(const EvidencePtr& e) {
+  std::vector<const Evidence*> out;
+  collect(e, out, [](const Evidence& n) {
+    return n.kind == EvidenceKind::kNonce;
+  });
+  return out;
+}
+
+EvidencePtr fold_par(std::vector<EvidencePtr> items) {
+  if (items.empty()) return Evidence::empty();
+  while (items.size() > 1) {
+    std::vector<EvidencePtr> next;
+    next.reserve((items.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < items.size(); i += 2) {
+      next.push_back(Evidence::par(items[i], items[i + 1]));
+    }
+    if (items.size() % 2 == 1) next.push_back(items.back());
+    items = std::move(next);
+  }
+  return items.front();
+}
+
+EvidencePtr fold_par_canonical(std::vector<EvidencePtr> items) {
+  std::sort(items.begin(), items.end(),
+            [](const EvidencePtr& a, const EvidencePtr& b) {
+              return encode(a) < encode(b);
+            });
+  return fold_par(std::move(items));
 }
 
 }  // namespace pera::copland

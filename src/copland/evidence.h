@@ -107,4 +107,20 @@ struct Evidence {
 /// Collect all signature nodes (pre-order).
 [[nodiscard]] std::vector<const Evidence*> signatures_of(const EvidencePtr& e);
 
+/// Collect all nonce nodes (pre-order).
+[[nodiscard]] std::vector<const Evidence*> nonces_of(const EvidencePtr& e);
+
+/// Order-preserving balanced `par` fold: adjacent items are paired level
+/// by level, an unpaired trailing item is promoted unchanged — the same
+/// build rule as the Merkle tree, so the fold of n items has depth
+/// ceil(log2 n) instead of n. Empty input folds to Evidence::empty().
+[[nodiscard]] EvidencePtr fold_par(std::vector<EvidencePtr> items);
+
+/// Canonical fold: items are sorted by canonical encoding before folding,
+/// so every permutation of the same item multiset folds to byte-identical
+/// evidence. This is what makes delegated composition trees comparable —
+/// two appraisers that saw the same per-switch evidence in different
+/// arrival orders produce the same aggregate digest.
+[[nodiscard]] EvidencePtr fold_par_canonical(std::vector<EvidencePtr> items);
+
 }  // namespace pera::copland

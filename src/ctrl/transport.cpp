@@ -91,7 +91,9 @@ void EvidenceTransport::attempt(std::uint64_t round_id) {
 
   // Fresh nonce per attempt: the appraiser's replay protection must never
   // block a legitimate retry whose predecessor's *result* was lost.
-  const crypto::Nonce nonce = nonces_.issue();
+  const crypto::Nonce nonce = nonce_source_
+                                  ? nonce_source_(round.place, round.attempts)
+                                  : nonces_.issue();
   nonce_to_round_[nonce.value] = round_id;
   round.nonces.push_back(nonce.value);
 
@@ -174,8 +176,31 @@ bool EvidenceTransport::on_result(const ra::Certificate& cert,
   out.verdict = cert.verdict;
   out.attempts = round.attempts;
   out.rtt = now - round.started_at;
+  out.nonce = cert.nonce;
   finish(round_id, round, out);
   return true;
+}
+
+std::size_t EvidenceTransport::subsume_round(const std::string& place,
+                                             const RoundOutcome& outcome) {
+  // Collect first: finish() appends to the retention deque, whose
+  // eviction erases old rounds_ entries — never mutate while iterating.
+  std::vector<std::uint64_t> live;
+  for (const auto& [id, round] : rounds_) {
+    if (!round.finished && round.place == place) live.push_back(id);
+  }
+  for (const std::uint64_t id : live) {
+    const auto it = rounds_.find(id);
+    if (it == rounds_.end() || it->second.finished) continue;
+    Round& round = it->second;
+    RoundOutcome out = outcome;
+    out.attempts = round.attempts;
+    out.rtt = backend_->now() - round.started_at;
+    ++stats_.rounds_subsumed;
+    PERA_OBS_COUNT("ctrl.transport.subsumed");
+    finish(id, round, out);
+  }
+  return live.size();
 }
 
 }  // namespace pera::ctrl

@@ -93,6 +93,10 @@ struct RoundOutcome {
   bool verdict = false;    // the appraiser's verdict (when completed)
   std::size_t attempts = 0;
   netsim::SimTime rtt = 0;  // first challenge -> accepted result
+  /// The nonce of the attempt that completed the round (all-zero on
+  /// timeout or external subsumption). Delegated appraisers use it to
+  /// associate the stashed evidence with the finished round.
+  crypto::Nonce nonce{};
 };
 
 struct TransportStats {
@@ -102,6 +106,9 @@ struct TransportStats {
   std::uint64_t rounds_timed_out = 0;
   std::uint64_t duplicates_suppressed = 0;
   std::uint64_t bad_signatures = 0;
+  /// Live rounds completed externally via subsume_round (an aggregate
+  /// answered for the place before its own per-switch result did).
+  std::uint64_t rounds_subsumed = 0;
 };
 
 class EvidenceTransport {
@@ -134,6 +141,26 @@ class EvidenceTransport {
   /// nonce was never ours and the message should go to whoever else
   /// shares the node.
   bool on_result(const ra::Certificate& cert, netsim::SimTime now);
+
+  /// Complete every live round against `place` with `outcome`, without a
+  /// matching certificate: a delegated (aggregate) appraisal already
+  /// settled the place, so the per-switch rounds it subsumes must finish
+  /// now — and must NOT be counted as duplicates (they never produced a
+  /// result of their own). A late per-switch result arriving afterwards
+  /// is still recognized through the retention window and suppressed as
+  /// a duplicate exactly once. Returns the number of rounds completed.
+  std::size_t subsume_round(const std::string& place,
+                            const RoundOutcome& outcome);
+
+  /// Derive attempt nonces instead of drawing them from the internal
+  /// registry — delegated rounds bind member nonces to the wave nonce so
+  /// the root can audit freshness (fleet::derive_member_nonce). `fn` is
+  /// called with (place, attempt) per challenge; it must be collision-
+  /// free across live rounds.
+  using NonceSource =
+      std::function<crypto::Nonce(const std::string& place,
+                                  std::size_t attempt)>;
+  void set_nonce_source(NonceSource fn) { nonce_source_ = std::move(fn); }
 
   [[nodiscard]] const TransportStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t live_rounds() const { return live_; }
@@ -172,6 +199,7 @@ class EvidenceTransport {
   crypto::KeyStore* keys_;
   TransportConfig config_;
   crypto::NonceRegistry nonces_;
+  NonceSource nonce_source_;
   crypto::Drbg jitter_rng_;
   std::map<crypto::Digest, std::uint64_t> nonce_to_round_;
   std::map<std::uint64_t, Round> rounds_;

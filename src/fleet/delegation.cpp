@@ -1,0 +1,165 @@
+#include "fleet/delegation.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace pera::fleet {
+
+DelegationTree DelegationTree::build(const std::vector<std::string>& members,
+                                     const std::vector<std::string>& regionals,
+                                     DelegationConfig config) {
+  if (regionals.empty()) {
+    throw std::invalid_argument("DelegationTree: no regional appraisers");
+  }
+  if (config.fanout == 0) config.fanout = 1;
+  DelegationTree t;
+  t.config_ = config;
+  for (std::size_t i = 0; i < members.size(); i += config.fanout) {
+    Region r;
+    r.name = "g" + std::to_string(t.next_region_id_++);
+    r.appraiser = regionals[(i / config.fanout) % regionals.size()];
+    const std::size_t end = std::min(i + config.fanout, members.size());
+    r.members.assign(members.begin() + static_cast<std::ptrdiff_t>(i),
+                     members.begin() + static_cast<std::ptrdiff_t>(end));
+    std::sort(r.members.begin(), r.members.end());
+    t.index_members(r);
+    t.regions_.emplace(r.name, std::move(r));
+  }
+  return t;
+}
+
+void DelegationTree::index_members(const Region& r) {
+  for (const auto& m : r.members) {
+    if (member_region_.contains(m)) {
+      throw std::invalid_argument("DelegationTree: duplicate member " + m);
+    }
+    member_region_[m] = r.name;
+  }
+}
+
+std::vector<const Region*> DelegationTree::regions() const {
+  std::vector<const Region*> out;
+  out.reserve(regions_.size());
+  for (const auto& [name, r] : regions_) out.push_back(&r);
+  return out;
+}
+
+const Region& DelegationTree::region(const std::string& name) const {
+  const auto it = regions_.find(name);
+  if (it == regions_.end()) {
+    throw std::invalid_argument("DelegationTree: unknown region " + name);
+  }
+  return it->second;
+}
+
+const Region* DelegationTree::region_of_member(const std::string& member) const {
+  const auto it = member_region_.find(member);
+  if (it == member_region_.end()) return nullptr;
+  return &regions_.at(it->second);
+}
+
+std::vector<std::string> DelegationTree::all_members() const {
+  std::vector<std::string> out;
+  out.reserve(member_region_.size());
+  for (const auto& [m, r] : member_region_) out.push_back(m);
+  return out;  // map iteration order is already sorted
+}
+
+std::vector<std::string> DelegationTree::appraisers() const {
+  std::set<std::string> uniq;
+  for (const auto& [name, r] : regions_) uniq.insert(r.appraiser);
+  return {uniq.begin(), uniq.end()};
+}
+
+std::size_t DelegationTree::rehome(const std::string& from,
+                                   const std::string& to) {
+  std::size_t moved = 0;
+  for (auto& [name, r] : regions_) {
+    if (r.appraiser == from) {
+      r.appraiser = to;
+      ++moved;
+    }
+  }
+  return moved;
+}
+
+std::optional<std::pair<std::string, std::string>> DelegationTree::split(
+    const std::string& name, std::size_t min_size) {
+  const auto it = regions_.find(name);
+  if (it == regions_.end()) {
+    throw std::invalid_argument("DelegationTree: unknown region " + name);
+  }
+  Region& old = it->second;
+  if (min_size == 0) min_size = 1;
+  if (old.members.size() < 2 * min_size) return std::nullopt;
+
+  const std::size_t half = old.members.size() / 2;
+  Region lo;
+  lo.name = "g" + std::to_string(next_region_id_++);
+  lo.appraiser = old.appraiser;
+  lo.members.assign(old.members.begin(),
+                    old.members.begin() + static_cast<std::ptrdiff_t>(half));
+  Region hi;
+  hi.name = "g" + std::to_string(next_region_id_++);
+  hi.appraiser = old.appraiser;
+  hi.members.assign(old.members.begin() + static_cast<std::ptrdiff_t>(half),
+                    old.members.end());
+
+  for (const auto& m : old.members) member_region_.erase(m);
+  regions_.erase(it);
+  index_members(lo);
+  index_members(hi);
+  auto result = std::make_pair(lo.name, hi.name);
+  regions_.emplace(lo.name, std::move(lo));
+  regions_.emplace(hi.name, std::move(hi));
+  return result;
+}
+
+std::optional<std::string> DelegationTree::sibling_of(
+    const std::string& appraiser,
+    const std::vector<std::string>& excluding) const {
+  const std::vector<std::string> ring = appraisers();
+  if (ring.empty()) return std::nullopt;
+  const std::set<std::string> skip(excluding.begin(), excluding.end());
+  // Start just after `appraiser` in the sorted ring and walk once around.
+  const auto start = std::upper_bound(ring.begin(), ring.end(), appraiser);
+  const std::size_t base = static_cast<std::size_t>(start - ring.begin());
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const std::string& cand = ring[(base + i) % ring.size()];
+    if (cand == appraiser || skip.contains(cand)) continue;
+    return cand;
+  }
+  return std::nullopt;
+}
+
+std::string policy_term(const Region& r) {
+  std::string members;
+  for (const auto& m : r.members) {
+    if (!members.empty()) members += ", ";
+    members += m;
+  }
+  return "@" + r.appraiser + " [(forall p in {" + members +
+         "}: @p (attest -> # -> !)) -> compose -> !]";
+}
+
+std::vector<std::string> fleet_switch_names(std::size_t n) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back("sw" + std::to_string(i));
+  return out;
+}
+
+std::vector<std::string> fleet_regional_names(std::size_t n_switches,
+                                              std::size_t fanout) {
+  if (fanout == 0) fanout = 1;
+  const std::size_t regions = (n_switches + fanout - 1) / fanout;
+  std::vector<std::string> out;
+  out.reserve(regions);
+  for (std::size_t r = 0; r < regions; ++r) {
+    out.push_back("r" + std::to_string(r));
+  }
+  return out;
+}
+
+}  // namespace pera::fleet

@@ -1,0 +1,100 @@
+// Fleet partitioning for hierarchical appraisal.
+//
+// A DelegationTree splits the attesting fleet into regions, each served
+// by a *regional appraiser* — itself an attested place (the root keeps a
+// trust machine and a direct re-attestation track for every regional).
+// The root appraises only regionals plus one signed aggregate per region
+// per wave; every tier's fan-out is bounded by the configured fanout, so
+// appraisal load stays flat as the fleet grows from 100 to 10k+ switches.
+//
+// The delegation policy per region is the Copland ∀-place phrase
+// rendered by policy_term(): the regional runs `@p (attest -> # -> !)`
+// against every member p, composes the results, and signs the aggregate.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pera::fleet {
+
+/// One delegation domain: a named set of member switches appraised by a
+/// regional appraiser on the root's behalf.
+struct Region {
+  std::string name;
+  std::string appraiser;             // the regional appraiser's place
+  std::vector<std::string> members;  // sorted by name
+};
+
+struct DelegationConfig {
+  /// Upper bound on members per region and on concurrent appraisal load
+  /// per appraiser at every tier.
+  std::size_t fanout = 32;
+};
+
+class DelegationTree {
+ public:
+  /// Partition `members` (in caller order) into regions of at most
+  /// `config.fanout`, assigning region i to regionals[i % regionals.size()].
+  /// Throws std::invalid_argument when regionals is empty.
+  [[nodiscard]] static DelegationTree build(
+      const std::vector<std::string>& members,
+      const std::vector<std::string>& regionals, DelegationConfig config);
+
+  [[nodiscard]] const DelegationConfig& config() const { return config_; }
+
+  /// Regions in name order.
+  [[nodiscard]] std::vector<const Region*> regions() const;
+  [[nodiscard]] std::size_t region_count() const { return regions_.size(); }
+
+  [[nodiscard]] const Region& region(const std::string& name) const;
+  [[nodiscard]] const Region* region_of_member(const std::string& member) const;
+
+  /// All member places across all regions, sorted.
+  [[nodiscard]] std::vector<std::string> all_members() const;
+
+  /// All distinct regional appraisers, sorted.
+  [[nodiscard]] std::vector<std::string> appraisers() const;
+
+  /// Re-home every region served by `from` onto `to` (failover after
+  /// `from` is quarantined). Returns the number of regions moved.
+  std::size_t rehome(const std::string& from, const std::string& to);
+
+  /// Split a region into two halves (blast-radius reduction after
+  /// repeated aggregate failures); both halves keep the appraiser. No-op
+  /// (nullopt) when the region has fewer than 2 * min_size members.
+  std::optional<std::pair<std::string, std::string>> split(
+      const std::string& name, std::size_t min_size);
+
+  /// Deterministic failover target: the next appraiser after `appraiser`
+  /// in the sorted appraiser ring, skipping everything in `excluding`.
+  /// Nullopt when no healthy sibling exists.
+  [[nodiscard]] std::optional<std::string> sibling_of(
+      const std::string& appraiser,
+      const std::vector<std::string>& excluding = {}) const;
+
+ private:
+  void index_members(const Region& r);
+
+  DelegationConfig config_;
+  std::map<std::string, Region> regions_;
+  std::map<std::string, std::string> member_region_;  // member -> region name
+  std::size_t next_region_id_ = 0;
+};
+
+/// Render the region's delegation policy as a Copland phrase: the root
+/// asks the regional to attest every member place and sign the composite.
+[[nodiscard]] std::string policy_term(const Region& r);
+
+/// Switch names matching netsim::topo::fleet ("sw0".."swN-1").
+[[nodiscard]] std::vector<std::string> fleet_switch_names(std::size_t n);
+
+/// Regional appraiser names matching netsim::topo::fleet ("r0"..), one
+/// per ceil(n_switches / fanout) region.
+[[nodiscard]] std::vector<std::string> fleet_regional_names(
+    std::size_t n_switches, std::size_t fanout);
+
+}  // namespace pera::fleet

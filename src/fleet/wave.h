@@ -1,0 +1,144 @@
+// Storm-free re-attestation waves.
+//
+// WaveScheduler layers per-region waves on ctrl::ReattestScheduler: one
+// jittered periodic track per region, staggered starts, so 10k switches
+// never hit the appraisal tier in one synchronized burst. RegionSession
+// paces the member rounds *within* a wave — a sliding window bounded by
+// max_inflight plus token-bucket admission — and is transport-agnostic
+// (the same session drives netsim rounds and socket-backend rounds).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ctrl/scheduler.h"
+#include "netsim/event.h"
+
+namespace pera::fleet {
+
+/// Deterministic token bucket in simulated (or wall) nanoseconds.
+class TokenBucket {
+ public:
+  /// `rate_per_sec` tokens accrue per second up to `burst`.
+  TokenBucket(double rate_per_sec, double burst);
+
+  /// Take one token if available at `now`.
+  [[nodiscard]] bool try_take(netsim::SimTime now);
+
+  /// Delay from `now` until a token will be available (0 when one is).
+  [[nodiscard]] netsim::SimTime next_ready(netsim::SimTime now);
+
+  [[nodiscard]] double tokens() const { return tokens_; }
+
+ private:
+  void refill(netsim::SimTime now);
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  netsim::SimTime last_ = 0;
+};
+
+struct WaveConfig {
+  /// Wave period per region.
+  netsim::SimTime interval = 250 * netsim::kMillisecond;
+  /// Seeded per-fire scaling in [1 - jitter, 1 + jitter].
+  double jitter = 0.1;
+  /// Spread each region's first wave uniformly over the interval.
+  bool stagger_start = true;
+};
+
+/// Fires one callback per (region, wave) on a jittered, staggered
+/// schedule. Regions can be retired (rehome/split) and added while
+/// running; retired regions' queued events no-op.
+class WaveScheduler {
+ public:
+  using Fire = std::function<void(const std::string& region,
+                                  std::uint64_t wave)>;
+
+  WaveScheduler(netsim::EventQueue& events, WaveConfig config,
+                std::uint64_t seed);
+
+  void add_region(const std::string& region);
+  void remove_region(const std::string& region);
+
+  void start(Fire fire);
+  void stop();
+
+  /// Fire an immediate out-of-cycle wave (bulk re-attestation after a
+  /// failover). No-op for unknown/retired regions or when stopped.
+  void trigger_now(const std::string& region);
+
+  [[nodiscard]] bool running() const { return inner_.running(); }
+  [[nodiscard]] std::uint64_t waves_of(const std::string& region) const;
+  [[nodiscard]] std::uint64_t total_waves() const { return total_; }
+  [[nodiscard]] const WaveConfig& config() const { return config_; }
+
+ private:
+  ctrl::ReattestScheduler inner_;
+  WaveConfig config_;
+  Fire fire_;
+  std::set<std::string> live_;
+  std::map<std::string, std::uint64_t> waves_;
+  std::uint64_t total_ = 0;
+};
+
+/// Paces one wave's member rounds: at most `max_inflight` concurrent
+/// rounds, each admitted through an optional shared token bucket. The
+/// caller supplies time, timers and the round starter, so the session is
+/// oblivious to whether rounds ride netsim or a real socket.
+class RegionSession {
+ public:
+  struct Config {
+    std::size_t max_inflight = 32;
+    TokenBucket* bucket = nullptr;  // optional, not owned
+  };
+
+  using Now = std::function<netsim::SimTime()>;
+  using ScheduleIn = std::function<void(netsim::SimTime delay,
+                                        std::function<void()> fn)>;
+  using StartRound = std::function<void(const std::string& member)>;
+  using Finished = std::function<void()>;
+
+  RegionSession(std::vector<std::string> members, Config config, Now now,
+                ScheduleIn schedule_in, StartRound start_round,
+                Finished finished);
+
+  /// Begin pumping rounds. Idempotent.
+  void run();
+
+  /// Report one member's round complete (frees an inflight slot).
+  void complete(const std::string& member);
+
+  /// Stop admitting new rounds; pending timers become no-ops.
+  void abandon() { abandoned_ = true; }
+
+  [[nodiscard]] std::size_t inflight() const { return inflight_; }
+  [[nodiscard]] std::size_t peak_inflight() const { return peak_inflight_; }
+  [[nodiscard]] std::size_t started() const { return next_; }
+  [[nodiscard]] std::size_t completed() const { return completed_; }
+  [[nodiscard]] bool finished() const { return finished_flag_; }
+
+ private:
+  void pump();
+
+  std::vector<std::string> members_;
+  Config config_;
+  Now now_;
+  ScheduleIn schedule_in_;
+  StartRound start_round_;
+  Finished on_finished_;
+  std::size_t next_ = 0;
+  std::size_t inflight_ = 0;
+  std::size_t peak_inflight_ = 0;
+  std::size_t completed_ = 0;
+  bool waiting_for_token_ = false;
+  bool finished_flag_ = false;
+  bool abandoned_ = false;
+};
+
+}  // namespace pera::fleet

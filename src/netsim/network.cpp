@@ -120,15 +120,33 @@ void Network::forward_from(NodeId at, Message msg) {
 }
 
 NodeId Network::next_hop_for(NodeId at, const Message& msg) {
+  // Quarantine steering applies to the data plane only; everything else
+  // rides the unrestricted shortest path, whose next hop per (at, dst)
+  // is stable until the topology changes — cache it. At 10k+ switches
+  // re-running Dijkstra per hop per control message is what melts the
+  // fleet control plane.
+  const bool steered_data = msg.type == "data" && !quarantined_.empty();
+  if (!steered_data) {
+    if (route_cache_generation_ != topo_.generation()) {
+      route_cache_.clear();
+      route_cache_generation_ = topo_.generation();
+    }
+    const auto key = std::make_pair(at, msg.dst);
+    const auto cached = route_cache_.find(key);
+    if (cached != route_cache_.end()) {
+      ++route_cache_hits_;
+      return cached->second;
+    }
+  }
   const auto normal = topo_.shortest_path(at, msg.dst);
   if (normal.size() < 2) {
     throw std::invalid_argument("send: no path from " + topo_.node(at).name +
                                 " to " + topo_.node(msg.dst).name);
   }
-  // Quarantine steering applies to the data plane only; control traffic
-  // must keep reaching a quarantined switch or it could never be
-  // re-attested and reinstated.
-  if (msg.type != "data" || quarantined_.empty()) return normal[1];
+  if (!steered_data) {
+    route_cache_.emplace(std::make_pair(at, msg.dst), normal[1]);
+    return normal[1];
+  }
 
   const auto steered =
       topo_.shortest_path_avoiding(at, msg.dst, quarantined_);

@@ -143,6 +143,12 @@ class Network {
   /// Run the simulation to quiescence (or until `until`).
   std::size_t run(SimTime until = INT64_MAX) { return events_.run(until); }
 
+  /// Cached (at, dst) -> next-hop entries served for control traffic
+  /// since the cache was last invalidated (fleet-scale visibility).
+  [[nodiscard]] std::uint64_t route_cache_hits() const {
+    return route_cache_hits_;
+  }
+
  private:
   void forward_from(NodeId at, Message msg);
   [[nodiscard]] NodeId next_hop_for(NodeId at, const Message& msg);
@@ -155,6 +161,14 @@ class Network {
   double loss_ = 0.0;
   std::optional<crypto::Drbg> loss_rng_;
   std::vector<TraceEvent>* trace_ = nullptr;
+  /// Next-hop cache for traffic routed on the unrestricted shortest path
+  /// (everything except quarantine-steered data). At fleet scale the
+  /// per-hop Dijkstra dominates the control plane; entries are keyed by
+  /// (at, dst) and the whole cache drops when the topology's generation
+  /// counter moves (link failures, added links/nodes).
+  std::map<std::pair<NodeId, NodeId>, NodeId> route_cache_;
+  std::uint64_t route_cache_generation_ = 0;
+  std::uint64_t route_cache_hits_ = 0;
 };
 
 /// Render a trace as a readable sequence diagram (one line per event).

@@ -14,6 +14,7 @@ NodeId Topology::add_node(const std::string& name, NodeKind kind) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(NodeInfo{id, name, kind});
   by_name_[name] = id;
+  ++generation_;
   return id;
 }
 
@@ -26,6 +27,7 @@ void Topology::add_link(NodeId a, NodeId b, SimTime latency, double gbps) {
   links_.push_back(LinkInfo{a, b, latency, gbps});
   adj_[a].emplace_back(b, idx);
   adj_[b].emplace_back(a, idx);
+  ++generation_;
 }
 
 void Topology::add_link(const std::string& a, const std::string& b,
@@ -56,6 +58,7 @@ void Topology::set_link_state(NodeId a, NodeId b, bool up) {
     for (const auto& [peer, idx] : it->second) {
       if (peer == b) {
         links_[idx].up = up;
+        ++generation_;
         return;
       }
     }
@@ -211,6 +214,27 @@ Topology datacenter() {
                5 * kMicrosecond, 10.0);
   }
   t.add_link("core1", "Appraiser", 50 * kMicrosecond);
+  return t;
+}
+
+Topology fleet(std::size_t n_switches, std::size_t fanout,
+               SimTime hop_latency) {
+  if (fanout == 0) fanout = 1;
+  Topology t;
+  t.add_node("root", NodeKind::kHost);
+  t.add_node("Appraiser", NodeKind::kAppraiser);
+  t.add_link("root", "Appraiser", hop_latency);
+
+  const std::size_t regions = (n_switches + fanout - 1) / fanout;
+  for (std::size_t r = 0; r < regions; ++r) {
+    t.add_node("r" + std::to_string(r), NodeKind::kSwitch);
+    t.add_link("root", "r" + std::to_string(r), 2 * hop_latency);
+  }
+  for (std::size_t i = 0; i < n_switches; ++i) {
+    const std::string name = "sw" + std::to_string(i);
+    t.add_node(name, NodeKind::kSwitch);
+    t.add_link("r" + std::to_string(i / fanout), name, hop_latency);
+  }
   return t;
 }
 

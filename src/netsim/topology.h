@@ -86,11 +86,16 @@ class Topology {
   [[nodiscard]] std::vector<std::string> names(
       const std::vector<NodeId>& path) const;
 
+  /// Monotonic counter bumped by every mutation that can change routing
+  /// (add_node, add_link, set_link_state). Route caches key off it.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
  private:
   std::vector<NodeInfo> nodes_;
   std::vector<LinkInfo> links_;
   std::map<std::string, NodeId> by_name_;
   std::map<NodeId, std::vector<std::pair<NodeId, std::size_t>>> adj_;
+  std::uint64_t generation_ = 0;
 };
 
 /// Canned topologies used by examples and benches.
@@ -108,6 +113,15 @@ namespace topo {
 /// k=4 fat-tree-ish 3-tier datacenter pod (2 cores, 4 aggs, 4 tors,
 /// 8 hosts) plus an appraiser on core1.
 [[nodiscard]] Topology datacenter();
+
+/// Fleet-scale management topology for hierarchical appraisal: a "root"
+/// host with the central "Appraiser" hanging off it, ceil(n/fanout)
+/// regional switches "r0".."rK" star-linked to root, and n leaf switches
+/// "sw0".."sw<n-1>" star-linked to their regional (leaf i under regional
+/// i/fanout). The regionals are ordinary attested switches — the fleet
+/// control plane delegates appraisal to them and the root attests *them*.
+[[nodiscard]] Topology fleet(std::size_t n_switches, std::size_t fanout,
+                             SimTime hop_latency = 20 * kMicrosecond);
 
 }  // namespace topo
 

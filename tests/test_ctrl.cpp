@@ -418,6 +418,41 @@ TEST(CtrlTransport, ForeignNonceIsNotConsumed) {
   EXPECT_EQ(rig.transport.stats().duplicates_suppressed, 0u);
 }
 
+// Regression for delegated (fleet) rounds: when an aggregate answers for
+// a place before the per-switch result arrives, the live round must be
+// settled exactly once by subsume_round — and the switch's own late
+// "result" must then be suppressed as a duplicate, not double-delivered
+// and not counted as a timeout.
+TEST(CtrlTransport, SubsumedRoundSuppressesTheLateResult) {
+  TransportRig rig(61);
+  rig.round();
+  // Do NOT run the network yet: the round is live, its result in flight.
+  ASSERT_EQ(rig.transport.live_rounds(), 1u);
+
+  ctrl::RoundOutcome sub;
+  sub.completed = true;
+  sub.verdict = true;
+  EXPECT_EQ(rig.transport.subsume_round("s1", sub), 1u);
+  EXPECT_EQ(rig.transport.stats().rounds_subsumed, 1u);
+  EXPECT_EQ(rig.transport.live_rounds(), 0u);
+  ASSERT_EQ(rig.outcomes.size(), 1u);
+  EXPECT_TRUE(rig.outcomes[0].completed);
+  EXPECT_TRUE(rig.outcomes[0].verdict);
+  EXPECT_EQ(rig.outcomes[0].attempts, 1u)
+      << "the subsumed outcome keeps the round's own attempt count";
+
+  // The switch's own result now lands: one suppressed duplicate, no
+  // second completion, and no timeout bookkeeping for a settled round.
+  rig.dep.network().run();
+  EXPECT_EQ(rig.transport.stats().duplicates_suppressed, 1u);
+  EXPECT_EQ(rig.outcomes.size(), 1u);
+  EXPECT_EQ(rig.transport.stats().rounds_timed_out, 0u);
+
+  // With nothing live, subsumption is a no-op.
+  EXPECT_EQ(rig.transport.subsume_round("s1", sub), 0u);
+  EXPECT_EQ(rig.transport.stats().rounds_subsumed, 1u);
+}
+
 // ------------------------------------------------------------- rerouting --
 
 core::FlowBundle plain_bundle() {
